@@ -1,0 +1,29 @@
+# Convenience targets (everything works with plain pytest too).
+
+PY ?= python
+
+.PHONY: install test bench tables report fuzz examples all
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	$(PY) -m pytest tests/
+
+bench:
+	$(PY) -m pytest benchmarks/ --benchmark-only
+
+tables:
+	$(PY) -m repro table1 --measure
+	$(PY) -m repro table3
+
+report:
+	$(PY) -m repro report
+
+fuzz:
+	$(PY) -m repro fuzz --runs 200
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; $(PY) $$f > /dev/null || exit 1; done
+
+all: install test bench examples

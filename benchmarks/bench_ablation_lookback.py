@@ -1,0 +1,76 @@
+"""Ablation: what the look-back buys over plain column soft-sync.
+
+Compares 1R1W-SKSS and 1R1W-SKSS-LB on identical simulated runs:
+parallelism (blocks), spin traffic, emergent simulator cycles, and the model's
+predicted gap across sizes.  This is the paper's core design argument
+("1R1W-SKSS-LB ... uses much more threads than 1R1W-SKSS. Thus, it runs
+faster") made measurable.
+"""
+
+import pytest
+
+from repro.gpusim import GPU
+from repro.perfmodel import SIZES, TitanVModel
+from repro.sat import SKSS1R1W, SKSSLB1R1W
+
+
+def test_parallelism_gap(benchmark, bench_matrix):
+    def run_both():
+        skss = SKSS1R1W().run(bench_matrix, GPU(seed=3))
+        lb = SKSSLB1R1W().run(bench_matrix, GPU(seed=3))
+        return skss, lb
+
+    skss, lb = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    t = bench_matrix.shape[0] // 32
+    print(f"\nblocks: SKSS={skss.report.kernels[0].grid_blocks} "
+          f"LB={lb.report.kernels[0].grid_blocks}")
+    print(f"max threads: SKSS={skss.max_threads} LB={lb.max_threads}")
+    assert lb.report.kernels[0].grid_blocks == t * skss.report.kernels[0].grid_blocks
+    assert lb.max_threads == t * skss.max_threads
+
+
+def test_emergent_cycles_favor_lookback(benchmark, bench_matrix):
+    """The simulator's emergent clock (independent of the analytic model)
+    must also rank LB ahead of SKSS at a simulatable size."""
+    def run_both():
+        skss = SKSS1R1W().run(bench_matrix, GPU(seed=5))
+        lb = SKSSLB1R1W().run(bench_matrix, GPU(seed=5))
+        return (skss.report.kernels[0].sim_cycles,
+                lb.report.kernels[0].sim_cycles)
+
+    skss_cycles, lb_cycles = benchmark.pedantic(run_both, rounds=1,
+                                                iterations=1)
+    print(f"\nemergent cycles: SKSS={skss_cycles:.0f} LB={lb_cycles:.0f} "
+          f"(ratio {skss_cycles / lb_cycles:.2f})")
+    assert lb_cycles < skss_cycles
+
+
+def test_model_gap_across_sizes(benchmark):
+    model = TitanVModel()
+
+    def gaps():
+        return {n: (model.best_estimate("1R1W-SKSS", n).total_ms
+                    / model.best_estimate("1R1W-SKSS-LB", n).total_ms)
+                for n in SIZES}
+
+    ratio = benchmark.pedantic(gaps, rounds=1, iterations=1)
+    print("\nSKSS/LB model ratio per size: "
+          + ", ".join(f"{n}:{r:.2f}" for n, r in ratio.items()))
+    # LB never loses, and the advantage peaks at small/medium sizes.
+    assert all(r >= 1.0 for r in ratio.values())
+    assert max(ratio, key=ratio.get) <= 4096
+
+
+def test_lookback_bounds_wait_chains(benchmark, bench_matrix):
+    """Spin iterations per tile stay bounded for LB even under an adversarial
+    scheduler: consumers sum locals instead of waiting for neighbours'
+    completed prefixes."""
+    def run():
+        return SKSSLB1R1W().run(bench_matrix,
+                                GPU(seed=9, scheduler_policy="lifo"))
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    tiles = (bench_matrix.shape[0] // 32) ** 2
+    spins_per_tile = res.report.traffic.spin_iterations / tiles
+    print(f"\nLB spin iterations per tile (lifo): {spins_per_tile:.2f}")
+    assert spins_per_tile < 50

@@ -1,0 +1,45 @@
+"""The duplication baseline (Table III row 1) and host-throughput reality
+checks.
+
+The first half validates the calibration (model vs paper duplication row);
+the second half is honest wall-clock benchmarking of the host NumPy SAT —
+the fastest concrete SAT available in this environment — to anchor the
+repository's own performance claims.
+"""
+
+import numpy as np
+import pytest
+
+from repro.perfmodel import (DEFAULT_CALIBRATION, PAPER_DUPLICATION_MS, SIZES,
+                             fit_duplication)
+from repro.sat import sat_reference
+
+
+def test_calibration_fit(benchmark):
+    cal = benchmark(fit_duplication)
+    rows = [f"{'n':>6} {'paper ms':>10} {'model ms':>10} {'ratio':>7}"]
+    for n, paper in zip(SIZES, PAPER_DUPLICATION_MS):
+        model = cal.duplication_us(n) / 1e3
+        rows.append(f"{n:>6} {paper:>10.5f} {model:>10.5f} "
+                    f"{model / paper:>7.2f}")
+    print("\n" + "\n".join(rows))
+    print(f"fitted: t0 = {cal.t0_us:.2f} us, B = {cal.bandwidth_gbps:.0f} GB/s")
+    assert 500 <= cal.bandwidth_gbps <= 660
+
+
+@pytest.mark.parametrize("n", [256, 512, 1024, 2048])
+def test_host_sat_throughput(benchmark, n):
+    """Wall-clock NumPy SAT (cumsum x2): the host-side reference speed."""
+    rng = np.random.default_rng(0)
+    a = rng.random((n, n)).astype(np.float32)
+    sat = benchmark(sat_reference, a)
+    assert sat.shape == (n, n)
+
+
+@pytest.mark.parametrize("n", [256, 1024])
+def test_host_duplication_throughput(benchmark, n):
+    """Wall-clock matrix duplication — the same lower bound the paper uses."""
+    rng = np.random.default_rng(0)
+    a = rng.random((n, n)).astype(np.float32)
+    out = benchmark(np.copy, a)
+    assert out.shape == (n, n)

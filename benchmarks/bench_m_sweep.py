@@ -1,0 +1,56 @@
+"""The m sweep: threads per tile (paper parameter ``m = W²/threads``).
+
+Table I expresses thread counts through ``m``; the paper fixes 1024-thread
+blocks ("to maximize parallelism") and sweeps W instead.  This bench sweeps
+the block size for the paper's algorithm at fixed W: global traffic is
+invariant (same tiles, same publishes), shared-memory behaviour is invariant
+(same accesses in more passes), and the model's occupancy term shows why
+fewer threads per tile only ever hurts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import GPU
+from repro.perfmodel import TitanVModel
+from repro.sat import SKSSLB1R1W, sat_reference
+
+THREADS = [128, 256, 512, 1024]
+
+
+@pytest.mark.parametrize("threads", THREADS)
+def test_traffic_invariant_in_m(benchmark, threads, small_bench_matrix):
+    res = benchmark.pedantic(
+        lambda: SKSSLB1R1W(tile_width=32, threads_per_block=threads).run(
+            small_bench_matrix, GPU(seed=2)),
+        rounds=1, iterations=1)
+    assert np.array_equal(res.sat, sat_reference(small_bench_matrix))
+    t = res.report.traffic
+    n2 = small_bench_matrix.size
+    m = 32 * 32 // threads
+    print(f"\nthreads={threads} (m={m}): reads/n²="
+          f"{t.global_read_requests / n2:.3f} "
+          f"writes/n²={t.global_write_requests / n2:.3f}")
+    # Global traffic must not depend on m.
+    assert t.global_read_requests <= 1.1 * n2
+    assert t.global_write_requests <= 1.2 * n2
+
+
+def test_model_prefers_full_blocks(benchmark):
+    """With W=32 the model's occupancy term makes m=1 (1024 threads) at
+    least as fast as any thinner block at every size."""
+    model = TitanVModel()
+
+    def sweep():
+        out = {}
+        for n in (1024, 8192):
+            out[n] = {tpb: model.estimate("1R1W-SKSS-LB", n, W=32,
+                                          threads_per_block=tpb).total_ms
+                      for tpb in THREADS}
+        return out
+
+    out = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for n, times in out.items():
+        print(f"\nn={n}: " + "  ".join(f"tpb={k}:{v:.4f}ms"
+                                       for k, v in times.items()))
+        assert times[1024] <= min(times.values()) * 1.001

@@ -1,0 +1,41 @@
+"""Out-of-core banded SAT: overhead vs the in-memory reference (extension).
+
+Band stitching adds one carry-vector update per band; the bench quantifies
+that against a whole-matrix cumsum and exercises the streaming query path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sat import sat_reference
+from repro.sat.outofcore import OutOfCoreSAT, band_bounds, out_of_core_sat
+
+
+@pytest.mark.parametrize("band_rows", [64, 256, 1024])
+def test_banded_sat(benchmark, band_rows):
+    rng = np.random.default_rng(1)
+    a = rng.random((1024, 1024))
+    out = benchmark(out_of_core_sat, a, band_rows=band_rows)
+    assert out.shape == a.shape
+
+
+def test_whole_matrix_baseline(benchmark):
+    rng = np.random.default_rng(1)
+    a = rng.random((1024, 1024))
+    benchmark(sat_reference, a)
+
+
+def test_streaming_queries(benchmark):
+    rng = np.random.default_rng(2)
+    a = rng.random((512, 512))
+
+    def stream_and_query():
+        oos = OutOfCoreSAT(n_cols=512)
+        total = 0.0
+        for lo, hi in band_bounds(512, 128):
+            oos.push_band(a[lo:hi])
+            total += oos.rect_sum(0, 0, hi - 1, 511)
+        return total
+
+    total = benchmark(stream_and_query)
+    assert total > 0

@@ -1,0 +1,54 @@
+"""The r sweep of the (1+r)R1W hybrid (paper Section III.B, Figure 8).
+
+The paper "chooses the best value of r that minimizes the running time": this
+bench sweeps r over [0, 1] in the cost model at several sizes, prints the
+optimum, and checks the measured traffic of the simulator scales as
+``(1+r)n²`` reads while staying ``n²`` writes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import GPU
+from repro.perfmodel import TitanVModel
+from repro.sat import Hybrid1R1W
+
+R_GRID = [0.0, 0.05, 0.1, 0.2, 0.3, 0.45, 0.6, 0.8, 1.0]
+
+
+def test_model_r_sweep(benchmark):
+    model = TitanVModel()
+
+    def sweep():
+        out = {}
+        for n in (1024, 4096, 16384):
+            times = {r: model.estimate("(1+r)R1W", n, W=64, r=r).total_ms
+                     for r in R_GRID}
+            out[n] = times
+        return out
+
+    out = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for n, times in out.items():
+        best_r = min(times, key=times.get)
+        row = "  ".join(f"r={r}:{t:.3f}" for r, t in times.items())
+        print(f"\nn={n}: best r = {best_r}\n  {row}")
+        # The optimum is interior-ish at small n (launch overhead pushes away
+        # from r=0) and leans small at very large n (traffic dominates).
+        if n <= 1024:
+            assert times[best_r] <= times[0.0]
+    # At 16K traffic dominates: large r must be worse than the optimum by a
+    # visible margin.
+    t16 = out[16384]
+    assert t16[1.0] > min(t16.values()) * 1.05
+
+
+@pytest.mark.parametrize("r", [0.0, 0.25, 0.5, 1.0])
+def test_simulated_traffic_scales_with_r(benchmark, r, small_bench_matrix):
+    res = benchmark.pedantic(
+        lambda: Hybrid1R1W(r=r).run(small_bench_matrix, GPU(seed=1)),
+        rounds=1, iterations=1)
+    n2 = small_bench_matrix.size
+    reads = res.report.traffic.global_read_requests
+    print(f"\nr={r}: reads/n² = {reads / n2:.3f}")
+    assert reads >= (1 + 0.8 * r) * n2 * 0.92
+    assert res.report.traffic.global_write_requests <= 1.2 * n2

@@ -1,0 +1,69 @@
+"""Benchmarks of the simulator itself: wall-clock throughput and scaling.
+
+These are honest performance numbers for this repository's substrate (not
+paper artefacts): how fast the functional simulator executes the paper's
+kernel per matrix size, and how the cost of adversarial features (relaxed
+consistency, tracing, uninitialized-read detection) compares to the baseline.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import GPU, Tracer
+from repro.sat import SKSSLB1R1W, sat_reference
+
+
+def _matrix(n):
+    rng = np.random.default_rng(0)
+    return rng.integers(0, 100, size=(n, n)).astype(np.float64)
+
+
+@pytest.mark.parametrize("n", [64, 128, 256])
+def test_sim_throughput_by_size(benchmark, n):
+    a = _matrix(n)
+
+    def run():
+        return SKSSLB1R1W().run(a, GPU(seed=1))
+
+    res = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert np.array_equal(res.sat, sat_reference(a))
+
+
+@pytest.mark.parametrize("mode", ["strong", "relaxed", "relaxed+detect",
+                                  "relaxed+trace"])
+def test_sim_feature_overhead(benchmark, mode):
+    a = _matrix(128)
+
+    def run():
+        kw = {"seed": 1}
+        if mode == "strong":
+            kw["consistency"] = "strong"
+        if mode == "relaxed+detect":
+            kw["detect_uninitialized"] = True
+        if mode == "relaxed+trace":
+            kw["tracer"] = Tracer()
+        return SKSSLB1R1W().run(a, GPU(**kw))
+
+    res = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert np.array_equal(res.sat, sat_reference(a))
+
+
+def test_host_path_much_faster_than_simulation(benchmark):
+    """The host path exists because simulation costs ~10³x wall-clock; check
+    the gap is real (and therefore that offering both paths is justified)."""
+    import time
+    a = _matrix(128)
+
+    def measure():
+        t0 = time.perf_counter()
+        SKSSLB1R1W().run_host(a)
+        host = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        SKSSLB1R1W().run(a, GPU(seed=1))
+        sim = time.perf_counter() - t0
+        return host, sim
+
+    host, sim = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print(f"\nhost {host * 1e3:.1f} ms vs simulated {sim * 1e3:.1f} ms "
+          f"({sim / host:.0f}x)")
+    assert sim > 3 * host

@@ -1,0 +1,73 @@
+"""Regenerates **Table III**: running times and overheads, 256² to 32K².
+
+The timing source is the analytic TITAN V model calibrated only against the
+paper's cudaMemcpy duplication row (see ``repro.perfmodel``); traffic inputs
+are the closed forms validated against the simulator.  The printed table
+interleaves the model's cells with the paper's measured cells, and the
+assertions encode the paper's Section V conclusions (who wins, the overhead
+floors, where the minimum overhead lands).
+"""
+
+import math
+
+import pytest
+
+from repro.perfmodel import (PAPER_DUPLICATION_MS, SIZES, TABLE3_ORDER,
+                             TitanVModel, model_table3, paper_best_ms,
+                             render_table3)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return TitanVModel()
+
+
+def _best(table, name, k):
+    return min(v[k] for v in table[name].values() if not math.isnan(v[k]))
+
+
+def test_render_full_table3(benchmark, model):
+    text = benchmark.pedantic(lambda: render_table3(model), rounds=3,
+                              iterations=1)
+    print("\n" + text)
+    assert "matrix duplication" in text
+
+
+def test_table3_model_generation(benchmark, model):
+    """Benchmark the full 7-algorithm x 3-width x 8-size prediction sweep."""
+    table = benchmark(model_table3, model)
+    assert len(table) == len(TABLE3_ORDER) + 1
+
+
+def test_headline_overheads(benchmark, model):
+    """The paper's abstract: SKSS-LB's overhead over duplication bottoms out
+    in single digits (paper: 5.7 % at 8K²)."""
+    table = benchmark.pedantic(model_table3, args=(model,), rounds=1,
+                               iterations=1)
+    dup = table["duplication"][None]
+    overheads = [(_best(table, "1R1W-SKSS-LB", k) - dup[k]) / dup[k] * 100
+                 for k in range(len(SIZES))]
+    print("\nSKSS-LB overhead vs duplication (model): "
+          + ", ".join(f"{SIZES[k]}:{o:.1f}%" for k, o in enumerate(overheads)))
+    assert min(overheads) < 12.0
+    # Winner at every size.
+    for k in range(len(SIZES)):
+        lb = _best(table, "1R1W-SKSS-LB", k)
+        assert all(lb <= _best(table, nm, k) for nm in TABLE3_ORDER)
+
+
+def test_model_vs_paper_ratio_report(benchmark, model):
+    """Print the per-cell model/paper ratios recorded in EXPERIMENTS.md."""
+    table = benchmark.pedantic(model_table3, args=(model,), rounds=1,
+                               iterations=1)
+    lines = [f"{'algorithm':<14}" + "".join(f"{n:>9}" for n in SIZES)]
+    for name in TABLE3_ORDER:
+        ratios = [_best(table, name, k) / paper_best_ms(name, k)
+                  for k in range(len(SIZES))]
+        lines.append(f"{name:<14}" + "".join(f"{r:>9.2f}" for r in ratios))
+    dup_ratios = [table["duplication"][None][k] / PAPER_DUPLICATION_MS[k]
+                  for k in range(len(SIZES))]
+    lines.append(f"{'duplication':<14}" + "".join(f"{r:>9.2f}"
+                                                  for r in dup_ratios))
+    print("\nmodel/paper best-time ratios:\n" + "\n".join(lines))
+    assert all(1 / 3 <= r <= 3 for r in dup_ratios)

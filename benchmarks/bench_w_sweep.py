@@ -1,0 +1,61 @@
+"""The W sweep of Table III: per-width rows and the best-W trend.
+
+The paper sweeps W in {32, 64, 128} for every tile-based algorithm; the best
+width grows with the matrix (narrow tiles lose to per-tile flag/atomic
+overhead at large n, wide tiles lose to low occupancy at small n).  The model
+rows are printed per algorithm; measured simulator traffic at two widths is
+benchmarked for the paper's algorithm.
+"""
+
+import math
+
+import pytest
+
+from repro.gpusim import GPU
+from repro.perfmodel import SIZES, TILE_WIDTHS, TitanVModel
+from repro.perfmodel.table import TABLE3_ORDER
+from repro.sat import SKSSLB1R1W
+
+TILE_ALGOS = [n for n in TABLE3_ORDER if not n.startswith("2R2W")]
+
+
+def test_model_w_sweep_table(benchmark):
+    model = TitanVModel()
+
+    def build():
+        rows = {}
+        for name in TILE_ALGOS:
+            rows[name] = {W: [model.estimate(name, n, W=W).total_ms
+                              if n % W == 0 and W <= n else math.nan
+                              for n in SIZES] for W in TILE_WIDTHS}
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    lines = []
+    for name, by_w in rows.items():
+        for W, times in by_w.items():
+            cells = "".join(f"{v:>10.4f}" if not math.isnan(v) else f"{'-':>10}"
+                            for v in times)
+            lines.append(f"{name:<14} W={W:<4}{cells}")
+    print("\nmodel W sweep (ms):\n" + "\n".join(lines))
+
+    # Trend: for SKSS-LB, the best W at 32K is wider than the best W at 512.
+    lb = rows["1R1W-SKSS-LB"]
+    k_small, k_big = SIZES.index(512), SIZES.index(32768)
+    best_small = min(TILE_WIDTHS, key=lambda W: lb[W][k_small])
+    best_big = min(TILE_WIDTHS, key=lambda W: lb[W][k_big])
+    assert best_big >= best_small
+    assert best_big == 128
+
+
+@pytest.mark.parametrize("W", [32, 64])
+def test_simulated_w_traffic(benchmark, W, small_bench_matrix):
+    """Measured overhead traffic shrinks with W: the O(n²/W) term is real."""
+    res = benchmark.pedantic(
+        lambda: SKSSLB1R1W(tile_width=W).run(small_bench_matrix, GPU(seed=1)),
+        rounds=1, iterations=1)
+    n2 = small_bench_matrix.size
+    extra = res.report.traffic.global_write_requests - n2
+    print(f"\nW={W}: write overhead {extra} elements "
+          f"({100 * extra / n2:.1f}% of n²)")
+    assert extra <= 8 * n2 / W

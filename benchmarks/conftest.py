@@ -1,0 +1,25 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates a paper artefact (Table I, Table III, the W and r
+sweeps, or an ablation) and prints it; run with ``-s`` to see the tables:
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture(scope="session")
+def bench_matrix() -> np.ndarray:
+    """The simulated-measurement workload: 256x256 (8x8 tiles at W=32)."""
+    rng = np.random.default_rng(2018)
+    return rng.integers(0, 100, size=(256, 256)).astype(np.float64)
+
+
+@pytest.fixture(scope="session")
+def small_bench_matrix() -> np.ndarray:
+    rng = np.random.default_rng(2018)
+    return rng.integers(0, 100, size=(128, 128)).astype(np.float64)

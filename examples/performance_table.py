@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's evaluation tables from this repository.
+
+Prints Table I (symbolic + numeric) and Table III (the calibrated TITAN V
+model side by side with the paper's measured milliseconds), then the headline
+overhead numbers.  See EXPERIMENTS.md for the recorded comparison.
+"""
+
+import math
+
+from repro.analysis import render_table1
+from repro.perfmodel import (SIZES, TABLE3_ORDER, TitanVModel, model_table3,
+                             paper_best_ms, render_table3)
+
+
+def main() -> None:
+    print("=" * 72)
+    print("Table I - theoretical comparison (numeric column: n=1024, W=32)")
+    print("=" * 72)
+    print(render_table1(1024))
+
+    print()
+    print("=" * 72)
+    print("Table III - model predictions vs paper measurements (ms)")
+    print("  model calibrated ONLY on the paper's cudaMemcpy row;")
+    print("  '*' marks the best tile width per size")
+    print("=" * 72)
+    model = TitanVModel()
+    print(render_table3(model))
+
+    table = model_table3(model)
+    dup = table["duplication"][None]
+
+    def best(name, k):
+        return min(v[k] for v in table[name].values() if not math.isnan(v[k]))
+
+    print()
+    print("Headline (paper Section V):")
+    lb_oh = [(best("1R1W-SKSS-LB", k) - dup[k]) / dup[k] * 100
+             for k in range(len(SIZES))]
+    print(f"  model 1R1W-SKSS-LB minimum overhead: {min(lb_oh):.1f}% "
+          f"(paper: 5.7%)")
+    wins = all(best("1R1W-SKSS-LB", k) <= best(nm, k)
+               for k in range(len(SIZES)) for nm in TABLE3_ORDER)
+    print(f"  1R1W-SKSS-LB fastest at every size: {wins} (paper: yes)")
+    worst = max(best(nm, k) / paper_best_ms(nm, k)
+                for nm in TABLE3_ORDER for k in range(len(SIZES)))
+    print(f"  worst best-cell model/paper ratio: {worst:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""Complexity accounting (Table I) and verification helpers."""
+
+from repro.analysis.complexity import (HIGH, LOW, MEDIUM, TABLE1_ORDER,
+                                       Table1Row, render_table1, table1_row)
+from repro.analysis.precision import (PrecisionRow, max_relative_error,
+                                      precision_report, sat_float32,
+                                      sat_kahan, ulps_needed)
+from repro.analysis.fuzzing import FuzzConfig, FuzzReport, fuzz
+from repro.analysis.verify import CountCheck, check_counts, check_result
+from repro.analysis.waves import (ParallelismProfile, lookback_profile,
+                                  profile, render_profile, skss_profile,
+                                  wavefront_profile)
+
+__all__ = [
+    "LOW", "MEDIUM", "HIGH", "TABLE1_ORDER", "Table1Row", "render_table1",
+    "table1_row", "CountCheck", "check_counts", "check_result",
+    "PrecisionRow", "max_relative_error", "precision_report", "sat_float32",
+    "sat_kahan", "ulps_needed",
+    "FuzzConfig", "FuzzReport", "fuzz",
+    "ParallelismProfile", "lookback_profile", "profile", "render_profile",
+    "skss_profile", "wavefront_profile",
+]

@@ -1,0 +1,125 @@
+"""Differential fuzzing of the SAT algorithms.
+
+Randomly samples (matrix, algorithm, tile width, scheduler policy, seed,
+residency, consistency) configurations, runs the simulator, and checks the
+result bit-for-bit against the NumPy reference (inputs are integer-valued so
+float64 arithmetic is exact).  Any surviving discrepancy or unexpected
+exception is reported with its full configuration for replay.
+
+Used by the test suite (short budget) and the ``repro fuzz`` CLI command
+(arbitrary budgets).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.gpusim import GPU, TINY_DEVICE, TITAN_V
+from repro.sat import get_algorithm, sat_reference
+
+#: Algorithms eligible for fuzzing (all of them).
+FUZZ_ALGORITHMS = ("2R2W", "2R2W-optimal", "2R1W", "1R1W", "(1+r)R1W",
+                   "1R1W-SKSS", "1R1W-SKSS-LB")
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """One sampled configuration (sufficient to replay a failure)."""
+
+    algorithm: str
+    n: int
+    tile_width: int
+    policy: str
+    sim_seed: int
+    data_seed: int
+    residency: int | None
+    consistency: str
+    tiny_device: bool
+    r: float = 0.25
+
+    def build_gpu(self) -> GPU:
+        return GPU(device=TINY_DEVICE if self.tiny_device else TITAN_V,
+                   scheduler_policy=self.policy, seed=self.sim_seed,
+                   consistency=self.consistency,
+                   max_resident_blocks=self.residency)
+
+    def build_matrix(self) -> np.ndarray:
+        rng = np.random.default_rng(self.data_seed)
+        return rng.integers(-50, 50, size=(self.n, self.n)).astype(np.float64)
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of a fuzzing session."""
+
+    runs: int = 0
+    failures: list[tuple[FuzzConfig, str]] = field(default_factory=list)
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else f"{len(self.failures)} FAILURES"
+        return (f"fuzz: {self.runs} runs in {self.elapsed_s:.1f}s -> {status}")
+
+
+def sample_config(rng: np.random.Generator) -> FuzzConfig:
+    """Draw one random configuration (sizes kept simulator-friendly)."""
+    tile_width = int(rng.choice([32, 64]))
+    t = int(rng.integers(1, 4))
+    algorithm = str(rng.choice(FUZZ_ALGORITHMS))
+    tiny = bool(rng.random() < 0.4)
+    residency = int(rng.integers(1, 7)) if rng.random() < 0.6 else None
+    return FuzzConfig(
+        algorithm=algorithm,
+        n=t * tile_width,
+        tile_width=tile_width,
+        policy=str(rng.choice(["round_robin", "random", "lifo"])),
+        sim_seed=int(rng.integers(0, 2**31)),
+        data_seed=int(rng.integers(0, 2**31)),
+        residency=residency,
+        consistency=str(rng.choice(["relaxed", "relaxed", "strong"])),
+        tiny_device=tiny,
+        r=float(rng.choice([0.0, 0.25, 0.5, 1.0])),
+    )
+
+
+def run_one(config: FuzzConfig) -> str | None:
+    """Run one configuration; returns an error description or ``None``."""
+    a = config.build_matrix()
+    kwargs = {"tile_width": config.tile_width}
+    if config.algorithm == "(1+r)R1W":
+        kwargs["r"] = config.r
+    try:
+        result = get_algorithm(config.algorithm, **kwargs).run(
+            a, config.build_gpu())
+    except Exception as exc:  # noqa: BLE001 - the fuzzer reports, not raises
+        return f"exception: {type(exc).__name__}: {exc}"
+    if not np.array_equal(result.sat, sat_reference(a)):
+        bad = int(np.argmax(result.sat != sat_reference(a)))
+        return f"wrong SAT (first mismatch at flat index {bad})"
+    return None
+
+
+def fuzz(num_runs: int = 50, *, seed: int = 0,
+         time_budget_s: float | None = None) -> FuzzReport:
+    """Run ``num_runs`` random configurations (or until the time budget)."""
+    rng = np.random.default_rng(seed)
+    report = FuzzReport()
+    start = time.perf_counter()
+    for _ in range(num_runs):
+        if time_budget_s is not None \
+                and time.perf_counter() - start > time_budget_s:
+            break
+        config = sample_config(rng)
+        error = run_one(config)
+        report.runs += 1
+        if error is not None:
+            report.failures.append((config, error))
+    report.elapsed_s = time.perf_counter() - start
+    return report

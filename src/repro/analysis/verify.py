@@ -1,0 +1,85 @@
+"""Verification helpers used by tests, benchmarks and examples."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.complexity import table1_row
+from repro.sat.base import SATResult
+from repro.sat.reference import sat_reference
+
+
+@dataclass(frozen=True)
+class CountCheck:
+    """Outcome of comparing measured launch counts to the Table I prediction."""
+
+    algorithm: str
+    ok: bool
+    kernel_calls_measured: int
+    kernel_calls_predicted: int
+    max_threads_measured: int
+    max_threads_predicted: int
+    reads_measured: int
+    reads_predicted: float
+    writes_measured: int
+    writes_predicted: float
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        flag = "OK " if self.ok else "FAIL"
+        return (f"[{flag}] {self.algorithm}: kernels {self.kernel_calls_measured}"
+                f"/{self.kernel_calls_predicted}, threads "
+                f"{self.max_threads_measured}/{self.max_threads_predicted}, "
+                f"reads {self.reads_measured}/{self.reads_predicted:.0f}, "
+                f"writes {self.writes_measured}/{self.writes_predicted:.0f}")
+
+
+def check_result(result: SATResult, a: np.ndarray, *,
+                 rtol: float = 1e-9, atol: float = 1e-6) -> bool:
+    """Does ``result.sat`` equal the reference SAT of ``a``?"""
+    return np.allclose(result.sat, sat_reference(np.asarray(a, dtype=np.float64)),
+                       rtol=rtol, atol=atol)
+
+
+def check_counts(result: SATResult, *, read_slack: float | None = None,
+                 write_slack: float | None = None, r: float = 0.25) -> CountCheck:
+    """Compare measured kernel/thread/traffic counts against Table I.
+
+    The numeric predictions are the paper's *leading* terms (guaranteed lower
+    bounds); the slacks cover the O(n²/W) boundary vectors, status flags and
+    schedule-dependent look-back/spin traffic, and default to ``8/W + 2 %``.
+    Kernel-call counts must match exactly except for the hybrid (whose
+    constant differs from the paper's ``+5`` by our band bookkeeping, checked
+    to ±2).
+    """
+    assert result.report is not None, "check_counts needs a simulated result"
+    W = result.params.get("tile_width", 32)
+    if read_slack is None:
+        read_slack = 8.0 / W + 0.02
+    if write_slack is None:
+        write_slack = 8.0 / W + 0.02
+    row = table1_row(result.algorithm, result.n, W=W,
+                     threads_per_block=result.params.get("threads_per_block",
+                                                         1024), r=r)
+    traffic = result.report.traffic
+    kernels_ok = (abs(result.report.kernel_calls - row.kernel_calls) <= 2
+                  if result.algorithm == "(1+r)R1W"
+                  else result.report.kernel_calls == row.kernel_calls)
+    reads_ok = (row.reads * (1 - 1e-9) <= traffic.global_read_requests
+                <= row.reads * (1 + read_slack))
+    writes_ok = (row.writes * (1 - 1e-9) <= traffic.global_write_requests
+                 <= row.writes * (1 + write_slack))
+    threads_ok = result.report.max_threads <= row.max_threads * (1 + 1e-9)
+    return CountCheck(
+        algorithm=result.algorithm,
+        ok=bool(kernels_ok and reads_ok and writes_ok and threads_ok),
+        kernel_calls_measured=result.report.kernel_calls,
+        kernel_calls_predicted=row.kernel_calls,
+        max_threads_measured=result.report.max_threads,
+        max_threads_predicted=row.max_threads,
+        reads_measured=traffic.global_read_requests,
+        reads_predicted=row.reads,
+        writes_measured=traffic.global_write_requests,
+        writes_predicted=row.writes,
+    )

@@ -1,0 +1,35 @@
+"""SAT applications: the computer-vision workloads the paper's introduction
+motivates (O(1) rectangle sums)."""
+
+from repro.apps.adaptive_threshold import adaptive_threshold, global_threshold
+from repro.apps.blob_detection import (Blob, detect_blobs, hessian_dxx,
+                                       hessian_dxy, hessian_dyy,
+                                       hessian_response, non_max_suppress)
+from repro.apps.box_filter import (box_filter, box_filter_direct, window_areas,
+                                   window_sums_from_sat)
+from repro.apps.cascade import (CascadeStage, CascadeStats, ContrastTest,
+                                Detection, SymmetryTest,
+                                bright_square_cascade, detect, squares_scene)
+from repro.apps.template_match import best_match, ncc_match, window_stats
+from repro.apps.integral_features import (KINDS, HaarFeature, evaluate_feature,
+                                          evaluate_feature_dense, feature_bank)
+from repro.apps.synthetic import (checkerboard, gaussian_blobs, gradient_image,
+                                  noisy_document, texture)
+from repro.apps.variance_filter import (chebyshev_upper_bound,
+                                        local_contrast_normalize,
+                                        local_moments)
+
+__all__ = [
+    "adaptive_threshold", "global_threshold",
+    "box_filter", "box_filter_direct", "window_areas", "window_sums_from_sat",
+    "HaarFeature", "KINDS", "evaluate_feature", "evaluate_feature_dense",
+    "feature_bank",
+    "checkerboard", "gaussian_blobs", "gradient_image", "noisy_document",
+    "texture",
+    "chebyshev_upper_bound", "local_contrast_normalize", "local_moments",
+    "Blob", "detect_blobs", "hessian_dxx", "hessian_dxy", "hessian_dyy",
+    "hessian_response", "non_max_suppress",
+    "best_match", "ncc_match", "window_stats",
+    "CascadeStage", "CascadeStats", "ContrastTest", "Detection",
+    "SymmetryTest", "bright_square_cascade", "detect", "squares_scene",
+]

@@ -1,0 +1,146 @@
+"""SURF-style blob detection: box-filter Hessian over the integral image.
+
+SURF (Bay et al.) approximates Gaussian second derivatives with box filters
+evaluated on an integral image, so the filter response at any scale costs a
+fixed handful of SAT lookups.  This module implements the classic 3-lobe
+``Dxx``/``Dyy`` and 4-lobe ``Dxy`` box kernels, the determinant-of-Hessian
+response, and a non-maximum-suppression peak picker — a realistic downstream
+consumer of fast SAT construction.
+
+All filters use *interior* evaluation (responses are computed where the full
+box fits), mirroring the usual implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.sat.reference import sat_reference
+
+
+def _box(sat: np.ndarray, top: np.ndarray, left: np.ndarray,
+         bottom: np.ndarray, right: np.ndarray) -> np.ndarray:
+    """Vectorised four-corner sums (callers guarantee in-range indices)."""
+    total = sat[bottom, right].astype(np.float64, copy=True)
+    m = top > 0
+    total[m] -= sat[top[m] - 1, right[m]]
+    m = left > 0
+    total[m] -= sat[bottom[m], left[m] - 1]
+    m = (top > 0) & (left > 0)
+    total[m] += sat[top[m] - 1, left[m] - 1]
+    return total
+
+
+def _lobe_geometry(lobe: int) -> tuple[int, int]:
+    """Filter half-size and full size for a given lobe length.
+
+    SURF's 9x9 base filter has lobe 3: the full kernel is ``3·lobe`` wide.
+    """
+    if lobe < 1 or lobe % 2 == 0:
+        raise ConfigurationError(f"lobe length must be odd and >= 1, got {lobe}")
+    size = 3 * lobe
+    return size // 2, size
+
+
+def hessian_dyy(sat: np.ndarray, lobe: int) -> np.ndarray:
+    """``Dyy`` response (second derivative across rows): three stacked boxes
+    weighted +1, −2, +1, each ``lobe`` rows by ``2·lobe−1`` columns."""
+    half, size = _lobe_geometry(lobe)
+    rows, cols = sat.shape
+    if rows < size or cols < size:
+        raise ConfigurationError("image smaller than the filter")
+    out = np.zeros((rows, cols))
+    ii, jj = np.meshgrid(np.arange(half, rows - half),
+                         np.arange(half, cols - half), indexing="ij")
+    w = lobe - 1 + lobe // 2  # horizontal half-extent of the lobes
+    left = jj - w
+    right = jj + w
+    top = ii - half
+    response = _box(sat, top, left, top + lobe - 1, right)
+    response -= 2.0 * _box(sat, ii - lobe // 2, left, ii + lobe // 2, right)
+    response += _box(sat, ii + half - lobe + 1, left, ii + half, right)
+    out[half:rows - half, half:cols - half] = response
+    return out
+
+
+def hessian_dxx(sat: np.ndarray, lobe: int) -> np.ndarray:
+    """``Dxx`` response: the transpose geometry of :func:`hessian_dyy`."""
+    return hessian_dyy(np.ascontiguousarray(sat.T), lobe).T
+
+
+def hessian_dxy(sat: np.ndarray, lobe: int) -> np.ndarray:
+    """``Dxy`` response: four ``lobe x lobe`` boxes in a checker pattern
+    (+1 upper-left is negative quadrant convention: +, −, −, +)."""
+    half, size = _lobe_geometry(lobe)
+    rows, cols = sat.shape
+    if rows < size or cols < size:
+        raise ConfigurationError("image smaller than the filter")
+    out = np.zeros((rows, cols))
+    ii, jj = np.meshgrid(np.arange(half, rows - half),
+                         np.arange(half, cols - half), indexing="ij")
+    response = _box(sat, ii - lobe, jj - lobe, ii - 1, jj - 1)
+    response -= _box(sat, ii - lobe, jj + 1, ii - 1, jj + lobe)
+    response -= _box(sat, ii + 1, jj - lobe, ii + lobe, jj - 1)
+    response += _box(sat, ii + 1, jj + 1, ii + lobe, jj + lobe)
+    out[half:rows - half, half:cols - half] = response
+    return out
+
+
+def hessian_response(image: np.ndarray, lobe: int = 3) -> np.ndarray:
+    """Normalized determinant-of-Hessian response map.
+
+    ``det = Dxx·Dyy − (0.9·Dxy)²`` (SURF's 0.9 weight), normalized by the
+    filter area squared so responses are comparable across scales.
+    """
+    image = np.asarray(image, dtype=np.float64)
+    if image.ndim != 2:
+        raise ConfigurationError("hessian_response expects a 2-D image")
+    sat = sat_reference(image)
+    dxx = hessian_dxx(sat, lobe)
+    dyy = hessian_dyy(sat, lobe)
+    dxy = hessian_dxy(sat, lobe)
+    norm = float(3 * lobe) ** 2
+    return (dxx * dyy - (0.9 * dxy) ** 2) / (norm * norm)
+
+
+@dataclass(frozen=True)
+class Blob:
+    """A detected blob: centre and filter scale (lobe length)."""
+
+    row: int
+    col: int
+    lobe: int
+    response: float
+
+
+def non_max_suppress(response: np.ndarray, *, threshold: float,
+                     radius: int = 2) -> list[tuple[int, int, float]]:
+    """Local maxima of a response map above ``threshold``."""
+    rows, cols = response.shape
+    peaks = []
+    for i in range(radius, rows - radius):
+        for j in range(radius, cols - radius):
+            v = response[i, j]
+            if v <= threshold:
+                continue
+            window = response[i - radius:i + radius + 1,
+                              j - radius:j + radius + 1]
+            if v >= window.max():
+                peaks.append((i, j, float(v)))
+    return peaks
+
+
+def detect_blobs(image: np.ndarray, *, lobes=(3, 5, 7),
+                 threshold: float = 1e-4) -> list[Blob]:
+    """Multi-scale blob detection: best-scale determinant-of-Hessian peaks."""
+    blobs: list[Blob] = []
+    for lobe in lobes:
+        resp = hessian_response(image, lobe)
+        for i, j, v in non_max_suppress(resp, threshold=threshold,
+                                        radius=max(2, lobe // 2)):
+            blobs.append(Blob(row=i, col=j, lobe=lobe, response=v))
+    blobs.sort(key=lambda b: -b.response)
+    return blobs

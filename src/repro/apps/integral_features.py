@@ -1,0 +1,124 @@
+"""Haar-like rectangle features over the integral image (Viola–Jones style).
+
+Face-detection cascades evaluate hundreds of thousands of rectangle-contrast
+features per frame; each is a handful of SAT lookups.  This module implements
+the standard two-, three- and four-rectangle features and a dense evaluator,
+exercising :func:`repro.sat.reference.rect_sums` at scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.sat.reference import rect_sum, rect_sums
+
+#: Supported feature kinds.
+KINDS = ("two_h", "two_v", "three_h", "three_v", "four")
+
+
+@dataclass(frozen=True)
+class HaarFeature:
+    """A Haar-like feature anchored at ``(top, left)`` with a base cell of
+    ``height x width`` pixels (the full feature spans 2-3 cells per axis)."""
+
+    kind: str
+    top: int
+    left: int
+    height: int
+    width: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ConfigurationError(f"unknown Haar feature kind '{self.kind}'")
+        if self.height <= 0 or self.width <= 0:
+            raise ConfigurationError("feature cells must be non-empty")
+
+    @property
+    def span(self) -> tuple[int, int]:
+        """Total (rows, cols) the feature covers."""
+        if self.kind == "two_h":
+            return self.height, 2 * self.width
+        if self.kind == "two_v":
+            return 2 * self.height, self.width
+        if self.kind == "three_h":
+            return self.height, 3 * self.width
+        if self.kind == "three_v":
+            return 3 * self.height, self.width
+        return 2 * self.height, 2 * self.width
+
+    def cells(self) -> list[tuple[int, int, int, int, float]]:
+        """The feature's rectangles as ``(top, left, bottom, right, weight)``."""
+        t, l, h, w = self.top, self.left, self.height, self.width
+        if self.kind == "two_h":
+            return [(t, l, t + h - 1, l + w - 1, +1.0),
+                    (t, l + w, t + h - 1, l + 2 * w - 1, -1.0)]
+        if self.kind == "two_v":
+            return [(t, l, t + h - 1, l + w - 1, +1.0),
+                    (t + h, l, t + 2 * h - 1, l + w - 1, -1.0)]
+        if self.kind == "three_h":
+            return [(t, l, t + h - 1, l + w - 1, +1.0),
+                    (t, l + w, t + h - 1, l + 2 * w - 1, -2.0),
+                    (t, l + 2 * w, t + h - 1, l + 3 * w - 1, +1.0)]
+        if self.kind == "three_v":
+            return [(t, l, t + h - 1, l + w - 1, +1.0),
+                    (t + h, l, t + 2 * h - 1, l + w - 1, -2.0),
+                    (t + 2 * h, l, t + 3 * h - 1, l + w - 1, +1.0)]
+        return [(t, l, t + h - 1, l + w - 1, +1.0),
+                (t, l + w, t + h - 1, l + 2 * w - 1, -1.0),
+                (t + h, l, t + 2 * h - 1, l + w - 1, -1.0),
+                (t + h, l + w, t + 2 * h - 1, l + 2 * w - 1, +1.0)]
+
+
+def evaluate_feature(sat: np.ndarray, feature: HaarFeature) -> float:
+    """Evaluate one feature from the integral image (4-12 lookups)."""
+    rows, cols = sat.shape
+    span_r, span_c = feature.span
+    if feature.top + span_r > rows or feature.left + span_c > cols:
+        raise ConfigurationError(
+            f"feature at ({feature.top},{feature.left}) spanning {span_r}x"
+            f"{span_c} exceeds the {rows}x{cols} image")
+    return float(sum(w * rect_sum(sat, t, l, b, r)
+                     for t, l, b, r, w in feature.cells()))
+
+
+def evaluate_feature_dense(sat: np.ndarray, kind: str, height: int,
+                           width: int) -> np.ndarray:
+    """Evaluate one feature shape at *every* valid anchor, vectorised.
+
+    Returns an array of shape ``(rows - span_r + 1, cols - span_c + 1)``.
+    This is the inner loop of a detection cascade's sliding window.
+    """
+    probe = HaarFeature(kind, 0, 0, height, width)
+    span_r, span_c = probe.span
+    rows, cols = sat.shape
+    out_r, out_c = rows - span_r + 1, cols - span_c + 1
+    if out_r <= 0 or out_c <= 0:
+        raise ConfigurationError("feature larger than the image")
+    tops, lefts = np.meshgrid(np.arange(out_r), np.arange(out_c), indexing="ij")
+    total = np.zeros((out_r, out_c))
+    for t, l, b, r, w in probe.cells():
+        total += w * rect_sums(sat, (tops + t).ravel(), (lefts + l).ravel(),
+                               (tops + b).ravel(),
+                               (lefts + r).ravel()).reshape(out_r, out_c)
+    return total
+
+
+def feature_bank(n: int, *, seed: int = 0, count: int = 64) -> list[HaarFeature]:
+    """A random bank of valid features for an ``n x n`` image (test workload)."""
+    rng = np.random.default_rng(seed)
+    bank: list[HaarFeature] = []
+    while len(bank) < count:
+        kind = KINDS[rng.integers(len(KINDS))]
+        h = int(rng.integers(1, max(2, n // 6)))
+        w = int(rng.integers(1, max(2, n // 6)))
+        feat = HaarFeature(kind, 0, 0, h, w)
+        span_r, span_c = feat.span
+        if span_r >= n or span_c >= n:
+            continue
+        top = int(rng.integers(0, n - span_r + 1))
+        left = int(rng.integers(0, n - span_c + 1))
+        bank.append(HaarFeature(kind, top, left, h, w))
+    return bank

@@ -1,0 +1,77 @@
+"""Synthetic image generators for the examples and application tests.
+
+The paper's motivating applications operate on images; we have no image data
+in this offline environment, so these generators produce deterministic
+synthetic scenes (documented substitution in DESIGN.md) with enough structure
+— edges, blobs, texture — to exercise the SAT applications meaningfully.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def gradient_image(n: int) -> np.ndarray:
+    """A diagonal intensity ramp in [0, 1]."""
+    if n <= 0:
+        raise ConfigurationError("image size must be positive")
+    ii, jj = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+    return (ii + jj) / (2.0 * (n - 1)) if n > 1 else np.zeros((1, 1))
+
+
+def checkerboard(n: int, cell: int = 8) -> np.ndarray:
+    """A binary checkerboard with ``cell x cell`` squares."""
+    if cell <= 0:
+        raise ConfigurationError("cell size must be positive")
+    ii, jj = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+    return (((ii // cell) + (jj // cell)) % 2).astype(np.float64)
+
+
+def gaussian_blobs(n: int, *, num_blobs: int = 5, seed: int = 0,
+                   sigma_frac: float = 0.08) -> np.ndarray:
+    """A field of Gaussian bumps at random centres (values roughly in [0, 1])."""
+    rng = np.random.default_rng(seed)
+    ii, jj = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+    img = np.zeros((n, n))
+    sigma = max(1.0, sigma_frac * n)
+    for _ in range(num_blobs):
+        ci, cj = rng.uniform(0, n, size=2)
+        amp = rng.uniform(0.5, 1.0)
+        img += amp * np.exp(-((ii - ci) ** 2 + (jj - cj) ** 2) / (2 * sigma**2))
+    return np.clip(img, 0.0, None)
+
+
+def noisy_document(n: int, *, seed: int = 0, text_rows: int = 12) -> np.ndarray:
+    """A document-like scene: dark "text" bars on a bright page with an
+    illumination gradient and noise — the classic adaptive-threshold workload."""
+    rng = np.random.default_rng(seed)
+    # Strong illumination fall-off: the dark side's *page* is dimmer than the
+    # bright side's *ink*, so no global threshold can separate both sides.
+    page = 0.25 + 0.75 * gradient_image(n)
+    img = page.copy()
+    bar_h = max(1, n // (3 * text_rows))
+    for k in range(text_rows):
+        top = int((k + 0.5) * n / text_rows)
+        if top + bar_h >= n:
+            break
+        left = int(rng.uniform(0.05, 0.2) * n)
+        right = int(rng.uniform(0.6, 0.95) * n)
+        img[top:top + bar_h, left:right] *= 0.3   # dark strokes
+    img += rng.normal(0.0, 0.02, size=(n, n))
+    return np.clip(img, 0.0, 1.0)
+
+
+def texture(n: int, *, seed: int = 0) -> np.ndarray:
+    """Band-limited random texture (smoothed white noise), roughly in [0, 1]."""
+    rng = np.random.default_rng(seed)
+    img = rng.normal(size=(n, n))
+    # Cheap separable smoothing via cumulative-sum box filters.
+    k = max(1, n // 32)
+    csum = np.cumsum(img, axis=0)
+    img = (np.vstack([csum[k:], np.tile(csum[-1], (k, 1))]) - csum) / k
+    csum = np.cumsum(img, axis=1)
+    img = (np.hstack([csum[:, k:], np.tile(csum[:, -1:], (1, k))]) - csum) / k
+    lo, hi = img.min(), img.max()
+    return (img - lo) / (hi - lo) if hi > lo else np.zeros((n, n))

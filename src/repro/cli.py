@@ -1,0 +1,298 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run``      compute a SAT on the simulator (or host path) and report stats
+``table1``   print Table I (symbolic + numeric, optionally measured)
+``table3``   print Table III (model vs paper)
+``sweep-w``  per-tile-width model times for one algorithm
+``sweep-r``  (1+r)R1W model times over the r grid
+``trace``    run 1R1W-SKSS-LB with tracing and print the schedule timeline
+``export``   write table1/table3 as CSV + JSON
+``chart``    ASCII log-log chart of Table III (any device projection)
+``devices``  cross-device model projections (extension)
+``fuzz``     differential fuzzing of all algorithms
+``report``   write the full REPRODUCTION_REPORT.md
+``list``     list algorithms and aliases
+
+Every command is a thin veneer over the library; the CLI exists so the
+tables and demos are reproducible without writing Python.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro._version import __version__
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Summed-area-table reproduction (Emoto et al., 2018)")
+    p.add_argument("--version", action="version", version=__version__)
+    sub = p.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="compute a SAT and report statistics")
+    run.add_argument("-a", "--algorithm", default="1R1W-SKSS-LB",
+                     help="algorithm name or alias (default: the paper's)")
+    run.add_argument("-n", "--size", type=int, default=128,
+                     help="matrix side (default 128)")
+    run.add_argument("-W", "--tile-width", type=int, default=32)
+    run.add_argument("--host", action="store_true",
+                     help="use the pure-NumPy host path (no simulation)")
+    run.add_argument("--policy", default="random",
+                     choices=["round_robin", "random", "lifo"])
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--consistency", default="relaxed",
+                     choices=["relaxed", "strong"])
+    run.add_argument("--detect-uninitialized", action="store_true")
+    run.add_argument("--check", action="store_true",
+                     help="verify against the NumPy reference (default on)")
+
+    t1 = sub.add_parser("table1", help="print Table I")
+    t1.add_argument("-n", "--size", type=int, default=1024)
+    t1.add_argument("-W", "--tile-width", type=int, default=32)
+    t1.add_argument("--measure", action="store_true",
+                    help="also measure counts on the simulator (slower)")
+    t1.add_argument("--measure-size", type=int, default=128)
+
+    t3 = sub.add_parser("table3", help="print Table III (model vs paper)")
+    t3.add_argument("--no-paper", action="store_true",
+                    help="omit the paper's measured rows")
+    t3.add_argument("-r", "--hybrid-r", type=float, default=0.25)
+
+    sw = sub.add_parser("sweep-w", help="model times per tile width")
+    sw.add_argument("-a", "--algorithm", default="1R1W-SKSS-LB")
+    sw.add_argument("-n", "--size", type=int, default=4096)
+
+    sr = sub.add_parser("sweep-r", help="(1+r)R1W model times over r")
+    sr.add_argument("-n", "--size", type=int, default=4096)
+    sr.add_argument("-W", "--tile-width", type=int, default=64)
+
+    tr = sub.add_parser("trace", help="trace a small SKSS-LB run")
+    tr.add_argument("-n", "--size", type=int, default=96)
+    tr.add_argument("--residency", type=int, default=2)
+    tr.add_argument("--policy", default="lifo",
+                    choices=["round_robin", "random", "lifo"])
+    tr.add_argument("--seed", type=int, default=0)
+
+    ex = sub.add_parser("export", help="write table1/table3 CSV+JSON files")
+    ex.add_argument("-o", "--output-dir", default="exports")
+    ex.add_argument("-n", "--size", type=int, default=1024)
+
+    ch = sub.add_parser("chart", help="ASCII log-log chart of Table III")
+    ch.add_argument("--device", default="titan-v")
+
+    dv = sub.add_parser("devices", help="cross-device model projections")
+    dv.add_argument("-n", "--size", type=int, default=8192)
+
+    fz = sub.add_parser("fuzz", help="differential fuzzing of all algorithms")
+    fz.add_argument("--runs", type=int, default=50)
+    fz.add_argument("--seed", type=int, default=0)
+    fz.add_argument("--time-budget", type=float, default=None,
+                    help="stop after this many seconds")
+
+    rp = sub.add_parser("report", help="write a full reproduction report")
+    rp.add_argument("-o", "--output", default="REPRODUCTION_REPORT.md")
+    rp.add_argument("--measure-size", type=int, default=128)
+    rp.add_argument("--fuzz-runs", type=int, default=25)
+
+    sub.add_parser("list", help="list algorithms and aliases")
+    return p
+
+
+def _cmd_run(args) -> int:
+    from repro.gpusim import GPU
+    from repro.sat import compute_sat, sat_reference
+
+    rng = np.random.default_rng(args.seed)
+    a = rng.integers(0, 100, size=(args.size, args.size)).astype(np.float64)
+    if args.host:
+        result = compute_sat(a, algorithm=args.algorithm,
+                             tile_width=args.tile_width, simulate=False)
+    else:
+        gpu = GPU(seed=args.seed, scheduler_policy=args.policy,
+                  consistency=args.consistency,
+                  detect_uninitialized=args.detect_uninitialized)
+        result = compute_sat(a, algorithm=args.algorithm,
+                             tile_width=args.tile_width, gpu=gpu)
+    ok = np.array_equal(result.sat, sat_reference(a))
+    print(result.summary())
+    print(f"correct vs reference: {ok}")
+    if result.report is not None:
+        t = result.report.traffic
+        n2 = args.size ** 2
+        print(f"reads/element: {t.global_read_requests / n2:.3f}   "
+              f"writes/element: {t.global_write_requests / n2:.3f}   "
+              f"spins: {t.spin_iterations}   fences: {t.fences}   "
+              f"bank-conflict cycles: {t.shared_bank_conflict_cycles}")
+    return 0 if ok else 1
+
+
+def _cmd_table1(args) -> int:
+    from repro.analysis import check_counts, render_table1
+
+    print(render_table1(args.size, W=args.tile_width))
+    if args.measure:
+        from repro.gpusim import GPU
+        from repro.perfmodel.table import TABLE3_ORDER
+        from repro.sat import get_algorithm
+        rng = np.random.default_rng(0)
+        n = args.measure_size
+        a = rng.integers(0, 100, size=(n, n)).astype(np.float64)
+        print(f"\nmeasured on the simulator (n={n}, W={args.tile_width}):")
+        for name in TABLE3_ORDER:
+            res = get_algorithm(name, tile_width=args.tile_width).run(
+                a, GPU(seed=1))
+            print(" ", check_counts(res))
+    return 0
+
+
+def _cmd_table3(args) -> int:
+    from repro.perfmodel import TitanVModel, render_table3
+    print(render_table3(TitanVModel(), r=args.hybrid_r,
+                        compare_paper=not args.no_paper))
+    return 0
+
+
+def _cmd_sweep_w(args) -> int:
+    from repro.perfmodel import TILE_WIDTHS, TitanVModel
+    from repro.sat import get_algorithm
+    name = get_algorithm(args.algorithm).name
+    model = TitanVModel()
+    print(f"{name} at n={args.size} (model):")
+    for W in TILE_WIDTHS:
+        if args.size % W or W > args.size:
+            print(f"  W={W:<4} (skipped: incompatible with n)")
+            continue
+        bd = model.estimate(name, args.size, W=W)
+        print(f"  W={W:<4} {bd.total_ms:9.4f} ms "
+              f"({len(bd.kernels)} kernel(s))")
+    return 0
+
+
+def _cmd_sweep_r(args) -> int:
+    from repro.perfmodel import TitanVModel
+    model = TitanVModel()
+    print(f"(1+r)R1W at n={args.size}, W={args.tile_width} (model):")
+    results = {}
+    for r in (0.0, 0.05, 0.1, 0.2, 0.3, 0.45, 0.6, 0.8, 1.0):
+        ms = model.estimate("(1+r)R1W", args.size, W=args.tile_width,
+                            r=r).total_ms
+        results[r] = ms
+        print(f"  r={r:<5} {ms:9.4f} ms")
+    best = min(results, key=results.get)
+    print(f"best r: {best}")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.gpusim import GPU, TINY_DEVICE, Tracer, render_timeline
+    from repro.sat import SKSSLB1R1W, sat_reference
+
+    rng = np.random.default_rng(args.seed)
+    a = rng.integers(0, 10, size=(args.size, args.size)).astype(np.float64)
+    tracer = Tracer()
+    gpu = GPU(device=TINY_DEVICE, seed=args.seed,
+              scheduler_policy=args.policy,
+              max_resident_blocks=args.residency, tracer=tracer)
+    res = SKSSLB1R1W().run(a, gpu)
+    ok = np.array_equal(res.sat, sat_reference(a))
+    print(f"n={args.size}, residency={args.residency}, policy={args.policy}, "
+          f"correct={ok}")
+    print(f"events: {dict(tracer.counts())}")
+    print(render_timeline(tracer.events))
+    return 0 if ok else 1
+
+
+def _cmd_export(args) -> int:
+    from repro.perfmodel.export import write_all
+    written = write_all(args.output_dir, n=args.size)
+    for path in written:
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_chart(args) -> int:
+    from repro.perfmodel.charts import table3_chart
+    from repro.perfmodel.devices import model_for_device
+    print(table3_chart(model_for_device(args.device)))
+    return 0
+
+
+def _cmd_devices(args) -> int:
+    from repro.perfmodel.charts import bar_chart
+    from repro.perfmodel.devices import DEVICE_SPECS, cross_device_summary
+    summary = cross_device_summary(args.size)
+    print(f"model projections at n={args.size} "
+          f"(calibration scaled by spec bandwidth):\n")
+    header = f"{'device':<12} {'BW GB/s':>8} {'dup ms':>9} " \
+             f"{'SKSS-LB ms':>11} {'overhead':>9}"
+    print(header)
+    print("-" * len(header))
+    for key, row in summary.items():
+        spec = DEVICE_SPECS[key]
+        lb = row["1R1W-SKSS-LB"]
+        dup = row["duplication"]
+        print(f"{key:<12} {spec.spec_bandwidth_gbps:>8.0f} {dup:>9.3f} "
+              f"{lb:>11.3f} {100 * (lb - dup) / dup:>8.1f}%")
+    print()
+    print(bar_chart({k: v["1R1W-SKSS-LB"] for k, v in summary.items()},
+                    unit=" ms", title="1R1W-SKSS-LB time per device"))
+    return 0
+
+
+def _cmd_fuzz(args) -> int:
+    from repro.analysis.fuzzing import fuzz
+    report = fuzz(args.runs, seed=args.seed, time_budget_s=args.time_budget)
+    print(report.summary())
+    for config, error in report.failures:
+        print(f"  FAIL {error}\n       replay: {config}")
+    return 0 if report.ok else 1
+
+
+def _cmd_report(args) -> int:
+    from repro.report import write_report
+    path = write_report(args.output, measure_size=args.measure_size,
+                        fuzz_runs=args.fuzz_runs)
+    print(f"wrote {path}")
+    return 0
+
+
+def _cmd_list(_args) -> int:
+    from repro.sat import ALGORITHMS
+    from repro.sat.registry import _ALIASES
+    print("algorithms:")
+    for name, cls in ALGORITHMS.items():
+        aliases = sorted(k for k, v in _ALIASES.items() if v == name)
+        print(f"  {name:<14} ({cls.__name__}; aliases: {', '.join(aliases)})")
+    return 0
+
+
+_COMMANDS = {
+    "run": _cmd_run,
+    "table1": _cmd_table1,
+    "table3": _cmd_table3,
+    "sweep-w": _cmd_sweep_w,
+    "sweep-r": _cmd_sweep_r,
+    "trace": _cmd_trace,
+    "export": _cmd_export,
+    "chart": _cmd_chart,
+    "devices": _cmd_devices,
+    "fuzz": _cmd_fuzz,
+    "report": _cmd_report,
+    "list": _cmd_list,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

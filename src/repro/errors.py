@@ -1,0 +1,54 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this package derives from :class:`ReproError`, so callers
+can catch a single base class.  Simulator-specific failures (deadlock, invalid
+memory access, resource exhaustion) get their own subclasses because tests and
+benchmarks assert on them individually.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """A run configuration is inconsistent (e.g. W not a multiple of the warp size)."""
+
+
+class SimulationError(ReproError):
+    """Base class for errors raised by the GPU simulator."""
+
+
+class DeadlockError(SimulationError):
+    """All resident blocks are spin-waiting and no global-memory progress is possible.
+
+    This is the failure mode single-kernel soft synchronization must avoid: if a
+    block spins on a flag owned by a block that the dispatcher has not yet made
+    resident, the kernel hangs on real hardware.  The simulator detects the
+    condition and raises instead of looping forever.
+    """
+
+    def __init__(self, message: str, *, resident_blocks: tuple[int, ...] = (),
+                 pending_blocks: int = 0) -> None:
+        super().__init__(message)
+        self.resident_blocks = resident_blocks
+        self.pending_blocks = pending_blocks
+
+
+class InvalidAccessError(SimulationError):
+    """An out-of-bounds or wrongly-typed global/shared memory access."""
+
+
+class AllocationError(SimulationError):
+    """Global or shared memory allocation exceeded device capacity."""
+
+
+class KernelLaunchError(SimulationError):
+    """A kernel launch request violated device limits (threads per block, etc.)."""
+
+
+class RaceConditionError(SimulationError):
+    """The simulator's debug checker observed a data hazard (e.g. a non-monotone
+    status flag or a read of a location with an uncommitted remote store)."""

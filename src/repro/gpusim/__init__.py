@@ -1,0 +1,44 @@
+"""A functional, CUDA-like GPU simulator (the paper's execution substrate).
+
+The simulator reproduces the aspects of the CUDA machine the paper's
+algorithms depend on for *correctness* and *accounting*:
+
+* blocks dispatched in launch order with bounded residency per SM;
+* arbitrary interleaving of resident blocks (seeded / adversarial policies);
+* ``atomicAdd`` with immediate visibility;
+* relaxed visibility of plain global stores until ``__threadfence()``;
+* per-warp global-memory transaction (coalescing) accounting;
+* shared-memory bank-conflict accounting;
+* warp shuffles and the warp prefix-sum algorithm;
+* deadlock detection for unsound soft-synchronization schemes.
+
+See :class:`repro.gpusim.GPU` for the entry point.
+"""
+
+from repro.gpusim.block import SPIN, SYNC, BlockContext
+from repro.gpusim.counters import KernelStats, LaunchSummary, MemoryTraffic
+from repro.gpusim.device import (NUM_BANKS, SEGMENT_BYTES, TINY_DEVICE,
+                                 TITAN_V, WARP_SIZE, DeviceProperties)
+from repro.gpusim.kernel import GPU
+from repro.gpusim.memory import (GlobalBuffer, GlobalMemory, StoreBuffer,
+                                 count_warp_transactions)
+from repro.gpusim.scheduler import POLICIES, Scheduler
+from repro.gpusim.shared import SharedMemory, bank_conflict_cycles
+from repro.gpusim.timing import DEFAULT_COSTS, CostWeights
+from repro.gpusim.trace import TraceEvent, Tracer, render_timeline
+from repro.gpusim.warp import (shfl_idx, shfl_up, warp_exclusive_scan,
+                               warp_inclusive_scan, warp_reduce_sum)
+
+__all__ = [
+    "GPU", "BlockContext", "SPIN", "SYNC",
+    "KernelStats", "LaunchSummary", "MemoryTraffic",
+    "DeviceProperties", "TITAN_V", "TINY_DEVICE",
+    "WARP_SIZE", "NUM_BANKS", "SEGMENT_BYTES",
+    "GlobalBuffer", "GlobalMemory", "StoreBuffer", "count_warp_transactions",
+    "Scheduler", "POLICIES",
+    "SharedMemory", "bank_conflict_cycles",
+    "CostWeights", "DEFAULT_COSTS",
+    "Tracer", "TraceEvent", "render_timeline",
+    "shfl_up", "shfl_idx", "warp_inclusive_scan", "warp_exclusive_scan",
+    "warp_reduce_sum",
+]

@@ -1,0 +1,192 @@
+"""Per-block execution context: the API simulated kernels are written against.
+
+A kernel is a Python *generator function* ``def kern(ctx, *args)``.  Per-thread
+work is expressed as NumPy operations over vectors with one element per thread
+(``ctx.tids`` is the thread-index vector).  The generator must ``yield`` a
+token at every point where other blocks may legally observe or interleave:
+
+* ``yield ctx.syncthreads()`` — intra-block barrier (also a scheduling point);
+* ``yield SPIN`` (usually via ``yield from ctx.wait_until(...)``) — one
+  iteration of a spin-wait on a global flag.
+
+Global stores go through the block's :class:`~repro.gpusim.memory.StoreBuffer`
+(see the consistency notes there); ``ctx.threadfence()`` commits them in
+program order.  All traffic is accounted into the launch's
+:class:`~repro.gpusim.counters.MemoryTraffic`, and every operation accrues
+cycle cost used by the scheduler's emergent clock.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.gpusim import warp as warp_ops
+from repro.gpusim.counters import MemoryTraffic
+from repro.gpusim.device import DeviceProperties
+from repro.gpusim.memory import GlobalBuffer, GlobalMemory, StoreBuffer, \
+    count_warp_transactions
+from repro.gpusim.shared import SharedMemory
+from repro.gpusim.timing import DEFAULT_COSTS, CostWeights
+
+#: Yield token: the block hit an intra-block barrier (progress was made).
+SYNC = "sync"
+#: Yield token: the block polled a flag and is still waiting (no progress).
+SPIN = "spin"
+
+
+class BlockContext:
+    """Execution context handed to a kernel generator for one CUDA block."""
+
+    def __init__(self, *, block_id: int, grid_blocks: int, nthreads: int,
+                 device: DeviceProperties, memory: GlobalMemory,
+                 store_buffer: StoreBuffer, traffic: MemoryTraffic,
+                 costs: CostWeights = DEFAULT_COSTS) -> None:
+        if nthreads % device.warp_size:
+            raise ConfigurationError(
+                f"block of {nthreads} threads is not a whole number of warps")
+        self.block_id = block_id
+        self.grid_blocks = grid_blocks
+        self.nthreads = nthreads
+        self.device = device
+        self.memory = memory
+        self.traffic = traffic
+        self.costs = costs
+        self._store_buffer = store_buffer
+        self.shared = SharedMemory(device, traffic)
+        #: Thread-index vector, one entry per thread in the block.
+        self.tids = np.arange(nthreads)
+        self._cycles = 0.0
+
+    # -- cycle accounting -----------------------------------------------------
+
+    def charge(self, cycles: float) -> None:
+        """Accrue explicit compute cost (rarely needed by kernels directly)."""
+        self._cycles += cycles
+
+    def take_cycles(self) -> float:
+        """Return and reset cycles accrued since the last scheduler step."""
+        c = self._cycles
+        self._cycles = 0.0
+        return c
+
+    def _warps(self, n_accesses: int) -> int:
+        w = self.device.warp_size
+        return (n_accesses + w - 1) // w
+
+    # -- global memory ---------------------------------------------------------
+
+    def gload(self, buf: GlobalBuffer, flat_indices) -> np.ndarray:
+        """Vectorised global load at flat element indices (any shape).
+
+        Reads observe committed memory patched with this block's own pending
+        stores.  Transactions are counted per warp in thread order.
+        """
+        idx = np.asarray(flat_indices, dtype=np.int64)
+        flat = idx.ravel()
+        values = self._store_buffer.overlay_read(buf, flat)
+        ntx = count_warp_transactions(buf.byte_addresses(flat), self.device.warp_size)
+        self.traffic.global_read_requests += int(flat.size)
+        self.traffic.global_read_transactions += ntx
+        self._cycles += ntx * self.costs.global_transaction \
+            + self._warps(flat.size) * self.costs.global_issue
+        return values.reshape(idx.shape)
+
+    def gload_scalar(self, buf: GlobalBuffer, flat_index: int):
+        """Single-element global load (e.g. one thread polling a status flag)."""
+        return self.gload(buf, np.asarray([flat_index]))[0]
+
+    def gstore(self, buf: GlobalBuffer, flat_indices, values) -> None:
+        """Vectorised global store; buffered under relaxed consistency."""
+        idx = np.asarray(flat_indices, dtype=np.int64).ravel()
+        ntx = count_warp_transactions(buf.byte_addresses(idx), self.device.warp_size)
+        self.traffic.global_write_requests += int(idx.size)
+        self.traffic.global_write_transactions += ntx
+        self._cycles += ntx * self.costs.global_transaction \
+            + self._warps(idx.size) * self.costs.global_issue
+        self._store_buffer.store(buf, idx, np.asarray(values))
+
+    def gstore_scalar(self, buf: GlobalBuffer, flat_index: int, value) -> None:
+        self.gstore(buf, np.asarray([flat_index]), np.asarray([value]))
+
+    def atomic_add(self, buf: GlobalBuffer, flat_index: int, value=1):
+        """CUDA ``atomicAdd``: immediately visible; returns the old value."""
+        self._cycles += self.costs.atomic
+        return self.memory.atomic_add(buf, flat_index, value, self.traffic)
+
+    def threadfence(self) -> None:
+        """``__threadfence()``: commit this block's stores in program order."""
+        self.traffic.fences += 1
+        self._cycles += self.costs.global_issue
+        self._store_buffer.fence()
+
+    # -- shared memory ----------------------------------------------------------
+
+    def salloc(self, name: str, num_words: int, dtype=np.float64) -> np.ndarray:
+        return self.shared.alloc(name, num_words, dtype)
+
+    def sload(self, name: str, offsets) -> np.ndarray:
+        before = self.traffic.shared_bank_conflict_cycles
+        out = self.shared.load(name, np.asarray(offsets))
+        conflicts = self.traffic.shared_bank_conflict_cycles - before
+        n = np.asarray(offsets).size
+        self._cycles += self._warps(n) * self.costs.shared_access \
+            + conflicts * self.costs.bank_conflict
+        return out
+
+    def sstore(self, name: str, offsets, values) -> None:
+        before = self.traffic.shared_bank_conflict_cycles
+        self.shared.store(name, np.asarray(offsets), values)
+        conflicts = self.traffic.shared_bank_conflict_cycles - before
+        n = np.asarray(offsets).size
+        self._cycles += self._warps(n) * self.costs.shared_access \
+            + conflicts * self.costs.bank_conflict
+
+    # -- warp primitives ---------------------------------------------------------
+
+    def warp_inclusive_scan(self, values: np.ndarray) -> np.ndarray:
+        before = self.traffic.shuffle_ops
+        out = warp_ops.warp_inclusive_scan(values, self.traffic, self.device.warp_size)
+        self._cycles += (self.traffic.shuffle_ops - before) / self.device.warp_size \
+            * self.costs.shuffle
+        return out
+
+    def warp_exclusive_scan(self, values: np.ndarray) -> np.ndarray:
+        before = self.traffic.shuffle_ops
+        out = warp_ops.warp_exclusive_scan(values, self.traffic, self.device.warp_size)
+        self._cycles += (self.traffic.shuffle_ops - before) / self.device.warp_size \
+            * self.costs.shuffle
+        return out
+
+    def warp_reduce_sum(self, values: np.ndarray) -> np.ndarray:
+        before = self.traffic.shuffle_ops
+        out = warp_ops.warp_reduce_sum(values, self.traffic, self.device.warp_size)
+        self._cycles += (self.traffic.shuffle_ops - before) / self.device.warp_size \
+            * self.costs.shuffle
+        return out
+
+    # -- synchronization tokens ---------------------------------------------------
+
+    def syncthreads(self) -> str:
+        """Account a ``__syncthreads()`` and return the yield token."""
+        self.traffic.syncthreads += 1
+        self._cycles += self.costs.sync
+        return SYNC
+
+    def wait_until(self, buf: GlobalBuffer, flat_index: int,
+                   predicate: Callable[[float], bool]) -> Iterator[str]:
+        """Spin-wait on ``buf[flat_index]`` until ``predicate(value)`` holds.
+
+        Use as ``value = yield from ctx.wait_until(...)``.  Each unsuccessful
+        poll yields :data:`SPIN`, letting the scheduler run other blocks (and
+        detect deadlock if nobody can make progress).
+        """
+        while True:
+            value = self.gload_scalar(buf, flat_index)
+            if predicate(value):
+                return value
+            self.traffic.spin_iterations += 1
+            self._cycles += self.costs.spin_poll
+            yield SPIN

@@ -1,0 +1,127 @@
+"""Traffic and event counters for the functional GPU simulator.
+
+The counters are the simulator's measurement surface: Table I of the paper
+(global reads/writes, kernel calls, thread counts) is *measured* from these
+rather than asserted, and the performance model consumes them to predict
+running times.
+
+Counting conventions
+--------------------
+* ``*_requests`` count individual element accesses (one per thread per access),
+  matching the paper's "read/write operations per element" accounting.
+* ``*_transactions`` count 32-byte global-memory sectors touched per warp
+  access, the quantity actual DRAM bandwidth is spent on.  A fully coalesced
+  float32 warp access costs 4 transactions; a fully strided one costs 32.
+* ``shared_bank_conflict_cycles`` counts the *extra* serialized cycles caused
+  by bank conflicts (0 for a conflict-free access; degree-1 for an access where
+  some bank is hit by ``degree`` distinct addresses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+
+@dataclass
+class MemoryTraffic:
+    """Mutable bundle of traffic counters for one kernel launch (or aggregate)."""
+
+    global_read_requests: int = 0
+    global_write_requests: int = 0
+    global_read_transactions: int = 0
+    global_write_transactions: int = 0
+    atomic_ops: int = 0
+    shared_read_requests: int = 0
+    shared_write_requests: int = 0
+    shared_bank_conflict_cycles: int = 0
+    shuffle_ops: int = 0
+    spin_iterations: int = 0
+    fences: int = 0
+    syncthreads: int = 0
+
+    def merge(self, other: "MemoryTraffic") -> None:
+        """Accumulate ``other`` into this counter bundle in place."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+    def copy(self) -> "MemoryTraffic":
+        return MemoryTraffic(**{f.name: getattr(self, f.name) for f in fields(self)})
+
+    @property
+    def global_bytes_read(self) -> int:
+        """Bytes actually moved from DRAM for reads (transaction granularity)."""
+        from repro.gpusim.device import SEGMENT_BYTES
+        return self.global_read_transactions * SEGMENT_BYTES
+
+    @property
+    def global_bytes_written(self) -> int:
+        """Bytes actually moved to DRAM for writes (transaction granularity)."""
+        from repro.gpusim.device import SEGMENT_BYTES
+        return self.global_write_transactions * SEGMENT_BYTES
+
+    def as_dict(self) -> dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        parts = [f"{k}={v}" for k, v in self.as_dict().items() if v]
+        return "MemoryTraffic(" + ", ".join(parts) + ")"
+
+
+@dataclass
+class KernelStats:
+    """Statistics of a single simulated kernel launch."""
+
+    name: str
+    grid_blocks: int
+    threads_per_block: int
+    traffic: MemoryTraffic = field(default_factory=MemoryTraffic)
+    #: Number of scheduler steps executed (a step runs a block to its next yield).
+    scheduler_steps: int = 0
+    #: Number of blocks that ran (== grid_blocks unless the kernel early-exits).
+    blocks_executed: int = 0
+    #: Peak number of simultaneously resident blocks (occupancy actually used).
+    max_resident_observed: int = 0
+    #: Emergent makespan estimate in model cycles (see gpusim.timing).
+    sim_cycles: float = 0.0
+
+    @property
+    def total_threads(self) -> int:
+        """Total number of threads the launch requested (grid x block)."""
+        return self.grid_blocks * self.threads_per_block
+
+
+@dataclass
+class LaunchSummary:
+    """Aggregate statistics over a sequence of kernel launches (one algorithm run)."""
+
+    kernels: list[KernelStats] = field(default_factory=list)
+
+    def add(self, stats: KernelStats) -> None:
+        self.kernels.append(stats)
+
+    @property
+    def kernel_calls(self) -> int:
+        return len(self.kernels)
+
+    @property
+    def max_threads(self) -> int:
+        """Maximum number of threads over all kernel calls (paper Table I metric)."""
+        return max((k.total_threads for k in self.kernels), default=0)
+
+    @property
+    def traffic(self) -> MemoryTraffic:
+        total = MemoryTraffic()
+        for k in self.kernels:
+            total.merge(k.traffic)
+        return total
+
+    @property
+    def global_read_requests(self) -> int:
+        return self.traffic.global_read_requests
+
+    @property
+    def global_write_requests(self) -> int:
+        return self.traffic.global_write_requests
+
+    def reset(self) -> None:
+        self.kernels.clear()

@@ -1,0 +1,127 @@
+"""Device descriptions for the functional GPU simulator.
+
+A :class:`DeviceProperties` instance captures the static resources of a GPU:
+streaming multiprocessor (SM) count, warp width, per-block limits, memory
+capacities and the raw speeds used by the cost model.  The constants for the
+paper's testbed (NVIDIA TITAN V) are provided as :data:`TITAN_V`; a deliberately
+tiny device (:data:`TINY_DEVICE`) is provided for tests that need to exercise
+low-residency corner cases such as soft-synchronization deadlocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+
+#: Number of threads in a warp on every CUDA-capable device the paper considers.
+WARP_SIZE = 32
+
+#: Number of shared-memory banks (one 4-byte word wide each).
+NUM_BANKS = 32
+
+#: Width in bytes of one global-memory transaction segment.  Modern NVIDIA
+#: hardware services global loads/stores in 32-byte sectors; a fully coalesced
+#: warp access to consecutive 4-byte words therefore costs 4 sectors, while a
+#: fully strided access costs 32.
+SEGMENT_BYTES = 32
+
+
+@dataclass(frozen=True)
+class DeviceProperties:
+    """Static description of a simulated GPU.
+
+    Attributes mirror the CUDA device-properties fields the paper's algorithms
+    care about.  ``mem_bandwidth_gbps`` and the latency fields feed the
+    performance model (:mod:`repro.perfmodel`); the functional simulator only
+    uses the structural fields.
+    """
+
+    name: str
+    num_sms: int
+    cores_per_sm: int
+    warp_size: int = WARP_SIZE
+    max_threads_per_block: int = 1024
+    max_threads_per_sm: int = 2048
+    max_blocks_per_sm: int = 32
+    shared_mem_per_block: int = 96 * 1024
+    shared_mem_per_sm: int = 96 * 1024
+    global_mem_bytes: int = 12 * 1024**3
+    #: Peak global-memory bandwidth in GB/s (HBM2 for the TITAN V).
+    mem_bandwidth_gbps: float = 652.8
+    #: Host-side overhead of one kernel launch, in microseconds.
+    kernel_launch_overhead_us: float = 5.0
+    #: Latency of one global-memory access, in cycles (used for latency-hiding
+    #: estimates in the performance model).
+    global_latency_cycles: float = 400.0
+    #: Core clock in GHz.
+    clock_ghz: float = 1.455
+
+    def __post_init__(self) -> None:
+        if self.warp_size <= 0 or self.warp_size & (self.warp_size - 1):
+            raise ConfigurationError(
+                f"warp_size must be a positive power of two, got {self.warp_size}")
+        if self.max_threads_per_block % self.warp_size:
+            raise ConfigurationError(
+                "max_threads_per_block must be a multiple of the warp size")
+
+    @property
+    def total_cores(self) -> int:
+        """Total number of processor cores across all SMs."""
+        return self.num_sms * self.cores_per_sm
+
+    def max_resident_blocks(self, threads_per_block: int,
+                            shared_bytes_per_block: int = 0) -> int:
+        """Number of blocks that can be simultaneously resident on the device.
+
+        Mirrors the CUDA occupancy calculation along the three axes the paper's
+        algorithms are sensitive to: the per-SM block-slot limit, the per-SM
+        thread limit, and the per-SM shared-memory capacity.
+        """
+        if threads_per_block <= 0:
+            raise ConfigurationError("threads_per_block must be positive")
+        if threads_per_block > self.max_threads_per_block:
+            raise ConfigurationError(
+                f"threads_per_block={threads_per_block} exceeds the device limit "
+                f"of {self.max_threads_per_block}")
+        per_sm = min(self.max_blocks_per_sm,
+                     self.max_threads_per_sm // threads_per_block)
+        if shared_bytes_per_block > 0:
+            if shared_bytes_per_block > self.shared_mem_per_block:
+                raise ConfigurationError(
+                    f"a block requests {shared_bytes_per_block} bytes of shared "
+                    f"memory but the device allows {self.shared_mem_per_block}")
+            per_sm = min(per_sm, self.shared_mem_per_sm // shared_bytes_per_block)
+        return max(1, per_sm) * self.num_sms
+
+    def with_overrides(self, **kwargs) -> "DeviceProperties":
+        """Return a copy with the given fields replaced (for experiments)."""
+        return replace(self, **kwargs)
+
+
+#: The paper's testbed: NVIDIA TITAN V (Volta GV100), 80 SMs x 64 cores,
+#: 12 GB HBM2.  Bandwidth is calibrated in :mod:`repro.perfmodel.calibration`
+#: from the paper's own cudaMemcpy row; the figure here is the spec number.
+TITAN_V = DeviceProperties(
+    name="NVIDIA TITAN V",
+    num_sms=80,
+    cores_per_sm=64,
+    global_mem_bytes=12 * 1024**3,
+    mem_bandwidth_gbps=652.8,
+    shared_mem_per_block=96 * 1024,
+    shared_mem_per_sm=96 * 1024,
+)
+
+#: A deliberately tiny device: 2 SMs and a single resident block per SM.  Used
+#: by tests that must show soft synchronization remains deadlock-free (or, for
+#: buggy tile-assignment schemes, that the simulator detects the deadlock).
+TINY_DEVICE = DeviceProperties(
+    name="tiny-test-device",
+    num_sms=2,
+    cores_per_sm=8,
+    max_threads_per_sm=1024,
+    max_blocks_per_sm=1,
+    shared_mem_per_block=96 * 1024,
+    shared_mem_per_sm=96 * 1024,
+    global_mem_bytes=256 * 1024**2,
+)

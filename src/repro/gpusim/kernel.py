@@ -1,0 +1,127 @@
+"""The :class:`GPU` facade: allocation, kernel launches, statistics.
+
+This is the object user code holds.  It owns a global memory instance, a
+scheduler configuration, and a log of kernel launches
+(:class:`~repro.gpusim.counters.LaunchSummary`) from which Table I quantities
+are read off.
+
+Example
+-------
+>>> import numpy as np
+>>> from repro.gpusim import GPU, TITAN_V
+>>> gpu = GPU(device=TITAN_V, seed=1)
+>>> src = gpu.alloc("src", (4, 4), np.float64, fill=np.arange(16.0).reshape(4, 4))
+>>> dst = gpu.alloc("dst", (4, 4), np.float64)
+>>> def copy_kernel(ctx, src, dst, n):
+...     base = ctx.block_id * ctx.nthreads
+...     idx = base + ctx.tids
+...     idx = idx[idx < n]
+...     ctx.gstore(dst, idx, ctx.gload(src, idx))
+>>> _ = gpu.launch(copy_kernel, grid_blocks=1, threads_per_block=32,
+...                args=(src, dst, 16))
+>>> bool((gpu.read("dst") == gpu.read("src")).all())
+True
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.gpusim.counters import KernelStats, LaunchSummary
+from repro.gpusim.device import TITAN_V, DeviceProperties
+from repro.gpusim.memory import GlobalBuffer, GlobalMemory
+from repro.gpusim.scheduler import Scheduler
+from repro.gpusim.timing import DEFAULT_COSTS, CostWeights
+from repro.gpusim.trace import KERNEL_DONE, LAUNCH, Tracer
+
+
+class GPU:
+    """A simulated GPU: global memory + a block scheduler + launch statistics.
+
+    Parameters
+    ----------
+    device:
+        Static device description (defaults to the paper's TITAN V).
+    consistency:
+        ``"relaxed"`` (default; store buffers, adversarial flush order) or
+        ``"strong"`` (stores commit immediately — debugging aid).
+    scheduler_policy:
+        ``"round_robin"``, ``"random"`` or ``"lifo"`` interleaving of resident
+        blocks.
+    seed:
+        Seed for the scheduler's and store buffers' randomness; a fixed seed
+        makes every simulation exactly reproducible.
+    max_resident_blocks:
+        Optional override of the occupancy-derived residency bound; tests use
+        tiny values to stress soft synchronization.
+    """
+
+    def __init__(self, *, device: DeviceProperties = TITAN_V,
+                 consistency: str = "relaxed",
+                 scheduler_policy: str = "round_robin",
+                 seed: int = 0,
+                 costs: CostWeights = DEFAULT_COSTS,
+                 max_resident_blocks: int | None = None,
+                 tracer: Tracer | None = None,
+                 detect_uninitialized: bool = False) -> None:
+        self.device = device
+        self.memory = GlobalMemory(device,
+                                   detect_uninitialized=detect_uninitialized)
+        self.launches = LaunchSummary()
+        self.tracer = tracer
+        self._scheduler = Scheduler(device=device, policy=scheduler_policy,
+                                    seed=seed, consistency=consistency,
+                                    costs=costs,
+                                    max_resident_blocks=max_resident_blocks,
+                                    tracer=tracer)
+
+    # -- memory -----------------------------------------------------------------
+
+    def alloc(self, name: str, shape, dtype=np.float64, fill=None) -> GlobalBuffer:
+        """Allocate a named global buffer (optionally copying host data in)."""
+        return self.memory.alloc(name, shape, dtype, fill)
+
+    def free(self, name: str) -> None:
+        self.memory.free(name)
+
+    def buffer(self, name: str) -> GlobalBuffer:
+        return self.memory[name]
+
+    def read(self, buf: GlobalBuffer | str) -> np.ndarray:
+        """Copy a buffer's committed contents back to the host."""
+        if isinstance(buf, str):
+            buf = self.memory[buf]
+        return buf.array.copy()
+
+    def write(self, buf: GlobalBuffer | str, values: np.ndarray) -> None:
+        """Host-side upload into an existing buffer (cudaMemcpy H2D analogue)."""
+        if isinstance(buf, str):
+            buf = self.memory[buf]
+        buf.array[...] = np.asarray(values, dtype=buf.dtype).reshape(buf.shape)
+
+    # -- launches ---------------------------------------------------------------
+
+    def launch(self, kernel_fn: Callable, *, grid_blocks: int,
+               threads_per_block: int, args: Sequence = (),
+               name: str | None = None,
+               shared_bytes_hint: int = 0) -> KernelStats:
+        """Launch a kernel and run it to completion; returns its statistics."""
+        stats = KernelStats(name=name or kernel_fn.__name__,
+                            grid_blocks=grid_blocks,
+                            threads_per_block=threads_per_block)
+        if self.tracer is not None:
+            self.tracer.emit(LAUNCH, -1, stats.name)
+        self._scheduler.run(kernel_fn, grid_blocks=grid_blocks,
+                            threads_per_block=threads_per_block, args=args,
+                            memory=self.memory, stats=stats,
+                            shared_bytes_hint=shared_bytes_hint)
+        if self.tracer is not None:
+            self.tracer.emit(KERNEL_DONE, -1, stats.name)
+        self.launches.add(stats)
+        return stats
+
+    def reset_stats(self) -> None:
+        """Forget launch statistics (memory contents are preserved)."""
+        self.launches.reset()

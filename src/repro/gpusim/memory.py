@@ -1,0 +1,360 @@
+"""Global-memory model: buffers, transaction accounting, atomics, consistency.
+
+The global memory is a set of named, NumPy-backed buffers with disjoint byte
+address ranges.  All traffic is accounted at two granularities (see
+:mod:`repro.gpusim.counters`): element requests and 32-byte transactions.
+
+Consistency model
+-----------------
+Real CUDA gives no ordering guarantees between plain global stores of one block
+as observed by another block; ``__threadfence()`` must be issued before setting
+a flag that publishes earlier stores.  The simulator reproduces this with a
+per-block :class:`StoreBuffer`:
+
+* ``strong`` mode commits every store immediately (useful for debugging).
+* ``relaxed`` mode holds plain stores in the block's store buffer.  The buffer
+  is flushed *in program order* by ``threadfence()`` and at block retirement.
+  At ordinary yield points an adversarial policy may commit an arbitrary
+  *suffix* of the pending stores first (a legal reordering), so a flag written
+  without a fence can become visible before the data it is meant to publish —
+  exactly the hazard that breaks naive look-back implementations on hardware.
+
+Atomics always act directly on committed state and are immediately visible,
+matching CUDA atomics (which bypass the write path modelled by the buffer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import AllocationError, InvalidAccessError
+from repro.gpusim.counters import MemoryTraffic
+from repro.gpusim.device import SEGMENT_BYTES, WARP_SIZE, DeviceProperties
+
+
+def count_warp_transactions(byte_addresses: np.ndarray,
+                            warp_size: int = WARP_SIZE) -> int:
+    """Count 32-byte transactions needed to service the given element accesses.
+
+    ``byte_addresses`` holds the absolute byte address of each element access,
+    in thread order.  Accesses are grouped into warps of ``warp_size`` threads
+    (the trailing partial warp counts too); each warp costs one transaction per
+    distinct 32-byte segment it touches, which is how coalescing hardware
+    behaves.
+    """
+    addrs = np.asarray(byte_addresses, dtype=np.int64).ravel()
+    if addrs.size == 0:
+        return 0
+    segments = addrs // SEGMENT_BYTES
+    total = 0
+    for start in range(0, segments.size, warp_size):
+        chunk = segments[start:start + warp_size]
+        total += int(np.unique(chunk).size)
+    return total
+
+
+@dataclass
+class GlobalBuffer:
+    """A named allocation in simulated global memory.
+
+    The backing :class:`numpy.ndarray` is the *committed* state; blocks access
+    it only through their :class:`~repro.gpusim.block.BlockContext`, which
+    layers the store buffer on top.  ``base_address`` makes transaction
+    accounting independent of buffer boundaries.
+
+    ``initialized`` is ``None`` when the buffer's full contents are defined
+    (allocated with ``fill=...`` — the cudaMemcpy/cudaMemset analogue) or when
+    uninitialized-read detection is off; otherwise it is a boolean mask that
+    device stores progressively set.
+    """
+
+    name: str
+    array: np.ndarray
+    base_address: int
+    initialized: np.ndarray | None = None
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.array.shape
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.array.dtype
+
+    @property
+    def size(self) -> int:
+        return self.array.size
+
+    @property
+    def itemsize(self) -> int:
+        return self.array.itemsize
+
+    @property
+    def nbytes(self) -> int:
+        return self.array.nbytes
+
+    def flat_view(self) -> np.ndarray:
+        return self.array.reshape(-1)
+
+    def byte_addresses(self, flat_indices: np.ndarray) -> np.ndarray:
+        return self.base_address + np.asarray(flat_indices, dtype=np.int64) * self.itemsize
+
+    def check_bounds(self, flat_indices: np.ndarray) -> None:
+        idx = np.asarray(flat_indices)
+        if idx.size and (idx.min() < 0 or idx.max() >= self.size):
+            raise InvalidAccessError(
+                f"buffer '{self.name}' (size {self.size}): flat index out of "
+                f"range [{idx.min()}, {idx.max()}]")
+
+
+class GlobalMemory:
+    """The device's global memory: a registry of :class:`GlobalBuffer` objects.
+
+    ``commit_epoch`` increments on every committed store or atomic; the
+    scheduler uses it as its progress signal for deadlock detection.
+    """
+
+    #: Alignment of buffer base addresses (matches cudaMalloc's 256B alignment).
+    ALIGNMENT = 256
+
+    def __init__(self, device: DeviceProperties,
+                 detect_uninitialized: bool = False) -> None:
+        self.device = device
+        self.detect_uninitialized = detect_uninitialized
+        self._buffers: dict[str, GlobalBuffer] = {}
+        self._next_address = 0
+        self._allocated_bytes = 0
+        self.commit_epoch = 0
+
+    # -- allocation ---------------------------------------------------------
+
+    def alloc(self, name: str, shape, dtype, fill=None) -> GlobalBuffer:
+        """Allocate a named buffer; ``fill`` may be a scalar or an array to copy."""
+        if name in self._buffers:
+            raise AllocationError(f"buffer '{name}' already allocated")
+        dtype = np.dtype(dtype)
+        if fill is not None and isinstance(fill, np.ndarray):
+            array = np.ascontiguousarray(fill, dtype=dtype).reshape(shape).copy()
+        else:
+            array = np.zeros(shape, dtype=dtype)
+            if fill is not None and not isinstance(fill, np.ndarray):
+                array.fill(fill)
+        if self._allocated_bytes + array.nbytes > self.device.global_mem_bytes:
+            raise AllocationError(
+                f"allocating '{name}' ({array.nbytes} bytes) exceeds device "
+                f"capacity {self.device.global_mem_bytes}")
+        init_mask = None
+        if self.detect_uninitialized and fill is None:
+            init_mask = np.zeros(array.size, dtype=bool)
+        buf = GlobalBuffer(name=name, array=array,
+                           base_address=self._next_address,
+                           initialized=init_mask)
+        pad = (-array.nbytes) % self.ALIGNMENT
+        self._next_address += array.nbytes + pad
+        self._allocated_bytes += array.nbytes
+        self._buffers[name] = buf
+        return buf
+
+    def free(self, name: str) -> None:
+        buf = self._buffers.pop(name, None)
+        if buf is None:
+            raise InvalidAccessError(f"cannot free unknown buffer '{name}'")
+        self._allocated_bytes -= buf.nbytes
+
+    def __getitem__(self, name: str) -> GlobalBuffer:
+        try:
+            return self._buffers[name]
+        except KeyError:
+            raise InvalidAccessError(f"unknown buffer '{name}'") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._buffers
+
+    def buffers(self) -> Iterator[GlobalBuffer]:
+        return iter(self._buffers.values())
+
+    @property
+    def allocated_bytes(self) -> int:
+        return self._allocated_bytes
+
+    # -- committed-state access (used by store buffers and atomics) ----------
+
+    def committed_read(self, buf: GlobalBuffer, flat_indices: np.ndarray) -> np.ndarray:
+        buf.check_bounds(flat_indices)
+        return buf.flat_view()[np.asarray(flat_indices, dtype=np.int64)]
+
+    def check_initialized(self, buf: GlobalBuffer,
+                          flat_indices: np.ndarray) -> None:
+        """Raise if any of the locations was never stored to (device global
+        memory is not zeroed on real hardware)."""
+        if buf.initialized is None:
+            return
+        idx = np.asarray(flat_indices, dtype=np.int64).ravel()
+        bad = idx[~buf.initialized[idx]]
+        if bad.size:
+            from repro.errors import RaceConditionError
+            raise RaceConditionError(
+                f"read of uninitialized global memory: buffer '{buf.name}', "
+                f"flat indices {bad[:8].tolist()}"
+                + ("..." if bad.size > 8 else ""))
+
+    def commit_store(self, buf: GlobalBuffer, flat_indices: np.ndarray,
+                     values: np.ndarray) -> None:
+        buf.check_bounds(flat_indices)
+        idx = np.asarray(flat_indices, dtype=np.int64)
+        buf.flat_view()[idx] = values
+        if buf.initialized is not None:
+            buf.initialized[idx.ravel()] = True
+        self.commit_epoch += 1
+
+    def atomic_add(self, buf: GlobalBuffer, flat_index: int, value,
+                   traffic: MemoryTraffic | None = None) -> int | float:
+        """Atomically add ``value`` at ``flat_index``; returns the *old* value.
+
+        Matches CUDA ``atomicAdd``: globally visible immediately, returns the
+        pre-add value that tile-assignment counters rely on.
+        """
+        buf.check_bounds(np.asarray([flat_index]))
+        self.check_initialized(buf, np.asarray([flat_index]))
+        flat = buf.flat_view()
+        old = flat[flat_index]
+        flat[flat_index] = old + value
+        self.commit_epoch += 1
+        if traffic is not None:
+            traffic.atomic_ops += 1
+        return old.item() if hasattr(old, "item") else old
+
+
+@dataclass
+class _PendingStore:
+    """One program-order entry in a block's store buffer."""
+
+    buf: GlobalBuffer
+    flat_indices: np.ndarray
+    values: np.ndarray
+    seq: int = 0
+
+
+@dataclass
+class StoreBuffer:
+    """Per-block buffer of uncommitted global stores (relaxed consistency).
+
+    ``mode`` is either ``"strong"`` (stores commit immediately) or
+    ``"relaxed"``.  In relaxed mode, ``drain_at_yield`` lets the scheduler
+    commit a *suffix* of pending stores at yield points — a legal reordering
+    that publishes later stores (e.g. a status flag) before earlier ones (the
+    data), which is precisely what a missing ``__threadfence()`` risks on real
+    hardware.  ``max_age_yields`` bounds staleness so stores are eventually
+    visible even without a fence.
+    """
+
+    memory: GlobalMemory
+    mode: str = "relaxed"
+    rng: np.random.Generator | None = None
+    max_age_yields: int = 4
+    _pending: list[_PendingStore] = field(default_factory=list)
+    _seq: int = 0
+    _age: int = 0
+
+    def store(self, buf: GlobalBuffer, flat_indices: np.ndarray,
+              values: np.ndarray) -> None:
+        flat_indices = np.asarray(flat_indices, dtype=np.int64).ravel()
+        values = np.asarray(values).ravel()
+        if values.size == 1 and flat_indices.size > 1:
+            values = np.broadcast_to(values, flat_indices.shape)
+        if self.mode == "strong":
+            self.memory.commit_store(buf, flat_indices, values)
+            return
+        buf.check_bounds(flat_indices)
+        self._pending.append(_PendingStore(buf, flat_indices, np.array(values),
+                                           seq=self._seq))
+        self._seq += 1
+
+    def overlay_read(self, buf: GlobalBuffer, flat_indices: np.ndarray) -> np.ndarray:
+        """Read committed state patched with this block's own pending stores.
+
+        A block always observes its own writes in program order (CUDA guarantees
+        intra-thread read-after-write through the memory hierarchy).
+        """
+        flat_indices = np.asarray(flat_indices, dtype=np.int64).ravel()
+        values = self.memory.committed_read(buf, flat_indices).copy()
+        patched = np.zeros(flat_indices.size, dtype=bool)
+        for entry in self._pending:
+            if entry.buf is not buf:
+                continue
+            # Later entries overwrite earlier ones because we iterate in order.
+            pos = {int(i): k for k, i in enumerate(entry.flat_indices)}
+            for out_k, want in enumerate(flat_indices):
+                hit = pos.get(int(want))
+                if hit is not None:
+                    values[out_k] = entry.values[hit]
+                    patched[out_k] = True
+        if not patched.all():
+            # Locations served from committed state must actually have been
+            # written by someone (global memory is not zeroed on hardware).
+            self.memory.check_initialized(buf, flat_indices[~patched])
+        return values
+
+    def fence(self) -> None:
+        """Commit all pending stores in program order (``__threadfence()``)."""
+        for entry in self._pending:
+            self.memory.commit_store(entry.buf, entry.flat_indices, entry.values)
+        self._pending.clear()
+        self._age = 0
+
+    def drain_at_yield(self) -> None:
+        """Adversarially commit some pending stores at a scheduler yield point.
+
+        Without ordering constraints the hardware may retire stores in any
+        order; we model the worst legal behaviour for flag protocols by
+        committing the *newest* stores first, holding older ones back until the
+        age bound forces them out.
+        """
+        if self.mode == "strong" or not self._pending:
+            return
+        self._age += 1
+        if self._age >= self.max_age_yields:
+            self.fence()
+            return
+        # Commit the newest half (at least one entry), newest-first.
+        ncommit = max(1, len(self._pending) // 2)
+        if self.rng is not None and len(self._pending) > 1:
+            ncommit = int(self.rng.integers(1, len(self._pending) + 1))
+        tail = self._pending[-ncommit:]
+        del self._pending[-ncommit:]
+        # Committing newest-first must not let an older write to the same
+        # address land after (and clobber) a newer one: track the addresses
+        # already committed in this drain and mask them out of every older
+        # entry — both the ones still pending and the older tail entries.
+        committed: dict[int, set[int]] = {}
+        for entry in reversed(tail):
+            seen = committed.setdefault(id(entry.buf), set())
+            if seen:
+                keep = np.asarray([int(i) not in seen
+                                   for i in entry.flat_indices])
+                entry.flat_indices = entry.flat_indices[keep]
+                entry.values = entry.values[keep]
+            if entry.flat_indices.size:
+                self.memory.commit_store(entry.buf, entry.flat_indices,
+                                         entry.values)
+                seen.update(int(i) for i in entry.flat_indices)
+        for older in self._pending:
+            seen = committed.get(id(older.buf))
+            if not seen or older.flat_indices.size == 0:
+                continue
+            keep = np.asarray([int(i) not in seen for i in older.flat_indices])
+            if not keep.all():
+                older.flat_indices = older.flat_indices[keep]
+                older.values = older.values[keep]
+        self._pending = [e for e in self._pending if e.flat_indices.size]
+
+    def retire(self) -> None:
+        """Block finished: everything must become visible (kernel-exit fence)."""
+        self.fence()
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)

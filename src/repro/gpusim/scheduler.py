@@ -1,0 +1,208 @@
+"""Cooperative block scheduler with bounded residency and deadlock detection.
+
+The scheduler models the part of CUDA the paper's correctness argument lives
+in: CUDA blocks are dispatched to SMs *in launch order but with bounded
+residency*, there is no guaranteed assignment of blocks to SMs, and blocks that
+are not yet resident make no progress.  Single-kernel soft synchronization is
+only sound if every inter-block wait targets a block that is already resident
+or retired — which the paper achieves by acquiring tiles through an
+``atomicAdd`` counter in diagonal-major order.
+
+Scheduling *within* the resident set is a free parameter of real hardware, so
+it is a policy here: ``round_robin``, ``random`` (seeded), or ``lifo``
+(adversarially favours the most recently dispatched block).  Correct kernels
+must produce identical results under all of them; tests exploit this.
+
+If every resident block spin-waits for several consecutive rounds while no
+global-memory commit happens and no new block can be dispatched, the scheduler
+raises :class:`~repro.errors.DeadlockError` instead of hanging — turning the
+paper's "this scheme would deadlock" remarks into testable behaviour.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DeadlockError, KernelLaunchError
+from repro.gpusim.block import SPIN, BlockContext
+from repro.gpusim.counters import KernelStats
+from repro.gpusim.device import DeviceProperties
+from repro.gpusim.memory import GlobalMemory, StoreBuffer
+from repro.gpusim.timing import DEFAULT_COSTS, CostWeights
+from repro.gpusim import trace as trace_mod
+
+#: Consecutive all-spinning, no-progress rounds before declaring deadlock.
+DEADLOCK_ROUNDS = 3
+
+POLICIES = ("round_robin", "random", "lifo")
+
+
+@dataclass
+class _ResidentBlock:
+    block_id: int
+    sm_id: int
+    gen: Iterator | None
+    ctx: BlockContext
+    store_buffer: StoreBuffer
+    last_token: str | None = None
+    done: bool = False
+
+
+@dataclass
+class Scheduler:
+    """Runs one kernel launch to completion over a simulated device."""
+
+    device: DeviceProperties
+    policy: str = "round_robin"
+    seed: int = 0
+    consistency: str = "relaxed"
+    costs: CostWeights = field(default_factory=lambda: DEFAULT_COSTS)
+    #: Override the occupancy-derived residency bound (tests use small values).
+    max_resident_blocks: int | None = None
+    deadlock_rounds: int = DEADLOCK_ROUNDS
+    #: Optional event tracer (see :mod:`repro.gpusim.trace`).
+    tracer: "trace_mod.Tracer | None" = None
+
+    def __post_init__(self) -> None:
+        if self.policy not in POLICIES:
+            raise ConfigurationError(
+                f"unknown scheduling policy '{self.policy}'; choose from {POLICIES}")
+        if self.consistency not in ("strong", "relaxed"):
+            raise ConfigurationError(
+                f"consistency must be 'strong' or 'relaxed', got '{self.consistency}'")
+        self._rng = np.random.default_rng(self.seed)
+
+    # -- public API -------------------------------------------------------------
+
+    def run(self, kernel_fn: Callable, *, grid_blocks: int, threads_per_block: int,
+            args: Sequence, memory: GlobalMemory, stats: KernelStats,
+            shared_bytes_hint: int = 0) -> None:
+        """Execute ``grid_blocks`` instances of ``kernel_fn`` to completion."""
+        if grid_blocks <= 0:
+            raise KernelLaunchError("grid must contain at least one block")
+        if threads_per_block <= 0 or threads_per_block > self.device.max_threads_per_block:
+            raise KernelLaunchError(
+                f"threads_per_block={threads_per_block} outside device limits "
+                f"(1..{self.device.max_threads_per_block})")
+        limit = self.max_resident_blocks
+        if limit is None:
+            limit = self.device.max_resident_blocks(threads_per_block,
+                                                    shared_bytes_hint)
+        limit = max(1, limit)
+
+        resident: list[_ResidentBlock] = []
+        next_block = 0
+        sm_cycles = np.zeros(self.device.num_sms)
+        no_progress_rounds = 0
+        epoch_at_stall = -1
+
+        def dispatch() -> None:
+            nonlocal next_block
+            while next_block < grid_blocks and len(resident) < limit:
+                sb = StoreBuffer(memory=memory, mode=self.consistency,
+                                 rng=self._rng)
+                ctx = BlockContext(block_id=next_block, grid_blocks=grid_blocks,
+                                   nthreads=threads_per_block, device=self.device,
+                                   memory=memory, store_buffer=sb,
+                                   traffic=stats.traffic, costs=self.costs)
+                gen = self._start(kernel_fn, ctx, args)
+                resident.append(_ResidentBlock(block_id=next_block,
+                                               sm_id=next_block % self.device.num_sms,
+                                               gen=gen, ctx=ctx, store_buffer=sb))
+                if self.tracer is not None:
+                    self.tracer.emit(trace_mod.DISPATCH, next_block)
+                next_block += 1
+
+        dispatch()
+        while resident:
+            stats.max_resident_observed = max(stats.max_resident_observed,
+                                              len(resident))
+            order = self._round_order(resident)
+            all_spinning = True
+            for blk in order:
+                if blk.done:
+                    continue
+                token = self._advance(blk, stats)
+                sm_cycles[blk.sm_id] += blk.ctx.take_cycles()
+                blk.store_buffer.drain_at_yield()
+                if token is not SPIN:
+                    all_spinning = False
+                if self.tracer is not None and not blk.done:
+                    self.tracer.emit(
+                        trace_mod.SPIN if token is SPIN else trace_mod.STEP,
+                        blk.block_id)
+            retired = [b for b in resident if b.done]
+            for blk in retired:
+                blk.store_buffer.retire()
+                stats.blocks_executed += 1
+                if self.tracer is not None:
+                    self.tracer.emit(trace_mod.RETIRE, blk.block_id)
+            if retired:
+                resident[:] = [b for b in resident if not b.done]
+                all_spinning = False
+            dispatch()
+
+            if resident and all_spinning:
+                if memory.commit_epoch != epoch_at_stall:
+                    epoch_at_stall = memory.commit_epoch
+                    no_progress_rounds = 1
+                else:
+                    no_progress_rounds += 1
+                if no_progress_rounds >= self.deadlock_rounds:
+                    ids = tuple(sorted(b.block_id for b in resident))
+                    if self.tracer is not None:
+                        self.tracer.emit(trace_mod.DEADLOCK, -1,
+                                         f"resident={ids}")
+                    raise DeadlockError(
+                        f"all {len(resident)} resident blocks are spin-waiting "
+                        f"with no global-memory progress for "
+                        f"{no_progress_rounds} rounds "
+                        f"(resident={ids}, pending={grid_blocks - next_block}, "
+                        f"residency limit={limit})",
+                        resident_blocks=ids,
+                        pending_blocks=grid_blocks - next_block)
+            else:
+                no_progress_rounds = 0
+                epoch_at_stall = -1
+
+        stats.sim_cycles += float(sm_cycles.max()) if sm_cycles.size else 0.0
+
+    # -- internals ---------------------------------------------------------------
+
+    @staticmethod
+    def _start(kernel_fn: Callable, ctx: BlockContext, args: Sequence):
+        """Instantiate one block: a generator, or None for a plain function."""
+        if inspect.isgeneratorfunction(kernel_fn):
+            return kernel_fn(ctx, *args)
+        result = kernel_fn(ctx, *args)
+        if inspect.isgenerator(result):
+            return result
+        return None
+
+    def _advance(self, blk: _ResidentBlock, stats: KernelStats) -> str | None:
+        stats.scheduler_steps += 1
+        if blk.gen is None:
+            blk.done = True
+            blk.last_token = None
+            return None
+        try:
+            token = next(blk.gen)
+        except StopIteration:
+            blk.done = True
+            blk.last_token = None
+            return None
+        blk.last_token = token
+        return token
+
+    def _round_order(self, resident: list[_ResidentBlock]) -> list[_ResidentBlock]:
+        if self.policy == "round_robin":
+            return list(resident)
+        if self.policy == "lifo":
+            return list(reversed(resident))
+        order = list(resident)
+        self._rng.shuffle(order)  # type: ignore[arg-type]
+        return order

@@ -1,0 +1,47 @@
+"""Cycle-cost weights for the emergent (event-driven) timing of the simulator.
+
+The functional simulator attributes a cycle cost to every operation a block
+performs; the scheduler accumulates these per SM and reports the makespan.
+This emergent clock is deliberately coarse — the calibrated analytic model in
+:mod:`repro.perfmodel` is the primary timing source for Table III — but it
+captures first-order effects (traffic, conflicts, serial spinning) well enough
+to rank algorithms at simulatable sizes, and it provides an independent check
+on the analytic model's trends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CostWeights:
+    """Cycle costs charged by the :class:`~repro.gpusim.block.BlockContext`.
+
+    Defaults approximate a Volta-class SM: one 32-byte global transaction
+    occupies the memory pipe for a handful of cycles; shared memory moves one
+    conflict-free warp access per cycle; each bank-conflict replay adds a
+    cycle; shuffles are one instruction per warp.
+    """
+
+    #: Cycles of memory-pipe occupancy per 32-byte global transaction.
+    global_transaction: float = 4.0
+    #: Fixed latency charged once per global access *instruction* (per warp).
+    global_issue: float = 2.0
+    #: Cycles per conflict-free shared-memory warp access.
+    shared_access: float = 1.0
+    #: Cycles per bank-conflict replay.
+    bank_conflict: float = 1.0
+    #: Cycles per warp-wide shuffle instruction.
+    shuffle: float = 1.0
+    #: Cycles per atomic operation.
+    atomic: float = 8.0
+    #: Cycles a block burns per spin-wait poll iteration.
+    spin_poll: float = 20.0
+    #: Cycles per __syncthreads().
+    sync: float = 8.0
+    #: Baseline cycles per arithmetic step over a block-sized vector.
+    compute_step: float = 1.0
+
+
+DEFAULT_COSTS = CostWeights()

@@ -1,0 +1,130 @@
+"""Structured event tracing for the simulator.
+
+A :class:`Tracer` attached to a :class:`~repro.gpusim.kernel.GPU` records a
+compact event stream — block dispatch/step/retire, spins, fences, atomics,
+deadlock diagnostics — that tests and examples can query, and that
+:func:`render_timeline` turns into a human-readable schedule view.  Tracing is
+opt-in and costs nothing when absent.
+
+Event record: ``TraceEvent(step, kind, block_id, detail)`` where ``step`` is a
+global monotonically increasing scheduler step counter.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable
+
+#: Event kinds emitted by the scheduler.
+DISPATCH = "dispatch"
+STEP = "step"
+SPIN = "spin"
+RETIRE = "retire"
+LAUNCH = "launch"
+KERNEL_DONE = "kernel_done"
+DEADLOCK = "deadlock"
+
+KINDS = (DISPATCH, STEP, SPIN, RETIRE, LAUNCH, KERNEL_DONE, DEADLOCK)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One scheduler event."""
+
+    step: int
+    kind: str
+    block_id: int
+    detail: str = ""
+
+    def __str__(self) -> str:
+        tail = f" {self.detail}" if self.detail else ""
+        return f"[{self.step:>6}] {self.kind:<11} block={self.block_id}{tail}"
+
+
+@dataclass
+class Tracer:
+    """Collects scheduler events (optionally filtered by kind).
+
+    Parameters
+    ----------
+    kinds:
+        Event kinds to record; ``None`` records everything.
+    max_events:
+        Hard cap to bound memory; recording stops (silently) past it.
+    """
+
+    kinds: tuple[str, ...] | None = None
+    max_events: int = 200_000
+    events: list[TraceEvent] = field(default_factory=list)
+    _step: int = 0
+
+    def emit(self, kind: str, block_id: int, detail: str = "") -> None:
+        self._step += 1
+        if self.kinds is not None and kind not in self.kinds:
+            return
+        if len(self.events) >= self.max_events:
+            return
+        self.events.append(TraceEvent(self._step, kind, block_id, detail))
+
+    # -- queries ---------------------------------------------------------------
+
+    def of_kind(self, kind: str) -> list[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def for_block(self, block_id: int) -> list[TraceEvent]:
+        return [e for e in self.events if e.block_id == block_id]
+
+    def counts(self) -> Counter:
+        return Counter(e.kind for e in self.events)
+
+    def dispatch_order(self) -> list[int]:
+        """Block ids in the order they became resident."""
+        return [e.block_id for e in self.events if e.kind == DISPATCH]
+
+    def retire_order(self) -> list[int]:
+        return [e.block_id for e in self.events if e.kind == RETIRE]
+
+    def spin_profile(self) -> dict[int, int]:
+        """Spin-poll count per block (who waited how much)."""
+        prof: dict[int, int] = {}
+        for e in self.events:
+            if e.kind == SPIN:
+                prof[e.block_id] = prof.get(e.block_id, 0) + 1
+        return prof
+
+    def clear(self) -> None:
+        self.events.clear()
+        self._step = 0
+
+
+def render_timeline(events: Iterable[TraceEvent], *, max_blocks: int = 16,
+                    max_cols: int = 100) -> str:
+    """ASCII schedule: one row per block, one column per scheduler step.
+
+    Glyphs: ``D`` dispatch, ``.`` productive step, ``s`` spin, ``R`` retire.
+    Useful for eyeballing how soft synchronization pipelines tiles.
+    """
+    events = list(events)
+    blocks = sorted({e.block_id for e in events if e.block_id >= 0})[:max_blocks]
+    if not blocks:
+        return "(no events)"
+    glyph = {DISPATCH: "D", STEP: ".", SPIN: "s", RETIRE: "R"}
+    per_block_events = {b: [] for b in blocks}
+    for e in events:
+        if e.block_id in per_block_events and e.kind in glyph:
+            per_block_events[e.block_id].append(e)
+    # Column = rank among traced steps, compressed to fit.
+    traced_steps = sorted({e.step for b in blocks for e in per_block_events[b]})
+    col_of = {s: i for i, s in enumerate(traced_steps)}
+    ncols = min(len(traced_steps), max_cols)
+    lines = []
+    for b in blocks:
+        row = [" "] * ncols
+        for e in per_block_events[b]:
+            col = col_of[e.step]
+            if col < ncols:
+                row[col] = glyph[e.kind]
+        lines.append(f"block {b:>4} |" + "".join(row))
+    legend = "legend: D dispatch, . step, s spin, R retire"
+    return "\n".join(lines + [legend])

@@ -1,0 +1,101 @@
+"""Warp-level primitives: shuffles, scans, reductions.
+
+These mirror CUDA's ``__shfl_up_sync`` family and the register-level
+Hillis–Steele scan from Section II of the paper (Figure 4).  Values live in
+"registers": a NumPy vector with one lane per thread.  Inputs may cover several
+warps; each warp of 32 lanes is independent, exactly as on hardware.
+
+Every shuffle is counted in the supplied :class:`MemoryTraffic` so the cost
+model can charge for them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.gpusim.counters import MemoryTraffic
+from repro.gpusim.device import WARP_SIZE
+
+
+def _as_lanes(values: np.ndarray, warp_size: int) -> np.ndarray:
+    lanes = np.asarray(values)
+    if lanes.ndim != 1:
+        raise ConfigurationError("warp primitives take a 1-D lane vector")
+    if lanes.size % warp_size:
+        raise ConfigurationError(
+            f"lane vector of size {lanes.size} is not a whole number of "
+            f"{warp_size}-lane warps")
+    return lanes
+
+
+def shfl_up(values: np.ndarray, delta: int,
+            traffic: MemoryTraffic | None = None,
+            warp_size: int = WARP_SIZE) -> np.ndarray:
+    """``__shfl_up_sync``: lane ``i`` receives lane ``i - delta``'s value.
+
+    Lanes ``i < delta`` receive their own value unchanged (CUDA semantics).
+    """
+    lanes = _as_lanes(values, warp_size)
+    out = lanes.copy()
+    per_warp = lanes.reshape(-1, warp_size)
+    out_w = out.reshape(-1, warp_size)
+    if delta > 0:
+        out_w[:, delta:] = per_warp[:, :warp_size - delta]
+    if traffic is not None:
+        traffic.shuffle_ops += lanes.size
+    return out
+
+
+def shfl_idx(values: np.ndarray, src_lane: int,
+             traffic: MemoryTraffic | None = None,
+             warp_size: int = WARP_SIZE) -> np.ndarray:
+    """``__shfl_sync``: every lane receives the value of ``src_lane`` in its warp."""
+    lanes = _as_lanes(values, warp_size)
+    per_warp = lanes.reshape(-1, warp_size)
+    out = np.repeat(per_warp[:, src_lane % warp_size], warp_size)
+    if traffic is not None:
+        traffic.shuffle_ops += lanes.size
+    return out.astype(lanes.dtype, copy=False)
+
+
+def warp_inclusive_scan(values: np.ndarray,
+                        traffic: MemoryTraffic | None = None,
+                        warp_size: int = WARP_SIZE) -> np.ndarray:
+    """Per-warp inclusive prefix sums via the paper's warp prefix-sum algorithm.
+
+    Implements Figure 4 literally: ``log2(w)`` rounds, in round ``j`` every
+    lane ``i >= 2**j`` adds the value shuffled up by ``2**j``.  The result for
+    lane ``i`` is ``v[0] + ... + v[i]`` within its warp; lane ``w-1`` therefore
+    holds the warp sum.
+    """
+    lanes = _as_lanes(values, warp_size).copy()
+    steps = int(np.log2(warp_size))
+    if 1 << steps != warp_size:
+        raise ConfigurationError("warp size must be a power of two")
+    lane_ids = np.tile(np.arange(warp_size), lanes.size // warp_size)
+    for j in range(steps):
+        delta = 1 << j
+        shifted = shfl_up(lanes, delta, traffic, warp_size)
+        lanes = np.where(lane_ids >= delta, lanes + shifted, lanes)
+    return lanes
+
+
+def warp_exclusive_scan(values: np.ndarray,
+                        traffic: MemoryTraffic | None = None,
+                        warp_size: int = WARP_SIZE) -> np.ndarray:
+    """Per-warp exclusive prefix sums (lane ``i`` gets ``v[0]+...+v[i-1]``, lane 0 gets 0)."""
+    inc = warp_inclusive_scan(values, traffic, warp_size)
+    return inc - _as_lanes(values, warp_size)
+
+
+def warp_reduce_sum(values: np.ndarray,
+                    traffic: MemoryTraffic | None = None,
+                    warp_size: int = WARP_SIZE) -> np.ndarray:
+    """Per-warp sum, broadcast to every lane of the warp.
+
+    The paper computes sums with the warp prefix-sum algorithm and takes the
+    last lane; we follow that (the shuffle count matches) and broadcast.
+    """
+    inc = warp_inclusive_scan(values, traffic, warp_size)
+    return shfl_idx(inc, warp_size - 1, traffic, warp_size)

@@ -1,0 +1,32 @@
+"""Calibrated TITAN V performance model (regenerates the paper's Table III)."""
+
+from repro.perfmodel.calibration import (DEFAULT_CALIBRATION, Calibration,
+                                         fit_duplication)
+from repro.perfmodel.charts import bar_chart, log_chart, table3_chart
+from repro.perfmodel.costs import (CostBreakdown, KernelCost, TitanVModel,
+                                   kernel_costs)
+from repro.perfmodel.devices import (DEVICE_SPECS, DeviceSpec,
+                                     cross_device_summary, get_device_spec,
+                                     model_for_device)
+from repro.perfmodel.export import (table1_records, table3_records, to_csv,
+                                    to_json, write_all)
+from repro.perfmodel.table import (TABLE3_ORDER, model_table3, overhead_row,
+                                   render_table3)
+from repro.perfmodel.titanv import (DEFAULT_CONSTANTS, ELEMENT_BYTES,
+                                    PAPER_DUPLICATION_MS, PAPER_TABLE3,
+                                    SIZE_LABELS, SIZES, TILE_WIDTHS,
+                                    ModelConstants, paper_best_ms,
+                                    paper_overhead_pct)
+
+__all__ = [
+    "Calibration", "DEFAULT_CALIBRATION", "fit_duplication",
+    "CostBreakdown", "KernelCost", "TitanVModel", "kernel_costs",
+    "TABLE3_ORDER", "model_table3", "overhead_row", "render_table3",
+    "ModelConstants", "DEFAULT_CONSTANTS", "ELEMENT_BYTES",
+    "PAPER_DUPLICATION_MS", "PAPER_TABLE3", "SIZES", "SIZE_LABELS",
+    "TILE_WIDTHS", "paper_best_ms", "paper_overhead_pct",
+    "bar_chart", "log_chart", "table3_chart",
+    "DEVICE_SPECS", "DeviceSpec", "cross_device_summary", "get_device_spec",
+    "model_for_device",
+    "table1_records", "table3_records", "to_csv", "to_json", "write_all",
+]

@@ -1,0 +1,63 @@
+"""Calibration of the two free parameters of the performance model.
+
+The model has exactly two fitted constants — the kernel-launch/driver fixed
+cost ``t0`` and the effective peak bandwidth ``B`` — and both are fitted *only*
+to the paper's ``cudaMemcpy`` duplication row via the linear model
+
+    D(n) = t0 + 2 · 4 · n² / B.
+
+Every algorithm row of Table III is then a prediction.  The fit minimises
+*relative* error so the microsecond-scale small sizes constrain ``t0`` as
+strongly as the multi-millisecond large sizes constrain ``B``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.perfmodel.titanv import ELEMENT_BYTES, PAPER_DUPLICATION_MS, SIZES
+
+
+@dataclass(frozen=True)
+class Calibration:
+    """Fitted device parameters."""
+
+    #: Fixed per-launch overhead, microseconds.
+    t0_us: float
+    #: Effective copy bandwidth, GB/s.
+    bandwidth_gbps: float
+
+    def duplication_us(self, n: int) -> float:
+        """Modelled cudaMemcpy duplication time for an n x n float32 matrix."""
+        tx_bytes = 2.0 * ELEMENT_BYTES * n * n
+        return self.t0_us + tx_bytes / (self.bandwidth_gbps * 1e9) * 1e6
+
+    def bytes_us(self, nbytes: float) -> float:
+        """Time to move ``nbytes`` at full effective bandwidth, microseconds."""
+        return nbytes / (self.bandwidth_gbps * 1e9) * 1e6
+
+
+def fit_duplication(sizes=SIZES, times_ms=PAPER_DUPLICATION_MS) -> Calibration:
+    """Weighted least squares of ``t0 + bytes/B`` against the duplication row.
+
+    Rows are weighted by ``1/time`` so residuals are relative; this keeps the
+    5 µs small-copy times from being drowned by the 14.7 ms one.
+    """
+    sizes = np.asarray(sizes, dtype=np.float64)
+    times_us = np.asarray(times_ms, dtype=np.float64) * 1e3
+    tx_bytes = 2.0 * ELEMENT_BYTES * sizes**2
+    weights = 1.0 / times_us
+    design = np.column_stack([np.ones_like(tx_bytes), tx_bytes])
+    lhs = design * weights[:, None]
+    rhs = times_us * weights
+    coef, *_ = np.linalg.lstsq(lhs, rhs, rcond=None)
+    t0_us, us_per_byte = coef
+    bandwidth_gbps = 1.0 / us_per_byte * 1e6 / 1e9
+    return Calibration(t0_us=float(max(t0_us, 0.0)),
+                       bandwidth_gbps=float(bandwidth_gbps))
+
+
+#: The default calibration every model instance uses.
+DEFAULT_CALIBRATION = fit_duplication()

@@ -1,0 +1,97 @@
+"""Terminal charts for the reproduced results (no plotting dependencies).
+
+The paper presents Table III as a table; for eyeballing trends an ASCII
+log-log chart of running time vs matrix size (one series per algorithm) and
+a horizontal bar chart of overheads are often clearer.  Used by
+``examples/performance_table.py`` and the ``table3`` CLI output.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from repro.errors import ConfigurationError
+
+#: Glyphs assigned to series in order.
+SERIES_GLYPHS = "ox+*#@%&"
+
+
+def log_chart(series: Mapping[str, Sequence[float]], xs: Sequence[float], *,
+              height: int = 16, width: int = 64,
+              title: str = "") -> str:
+    """Log-log scatter chart: one glyph per series, columns spread over xs.
+
+    ``series`` maps label -> y values (same length as ``xs``); NaNs are
+    skipped.  Collisions print the later series' glyph.
+    """
+    if not series:
+        raise ConfigurationError("no series to chart")
+    pts = [v for ys in series.values() for v in ys
+           if v == v and v > 0]
+    if not pts:
+        raise ConfigurationError("no positive finite data to chart")
+    lo, hi = math.log10(min(pts)), math.log10(max(pts))
+    if hi == lo:
+        hi = lo + 1.0
+    xlo, xhi = math.log10(xs[0]), math.log10(xs[-1])
+
+    grid = [[" "] * width for _ in range(height)]
+    for si, (label, ys) in enumerate(series.items()):
+        glyph = SERIES_GLYPHS[si % len(SERIES_GLYPHS)]
+        for x, y in zip(xs, ys):
+            if y != y or y <= 0:
+                continue
+            col = int((math.log10(x) - xlo) / (xhi - xlo) * (width - 1))
+            row = int((math.log10(y) - lo) / (hi - lo) * (height - 1))
+            grid[height - 1 - row][col] = glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{10 ** hi:.3g}"
+    bottom_label = f"{10 ** lo:.3g}"
+    for r, row in enumerate(grid):
+        label = top_label if r == 0 else (bottom_label if r == height - 1
+                                          else "")
+        lines.append(f"{label:>9} |" + "".join(row))
+    lines.append(" " * 10 + "+" + "-" * width)
+    lines.append(f"{'':>10} {xs[0]:<10g}{'':>{max(0, width - 24)}}{xs[-1]:>10g}")
+    legend = "  ".join(f"{SERIES_GLYPHS[i % len(SERIES_GLYPHS)]}={label}"
+                       for i, label in enumerate(series))
+    lines.append("legend: " + legend)
+    return "\n".join(lines)
+
+
+def bar_chart(values: Mapping[str, float], *, width: int = 50,
+              unit: str = "", title: str = "") -> str:
+    """Horizontal bar chart (linear scale, bars normalized to the max)."""
+    if not values:
+        raise ConfigurationError("no values to chart")
+    vmax = max(values.values())
+    if vmax <= 0:
+        raise ConfigurationError("bar chart needs a positive maximum")
+    label_w = max(len(k) for k in values)
+    lines = [title] if title else []
+    for key, v in values.items():
+        bar = "#" * max(0, int(round(v / vmax * width)))
+        lines.append(f"{key:<{label_w}} |{bar} {v:.3g}{unit}")
+    return "\n".join(lines)
+
+
+def table3_chart(model=None, *, sizes=None) -> str:
+    """Best-W time vs size for every algorithm, as a log-log chart."""
+    import numpy as np
+
+    from repro.perfmodel.costs import TitanVModel
+    from repro.perfmodel.table import TABLE3_ORDER, model_table3
+    from repro.perfmodel.titanv import SIZES
+    model = model or TitanVModel()
+    sizes = sizes or SIZES
+    table = model_table3(model, sizes=sizes)
+    series = {"duplication": table["duplication"][None]}
+    for name in TABLE3_ORDER:
+        series[name] = [
+            min(v[k] for v in table[name].values() if v[k] == v[k])
+            for k in range(len(sizes))]
+    return log_chart(series, sizes, title="Table III (model): ms vs n, log-log")

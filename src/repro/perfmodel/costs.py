@@ -1,0 +1,239 @@
+"""Analytic per-algorithm cost model for the TITAN V (regenerates Table III).
+
+Every algorithm run is described as a sequence of :class:`KernelCost` records
+(blocks, threads, coalesced bytes, strided bytes, same-address atomics, serial
+chain latency).  The traffic terms are the closed forms validated against the
+functional simulator's measured counters (``tests/analysis``); the timing map
+
+    kernel_time = t0 + max(serial_chain, bytes_eff / (B · occupancy)) + atomics
+
+uses the calibrated ``t0``/``B`` (duplication row only) plus the physically
+motivated constants of :class:`~repro.perfmodel.titanv.ModelConstants`:
+
+* ``occupancy``: fraction of peak bandwidth reachable with the launch's
+  resident threads (Little's law saturation point);
+* strided accesses cost ``strided_factor`` x once the footprint spills L2;
+* a same-address ``atomicAdd`` serializes at one L2 round trip — this is what
+  makes 1R1W-SKSS-LB with W=32 collapse at 32K² (a million tile acquisitions),
+  exactly as the paper's Table III shows;
+* SKSS's column hand-off forms a ``2t-1``-step serial chain of spin-wait
+  latencies; look-back shortens the per-step latency by an order of magnitude.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.perfmodel.calibration import DEFAULT_CALIBRATION, Calibration
+from repro.perfmodel.titanv import (DEFAULT_CONSTANTS, ELEMENT_BYTES,
+                                    ModelConstants)
+from repro.sat.hybrid_1r1w import band_limits
+
+
+@dataclass(frozen=True)
+class KernelCost:
+    """Cost-relevant description of one kernel launch."""
+
+    name: str
+    blocks: float
+    threads_per_block: float
+    coalesced_bytes: float = 0.0
+    strided_bytes: float = 0.0
+    #: Working-set size governing the L2 discount on strided traffic; when 0
+    #: the strided byte count itself is used.
+    footprint_bytes: float = 0.0
+    atomics: float = 0.0
+    chain_us: float = 0.0
+
+
+@dataclass
+class CostBreakdown:
+    """Modelled run time with its per-kernel decomposition."""
+
+    algorithm: str
+    n: int
+    W: int | None
+    kernels: list[KernelCost] = field(default_factory=list)
+    kernel_times_us: list[float] = field(default_factory=list)
+
+    @property
+    def total_us(self) -> float:
+        return float(sum(self.kernel_times_us))
+
+    @property
+    def total_ms(self) -> float:
+        return self.total_us / 1e3
+
+
+class TitanVModel:
+    """Maps kernel cost records to microseconds on the calibrated TITAN V."""
+
+    def __init__(self, calibration: Calibration = DEFAULT_CALIBRATION,
+                 constants: ModelConstants = DEFAULT_CONSTANTS) -> None:
+        self.calibration = calibration
+        self.constants = constants
+
+    # -- timing --------------------------------------------------------------
+
+    def occupancy(self, blocks: float, threads_per_block: float) -> float:
+        """Fraction of peak bandwidth the launch can draw."""
+        c = self.constants
+        resident = min(blocks * threads_per_block, c.resident_threads_cap)
+        return min(1.0, resident / c.saturation_threads)
+
+    def strided_multiplier(self, footprint_bytes: float) -> float:
+        """Effective amplification of strided traffic given L2 caching."""
+        c = self.constants
+        if footprint_bytes <= 0:
+            return 1.0
+        hit = min(1.0, c.l2_bytes / footprint_bytes)
+        return 1.0 + (c.strided_factor - 1.0) * (1.0 - hit)
+
+    def kernel_time_us(self, k: KernelCost) -> float:
+        c = self.constants
+        occ = self.occupancy(k.blocks, k.threads_per_block)
+        footprint = k.footprint_bytes or k.strided_bytes
+        eff_bytes = k.coalesced_bytes + k.strided_bytes * self.strided_multiplier(
+            footprint)
+        mem_us = self.calibration.bytes_us(eff_bytes) / max(occ, 1e-9)
+        atomic_us = k.atomics * c.atomic_ns * 1e-3
+        # Spin-stall chains are serial with the memory work, not overlapped.
+        return self.calibration.t0_us + mem_us + k.chain_us + atomic_us
+
+    def estimate(self, algorithm: str, n: int, *, W: int = 32,
+                 threads_per_block: int = 1024, r: float = 0.25) -> CostBreakdown:
+        """Predicted running time of ``algorithm`` on an n x n float32 matrix."""
+        kernels = kernel_costs(algorithm, n, W=W,
+                               threads_per_block=threads_per_block, r=r,
+                               constants=self.constants)
+        bd = CostBreakdown(algorithm=algorithm, n=n,
+                           W=None if algorithm.startswith("2R2W") else W,
+                           kernels=kernels)
+        bd.kernel_times_us = [self.kernel_time_us(k) for k in kernels]
+        return bd
+
+    def duplication_us(self, n: int) -> float:
+        return self.calibration.duplication_us(n)
+
+    def best_estimate(self, algorithm: str, n: int, *,
+                      tile_widths=(32, 64, 128),
+                      threads_per_block: int = 1024,
+                      r: float = 0.25) -> CostBreakdown:
+        """Best predicted time over the paper's W sweep (2R2W rows have no W)."""
+        if algorithm.startswith("2R2W"):
+            return self.estimate(algorithm, n, threads_per_block=threads_per_block)
+        candidates = [self.estimate(algorithm, n, W=w,
+                                    threads_per_block=threads_per_block, r=r)
+                      for w in tile_widths if n % w == 0 and w <= n]
+        if not candidates:
+            raise ConfigurationError(f"no valid tile width for n={n}")
+        return min(candidates, key=lambda b: b.total_us)
+
+
+# -- per-algorithm kernel cost specifications -----------------------------------
+
+
+def _tile_geometry(n: int, W: int, threads_per_block: int) -> tuple[int, int, float, float]:
+    if n % W:
+        raise ConfigurationError(f"n={n} is not a multiple of W={W}")
+    t = n // W
+    tpb = min(threads_per_block, W * W)
+    vec_bytes = float(t * t * W * ELEMENT_BYTES)   # one length-W vector per tile
+    sca_bytes = float(t * t * ELEMENT_BYTES)       # one scalar/flag per tile
+    return t, tpb, vec_bytes, sca_bytes
+
+
+def kernel_costs(algorithm: str, n: int, *, W: int = 32,
+                 threads_per_block: int = 1024, r: float = 0.25,
+                 constants: ModelConstants = DEFAULT_CONSTANTS) -> list[KernelCost]:
+    """Closed-form kernel cost records for one algorithm run."""
+    n2b = float(n) * n * ELEMENT_BYTES
+
+    if algorithm == "2R2W":
+        blocks = max(1, n // 256)
+        return [
+            KernelCost("column_scan", blocks, 256, coalesced_bytes=2 * n2b),
+            KernelCost("row_scan", blocks, 256, strided_bytes=2 * n2b,
+                       footprint_bytes=n2b),
+        ]
+
+    if algorithm == "2R2W-optimal":
+        panel = 256
+        col_blocks = (n // 32) * max(1, n // panel)
+        row_blocks = n * max(1, n // threads_per_block)
+        strip_meta = 2 * (n // 32) * max(1, n // panel) * 32 * ELEMENT_BYTES
+        row_meta = 3 * row_blocks * ELEMENT_BYTES
+        return [
+            KernelCost("tokura_col_scan", col_blocks, threads_per_block,
+                       coalesced_bytes=2 * n2b + 2 * strip_meta),
+            KernelCost("mg_row_scan", row_blocks, threads_per_block,
+                       coalesced_bytes=2 * n2b + 2 * row_meta),
+        ]
+
+    t, tpb, vec, sca = _tile_geometry(n, W, threads_per_block)
+
+    if algorithm == "2R1W":
+        lane_blocks = max(1, (t * W) // tpb)
+        return [
+            KernelCost("local_sums", t * t, tpb,
+                       coalesced_bytes=n2b + 2 * vec + sca),
+            KernelCost("global_sums", 2 * lane_blocks + 1, tpb,
+                       coalesced_bytes=2 * (2 * vec) + 4 * sca),
+            KernelCost("gsat", t * t, tpb,
+                       coalesced_bytes=2 * n2b + 2 * vec + sca),
+        ]
+
+    if algorithm == "1R1W":
+        out = []
+        for K in range(2 * t - 1):
+            d = t - abs(K - (t - 1))
+            per_tile = 2 * W * W * ELEMENT_BYTES + 9 * W * ELEMENT_BYTES
+            out.append(KernelCost(f"wave_{K}", d, tpb,
+                                  coalesced_bytes=d * per_tile))
+        return out
+
+    if algorithm == "(1+r)R1W":
+        Ka, Kc = band_limits(r, t)
+        band_a = sum(min(k + 1, t) for k in range(Ka))
+        band_c = sum(t - abs(k - (t - 1)) for k in range(Kc + 1, 2 * t - 1))
+        lane_blocks = max(1, (t * W) // tpb)
+        out: list[KernelCost] = []
+        for band, count in (("A", band_a), ("C", band_c)):
+            if not count:
+                continue
+            tile_bytes = count * W * W * ELEMENT_BYTES
+            bvec = count * W * ELEMENT_BYTES
+            out.append(KernelCost(f"{band}_local", count, tpb,
+                                  coalesced_bytes=tile_bytes + 2 * bvec))
+            out.append(KernelCost(f"{band}_global", 2 * lane_blocks + 1, tpb,
+                                  coalesced_bytes=4 * bvec + 4 * count * ELEMENT_BYTES))
+            out.append(KernelCost(f"{band}_gsat", count, tpb,
+                                  coalesced_bytes=2 * tile_bytes + 2 * bvec))
+        for K in range(Ka, min(Kc, 2 * t - 2) + 1):
+            d = t - abs(K - (t - 1))
+            per_tile = 2 * W * W * ELEMENT_BYTES + 9 * W * ELEMENT_BYTES
+            out.append(KernelCost(f"wave_{K}", d, tpb,
+                                  coalesced_bytes=d * per_tile))
+        return out
+
+    if algorithm == "1R1W-SKSS":
+        handoff_us = W * constants.skss_handoff_ns_per_width * 1e-3
+        return [KernelCost(
+            "skss", t, tpb,
+            coalesced_bytes=2 * n2b + 2 * vec + 2 * sca,
+            atomics=t,
+            chain_us=(2 * t - 1) * handoff_us)]
+
+    if algorithm == "1R1W-SKSS-LB":
+        # Beyond the 2n² matrix traffic: writes of LRS/LCS/GRS/GCS (4 vec) and
+        # GLS/GS + six status updates (scalars); look-back reads of roughly
+        # one GRS and one GCS vector per tile plus flag polls.
+        return [KernelCost(
+            "skss_lb", t * t, tpb,
+            coalesced_bytes=2 * n2b + 6 * vec + 12 * sca,
+            atomics=t * t,
+            chain_us=(2 * t - 1) * constants.lb_chain_step_us)]
+
+    raise ConfigurationError(f"no cost model for algorithm '{algorithm}'")

@@ -1,0 +1,88 @@
+"""Cross-device projections: what Table III would look like on other GPUs.
+
+The paper evaluates on a TITAN V only.  The cost model, however, consumes a
+small set of device characteristics (bandwidth, SM count, launch overhead),
+so projecting the comparison onto other GPUs is a one-line calibration swap.
+These presets use public spec numbers with the effective-bandwidth derating
+observed on the TITAN V (the fitted 591 GB/s is ~0.91x of its 652.8 GB/s
+spec); launch overhead is kept at the fitted 3.5 µs, which is dominated by
+the driver rather than the GPU.
+
+This is an *extension* (clearly beyond the paper): the prediction of interest
+is that the ranking — SKSS-LB fastest everywhere — is bandwidth-ratio
+invariant, while the crossover sizes shift with the bandwidth/latency
+balance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.perfmodel.calibration import DEFAULT_CALIBRATION, Calibration
+
+#: Effective/spec bandwidth derating fitted on the TITAN V.
+_DERATE = DEFAULT_CALIBRATION.bandwidth_gbps / 652.8
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Public spec numbers needed by the performance model."""
+
+    name: str
+    spec_bandwidth_gbps: float
+    num_sms: int
+    mem_bytes: int
+
+    @property
+    def effective_bandwidth_gbps(self) -> float:
+        return self.spec_bandwidth_gbps * _DERATE
+
+    def calibration(self, t0_us: float | None = None) -> Calibration:
+        """Calibration for this device (launch overhead defaults to the
+        TITAN V fit — it is a host/driver property)."""
+        return Calibration(
+            t0_us=DEFAULT_CALIBRATION.t0_us if t0_us is None else t0_us,
+            bandwidth_gbps=self.effective_bandwidth_gbps)
+
+
+#: Same-generation and nearby GPUs (public spec sheets).
+DEVICE_SPECS = {
+    "titan-v": DeviceSpec("NVIDIA TITAN V", 652.8, 80, 12 * 1024**3),
+    "gtx-1080ti": DeviceSpec("NVIDIA GTX 1080 Ti", 484.4, 28, 11 * 1024**3),
+    "p100": DeviceSpec("NVIDIA Tesla P100", 732.2, 56, 16 * 1024**3),
+    "v100": DeviceSpec("NVIDIA Tesla V100 (SXM2)", 897.0, 80, 16 * 1024**3),
+    "rtx-2080ti": DeviceSpec("NVIDIA RTX 2080 Ti", 616.0, 68, 11 * 1024**3),
+    "a100": DeviceSpec("NVIDIA A100 (40GB)", 1555.0, 108, 40 * 1024**3),
+}
+
+
+def get_device_spec(key: str) -> DeviceSpec:
+    try:
+        return DEVICE_SPECS[key.lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown device '{key}'; known: {sorted(DEVICE_SPECS)}") from None
+
+
+def model_for_device(key: str):
+    """A :class:`~repro.perfmodel.costs.TitanVModel` recalibrated for ``key``.
+
+    (The class name is historical; only the calibration is device-specific.)
+    """
+    from repro.perfmodel.costs import TitanVModel
+    return TitanVModel(calibration=get_device_spec(key).calibration())
+
+
+def cross_device_summary(n: int = 8192, *, algorithms=None) -> dict:
+    """Best-W model times (ms) per device at one size, plus duplication."""
+    from repro.perfmodel.table import TABLE3_ORDER
+    algorithms = algorithms or TABLE3_ORDER
+    out: dict = {}
+    for key in DEVICE_SPECS:
+        model = model_for_device(key)
+        row = {"duplication": model.duplication_us(n) / 1e3}
+        for name in algorithms:
+            row[name] = model.best_estimate(name, n).total_ms
+        out[key] = row
+    return out

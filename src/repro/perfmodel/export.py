@@ -1,0 +1,102 @@
+"""Machine-readable exports of the reproduced tables (CSV / JSON).
+
+The text renderers in :mod:`repro.perfmodel.table` are for humans; these
+exporters emit the same data for plotting or regression-tracking pipelines.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+from repro.analysis.complexity import TABLE1_ORDER, table1_row
+from repro.perfmodel.costs import TitanVModel
+from repro.perfmodel.table import TABLE3_ORDER, model_table3
+from repro.perfmodel.titanv import (PAPER_DUPLICATION_MS, PAPER_TABLE3, SIZES)
+
+
+def table1_records(n: int, *, W: int = 32, threads_per_block: int = 1024,
+                   r: float = 0.25) -> list[dict]:
+    """Table I as a list of flat records (one per algorithm)."""
+    out = []
+    for name in TABLE1_ORDER:
+        row = table1_row(name, n, W=W, threads_per_block=threads_per_block,
+                         r=r)
+        out.append({
+            "algorithm": row.algorithm,
+            "kernel_calls_symbolic": row.kernel_calls_sym,
+            "kernel_calls": row.kernel_calls,
+            "threads_symbolic": row.threads_sym,
+            "max_threads": row.max_threads,
+            "parallelism": row.parallelism,
+            "reads_symbolic": row.reads_sym,
+            "reads": row.reads,
+            "writes_symbolic": row.writes_sym,
+            "writes": row.writes,
+        })
+    return out
+
+
+def table3_records(model: TitanVModel | None = None, *,
+                   r: float = 0.25) -> list[dict]:
+    """Table III as flat records: one per (algorithm, W, size) cell, with the
+    paper's measured value attached where it exists."""
+    model = model or TitanVModel()
+    table = model_table3(model, r=r)
+    records: list[dict] = []
+    for k, n in enumerate(SIZES):
+        records.append({
+            "algorithm": "duplication", "W": None, "n": n,
+            "model_ms": table["duplication"][None][k],
+            "paper_ms": PAPER_DUPLICATION_MS[k],
+        })
+    for name in TABLE3_ORDER:
+        for W, times in table[name].items():
+            paper_row = PAPER_TABLE3[name][W if W in PAPER_TABLE3[name]
+                                           else None]
+            for k, n in enumerate(SIZES):
+                model_ms = times[k]
+                records.append({
+                    "algorithm": name, "W": W, "n": n,
+                    "model_ms": None if model_ms != model_ms else model_ms,
+                    "paper_ms": paper_row[k],
+                })
+    return records
+
+
+def to_csv(records: list[dict]) -> str:
+    """Serialize records to CSV text (header from the first record)."""
+    if not records:
+        return ""
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=list(records[0].keys()))
+    writer.writeheader()
+    writer.writerows(records)
+    return buf.getvalue()
+
+
+def to_json(records: list[dict], *, indent: int = 2) -> str:
+    return json.dumps(records, indent=indent)
+
+
+def write_all(directory, *, n: int = 1024, model: TitanVModel | None = None) -> list[str]:
+    """Write table1/table3 CSV and JSON files into ``directory``.
+
+    Returns the list of file paths written.
+    """
+    from pathlib import Path
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    outputs = {
+        "table1.csv": to_csv(table1_records(n)),
+        "table1.json": to_json(table1_records(n)),
+        "table3.csv": to_csv(table3_records(model)),
+        "table3.json": to_json(table3_records(model)),
+    }
+    written = []
+    for fname, text in outputs.items():
+        path = directory / fname
+        path.write_text(text)
+        written.append(str(path))
+    return written

@@ -1,0 +1,135 @@
+"""Table III renderer: the paper's evaluation table from the cost model.
+
+Produces the same rows the paper reports — per-W running times with the best
+W highlighted, plus the overhead-over-duplication row — and, on request, a
+side-by-side comparison with the paper's measured numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.perfmodel.costs import TitanVModel
+from repro.perfmodel.titanv import (PAPER_DUPLICATION_MS, PAPER_TABLE3,
+                                    SIZE_LABELS, SIZES, TILE_WIDTHS,
+                                    paper_best_ms)
+
+#: Table III algorithm order.
+TABLE3_ORDER = ("2R2W", "2R2W-optimal", "2R1W", "1R1W", "(1+r)R1W",
+                "1R1W-SKSS", "1R1W-SKSS-LB")
+
+
+def _fmt_ms(v: float) -> str:
+    if v < 0.1:
+        return f"{v:.4f}"
+    if v < 1:
+        return f"{v:.3f}"
+    if v < 10:
+        return f"{v:.2f}"
+    return f"{v:.1f}"
+
+
+@dataclass
+class Table3Cell:
+    """One (algorithm, W, size) prediction with its paper counterpart."""
+
+    algorithm: str
+    W: int | None
+    n: int
+    model_ms: float
+    paper_ms: float | None
+
+    @property
+    def ratio(self) -> float | None:
+        if self.paper_ms is None or self.paper_ms == 0:
+            return None
+        return self.model_ms / self.paper_ms
+
+
+def model_table3(model: TitanVModel | None = None, *, sizes=SIZES,
+                 r: float = 0.25) -> dict:
+    """All Table III predictions: ``{algorithm: {W: [ms per size]}}``.
+
+    2R2W rows use ``W = None``; tile widths larger than the matrix are skipped
+    (reported as ``nan``), matching the paper's table where every listed size
+    admits all three widths.
+    """
+    model = model or TitanVModel()
+    out: dict = {"duplication": {None: [model.duplication_us(n) / 1e3
+                                        for n in sizes]}}
+    for name in TABLE3_ORDER:
+        if name.startswith("2R2W"):
+            out[name] = {None: [model.estimate(name, n, r=r).total_ms
+                                for n in sizes]}
+            continue
+        out[name] = {}
+        for W in TILE_WIDTHS:
+            row = []
+            for n in sizes:
+                if n % W or W > n:
+                    row.append(float("nan"))
+                else:
+                    row.append(model.estimate(name, n, W=W, r=r).total_ms)
+            out[name][W] = row
+    return out
+
+
+def overhead_row(times_ms: list[float], dup_ms: list[float]) -> list[float]:
+    """Overhead in percent of the best time over duplication, per size."""
+    return [(t - d) / d * 100.0 for t, d in zip(times_ms, dup_ms)]
+
+
+def render_table3(model: TitanVModel | None = None, *, sizes=SIZES,
+                  r: float = 0.25, compare_paper: bool = True) -> str:
+    """Render the model's Table III in the paper's format.
+
+    Every tile-based algorithm gets one line per W (best W marked ``*``) and
+    an ``overhead`` line; with ``compare_paper`` the paper's measured ms
+    follow each prediction in brackets.
+    """
+    model = model or TitanVModel()
+    table = model_table3(model, sizes=sizes, r=r)
+    dup = table["duplication"][None]
+    size_idx = [SIZES.index(n) for n in sizes]
+
+    header = ["Parallel algorithms", "W^2"] + [SIZE_LABELS[i] for i in size_idx]
+    rows: list[list[str]] = [header]
+
+    def add_row(label: str, wlabel: str, values: list[str]) -> None:
+        rows.append([label, wlabel] + values)
+
+    add_row("matrix duplication (model)", "-",
+            [_fmt_ms(v) for v in dup])
+    if compare_paper:
+        add_row("matrix duplication (paper)", "-",
+                [_fmt_ms(PAPER_DUPLICATION_MS[i]) for i in size_idx])
+
+    for name in TABLE3_ORDER:
+        by_w = table[name]
+        best = [min(vals[k] for vals in by_w.values()) for k in range(len(sizes))]
+        for W, vals in by_w.items():
+            marked = [
+                (_fmt_ms(v) + ("*" if v == best[k] and len(by_w) > 1 else ""))
+                for k, v in enumerate(vals)]
+            add_row(name, "-" if W is None else f"{W}^2", marked)
+            if compare_paper:
+                paper_by_w = PAPER_TABLE3[name]
+                key = W if W in paper_by_w else None
+                add_row(f"  (paper)", "-" if W is None else f"{W}^2",
+                        [_fmt_ms(paper_by_w[key][i]) for i in size_idx])
+        oh = overhead_row(best, dup)
+        add_row(name, "overhead", [f"{v:.1f}%" for v in oh])
+        if compare_paper:
+            paper_oh = [
+                (paper_best_ms(name, i) - PAPER_DUPLICATION_MS[i])
+                / PAPER_DUPLICATION_MS[i] * 100.0 for i in size_idx]
+            add_row("  (paper)", "overhead", [f"{v:.1f}%" for v in paper_oh])
+
+    widths = [max(len(r[c]) for r in rows) for c in range(len(header))]
+    lines = []
+    for i, cells in enumerate(rows):
+        lines.append("  ".join(c.rjust(w) if j >= 2 else c.ljust(w)
+                               for j, (c, w) in enumerate(zip(cells, widths))))
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

@@ -1,0 +1,38 @@
+"""Primitive building blocks: scans, the diagonal arrangement, tile algebra,
+decoupled look-back, and kernel-side shared-memory tile operations."""
+
+from repro.primitives.blockscan import block_inclusive_scan, block_reduce_sum
+from repro.primitives.colscan import ColScanLayout, col_scan_kernel, run_col_scan
+from repro.primitives.diagonal import (check_tile_width, col_offsets,
+                                       diag_inverse, diag_offset,
+                                       full_tile_offsets, row_offsets,
+                                       rowmajor_offset)
+from repro.primitives.lookback import lookback_walk, publish
+from repro.primitives.prefix_sum import (exclusive_scan, inclusive_scan,
+                                         num_partitions, partition_bounds,
+                                         sequential_inclusive_scan)
+from repro.primitives.scan1d import (STATUS_AGGREGATE, STATUS_INVALID,
+                                     STATUS_PREFIX, RowScanLayout,
+                                     row_scan_kernel, run_row_scan)
+from repro.primitives.tile import (TileGrid, assemble_gsat_tile,
+                                   assemble_gsat_tile_skss,
+                                   global_col_prefixes, global_col_sums,
+                                   global_l_sum, global_row_sums, global_sat_tile,
+                                   global_sum, local_col_sums, local_row_sums,
+                                   local_sum, tile_view)
+
+__all__ = [
+    "block_inclusive_scan", "block_reduce_sum",
+    "ColScanLayout", "col_scan_kernel", "run_col_scan",
+    "check_tile_width", "col_offsets", "diag_inverse", "diag_offset",
+    "full_tile_offsets", "row_offsets", "rowmajor_offset",
+    "lookback_walk", "publish",
+    "exclusive_scan", "inclusive_scan", "num_partitions", "partition_bounds",
+    "sequential_inclusive_scan",
+    "STATUS_AGGREGATE", "STATUS_INVALID", "STATUS_PREFIX", "RowScanLayout",
+    "row_scan_kernel", "run_row_scan",
+    "TileGrid", "assemble_gsat_tile", "assemble_gsat_tile_skss",
+    "global_col_prefixes", "global_col_sums", "global_l_sum",
+    "global_row_sums", "global_sat_tile", "global_sum", "local_col_sums",
+    "local_row_sums", "local_sum", "tile_view",
+]

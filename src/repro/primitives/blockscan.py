@@ -1,0 +1,61 @@
+"""Block-level inclusive scan built from warp scans (GPU Gems 3, ch. 39).
+
+Used by the Merrill–Garland single-pass scan blocks: each warp scans its 32
+values with the warp prefix-sum algorithm (Figure 4 of the paper), warp totals
+are exchanged through shared memory, scanned by the first warp, and the
+exclusive warp offsets are added back.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.gpusim.block import BlockContext
+
+#: Name of the shared scratch array used for warp-total exchange.
+_SCRATCH = "_blockscan_warp_totals"
+
+
+def ensure_scratch(ctx: BlockContext) -> None:
+    """Allocate the warp-totals scratch (idempotent per block)."""
+    w = ctx.device.warp_size
+    try:
+        ctx.shared.raw(_SCRATCH)
+    except Exception:
+        ctx.salloc(_SCRATCH, w, np.float64)
+
+
+def block_inclusive_scan(ctx: BlockContext, values: np.ndarray) -> np.ndarray:
+    """Inclusive prefix sums of one value per thread across the whole block.
+
+    ``values`` must have one lane per thread (``ctx.nthreads``).  Requires at
+    most ``warp_size`` warps per block (1024 threads for warp size 32), like
+    the classic two-level scheme.
+    """
+    w = ctx.device.warp_size
+    values = np.asarray(values, dtype=np.float64)
+    if values.shape != (ctx.nthreads,):
+        raise ConfigurationError(
+            f"block scan needs one value per thread ({ctx.nthreads}), "
+            f"got shape {values.shape}")
+    nwarps = ctx.nthreads // w
+    if nwarps > w:
+        raise ConfigurationError(
+            f"{nwarps} warps exceed the two-level scan limit of {w}")
+    ensure_scratch(ctx)
+
+    inc = ctx.warp_inclusive_scan(values)
+    warp_totals = inc[w - 1::w]
+    # Last lane of each warp stores its total; the first warp scans them.
+    ctx.sstore(_SCRATCH, np.arange(nwarps), warp_totals)
+    padded = np.zeros(w)
+    padded[:nwarps] = ctx.sload(_SCRATCH, np.arange(nwarps))
+    scanned = ctx.warp_inclusive_scan(padded)
+    offsets = np.concatenate(([0.0], scanned[:nwarps - 1])) if nwarps else np.zeros(0)
+    return inc + np.repeat(offsets, w)
+
+
+def block_reduce_sum(ctx: BlockContext, values: np.ndarray) -> float:
+    """Sum one value per thread across the block (scan + take last)."""
+    return float(block_inclusive_scan(ctx, values)[-1])

@@ -1,0 +1,81 @@
+"""The diagonal shared-memory arrangement (paper Section II, Figure 3).
+
+A ``W x W`` tile stored row-major in shared memory puts element ``(i, j)`` at
+word offset ``i*W + j``; all elements of column ``j`` then live in bank
+``j mod 32`` and a column access by a warp is fully serialized.  The diagonal
+arrangement instead places ``(i, j)`` at offset ``i*W + (i + j) mod W``.  For
+``W`` a multiple of the warp size this makes *both* row-wise and column-wise
+warp accesses conflict-free, which the paper's shared-memory SAT steps rely
+on.  (:func:`repro.gpusim.shared.bank_conflict_cycles` measures it.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.gpusim.device import WARP_SIZE
+
+
+def check_tile_width(W: int, warp_size: int = WARP_SIZE) -> None:
+    """Validate a tile width for the diagonal arrangement.
+
+    The paper uses ``W`` equal to the warp size or a small multiple of it; the
+    conflict-freedom argument needs ``W`` to be a positive multiple of the
+    warp size.  Tests also use small powers of two with a reduced warp size.
+    """
+    if W <= 0:
+        raise ConfigurationError(f"tile width must be positive, got {W}")
+    if W % warp_size:
+        raise ConfigurationError(
+            f"tile width {W} is not a multiple of the warp size {warp_size}; "
+            "the diagonal arrangement would not be conflict-free")
+
+
+def diag_offset(i, j, W: int):
+    """Word offset of tile element ``(i, j)`` under the diagonal arrangement.
+
+    Accepts scalars or broadcastable arrays.  ``offset = i*W + (i + j) mod W``.
+    """
+    i = np.asarray(i, dtype=np.int64)
+    j = np.asarray(j, dtype=np.int64)
+    return i * W + (i + j) % W
+
+
+def diag_inverse(offset, W: int):
+    """Map a word offset back to tile coordinates ``(i, j)``."""
+    offset = np.asarray(offset, dtype=np.int64)
+    i = offset // W
+    j = (offset % W - i) % W
+    return i, j
+
+
+def row_offsets(i: int, W: int) -> np.ndarray:
+    """Offsets of the whole tile row ``i`` in element order ``j = 0..W-1``."""
+    return diag_offset(i, np.arange(W), W)
+
+
+def col_offsets(j: int, W: int) -> np.ndarray:
+    """Offsets of the whole tile column ``j`` in element order ``i = 0..W-1``."""
+    return diag_offset(np.arange(W), j, W)
+
+
+def rowmajor_offset(i, j, W: int):
+    """Word offset under the naive row-major arrangement (for ablation)."""
+    i = np.asarray(i, dtype=np.int64)
+    j = np.asarray(j, dtype=np.int64)
+    return i * W + j
+
+
+def full_tile_offsets(W: int, layout: str = "diagonal") -> np.ndarray:
+    """Offsets of all ``W*W`` elements in row-major element order ``(i, j)``.
+
+    ``layout`` is ``"diagonal"`` or ``"rowmajor"``; the result is shaped
+    ``(W, W)`` with entry ``[i, j]`` giving element ``(i, j)``'s word offset.
+    """
+    ii, jj = np.meshgrid(np.arange(W), np.arange(W), indexing="ij")
+    if layout == "diagonal":
+        return diag_offset(ii, jj, W)
+    if layout == "rowmajor":
+        return rowmajor_offset(ii, jj, W)
+    raise ConfigurationError(f"unknown shared-memory layout '{layout}'")

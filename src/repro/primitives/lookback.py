@@ -1,0 +1,83 @@
+"""Decoupled look-back: the publish/walk protocol shared by the paper's
+1R1W-SKSS-LB algorithm and the Merrill–Garland single-pass scan.
+
+A producer *publishes* a value by writing the data, issuing a
+``__threadfence()``, and only then raising a per-partition status flag
+(:func:`publish`).  A consumer needing an aggregate *walks back* over
+predecessors (:func:`lookback_walk`): for each one it spins until the status
+reaches the "local value available" threshold; if the status already reached
+the "global value available" threshold it reads the global value and stops,
+otherwise it accumulates the local value and keeps walking.  Summing the
+collected values yields the consumer's global aggregate without waiting for
+its immediate predecessor to finish its own look-back — the key to the high
+parallelism of the paper's algorithm (Figures 10 and 11).
+
+The walker is generic over the direction (left along a tile row, up along a
+tile column, up-left along the diagonal, back along 1-D scan partitions) via
+an iterable of steps and value-reader callables.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Sequence
+
+import numpy as np
+
+from repro.gpusim.block import BlockContext
+from repro.gpusim.memory import GlobalBuffer
+
+
+def publish(ctx: BlockContext, stores: Sequence[tuple[GlobalBuffer, np.ndarray, np.ndarray]],
+            status_buf: GlobalBuffer, status_index: int, status_value: int) -> None:
+    """Write data, fence, then raise the status flag.
+
+    The fence commits the data stores before the flag can become visible;
+    omitting it is the classic look-back bug, which the simulator's relaxed
+    consistency mode turns into an observable wrong result (see
+    ``tests/gpusim/test_hazards.py``).
+    """
+    for buf, idx, values in stores:
+        ctx.gstore(buf, idx, values)
+    ctx.threadfence()
+    ctx.gstore_scalar(status_buf, status_index, status_value)
+
+
+def lookback_walk(ctx: BlockContext, *, steps: Sequence,
+                  status_buf: GlobalBuffer,
+                  status_index: Callable[[object], int],
+                  local_threshold: int,
+                  global_threshold: int,
+                  read_local: Callable[[object], np.ndarray],
+                  read_global: Callable[[object], np.ndarray],
+                  zero) -> Iterator:
+    """Generic decoupled look-back accumulation (use with ``yield from``).
+
+    Parameters
+    ----------
+    steps:
+        Predecessors in walk order (nearest first).  For tile ``T(I, J)``'s
+        row walk this is ``J-1, J-2, ..., 0``.
+    status_index:
+        Maps a step to the flat index of its status byte.
+    local_threshold / global_threshold:
+        Status values meaning "local aggregate readable" / "global aggregate
+        readable".  Statuses are monotone non-decreasing, so a poll may
+        observe any value >= the one awaited.
+    read_local / read_global:
+        Callables performing the accounted global loads for a step.
+    zero:
+        Additive identity of the accumulated quantity (vector or scalar).
+
+    Returns (via ``yield from``) the accumulated *global* aggregate over all
+    predecessors: if the walk exhausts ``steps`` without meeting a global
+    status, the sum of the locals over every predecessor is itself the global
+    aggregate (the walk reached the boundary).
+    """
+    acc = zero
+    for step in steps:
+        status = yield from ctx.wait_until(status_buf, status_index(step),
+                                           lambda v: v >= local_threshold)
+        if status >= global_threshold:
+            return acc + read_global(step)
+        acc = acc + read_local(step)
+    return acc

@@ -1,0 +1,72 @@
+"""Host-side prefix-sum references and partition helpers.
+
+These are the golden models the simulated kernels are tested against, plus the
+partitioning arithmetic shared by the 1-D decoupled look-back scan
+(:mod:`repro.primitives.scan1d`) and the column-wise scan
+(:mod:`repro.primitives.colscan`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def inclusive_scan(values: np.ndarray, axis: int | None = None) -> np.ndarray:
+    """Inclusive prefix sums (``out[i] = v[0] + ... + v[i]``)."""
+    values = np.asarray(values)
+    if axis is None:
+        if values.ndim != 1:
+            raise ConfigurationError("axis is required for multi-dimensional input")
+        axis = 0
+    return np.cumsum(values, axis=axis)
+
+
+def exclusive_scan(values: np.ndarray, axis: int | None = None) -> np.ndarray:
+    """Exclusive prefix sums (``out[0] = 0``, ``out[i] = v[0] + ... + v[i-1]``)."""
+    values = np.asarray(values)
+    if axis is None:
+        if values.ndim != 1:
+            raise ConfigurationError("axis is required for multi-dimensional input")
+        axis = 0
+    inc = np.cumsum(values, axis=axis)
+    out = np.empty_like(inc)
+    lead = [slice(None)] * values.ndim
+    rest = [slice(None)] * values.ndim
+    lead[axis] = slice(0, 1)
+    rest[axis] = slice(0, -1)
+    shifted = [slice(None)] * values.ndim
+    shifted[axis] = slice(1, None)
+    out[tuple(lead)] = 0
+    out[tuple(shifted)] = inc[tuple(rest)]
+    return out
+
+
+def sequential_inclusive_scan(values: np.ndarray) -> np.ndarray:
+    """Literal ``p[i] <- p[i-1] + p[i]`` loop from the paper's Section I.
+
+    Kept as an independent oracle for :func:`inclusive_scan` (and to make the
+    paper's sequential baseline runnable); intentionally unvectorised.
+    """
+    out = np.array(values, copy=True)
+    for i in range(1, out.shape[0]):
+        out[i] = out[i - 1] + out[i]
+    return out
+
+
+def num_partitions(n: int, partition_size: int) -> int:
+    """Number of fixed-size partitions covering ``n`` elements (last may be short)."""
+    if partition_size <= 0:
+        raise ConfigurationError("partition size must be positive")
+    return (n + partition_size - 1) // partition_size
+
+
+def partition_bounds(p: int, partition_size: int, n: int) -> tuple[int, int]:
+    """Half-open element range ``[lo, hi)`` of partition ``p``."""
+    lo = p * partition_size
+    hi = min(n, lo + partition_size)
+    if lo >= n:
+        raise ConfigurationError(
+            f"partition {p} is out of range for n={n}, size={partition_size}")
+    return lo, hi

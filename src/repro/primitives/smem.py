@@ -1,0 +1,193 @@
+"""Kernel-side shared-memory tile operations (paper Section II).
+
+These helpers implement, against a :class:`~repro.gpusim.block.BlockContext`,
+the building blocks every tile-based SAT algorithm uses:
+
+* copying a ``W x W`` tile between global memory and shared memory in the
+  diagonal arrangement, in row-panels of ``nthreads`` elements (the paper's
+  ``W²/m``-thread copy with ``m`` elements per thread);
+* the shared-memory SAT steps — row-wise then column-wise prefix sums, each
+  performed by ``W`` threads scanning sequentially (conflict-free thanks to
+  the diagonal arrangement);
+* tile row/column sums, including the fused copy+column-sum of the
+  "shared memory column-wise/row-wise sum algorithm";
+* boundary updates (add a vector to the leftmost column / topmost row, add a
+  scalar to the corner) used when assembling ``GSAT`` tiles.
+
+All helpers are plain functions (no yields); callers insert
+``yield ctx.syncthreads()`` between phases exactly where the paper requires
+barriers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.gpusim.block import BlockContext
+from repro.gpusim.memory import GlobalBuffer
+from repro.primitives.diagonal import full_tile_offsets
+
+
+def tile_words(W: int) -> int:
+    """Shared-memory words needed for one ``W x W`` tile."""
+    return W * W
+
+
+def global_flat_indices(n: int, W: int, I: int, J: int) -> np.ndarray:
+    """Row-major flat indices of tile ``T(I, J)`` in an ``n x n`` buffer,
+    shaped ``(W, W)`` in tile coordinates."""
+    rows = (W * I + np.arange(W))[:, None]
+    cols = (W * J + np.arange(W))[None, :]
+    return rows * n + cols
+
+
+def alloc_tile(ctx: BlockContext, name: str, W: int, dtype=np.float64) -> None:
+    """Allocate shared storage for one tile."""
+    ctx.salloc(name, tile_words(W), dtype)
+
+
+def load_tile(ctx: BlockContext, a: GlobalBuffer, n: int, W: int, I: int,
+              J: int, name: str, layout: str = "diagonal") -> None:
+    """Copy tile ``T(I, J)`` from global memory into shared memory.
+
+    The copy proceeds in chunks of ``nthreads`` consecutive elements (whole
+    row-panels), so global reads are fully coalesced; shared stores use the
+    requested layout.
+    """
+    offs = full_tile_offsets(W, layout).ravel()
+    gidx = global_flat_indices(n, W, I, J).ravel()
+    chunk = min(ctx.nthreads, W * W)
+    for lo in range(0, W * W, chunk):
+        sel = slice(lo, lo + chunk)
+        ctx.sstore(name, offs[sel], ctx.gload(a, gidx[sel]))
+
+
+def store_tile(ctx: BlockContext, b: GlobalBuffer, n: int, W: int, I: int,
+               J: int, name: str, layout: str = "diagonal") -> None:
+    """Copy a tile from shared memory back to global memory (coalesced writes)."""
+    offs = full_tile_offsets(W, layout).ravel()
+    gidx = global_flat_indices(n, W, I, J).ravel()
+    chunk = min(ctx.nthreads, W * W)
+    for lo in range(0, W * W, chunk):
+        sel = slice(lo, lo + chunk)
+        ctx.gstore(b, gidx[sel], ctx.sload(name, offs[sel]))
+
+
+def load_tile_with_col_sums(ctx: BlockContext, a: GlobalBuffer, n: int, W: int,
+                            I: int, J: int, name: str,
+                            layout: str = "diagonal") -> np.ndarray:
+    """Copy a tile in while computing its column sums (fused Step 1).
+
+    Implements the "shared memory column-wise/row-wise sum algorithm": each
+    group of ``W`` threads accumulates the column sums of its row-panel during
+    the copy; the per-panel partials are then reduced.  Returns ``LCS(I, J)``
+    as a length-``W`` vector in registers.
+    """
+    offs = full_tile_offsets(W, layout).ravel()
+    gidx = global_flat_indices(n, W, I, J).ravel()
+    chunk = min(ctx.nthreads, W * W)
+    if chunk % W:
+        raise ConfigurationError(
+            f"block of {ctx.nthreads} threads cannot copy whole {W}-wide rows")
+    col_sums = np.zeros(W)
+    for lo in range(0, W * W, chunk):
+        sel = slice(lo, lo + chunk)
+        values = ctx.gload(a, gidx[sel])
+        ctx.sstore(name, offs[sel], values)
+        # Each W-thread group folds its rows into per-column partials; one
+        # register add per element.
+        panel = values.reshape(-1, W)
+        col_sums += panel.sum(axis=0)
+        ctx.charge(panel.shape[0] * ctx.costs.compute_step)
+    return col_sums
+
+
+def read_row(ctx: BlockContext, name: str, W: int, i: int,
+             layout: str = "diagonal") -> np.ndarray:
+    """Read tile row ``i`` (a warp-wide access; conflict-free when diagonal)."""
+    offs = full_tile_offsets(W, layout)[i, :]
+    return ctx.sload(name, offs)
+
+
+def read_col(ctx: BlockContext, name: str, W: int, j: int,
+             layout: str = "diagonal") -> np.ndarray:
+    """Read tile column ``j``."""
+    offs = full_tile_offsets(W, layout)[:, j]
+    return ctx.sload(name, offs)
+
+
+def write_row(ctx: BlockContext, name: str, W: int, i: int, values,
+              layout: str = "diagonal") -> None:
+    offs = full_tile_offsets(W, layout)[i, :]
+    ctx.sstore(name, offs, values)
+
+
+def write_col(ctx: BlockContext, name: str, W: int, j: int, values,
+              layout: str = "diagonal") -> None:
+    offs = full_tile_offsets(W, layout)[:, j]
+    ctx.sstore(name, offs, values)
+
+
+def add_to_col(ctx: BlockContext, name: str, W: int, j: int, values,
+               layout: str = "diagonal") -> None:
+    """Add a length-``W`` vector to tile column ``j`` in shared memory."""
+    write_col(ctx, name, W, j, read_col(ctx, name, W, j, layout) + values, layout)
+
+
+def add_to_row(ctx: BlockContext, name: str, W: int, i: int, values,
+               layout: str = "diagonal") -> None:
+    """Add a length-``W`` vector to tile row ``i`` in shared memory."""
+    write_row(ctx, name, W, i, read_row(ctx, name, W, i, layout) + values, layout)
+
+
+def add_to_element(ctx: BlockContext, name: str, W: int, i: int, j: int,
+                   value, layout: str = "diagonal") -> None:
+    """Add a scalar to one tile element (corner update)."""
+    offs = full_tile_offsets(W, layout)[i:i + 1, j]
+    ctx.sstore(name, offs, ctx.sload(name, offs) + value)
+
+
+def tile_row_prefix_sums(ctx: BlockContext, name: str, W: int,
+                         layout: str = "diagonal") -> None:
+    """Row-wise prefix sums in shared memory (Step 2 of the shared-memory SAT).
+
+    ``W`` threads, thread ``i`` scanning row ``i`` sequentially; at step ``j``
+    all threads touch column ``j`` — conflict-free in the diagonal layout,
+    fully serialized in the row-major layout (the ablation measures this).
+    """
+    offs = full_tile_offsets(W, layout)
+    for j in range(1, W):
+        prev = ctx.sload(name, offs[:, j - 1])
+        cur = ctx.sload(name, offs[:, j])
+        ctx.sstore(name, offs[:, j], prev + cur)
+
+
+def tile_col_prefix_sums(ctx: BlockContext, name: str, W: int,
+                         layout: str = "diagonal") -> None:
+    """Column-wise prefix sums in shared memory (Step 3 of the shared-memory SAT)."""
+    offs = full_tile_offsets(W, layout)
+    for i in range(1, W):
+        prev = ctx.sload(name, offs[i - 1, :])
+        cur = ctx.sload(name, offs[i, :])
+        ctx.sstore(name, offs[i, :], prev + cur)
+
+
+def tile_row_sums(ctx: BlockContext, name: str, W: int,
+                  layout: str = "diagonal") -> np.ndarray:
+    """``LRS``: tile row sums computed by ``W`` threads scanning sequentially."""
+    offs = full_tile_offsets(W, layout)
+    sums = np.zeros(W)
+    for j in range(W):
+        sums += ctx.sload(name, offs[:, j])
+    return sums
+
+
+def tile_col_sums(ctx: BlockContext, name: str, W: int,
+                  layout: str = "diagonal") -> np.ndarray:
+    """``LCS``: tile column sums computed by ``W`` threads scanning sequentially."""
+    offs = full_tile_offsets(W, layout)
+    sums = np.zeros(W)
+    for i in range(W):
+        sums += ctx.sload(name, offs[i, :])
+    return sums

@@ -1,0 +1,204 @@
+"""Tile region-sum algebra (paper Table II and Figure 5).
+
+An ``n x n`` matrix is partitioned into ``(n/W)²`` tiles ``T(I, J)`` of
+``W x W`` elements, ``T(I, J)`` holding ``a[W*I + i][W*J + j]`` for
+``0 <= i, j < W``.  The paper's algorithms communicate through sums of regions
+anchored at tiles; this module defines every one of them as a directly
+testable NumPy function, used both as test oracles and as the host-path
+implementation of the algorithms' dataflow.
+
+Region glossary (all for tile ``T(I, J)``; vectors are length ``W``):
+
+========= ==================================================================
+``LRS``   local row sums — ``LRS[i]`` = sum of tile row ``i``
+``LCS``   local column sums — ``LCS[j]`` = sum of tile column ``j``
+``LS``    local sum — total of the tile (scalar)
+``GRS``   global row sums — ``GRS[i]`` = sum of matrix row ``W*I+i`` over
+          columns ``0 .. W*(J+1)-1`` (the tile row-strip up to and including
+          tile column ``J``)
+``GCS``   global column sums — ``GCS[j]`` = sum of matrix column ``W*J+j``
+          over rows ``0 .. W*(I+1)-1``
+``GS``    global sum — ``S[0 : W*(I+1)-1][0 : W*(J+1)-1]`` (scalar)
+``GLS``   global L-shaped (gnomon) sum — ``GS(I, J) - GS(I-1, J-1)``
+``GCP``   global column prefixes — bottom row of ``GSAT(I, J)``:
+          ``GCP[j] = S[0 : W*(I+1)-1][0 : W*J+j]``
+``GSAT``  the ``W x W`` block of the full SAT covering the tile
+========= ==================================================================
+
+Out-of-range tile indices (``I < 0`` or ``J < 0``) denote empty regions and
+yield zeros, matching the boundary conventions of the algorithms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class TileGrid:
+    """Geometry of the tile decomposition of an ``n x n`` matrix."""
+
+    n: int
+    W: int
+
+    def __post_init__(self) -> None:
+        if self.n <= 0 or self.W <= 0:
+            raise ConfigurationError("matrix and tile sizes must be positive")
+        if self.n % self.W:
+            raise ConfigurationError(
+                f"matrix size {self.n} is not a multiple of tile width {self.W}")
+
+    @property
+    def tiles_per_side(self) -> int:
+        return self.n // self.W
+
+    @property
+    def num_tiles(self) -> int:
+        return self.tiles_per_side ** 2
+
+    @property
+    def num_diagonals(self) -> int:
+        """Number of anti-diagonals of tiles (``2*(n/W) - 1``)."""
+        return 2 * self.tiles_per_side - 1
+
+    def tile_slice(self, I: int, J: int) -> tuple[slice, slice]:
+        """Array slices selecting tile ``T(I, J)`` from the full matrix."""
+        self.check_tile(I, J)
+        return (slice(self.W * I, self.W * (I + 1)),
+                slice(self.W * J, self.W * (J + 1)))
+
+    def check_tile(self, I: int, J: int) -> None:
+        t = self.tiles_per_side
+        if not (0 <= I < t and 0 <= J < t):
+            raise ConfigurationError(
+                f"tile ({I}, {J}) out of range for a {t}x{t} tile grid")
+
+    def tiles_on_diagonal(self, K: int) -> list[tuple[int, int]]:
+        """Tiles ``T(I, J)`` with ``I + J == K`` (the wavefront of kernel K in 1R1W)."""
+        t = self.tiles_per_side
+        if not (0 <= K <= 2 * t - 2):
+            raise ConfigurationError(f"diagonal {K} out of range")
+        return [(I, K - I) for I in range(max(0, K - t + 1), min(t - 1, K) + 1)]
+
+    def all_tiles(self) -> list[tuple[int, int]]:
+        t = self.tiles_per_side
+        return [(I, J) for I in range(t) for J in range(t)]
+
+
+def tile_view(a: np.ndarray, grid: TileGrid, I: int, J: int) -> np.ndarray:
+    """View of tile ``T(I, J)`` in the matrix (no copy)."""
+    return a[grid.tile_slice(I, J)]
+
+
+# -- Table II region sums (oracles / host dataflow) ---------------------------
+
+
+def local_row_sums(a: np.ndarray, grid: TileGrid, I: int, J: int) -> np.ndarray:
+    """``LRS(I, J)``: length-``W`` vector of tile-row sums."""
+    return tile_view(a, grid, I, J).sum(axis=1)
+
+
+def local_col_sums(a: np.ndarray, grid: TileGrid, I: int, J: int) -> np.ndarray:
+    """``LCS(I, J)``: length-``W`` vector of tile-column sums."""
+    return tile_view(a, grid, I, J).sum(axis=0)
+
+
+def local_sum(a: np.ndarray, grid: TileGrid, I: int, J: int):
+    """``LS(I, J)``: scalar sum of the tile."""
+    return tile_view(a, grid, I, J).sum()
+
+
+def global_row_sums(a: np.ndarray, grid: TileGrid, I: int, J: int) -> np.ndarray:
+    """``GRS(I, J)``: row sums over columns ``0 .. W*(J+1)-1`` for the tile's rows.
+
+    ``J < 0`` yields zeros (empty strip), so ``GRS(I, J) = GRS(I, J-1) +
+    LRS(I, J)`` holds for every ``J >= 0`` — the pairwise-sum recurrence the
+    look-back walks (Figure 10).
+    """
+    if J < 0:
+        return np.zeros(grid.W, dtype=a.dtype)
+    grid.check_tile(I, J)
+    rows = slice(grid.W * I, grid.W * (I + 1))
+    return a[rows, : grid.W * (J + 1)].sum(axis=1)
+
+
+def global_col_sums(a: np.ndarray, grid: TileGrid, I: int, J: int) -> np.ndarray:
+    """``GCS(I, J)``: column sums over rows ``0 .. W*(I+1)-1`` for the tile's columns."""
+    if I < 0:
+        return np.zeros(grid.W, dtype=a.dtype)
+    grid.check_tile(I, J)
+    cols = slice(grid.W * J, grid.W * (J + 1))
+    return a[: grid.W * (I + 1), cols].sum(axis=0)
+
+
+def global_sum(a: np.ndarray, grid: TileGrid, I: int, J: int):
+    """``GS(I, J)``: total of the rectangle of tiles up to and including ``(I, J)``."""
+    if I < 0 or J < 0:
+        return a.dtype.type(0)
+    grid.check_tile(I, J)
+    return a[: grid.W * (I + 1), : grid.W * (J + 1)].sum()
+
+
+def global_l_sum(a: np.ndarray, grid: TileGrid, I: int, J: int):
+    """``GLS(I, J)``: gnomon sum, ``GS(I, J) - GS(I-1, J-1)``.
+
+    Equals the sum of the three Step-3.1 vectors of the SKSS-LB algorithm:
+    ``sum(GRS(I, J-1)) + sum(GCS(I-1, J)) + sum(LRS(I, J))`` (Figure 11).
+    """
+    return global_sum(a, grid, I, J) - global_sum(a, grid, I - 1, J - 1)
+
+
+def global_col_prefixes(a: np.ndarray, grid: TileGrid, I: int, J: int) -> np.ndarray:
+    """``GCP(I, J)``: bottom row of ``GSAT(I, J)``.
+
+    ``GCP[j] = S[0 : W*(I+1)-1][0 : W*J+j]``.  ``I < 0`` yields zeros.
+    """
+    if I < 0:
+        return np.zeros(grid.W, dtype=a.dtype)
+    grid.check_tile(I, J)
+    block = a[: grid.W * (I + 1), : grid.W * (J + 1)]
+    return block.sum(axis=0).cumsum()[grid.W * J:]
+
+
+def global_sat_tile(a: np.ndarray, grid: TileGrid, I: int, J: int) -> np.ndarray:
+    """``GSAT(I, J)``: the ``W x W`` block of the full SAT covering ``T(I, J)``."""
+    grid.check_tile(I, J)
+    block = a[: grid.W * (I + 1), : grid.W * (J + 1)]
+    sat = block.cumsum(axis=0).cumsum(axis=1)
+    return sat[grid.W * I:, grid.W * J:]
+
+
+def assemble_gsat_tile(tile: np.ndarray, grs_left: np.ndarray,
+                       gcs_above: np.ndarray, gs_corner) -> np.ndarray:
+    """Compute ``GSAT(I, J)`` from the tile and its three boundary terms.
+
+    This is the shared-memory SAT step of the 1R1W family (Section III.B,
+    reused in SKSS-LB Step 4): ``GRS(I, J-1)`` is added to the leftmost
+    column, ``GCS(I-1, J)`` to the topmost row, and ``GS(I-1, J-1)`` to the
+    top-left element, *before* the row-wise then column-wise prefix sums.
+    """
+    work = np.array(tile, copy=True)
+    work[:, 0] += grs_left
+    work[0, :] += gcs_above
+    work[0, 0] += gs_corner
+    return work.cumsum(axis=1).cumsum(axis=0)
+
+
+def assemble_gsat_tile_skss(tile: np.ndarray, grs_left: np.ndarray,
+                            gcp_above: np.ndarray) -> np.ndarray:
+    """``GSAT(I, J)`` the 1R1W-SKSS way (Section III.C).
+
+    ``GRS(I, J-1)`` is added to the leftmost column, the row-wise prefix sums
+    are computed, ``GCP(I-1, J)`` (the bottom row of the tile above's GSAT,
+    which the same block just produced) is added to the topmost row of the
+    *result*, and finally the column-wise prefix sums are computed.
+    """
+    work = np.array(tile, copy=True)
+    work[:, 0] += grs_left
+    work = work.cumsum(axis=1)
+    work[0, :] += gcp_above
+    return work.cumsum(axis=0)

@@ -1,0 +1,158 @@
+"""Common machinery for the seven SAT algorithms.
+
+Every algorithm is a :class:`SATAlgorithm` subclass with two execution paths:
+
+* :meth:`SATAlgorithm.run` — the real thing: kernels on the functional GPU
+  simulator, returning a :class:`SATResult` whose ``report`` carries measured
+  kernel calls, thread counts and global traffic (the Table I quantities);
+* :meth:`SATAlgorithm.run_host` — a dataflow-equivalent pure-NumPy execution
+  of the same tile decomposition (same intermediate quantities, no scheduling),
+  used by property tests at sizes the simulator would be slow at and by the
+  applications layer.
+
+Construction takes the paper's tuning parameters: ``tile_width`` (W) and
+``threads_per_block`` (W²/m for tile-based algorithms).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.gpusim.counters import LaunchSummary
+from repro.gpusim.kernel import GPU
+from repro.gpusim.memory import GlobalBuffer
+from repro.primitives.tile import TileGrid
+
+
+@dataclass
+class SATResult:
+    """Output of one SAT computation.
+
+    ``report`` is ``None`` for the host path; for simulated runs it holds the
+    per-kernel statistics from which Table I rows are measured.
+    """
+
+    sat: np.ndarray
+    algorithm: str
+    n: int
+    params: dict[str, Any] = field(default_factory=dict)
+    report: LaunchSummary | None = None
+
+    @property
+    def kernel_calls(self) -> int:
+        if self.report is None:
+            raise ConfigurationError("host-path results carry no launch report")
+        return self.report.kernel_calls
+
+    @property
+    def max_threads(self) -> int:
+        if self.report is None:
+            raise ConfigurationError("host-path results carry no launch report")
+        return self.report.max_threads
+
+    def summary(self) -> str:
+        """One-line human-readable summary of the run."""
+        if self.report is None:
+            return f"{self.algorithm}: n={self.n} (host path)"
+        t = self.report.traffic
+        return (f"{self.algorithm}: n={self.n}, kernels={self.report.kernel_calls}, "
+                f"max_threads={self.report.max_threads}, "
+                f"reads={t.global_read_requests}, writes={t.global_write_requests}")
+
+
+class SATAlgorithm(ABC):
+    """Base class: validation, buffer management, launch bookkeeping."""
+
+    #: Paper name of the algorithm (e.g. ``"1R1W-SKSS-LB"``); set by subclasses.
+    name: str = "?"
+    #: Whether the algorithm partitions the matrix into W x W tiles.
+    tile_based: bool = True
+
+    def __init__(self, *, tile_width: int = 32,
+                 threads_per_block: int | None = None) -> None:
+        self.tile_width = tile_width
+        self.threads_per_block = threads_per_block
+
+    # -- parameters ------------------------------------------------------------
+
+    def block_threads(self, device_max: int = 1024) -> int:
+        """Threads per CUDA block: the paper uses 1024 (``m = W²/1024``),
+        capped at one thread per tile element for small tiles."""
+        if self.threads_per_block is not None:
+            return self.threads_per_block
+        if not self.tile_based:
+            return min(256, device_max)
+        return min(device_max, max(32, self.tile_width * self.tile_width))
+
+    def params(self) -> dict[str, Any]:
+        p: dict[str, Any] = {"threads_per_block": self.block_threads()}
+        if self.tile_based:
+            p["tile_width"] = self.tile_width
+        return p
+
+    def _validate(self, a: np.ndarray) -> np.ndarray:
+        a = np.asarray(a, dtype=np.float64)
+        if a.ndim != 2 or a.shape[0] != a.shape[1]:
+            raise ConfigurationError(
+                f"{self.name} expects a square matrix, got shape {a.shape}")
+        n = a.shape[0]
+        if self.tile_based:
+            if n % self.tile_width:
+                raise ConfigurationError(
+                    f"matrix size {n} is not a multiple of tile width "
+                    f"{self.tile_width}")
+        return a
+
+    def grid(self, n: int) -> TileGrid:
+        return TileGrid(n=n, W=self.tile_width)
+
+    # -- the two execution paths -------------------------------------------------
+
+    def run(self, a: np.ndarray, gpu: GPU | None = None) -> SATResult:
+        """Compute the SAT on the simulator; ``gpu`` may carry a custom device,
+        scheduling policy, seed or consistency mode."""
+        a = self._validate(a)
+        n = a.shape[0]
+        gpu = gpu or GPU()
+        report = LaunchSummary()
+        a_buf = gpu.alloc("_sat_a", (n, n), np.float64, fill=a)
+        b_buf = gpu.alloc("_sat_b", (n, n), np.float64)
+        try:
+            self._run_device(gpu, a_buf, b_buf, n, report)
+            sat = gpu.read(b_buf)
+        finally:
+            self._cleanup(gpu)
+            gpu.free("_sat_a")
+            gpu.free("_sat_b")
+        return SATResult(sat=sat, algorithm=self.name, n=n,
+                         params=self.params(), report=report)
+
+    def run_host(self, a: np.ndarray) -> np.ndarray:
+        """Dataflow-equivalent host execution (same tile algebra, no simulator)."""
+        a = self._validate(a)
+        return self._run_host(a)
+
+    # -- subclass hooks ------------------------------------------------------------
+
+    @abstractmethod
+    def _run_device(self, gpu: GPU, a_buf: GlobalBuffer, b_buf: GlobalBuffer,
+                    n: int, report: LaunchSummary) -> None:
+        """Launch the algorithm's kernels; append every launch's stats to ``report``."""
+
+    @abstractmethod
+    def _run_host(self, a: np.ndarray) -> np.ndarray:
+        """Pure-NumPy execution of the same dataflow."""
+
+    def _cleanup(self, gpu: GPU) -> None:
+        """Free any scratch buffers the subclass allocated (prefix ``_sat_s_``)."""
+        for buf in list(gpu.memory.buffers()):
+            if buf.name.startswith("_sat_s_"):
+                gpu.free(buf.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name} W={self.tile_width}>"

@@ -1,0 +1,121 @@
+"""OpenCV-style integral images (padded and exclusive SAT variants).
+
+Computer-vision libraries conventionally return an ``(n+1) x (m+1)`` integral
+image with a zero first row and column (``cv2.integral``), which makes the
+four-corner query branch-free.  This module provides that convention on top
+of any of this repository's SAT engines, plus the exclusive SAT, tilted
+(45°) integral image, and branch-free query helpers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.sat.reference import sat_reference
+
+
+def integral_image(a: np.ndarray, *, sat: np.ndarray | None = None) -> np.ndarray:
+    """Padded integral image: ``ii[i][j] = sum(a[:i, :j])`` (zero row 0/col 0).
+
+    Pass a precomputed ``sat`` (from any algorithm) to avoid recomputation.
+    """
+    a = np.asarray(a)
+    if a.ndim != 2:
+        raise ConfigurationError("integral_image expects a 2-D array")
+    if sat is None:
+        sat = sat_reference(a)
+    out = np.zeros((a.shape[0] + 1, a.shape[1] + 1), dtype=sat.dtype)
+    out[1:, 1:] = sat
+    return out
+
+
+def exclusive_sat(a: np.ndarray) -> np.ndarray:
+    """Exclusive SAT: ``b[i][j] = sum(a[:i, :j])`` with the same shape as
+    ``a`` (entry (0, *) and (*, 0) are zero)."""
+    a = np.asarray(a)
+    if a.ndim != 2:
+        raise ConfigurationError("exclusive_sat expects a 2-D array")
+    return integral_image(a)[:-1, :-1]
+
+
+def rect_sum_ii(ii: np.ndarray, top: int, left: int, bottom: int,
+                right: int):
+    """Branch-free four-corner query on a padded integral image.
+
+    Bounds are inclusive element indices of the original array.
+    """
+    if not (0 <= top <= bottom < ii.shape[0] - 1
+            and 0 <= left <= right < ii.shape[1] - 1):
+        raise ConfigurationError("query rectangle out of bounds")
+    return (ii[bottom + 1, right + 1] - ii[top, right + 1]
+            - ii[bottom + 1, left] + ii[top, left])
+
+
+def tilted_integral(a: np.ndarray) -> np.ndarray:
+    """45°-rotated integral image (the Viola–Jones tilted-feature substrate).
+
+    Definition used here: ``tilt[i][j]`` is the sum of every ``a[y][x]`` with
+    ``y < i`` and ``|x - j| <= i - 1 - y`` (a downward-pointing right-angled
+    triangle with apex row just above ``i`` at column ``j``), clamped to the
+    image.  Shape ``(rows+1, cols+1)``; row 0 is zero.
+
+    Computed with the diagonal recurrence
+    ``tilt[i] = shift_left(tilt[i-1]) + shift_right(tilt[i-1])
+    - tilt[i-2] + row-term``, which the tests validate against a brute-force
+    evaluation of the definition.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    if a.ndim != 2:
+        raise ConfigurationError("tilted_integral expects a 2-D array")
+    rows, cols = a.shape
+    # Clamping triangles at the image border equals extending the image with
+    # zeros, so run the pure (clamp-free) recurrence
+    #   T(i,j) = T(i-1,j-1) + T(i-1,j+1) - T(i-2,j) + a[i-1,j] + a[i-2,j]
+    # on a zero-padded matrix wide enough (pad = rows) that border artefacts
+    # can never propagate into the sliced-out central region.
+    pad = rows
+    widthp = cols + 2 * pad
+    ap = np.zeros((rows, widthp))
+    ap[:, pad:pad + cols] = a
+    tilt = np.zeros((rows + 1, widthp + 1))
+
+    def row_term(y: int) -> np.ndarray:
+        term = np.zeros(widthp + 1)
+        if 0 <= y < rows:
+            term[:widthp] = ap[y]
+        return term
+
+    for i in range(1, rows + 1):
+        prev = tilt[i - 1]
+        left = np.concatenate(([0.0], prev[:-1]))
+        right = np.concatenate((prev[1:], [0.0]))
+        older = tilt[i - 2] if i >= 2 else np.zeros(widthp + 1)
+        tilt[i] = left + right - older + row_term(i - 1) + row_term(i - 2)
+    return tilt[:, pad:pad + cols + 1]
+
+
+def _tilted_cell(a: np.ndarray, i: int, j: int) -> float:
+    """Brute-force evaluation of one tilted-integral cell (definition)."""
+    rows, cols = a.shape
+    total = 0.0
+    for y in range(min(i, rows)):
+        reach = i - 1 - y
+        lo = max(0, j - reach)
+        hi = min(cols - 1, j + reach)
+        if lo <= hi:
+            total += float(a[y, lo:hi + 1].sum())
+    return total
+
+
+def tilted_integral_bruteforce(a: np.ndarray) -> np.ndarray:
+    """Direct evaluation of the tilted-integral definition (test oracle)."""
+    a = np.asarray(a, dtype=np.float64)
+    if a.ndim != 2:
+        raise ConfigurationError("expected a 2-D array")
+    rows, cols = a.shape
+    out = np.zeros((rows + 1, cols + 1))
+    for i in range(rows + 1):
+        for j in range(cols + 1):
+            out[i, j] = _tilted_cell(a, i, j)
+    return out

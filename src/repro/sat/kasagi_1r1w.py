@@ -1,0 +1,117 @@
+"""1R1W: the diagonal-wavefront SAT algorithm (Kasagi et al. [14],
+paper Section III.B).
+
+``2·(n/W) - 1`` kernel launches; kernel ``K`` computes ``GSAT(I, J)`` for all
+tiles on anti-diagonal ``I + J = K``, whose boundary terms were produced by
+kernels ``K-1`` and ``K-2``.  Kernel boundaries provide the synchronization,
+so no flags are needed — but early and late kernels run very few blocks, and
+the many launches carry overhead, which is why the paper's Table III shows it
+losing badly at small sizes.
+
+Each element is read and written once (plus ``O(n²/W)`` boundary vectors):
+global-memory optimal, like the SKSS variants.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpusim.block import BlockContext
+from repro.gpusim.counters import LaunchSummary
+from repro.gpusim.kernel import GPU
+from repro.gpusim.memory import GlobalBuffer
+from repro.primitives import smem
+from repro.primitives.tile import TileGrid, assemble_gsat_tile
+from repro.sat.base import SATAlgorithm
+from repro.sat.tilecommon import TileScratch, alloc_scratch, \
+    assemble_gsat_in_shared
+
+
+def wavefront_kernel(ctx: BlockContext, a: GlobalBuffer, b: GlobalBuffer,
+                     sb: TileScratch, n: int, K: int,
+                     layout: str = "diagonal"):
+    """Kernel ``K`` of the 1R1W algorithm: one block per tile on diagonal ``K``.
+
+    The paper recovers ``GRS(I, J)``/``GCS(I, J)`` by differencing the
+    rightmost column / bottom row of ``GSAT(I, J)``; we compute them
+    equivalently as ``GRS(I, J-1) + LRS(I, J)`` from the tile still in shared
+    memory before the prefix passes (same values, one less shared pass).
+    """
+    W, t = sb.W, sb.t
+    tiles = sb.grid.tiles_on_diagonal(K)
+    if ctx.block_id >= len(tiles):
+        return
+    I, J = tiles[ctx.block_id]
+    smem.alloc_tile(ctx, "tile", W)
+
+    smem.load_tile(ctx, a, n, W, I, J, "tile", layout)
+    yield ctx.syncthreads()
+
+    grs_left = ctx.gload(sb.grs, sb.vec_idx(I, J - 1)) if J > 0 else np.zeros(W)
+    gcs_above = ctx.gload(sb.gcs, sb.vec_idx(I - 1, J)) if I > 0 else np.zeros(W)
+    gs_corner = (ctx.gload_scalar(sb.gs, sb.scalar_idx(I - 1, J - 1))
+                 if I > 0 and J > 0 else 0.0)
+
+    lrs = smem.tile_row_sums(ctx, "tile", W, layout)
+    lcs = smem.tile_col_sums(ctx, "tile", W, layout)
+    ctx.gstore(sb.grs, sb.vec_idx(I, J), grs_left + lrs)
+    ctx.gstore(sb.gcs, sb.vec_idx(I, J), gcs_above + lcs)
+    yield ctx.syncthreads()
+
+    assemble_gsat_in_shared(ctx, W, "tile", grs_left, gcs_above, gs_corner,
+                            layout)
+    yield ctx.syncthreads()
+    # GS(I, J) is the bottom-right corner of the assembled GSAT.
+    gs_now = float(ctx.sload("tile",
+                             smem.full_tile_offsets(W, layout)[W - 1:W, W - 1])[0])
+    ctx.gstore_scalar(sb.gs, sb.scalar_idx(I, J), gs_now)
+    smem.store_tile(ctx, b, n, W, I, J, "tile", layout)
+
+
+class Kasagi1R1W(SATAlgorithm):
+    """The 1R1W algorithm: one kernel launch per tile anti-diagonal."""
+
+    name = "1R1W"
+
+    def __init__(self, *, tile_width: int = 32,
+                 threads_per_block: int | None = None,
+                 layout: str = "diagonal") -> None:
+        super().__init__(tile_width=tile_width, threads_per_block=threads_per_block)
+        self.layout = layout
+
+    def _run_device(self, gpu: GPU, a_buf: GlobalBuffer, b_buf: GlobalBuffer,
+                    n: int, report: LaunchSummary) -> None:
+        grid = self.grid(n)
+        sb = alloc_scratch(gpu, grid)
+        threads = min(self.block_threads(gpu.device.max_threads_per_block),
+                      grid.W * grid.W)
+        threads = max(threads, gpu.device.warp_size)
+        for K in range(grid.num_diagonals):
+            report.add(gpu.launch(
+                wavefront_kernel,
+                grid_blocks=len(grid.tiles_on_diagonal(K)),
+                threads_per_block=threads,
+                args=(a_buf, b_buf, sb, n, K, self.layout),
+                name=f"1r1w_wave_{K}",
+                shared_bytes_hint=grid.W * grid.W * 4))
+
+    def _run_host(self, a: np.ndarray) -> np.ndarray:
+        """Host dataflow: diagonals in order, boundary terms built incrementally."""
+        grid = TileGrid(n=a.shape[0], W=self.tile_width)
+        t, W = grid.tiles_per_side, grid.W
+        grs = np.zeros((t, t, W))
+        gcs = np.zeros((t, t, W))
+        gs = np.zeros((t, t))
+        out = np.zeros_like(a, dtype=np.float64)
+        for K in range(grid.num_diagonals):
+            for I, J in grid.tiles_on_diagonal(K):
+                tile = a[grid.tile_slice(I, J)].astype(np.float64)
+                grs_left = grs[I, J - 1] if J > 0 else np.zeros(W)
+                gcs_above = gcs[I - 1, J] if I > 0 else np.zeros(W)
+                gs_corner = gs[I - 1, J - 1] if I > 0 and J > 0 else 0.0
+                grs[I, J] = grs_left + tile.sum(axis=1)
+                gcs[I, J] = gcs_above + tile.sum(axis=0)
+                gsat = assemble_gsat_tile(tile, grs_left, gcs_above, gs_corner)
+                gs[I, J] = gsat[-1, -1]
+                out[grid.tile_slice(I, J)] = gsat
+        return out

@@ -1,0 +1,69 @@
+"""2R2W: the baseline SAT algorithm (paper Section I.B).
+
+Two kernels with ``n`` threads each: thread ``j`` of the first kernel scans
+column ``j`` downwards (coalesced: the ``n`` threads touch one row at a time);
+thread ``i`` of the second scans row ``i`` rightwards (strided: the threads
+touch one *column* at a time, so every element costs its own transaction).
+Each element is read twice and written twice — hence the name — and the
+strided second phase is why the paper measures overheads of 500–2600 % for it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpusim.block import BlockContext
+from repro.gpusim.counters import LaunchSummary
+from repro.gpusim.kernel import GPU
+from repro.gpusim.memory import GlobalBuffer
+from repro.sat.base import SATAlgorithm
+
+
+def column_scan_kernel(ctx: BlockContext, src: GlobalBuffer, dst: GlobalBuffer,
+                       n: int) -> None:
+    """Thread ``j`` computes the prefix sums of column ``j`` sequentially."""
+    cols = ctx.block_id * ctx.nthreads + ctx.tids
+    cols = cols[cols < n]
+    if cols.size == 0:
+        return
+    running = np.zeros(cols.size)
+    for i in range(n):
+        running = running + ctx.gload(src, i * n + cols)
+        ctx.gstore(dst, i * n + cols, running)
+        ctx.charge(ctx.costs.compute_step)
+
+
+def row_scan_kernel(ctx: BlockContext, buf: GlobalBuffer, n: int) -> None:
+    """Thread ``i`` computes the prefix sums of row ``i`` sequentially (strided)."""
+    rows = ctx.block_id * ctx.nthreads + ctx.tids
+    rows = rows[rows < n]
+    if rows.size == 0:
+        return
+    running = np.zeros(rows.size)
+    for j in range(n):
+        running = running + ctx.gload(buf, rows * n + j)
+        ctx.gstore(buf, rows * n + j, running)
+        ctx.charge(ctx.costs.compute_step)
+
+
+class Naive2R2W(SATAlgorithm):
+    """The 2R2W algorithm: column-wise then row-wise sequential scans."""
+
+    name = "2R2W"
+    tile_based = False
+
+    def _run_device(self, gpu: GPU, a_buf: GlobalBuffer, b_buf: GlobalBuffer,
+                    n: int, report: LaunchSummary) -> None:
+        # One thread per column/row, rounded up to whole warps.
+        w = gpu.device.warp_size
+        threads = ((min(self.block_threads(), n) + w - 1) // w) * w
+        grid = (n + threads - 1) // threads
+        report.add(gpu.launch(column_scan_kernel, grid_blocks=grid,
+                              threads_per_block=threads, args=(a_buf, b_buf, n),
+                              name="2r2w_column_scan"))
+        report.add(gpu.launch(row_scan_kernel, grid_blocks=grid,
+                              threads_per_block=threads, args=(b_buf, n),
+                              name="2r2w_row_scan"))
+
+    def _run_host(self, a: np.ndarray) -> np.ndarray:
+        return a.cumsum(axis=0).cumsum(axis=1)

@@ -1,0 +1,171 @@
+"""2R1W: the three-kernel tile SAT algorithm (Nehab et al. [13],
+paper Section III.A).
+
+* **Kernel 1** computes ``LRS``, ``LCS`` and ``LS`` of every tile (reading the
+  whole matrix once and *discarding* the tiles);
+* **Kernel 2** turns them into ``GRS``, ``GCS`` (prefix sums across tiles,
+  one thread per vector lane, fully coalesced) and ``GS`` (the SAT of the
+  ``(n/W)²`` tile-sum array, computed by one block);
+* **Kernel 3** re-reads every tile and assembles ``GSAT(I, J)`` in shared
+  memory from the three boundary terms.
+
+The matrix is read twice and written once — ``2n² + O(n²/W)`` reads,
+``n² + O(n²/W)`` writes — so its overhead over duplication cannot drop below
+50 %, which Table III confirms (55–215 %).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpusim.block import BlockContext
+from repro.gpusim.counters import LaunchSummary
+from repro.gpusim.kernel import GPU
+from repro.gpusim.memory import GlobalBuffer
+from repro.primitives import smem
+from repro.primitives.tile import TileGrid, assemble_gsat_tile
+from repro.sat.base import SATAlgorithm
+from repro.sat.skss_lb import lane_vector_sum
+from repro.sat.tilecommon import TileScratch, alloc_scratch, \
+    assemble_gsat_in_shared
+
+
+def local_sums_kernel(ctx: BlockContext, a: GlobalBuffer, sb: TileScratch,
+                      n: int, layout: str = "diagonal"):
+    """Kernel 1: one block per tile; writes LRS, LCS and LS."""
+    W, t = sb.W, sb.t
+    I, J = divmod(ctx.block_id, t)
+    if I >= t:
+        return
+    smem.alloc_tile(ctx, "tile", W)
+    lcs = smem.load_tile_with_col_sums(ctx, a, n, W, I, J, "tile", layout)
+    yield ctx.syncthreads()
+    lrs = smem.tile_row_sums(ctx, "tile", W, layout)
+    ls = lane_vector_sum(ctx, lcs)
+    ctx.gstore(sb.lrs, sb.vec_idx(I, J), lrs)
+    ctx.gstore(sb.lcs, sb.vec_idx(I, J), lcs)
+    ctx.gstore_scalar(sb.ls, sb.scalar_idx(I, J), ls)
+
+
+def global_sums_kernel(ctx: BlockContext, sb: TileScratch, grs_blocks: int,
+                       gcs_blocks: int):
+    """Kernel 2: prefix LRS→GRS and LCS→GCS across tiles; SAT of LS→GS.
+
+    Blocks ``[0, grs_blocks)`` scan rows of tiles (one thread per ``(I, i)``
+    lane, sequential over ``J`` — coalesced, exactly the paper's "column-wise
+    prefix-sums of the (n/W) x n arrays using n threads").  The next
+    ``gcs_blocks`` do the same for columns.  The final block computes the SAT
+    of the ``t x t`` LS array (the paper's "recursive computation"; at tile
+    granularity one block suffices for every size we simulate).
+    """
+    t, W = sb.t, sb.W
+    bid = ctx.block_id
+    if bid < grs_blocks:
+        lanes = bid * ctx.nthreads + ctx.tids
+        lanes = lanes[lanes < t * W]
+        if lanes.size == 0:
+            return
+        I, i = lanes // W, lanes % W
+        acc = np.zeros(lanes.size)
+        for J in range(t):
+            idx = (I * t + J) * W + i
+            acc = acc + ctx.gload(sb.lrs, idx)
+            ctx.gstore(sb.grs, idx, acc)
+            ctx.charge(ctx.costs.compute_step)
+    elif bid < grs_blocks + gcs_blocks:
+        lanes = (bid - grs_blocks) * ctx.nthreads + ctx.tids
+        lanes = lanes[lanes < t * W]
+        if lanes.size == 0:
+            return
+        J, j = lanes // W, lanes % W
+        acc = np.zeros(lanes.size)
+        for I in range(t):
+            idx = (I * t + J) * W + j
+            acc = acc + ctx.gload(sb.lcs, idx)
+            ctx.gstore(sb.gcs, idx, acc)
+            ctx.charge(ctx.costs.compute_step)
+    else:
+        # GS block: SAT of the t x t LS array.
+        ls = ctx.gload(sb.ls, np.arange(t * t)).reshape(t, t)
+        gs = ls.cumsum(axis=0).cumsum(axis=1)
+        ctx.charge(2 * t * t * ctx.costs.compute_step / max(1, ctx.nthreads))
+        ctx.gstore(sb.gs, np.arange(t * t), gs.ravel())
+
+
+def gsat_kernel(ctx: BlockContext, a: GlobalBuffer, b: GlobalBuffer,
+                sb: TileScratch, n: int, layout: str = "diagonal"):
+    """Kernel 3: one block per tile; assembles and writes GSAT(I, J)."""
+    W, t = sb.W, sb.t
+    I, J = divmod(ctx.block_id, t)
+    if I >= t:
+        return
+    smem.alloc_tile(ctx, "tile", W)
+    smem.load_tile(ctx, a, n, W, I, J, "tile", layout)
+    yield ctx.syncthreads()
+    grs_left = ctx.gload(sb.grs, sb.vec_idx(I, J - 1)) if J > 0 else np.zeros(W)
+    gcs_above = ctx.gload(sb.gcs, sb.vec_idx(I - 1, J)) if I > 0 else np.zeros(W)
+    gs_corner = (ctx.gload_scalar(sb.gs, sb.scalar_idx(I - 1, J - 1))
+                 if I > 0 and J > 0 else 0.0)
+    assemble_gsat_in_shared(ctx, W, "tile", grs_left, gcs_above, gs_corner,
+                            layout)
+    yield ctx.syncthreads()
+    smem.store_tile(ctx, b, n, W, I, J, "tile", layout)
+
+
+class Nehab2R1W(SATAlgorithm):
+    """The 2R1W algorithm: local sums, global prefixes, GSAT assembly."""
+
+    name = "2R1W"
+
+    def __init__(self, *, tile_width: int = 32,
+                 threads_per_block: int | None = None,
+                 layout: str = "diagonal") -> None:
+        super().__init__(tile_width=tile_width, threads_per_block=threads_per_block)
+        self.layout = layout
+
+    def _run_device(self, gpu: GPU, a_buf: GlobalBuffer, b_buf: GlobalBuffer,
+                    n: int, report: LaunchSummary) -> None:
+        grid = self.grid(n)
+        sb = alloc_scratch(gpu, grid)
+        t, W = grid.tiles_per_side, grid.W
+        threads = min(self.block_threads(gpu.device.max_threads_per_block),
+                      W * W)
+        threads = max(threads, gpu.device.warp_size)
+        report.add(gpu.launch(
+            local_sums_kernel, grid_blocks=grid.num_tiles,
+            threads_per_block=threads, args=(a_buf, sb, n, self.layout),
+            name="2r1w_local_sums", shared_bytes_hint=W * W * 4))
+        lane_blocks = (t * W + threads - 1) // threads
+        report.add(gpu.launch(
+            global_sums_kernel, grid_blocks=2 * lane_blocks + 1,
+            threads_per_block=threads,
+            args=(sb, lane_blocks, lane_blocks), name="2r1w_global_sums"))
+        report.add(gpu.launch(
+            gsat_kernel, grid_blocks=grid.num_tiles,
+            threads_per_block=threads, args=(a_buf, b_buf, sb, n, self.layout),
+            name="2r1w_gsat", shared_bytes_hint=W * W * 4))
+
+    def _run_host(self, a: np.ndarray) -> np.ndarray:
+        """Host dataflow: the three phases as whole-array operations."""
+        grid = TileGrid(n=a.shape[0], W=self.tile_width)
+        t, W = grid.tiles_per_side, grid.W
+        # Phase 1: local sums.
+        tiles = a.astype(np.float64).reshape(t, W, t, W)
+        lrs = tiles.sum(axis=3).transpose(0, 2, 1)   # (I, J, i)
+        lcs = tiles.sum(axis=1)                       # (I, J, j)
+        ls = lcs.sum(axis=2)                          # (I, J)
+        # Phase 2: global prefixes.
+        grs = lrs.cumsum(axis=1)
+        gcs = lcs.cumsum(axis=0)
+        gs = ls.cumsum(axis=0).cumsum(axis=1)
+        # Phase 3: assembly.
+        out = np.zeros_like(a, dtype=np.float64)
+        for I in range(t):
+            for J in range(t):
+                tile = a[grid.tile_slice(I, J)].astype(np.float64)
+                out[grid.tile_slice(I, J)] = assemble_gsat_tile(
+                    tile,
+                    grs[I, J - 1] if J > 0 else np.zeros(W),
+                    gcs[I - 1, J] if I > 0 else np.zeros(W),
+                    gs[I - 1, J - 1] if I > 0 and J > 0 else 0.0)
+        return out

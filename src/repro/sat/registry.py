@@ -1,0 +1,97 @@
+"""Algorithm registry and the top-level :func:`compute_sat` convenience API."""
+
+from __future__ import annotations
+
+from typing import Any, Type
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.gpusim.kernel import GPU
+from repro.sat.base import SATAlgorithm, SATResult
+from repro.sat.hybrid_1r1w import Hybrid1R1W
+from repro.sat.kasagi_1r1w import Kasagi1R1W
+from repro.sat.naive_2r2w import Naive2R2W
+from repro.sat.nehab_2r1w import Nehab2R1W
+from repro.sat.optimal_2r2w import Optimal2R2W
+from repro.sat.skss import SKSS1R1W
+from repro.sat.skss_lb import SKSSLB1R1W
+
+#: All seven algorithms of the paper, in Table I / Table III order.
+ALGORITHMS: dict[str, Type[SATAlgorithm]] = {
+    Naive2R2W.name: Naive2R2W,
+    Optimal2R2W.name: Optimal2R2W,
+    Nehab2R1W.name: Nehab2R1W,
+    Kasagi1R1W.name: Kasagi1R1W,
+    Hybrid1R1W.name: Hybrid1R1W,
+    SKSS1R1W.name: SKSS1R1W,
+    SKSSLB1R1W.name: SKSSLB1R1W,
+}
+
+#: Case/punctuation-insensitive aliases accepted by :func:`get_algorithm`.
+_ALIASES = {
+    "2r2w": "2R2W",
+    "naive": "2R2W",
+    "2r2w-optimal": "2R2W-optimal",
+    "2r2woptimal": "2R2W-optimal",
+    "2r1w": "2R1W",
+    "nehab": "2R1W",
+    "1r1w": "1R1W",
+    "kasagi": "1R1W",
+    "(1+r)r1w": "(1+r)R1W",
+    "1+rr1w": "(1+r)R1W",
+    "hybrid": "(1+r)R1W",
+    "1r1w-skss": "1R1W-SKSS",
+    "skss": "1R1W-SKSS",
+    "1r1w-skss-lb": "1R1W-SKSS-LB",
+    "skss-lb": "1R1W-SKSS-LB",
+    "sksslb": "1R1W-SKSS-LB",
+}
+
+
+def get_algorithm(name: str, **params: Any) -> SATAlgorithm:
+    """Instantiate an algorithm by (paper) name or common alias.
+
+    >>> get_algorithm("skss-lb", tile_width=64).name
+    '1R1W-SKSS-LB'
+    """
+    key = name.strip().lower()
+    canonical = _ALIASES.get(key)
+    if canonical is None:
+        for full in ALGORITHMS:
+            if full.lower() == key:
+                canonical = full
+                break
+    if canonical is None:
+        raise ConfigurationError(
+            f"unknown SAT algorithm '{name}'; known: {sorted(ALGORITHMS)}")
+    return ALGORITHMS[canonical](**params)
+
+
+def compute_sat(a: np.ndarray, *, algorithm: str = "1R1W-SKSS-LB",
+                tile_width: int = 32, gpu: GPU | None = None,
+                simulate: bool = True, **params: Any) -> SATResult:
+    """Compute the summed area table of ``a``.
+
+    Parameters
+    ----------
+    a:
+        Square matrix (size a multiple of ``tile_width`` for tile-based
+        algorithms).
+    algorithm:
+        Paper name or alias; defaults to the paper's 1R1W-SKSS-LB.
+    gpu:
+        Optional pre-configured simulator (device, scheduling policy, seed,
+        consistency mode).
+    simulate:
+        When ``False``, run the dataflow-equivalent host path instead of the
+        simulator (no traffic report; much faster for large matrices).
+
+    Returns a :class:`~repro.sat.base.SATResult`.
+    """
+    alg = get_algorithm(algorithm, tile_width=tile_width, **params)
+    if simulate:
+        return alg.run(a, gpu)
+    sat = alg.run_host(a)
+    return SATResult(sat=sat, algorithm=alg.name, n=sat.shape[0],
+                     params=alg.params(), report=None)

@@ -1,0 +1,196 @@
+"""1R1W-SKSS-LB: the paper's contribution (Section IV).
+
+A single kernel computes the whole SAT.  CUDA blocks acquire tiles through an
+``atomicAdd`` counter in the diagonal-major serial order of Figure 9, so every
+inter-block dependency points to a tile with a smaller serial — owned by a
+block that is already resident or retired — and soft synchronization cannot
+deadlock under any dispatcher.
+
+Per tile ``T(I, J)`` a block executes (statuses in brackets):
+
+====================  ========================================================
+Step 1                copy the tile to shared memory (diagonal arrangement),
+                      fusing the column sums; compute the row sums
+Step 2.A.1 [R=1]      publish ``LRS(I, J)``
+Step 2.B.1 [C=1]      publish ``LCS(I, J)``
+Step 2.A.2            look back left for ``GRS(I, J-1)`` (Figure 10)
+Step 2.A.3 [R=2]      publish ``GRS(I, J) = GRS(I, J-1) + LRS(I, J)``
+Step 2.B.2            look back up for ``GCS(I-1, J)``
+Step 2.B.3 [C=2]      publish ``GCS(I, J) = GCS(I-1, J) + LCS(I, J)``
+Step 3.1   [R=3]      publish ``GLS(I, J) = Σ(GRS(I,J-1)) + Σ(GCS(I-1,J)) +
+                      Σ(LRS(I,J))`` (warp reduction; Figure 11)
+Step 3.2              look back along the diagonal for ``GS(I-1, J-1)``
+Step 3.3   [R=4]      publish ``GS(I, J) = GS(I-1, J-1) + GLS(I, J)``
+Step 4                assemble ``GSAT(I, J)`` in shared memory and write it out
+====================  ========================================================
+
+Exactly three ``__syncthreads()`` barriers separate Steps 1, 2–3 and 4, as the
+paper notes.  Global traffic is one read and one write per matrix element plus
+``O(n²/W)`` for the published vectors — the 1R1W optimum.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.gpusim.block import BlockContext
+from repro.gpusim.counters import LaunchSummary
+from repro.gpusim.kernel import GPU
+from repro.gpusim.memory import GlobalBuffer
+from repro.primitives import smem
+from repro.primitives.tile import TileGrid, assemble_gsat_tile
+from repro.sat.base import SATAlgorithm
+from repro.sat.tilecommon import (C_GCS, C_LCS, R_GLS, R_GRS, R_GS, R_LRS,
+                                  TileScratch, alloc_scratch,
+                                  assemble_gsat_in_shared, col_lookback,
+                                  diag_lookback, publish_scalar,
+                                  publish_vector, row_lookback,
+                                  serial_to_tile, tile_serial_number)
+
+
+def lane_vector_sum(ctx: BlockContext, values: np.ndarray) -> float:
+    """Sum a length-``W`` register vector with warp reductions.
+
+    ``W`` is a multiple of the warp size; each warp reduces its 32 lanes with
+    the warp prefix-sum algorithm and the (at most 4) warp totals are added.
+    """
+    w = ctx.device.warp_size
+    reduced = ctx.warp_reduce_sum(np.asarray(values, dtype=np.float64))
+    totals = reduced[::w]
+    ctx.charge(len(totals) * ctx.costs.compute_step)
+    return float(totals.sum())
+
+
+#: Tile acquisition orders (the paper uses diagonal-major, Figure 9).
+#: ``rowmajor`` is also deadlock-free (its dependencies still point to
+#: smaller serials) but pipelines the wavefront worse; ``reversed`` violates
+#: the invariant and deadlocks once residency is bounded — kept for the
+#: ablation/tests.
+ACQUISITION_ORDERS = ("diagonal", "rowmajor", "reversed")
+
+
+def acquisition_tile(serial: int, t: int, order: str) -> tuple[int, int]:
+    """Map an atomicAdd ticket to a tile under the chosen acquisition order."""
+    if order == "diagonal":
+        return serial_to_tile(serial, t)
+    if order == "rowmajor":
+        return divmod(serial, t)
+    if order == "reversed":
+        return serial_to_tile(t * t - 1 - serial, t)
+    raise ConfigurationError(f"unknown acquisition order '{order}'")
+
+
+def skss_lb_kernel(ctx: BlockContext, a: GlobalBuffer, b: GlobalBuffer,
+                   sb: TileScratch, n: int, layout: str = "diagonal",
+                   acquisition: str = "diagonal"):
+    """One CUDA block of the 1R1W-SKSS-LB kernel (loops acquiring tiles)."""
+    W, t = sb.W, sb.t
+    smem.alloc_tile(ctx, "tile", W)
+    total = t * t
+    while True:
+        serial = ctx.atomic_add(sb.counter, 0, 1)
+        if serial >= total:
+            return
+        I, J = acquisition_tile(serial, t, acquisition)
+
+        # Step 1: tile to shared (fused LCS), then LRS; first barrier.
+        lcs = smem.load_tile_with_col_sums(ctx, a, n, W, I, J, "tile", layout)
+        lrs = smem.tile_row_sums(ctx, "tile", W, layout)
+        yield ctx.syncthreads()
+
+        vec = sb.vec_idx(I, J)
+        flag = sb.scalar_idx(I, J)
+
+        # Steps 2.A.1 / 2.B.1: publish the local sums.
+        publish_vector(ctx, sb.lrs, vec, lrs, sb.R, flag, R_LRS)
+        publish_vector(ctx, sb.lcs, vec, lcs, sb.C, flag, C_LCS)
+
+        # Steps 2.A.2 / 2.A.3: row look-back, publish GRS.
+        grs_left = yield from row_lookback(ctx, sb, I, J)
+        publish_vector(ctx, sb.grs, vec, grs_left + lrs, sb.R, flag, R_GRS)
+
+        # Steps 2.B.2 / 2.B.3: column look-back, publish GCS.
+        gcs_above = yield from col_lookback(ctx, sb, I, J)
+        publish_vector(ctx, sb.gcs, vec, gcs_above + lcs, sb.C, flag, C_GCS)
+
+        # Step 3.1: GLS from the three pairwise-summed vectors (Figure 11).
+        pairwise = grs_left + gcs_above + lrs
+        ctx.charge(2 * ctx.costs.compute_step)
+        gls = lane_vector_sum(ctx, pairwise)
+        publish_scalar(ctx, sb.gls, flag, gls, sb.R, flag, R_GLS)
+
+        # Steps 3.2 / 3.3: diagonal look-back, publish GS.
+        gs_corner = yield from diag_lookback(ctx, sb, I, J)
+        publish_scalar(ctx, sb.gs, flag, gs_corner + gls, sb.R, flag, R_GS)
+        yield ctx.syncthreads()
+
+        # Step 4: GSAT in shared memory, write out; third barrier.
+        assemble_gsat_in_shared(ctx, W, "tile", grs_left, gcs_above, gs_corner,
+                                layout)
+        yield ctx.syncthreads()
+        smem.store_tile(ctx, b, n, W, I, J, "tile", layout)
+
+
+class SKSSLB1R1W(SATAlgorithm):
+    """The paper's 1R1W-SKSS-LB algorithm: single kernel, soft sync + look-back."""
+
+    name = "1R1W-SKSS-LB"
+
+    def __init__(self, *, tile_width: int = 32,
+                 threads_per_block: int | None = None,
+                 layout: str = "diagonal",
+                 grid_blocks: int | None = None,
+                 acquisition: str = "diagonal") -> None:
+        super().__init__(tile_width=tile_width, threads_per_block=threads_per_block)
+        self.layout = layout
+        self.grid_blocks = grid_blocks
+        if acquisition not in ACQUISITION_ORDERS:
+            raise ConfigurationError(
+                f"unknown acquisition order '{acquisition}'; "
+                f"choose from {ACQUISITION_ORDERS}")
+        self.acquisition = acquisition
+
+    def _run_device(self, gpu: GPU, a_buf: GlobalBuffer, b_buf: GlobalBuffer,
+                    n: int, report: LaunchSummary) -> None:
+        grid = self.grid(n)
+        sb = alloc_scratch(gpu, grid)
+        blocks = self.grid_blocks or grid.num_tiles
+        threads = min(self.block_threads(gpu.device.max_threads_per_block),
+                      grid.W * grid.W)
+        threads = max(threads, gpu.device.warp_size)
+        report.add(gpu.launch(
+            skss_lb_kernel, grid_blocks=blocks, threads_per_block=threads,
+            args=(a_buf, b_buf, sb, n, self.layout, self.acquisition),
+            name="skss_lb", shared_bytes_hint=grid.W * grid.W * 4))
+
+    def _run_host(self, a: np.ndarray) -> np.ndarray:
+        """Host dataflow: process tiles in serial order, maintaining the same
+        published quantities (GRS/GCS/GS built incrementally, never read from
+        an oracle)."""
+        grid = TileGrid(n=a.shape[0], W=self.tile_width)
+        t, W = grid.tiles_per_side, grid.W
+        grs = np.zeros((t, t, W))
+        gcs = np.zeros((t, t, W))
+        gs = np.zeros((t, t))
+        out = np.zeros_like(a, dtype=np.float64)
+        for serial in range(t * t):
+            I, J = serial_to_tile(serial, t)
+            tile = a[grid.tile_slice(I, J)].astype(np.float64)
+            lrs = tile.sum(axis=1)
+            lcs = tile.sum(axis=0)
+            grs_left = grs[I, J - 1] if J > 0 else np.zeros(W)
+            gcs_above = gcs[I - 1, J] if I > 0 else np.zeros(W)
+            gs_corner = gs[I - 1, J - 1] if I > 0 and J > 0 else 0.0
+            grs[I, J] = grs_left + lrs
+            gcs[I, J] = gcs_above + lcs
+            gls = grs_left.sum() + gcs_above.sum() + lrs.sum()
+            gs[I, J] = gs_corner + gls
+            out[grid.tile_slice(I, J)] = assemble_gsat_tile(
+                tile, grs_left, gcs_above, gs_corner)
+        return out
+
+
+__all__ = ["SKSSLB1R1W", "skss_lb_kernel", "tile_serial_number",
+           "serial_to_tile", "lane_vector_sum", "ACQUISITION_ORDERS",
+           "acquisition_tile"]

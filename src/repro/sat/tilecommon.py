@@ -1,0 +1,237 @@
+"""Shared machinery of the tile-based SAT algorithms (Sections III & IV).
+
+All tile-based algorithms communicate the Table II region sums through global
+scratch arrays laid out so that each tile's length-``W`` vector is contiguous
+(coalesced to read):
+
+* ``lrs``/``grs`` — shape ``(t, t, W)`` indexed ``[I, J, i]`` (row sums);
+* ``lcs``/``gcs`` — shape ``(t, t, W)`` indexed ``[I, J, j]`` (column sums);
+* ``ls``/``gls``/``gs`` — shape ``(t, t)`` scalars;
+* ``R``/``C`` — ``(t, t)`` int8 status bytes (SKSS-LB protocol, Section IV).
+
+The status protocol: ``R`` advances 1→2→3→4 after ``LRS``, ``GRS``, ``GLS``
+and ``GS`` are published; ``C`` advances 1→2 after ``LCS`` and ``GCS``.
+Statuses are monotone; every publish uses
+:func:`repro.primitives.lookback.publish` (data, fence, flag).
+
+This module also provides the diagonal-major tile serial numbering of
+Figure 9 (with its inverse), and the three look-back walkers of Section IV
+(left along the tile row, up the tile column, up-left along the diagonal).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.gpusim.block import BlockContext
+from repro.gpusim.kernel import GPU
+from repro.gpusim.memory import GlobalBuffer
+from repro.primitives import smem
+from repro.primitives.lookback import lookback_walk, publish
+from repro.primitives.tile import TileGrid
+
+# Status values of the R byte (row-sum / scalar chain).
+R_LRS = 1
+R_GRS = 2
+R_GLS = 3
+R_GS = 4
+# Status values of the C byte (column-sum chain).
+C_LCS = 1
+C_GCS = 2
+
+
+# -- Figure 9: diagonal-major serial numbers ---------------------------------
+
+
+def diagonal_count(K: int, t: int) -> int:
+    """Number of tiles on anti-diagonal ``K`` of a ``t x t`` tile grid."""
+    if not 0 <= K <= 2 * t - 2:
+        raise ConfigurationError(f"diagonal {K} out of range for t={t}")
+    return t - abs(K - (t - 1))
+
+
+def tile_serial_number(I: int, J: int, t: int) -> int:
+    """Diagonal-major serial of tile ``T(I, J)`` (paper Figure 9).
+
+    For tiles above the main anti-diagonal this equals the paper's closed
+    form ``(I+J)(I+J+1)/2 + I``; past it the numbering continues consecutively
+    along the (shorter) diagonals, matching the figure's 5x5 example.
+    """
+    if not (0 <= I < t and 0 <= J < t):
+        raise ConfigurationError(f"tile ({I}, {J}) out of range for t={t}")
+    K = I + J
+    before = sum(diagonal_count(k, t) for k in range(K))
+    return before + (I - max(0, K - t + 1))
+
+
+def serial_to_tile(serial: int, t: int) -> tuple[int, int]:
+    """Inverse of :func:`tile_serial_number`."""
+    if not 0 <= serial < t * t:
+        raise ConfigurationError(f"serial {serial} out of range for t={t}")
+    K = 0
+    remaining = serial
+    while remaining >= diagonal_count(K, t):
+        remaining -= diagonal_count(K, t)
+        K += 1
+    I = max(0, K - t + 1) + remaining
+    return I, K - I
+
+
+# -- scratch buffers -----------------------------------------------------------
+
+
+@dataclass
+class TileScratch:
+    """The global scratch arrays shared by a tile-based SAT run."""
+
+    grid: TileGrid
+    counter: GlobalBuffer
+    lrs: GlobalBuffer
+    grs: GlobalBuffer
+    lcs: GlobalBuffer
+    gcs: GlobalBuffer
+    ls: GlobalBuffer
+    gls: GlobalBuffer
+    gs: GlobalBuffer
+    R: GlobalBuffer
+    C: GlobalBuffer
+
+    @property
+    def t(self) -> int:
+        return self.grid.tiles_per_side
+
+    @property
+    def W(self) -> int:
+        return self.grid.W
+
+    def vec_base(self, I: int, J: int) -> int:
+        """Flat base index of tile ``(I, J)``'s length-``W`` vector."""
+        return (I * self.t + J) * self.W
+
+    def vec_idx(self, I: int, J: int) -> np.ndarray:
+        return self.vec_base(I, J) + np.arange(self.W)
+
+    def scalar_idx(self, I: int, J: int) -> int:
+        return I * self.t + J
+
+
+_SCRATCH_FIELDS = ("counter", "lrs", "grs", "lcs", "gcs", "ls", "gls", "gs",
+                   "R", "C")
+
+
+def alloc_scratch(gpu: GPU, grid: TileGrid, tag: str = "_sat_s_") -> TileScratch:
+    """Allocate the scratch arrays (freed by ``SATAlgorithm._cleanup``)."""
+    t, W = grid.tiles_per_side, grid.W
+    # The counter and status bytes are memset to zero (the host-side
+    # cudaMemset every soft-sync scheme needs); the value arrays are left
+    # uninitialized — the publish protocol must write before anyone reads,
+    # which the simulator's uninitialized-read detector can verify.
+    return TileScratch(
+        grid=grid,
+        counter=gpu.alloc(tag + "counter", (1,), np.int64, fill=0),
+        lrs=gpu.alloc(tag + "lrs", (t, t, W), np.float64),
+        grs=gpu.alloc(tag + "grs", (t, t, W), np.float64),
+        lcs=gpu.alloc(tag + "lcs", (t, t, W), np.float64),
+        gcs=gpu.alloc(tag + "gcs", (t, t, W), np.float64),
+        ls=gpu.alloc(tag + "ls", (t, t), np.float64),
+        gls=gpu.alloc(tag + "gls", (t, t), np.float64),
+        gs=gpu.alloc(tag + "gs", (t, t), np.float64),
+        R=gpu.alloc(tag + "R", (t, t), np.int8, fill=0),
+        C=gpu.alloc(tag + "C", (t, t), np.int8, fill=0),
+    )
+
+
+# -- look-back walkers (Section IV, Steps 2.A.2 / 2.B.2 / 3.2) -----------------
+
+
+def row_lookback(ctx: BlockContext, sb: TileScratch, I: int, J: int):
+    """Compute ``GRS(I, J-1)`` by walking left over the R statuses (Fig. 10).
+
+    Use with ``yield from``; returns a length-``W`` vector (zeros at ``J=0``).
+    """
+    if J == 0:
+        return np.zeros(sb.W)
+    return (yield from lookback_walk(
+        ctx,
+        steps=range(J - 1, -1, -1),
+        status_buf=sb.R,
+        status_index=lambda Jp: sb.scalar_idx(I, Jp),
+        local_threshold=R_LRS,
+        global_threshold=R_GRS,
+        read_local=lambda Jp: ctx.gload(sb.lrs, sb.vec_idx(I, Jp)),
+        read_global=lambda Jp: ctx.gload(sb.grs, sb.vec_idx(I, Jp)),
+        zero=np.zeros(sb.W)))
+
+
+def col_lookback(ctx: BlockContext, sb: TileScratch, I: int, J: int):
+    """Compute ``GCS(I-1, J)`` by walking up over the C statuses."""
+    if I == 0:
+        return np.zeros(sb.W)
+    return (yield from lookback_walk(
+        ctx,
+        steps=range(I - 1, -1, -1),
+        status_buf=sb.C,
+        status_index=lambda Ip: sb.scalar_idx(Ip, J),
+        local_threshold=C_LCS,
+        global_threshold=C_GCS,
+        read_local=lambda Ip: ctx.gload(sb.lcs, sb.vec_idx(Ip, J)),
+        read_global=lambda Ip: ctx.gload(sb.gcs, sb.vec_idx(Ip, J)),
+        zero=np.zeros(sb.W)))
+
+
+def diag_lookback(ctx: BlockContext, sb: TileScratch, I: int, J: int):
+    """Compute ``GS(I-1, J-1)`` by walking up-left over the R statuses (Fig. 11).
+
+    Telescoping: ``GS(I-1, J-1) = GS(I-k, J-k) + sum_{c=1..k-1} GLS(I-c, J-c)``
+    for the first ``k`` whose tile has ``R >= 4``; if the walk reaches the
+    matrix edge, the sum of the collected GLS values is itself the answer.
+    """
+    if I == 0 or J == 0:
+        return 0.0
+    return (yield from lookback_walk(
+        ctx,
+        steps=range(1, min(I, J) + 1),
+        status_buf=sb.R,
+        status_index=lambda k: sb.scalar_idx(I - k, J - k),
+        local_threshold=R_GLS,
+        global_threshold=R_GS,
+        read_local=lambda k: ctx.gload_scalar(sb.gls, sb.scalar_idx(I - k, J - k)),
+        read_global=lambda k: ctx.gload_scalar(sb.gs, sb.scalar_idx(I - k, J - k)),
+        zero=0.0))
+
+
+# -- shared-memory GSAT assembly (1R1W family Step 4) ----------------------------
+
+
+def assemble_gsat_in_shared(ctx: BlockContext, W: int, name: str,
+                            grs_left: np.ndarray, gcs_above: np.ndarray,
+                            gs_corner: float, layout: str = "diagonal") -> None:
+    """Turn the tile in shared memory into ``GSAT(I, J)`` in place.
+
+    Adds ``GRS(I, J-1)`` to the leftmost column, ``GCS(I-1, J)`` to the topmost
+    row and ``GS(I-1, J-1)`` to the corner, then computes row-wise and
+    column-wise prefix sums (paper Section III.B; the caller supplies the
+    barriers between phases).
+    """
+    smem.add_to_col(ctx, name, W, 0, grs_left, layout)
+    smem.add_to_row(ctx, name, W, 0, gcs_above, layout)
+    smem.add_to_element(ctx, name, W, 0, 0, gs_corner, layout)
+    smem.tile_row_prefix_sums(ctx, name, W, layout)
+    smem.tile_col_prefix_sums(ctx, name, W, layout)
+
+
+def publish_vector(ctx: BlockContext, data_buf: GlobalBuffer, idx: np.ndarray,
+                   values: np.ndarray, status_buf: GlobalBuffer,
+                   status_idx: int, status_value: int) -> None:
+    """Publish one length-``W`` vector under the data→fence→flag protocol."""
+    publish(ctx, [(data_buf, idx, values)], status_buf, status_idx, status_value)
+
+
+def publish_scalar(ctx: BlockContext, data_buf: GlobalBuffer, idx: int,
+                   value, status_buf: GlobalBuffer, status_idx: int,
+                   status_value: int) -> None:
+    publish(ctx, [(data_buf, np.asarray([idx]), np.asarray([value]))],
+            status_buf, status_idx, status_value)

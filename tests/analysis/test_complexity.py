@@ -1,0 +1,79 @@
+"""Table I closed forms and rendering."""
+
+import pytest
+
+from repro.analysis.complexity import (HIGH, LOW, MEDIUM, TABLE1_ORDER,
+                                       render_table1, table1_row)
+from repro.errors import ConfigurationError
+
+
+class TestRows:
+    def test_order_matches_paper(self):
+        assert TABLE1_ORDER == ("2R2W", "2R2W-optimal", "2R1W", "1R1W",
+                                "(1+r)R1W", "1R1W-SKSS", "1R1W-SKSS-LB")
+
+    def test_parallelism_classes(self):
+        classes = {name: table1_row(name, 1024).parallelism
+                   for name in TABLE1_ORDER}
+        assert classes["2R2W"] == LOW
+        assert classes["2R2W-optimal"] == HIGH
+        assert classes["2R1W"] == HIGH
+        assert classes["1R1W"] == MEDIUM
+        assert classes["(1+r)R1W"] == MEDIUM
+        assert classes["1R1W-SKSS"] == MEDIUM
+        assert classes["1R1W-SKSS-LB"] == HIGH
+
+    def test_kernel_calls(self):
+        n, W = 1024, 32
+        t = n // W
+        assert table1_row("2R2W", n).kernel_calls == 2
+        assert table1_row("2R2W-optimal", n).kernel_calls == 2
+        assert table1_row("2R1W", n, W=W).kernel_calls == 3
+        assert table1_row("1R1W", n, W=W).kernel_calls == 2 * t - 1
+        assert table1_row("1R1W-SKSS", n, W=W).kernel_calls == 1
+        assert table1_row("1R1W-SKSS-LB", n, W=W).kernel_calls == 1
+
+    def test_hybrid_kernels_shrink_with_r(self):
+        k_small = table1_row("(1+r)R1W", 1024, r=0.04).kernel_calls
+        k_large = table1_row("(1+r)R1W", 1024, r=0.81).kernel_calls
+        assert k_large < k_small
+
+    def test_thread_ordering_invariant(self):
+        """n <= nW/m <= n²/m always (the paper's parallelism chain)."""
+        for n, W in ((256, 32), (1024, 64), (4096, 128)):
+            low = table1_row("2R2W", n, W=W).max_threads
+            med = table1_row("1R1W-SKSS", n, W=W).max_threads
+            high = table1_row("1R1W-SKSS-LB", n, W=W).max_threads
+            assert low <= med <= high
+
+    def test_read_leading_terms(self):
+        n = 512
+        n2 = n * n
+        assert table1_row("2R2W", n).reads == 2 * n2
+        assert table1_row("2R1W", n).reads == 2 * n2
+        assert table1_row("1R1W", n).reads == n2
+        assert table1_row("1R1W-SKSS-LB", n).reads == n2
+        hybrid = table1_row("(1+r)R1W", n, r=0.25).reads
+        assert n2 < hybrid < 2 * n2
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ConfigurationError):
+            table1_row("1R1W", 100, W=32)
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ConfigurationError):
+            table1_row("4R0W", 256)
+
+
+class TestRendering:
+    def test_symbolic_table_contains_all_rows(self):
+        text = render_table1()
+        for name in TABLE1_ORDER:
+            assert name in text
+        assert "2n/W - 1" in text
+        assert "n^2 + O(n^2/W)" in text
+
+    def test_numeric_annotations(self):
+        text = render_table1(1024)
+        assert "[2]" in text       # kernel calls
+        assert "[1024]" in text    # 2R2W thread count

@@ -1,0 +1,60 @@
+"""Float32 SAT precision analysis (the paper's dtype at scale)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.precision import (max_relative_error, precision_report,
+                                      sat_float32, sat_kahan, ulps_needed)
+from repro.errors import ConfigurationError
+from repro.sat import sat_reference
+
+
+class TestFloat32Sat:
+    def test_small_integer_matrices_exact(self, rng):
+        a = rng.integers(0, 10, size=(32, 32)).astype(np.float64)
+        assert np.array_equal(sat_float32(a), sat_reference(a))
+
+    def test_error_grows_with_n(self):
+        rows = precision_report((64, 512), seed=1)
+        assert rows[1].err_float32 > rows[0].err_float32
+
+    def test_error_well_under_worst_case_bound(self):
+        for row in precision_report((64, 256), seed=2):
+            assert 0 < row.err_float32 < ulps_needed(row.n)
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sat_float32(np.zeros(5))
+        with pytest.raises(ConfigurationError):
+            sat_kahan(np.zeros(5))
+
+
+class TestKahan:
+    def test_kahan_matches_reference_on_exact_input(self, rng):
+        a = rng.integers(0, 10, size=(24, 24)).astype(np.float64)
+        assert np.array_equal(sat_kahan(a), sat_reference(a))
+
+    def test_kahan_beats_plain_float32(self):
+        """Compensated summation cuts the error by a sizeable factor."""
+        for row in precision_report((256, 1024), seed=3):
+            assert row.err_kahan < row.err_float32 / 2
+
+    def test_kahan_error_nearly_flat_in_n(self):
+        rows = precision_report((64, 1024), seed=4)
+        assert rows[1].err_kahan < 10 * rows[0].err_kahan
+
+    def test_kahan_dtype(self):
+        assert sat_kahan(np.random.default_rng(0).random((8, 8))).dtype == \
+            np.float32
+
+
+class TestErrorMetric:
+    def test_zero_for_exact(self, rng):
+        a = rng.integers(0, 5, size=(16, 16)).astype(np.float64)
+        assert max_relative_error(sat_reference(a), a) == 0.0
+
+    def test_detects_perturbation(self, rng):
+        a = rng.random((16, 16))
+        sat = sat_reference(a).copy()
+        sat[8, 8] += 1.0
+        assert max_relative_error(sat, a) > 1e-3

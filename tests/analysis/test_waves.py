@@ -1,0 +1,88 @@
+"""Dependence-parallelism profiles."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.waves import (lookback_profile, profile, render_profile,
+                                  skss_profile, wavefront_profile)
+from repro.errors import ConfigurationError
+
+
+class TestWavefront:
+    def test_widths_are_diagonals(self):
+        p = wavefront_profile(4)
+        assert p.widths == (1, 2, 3, 4, 3, 2, 1)
+
+    def test_critical_path(self):
+        assert wavefront_profile(8).critical_path == 15
+
+    def test_covers_all_tiles(self):
+        assert wavefront_profile(7).total_tasks == 49
+
+
+class TestSKSS:
+    def test_capped_at_t_columns(self):
+        p = skss_profile(4)
+        assert p.max_width == 4
+        assert p.critical_path == 7
+
+    def test_equal_to_wavefront_for_square_grid(self):
+        """For a t x t grid the diagonal never exceeds t, so the cap is
+        inactive — SKSS's limitation is worker *count*, which the cost model
+        charges, not extra dependence depth."""
+        assert skss_profile(5).widths == wavefront_profile(5).widths
+
+
+class TestLookback:
+    def test_constant_depth(self):
+        for t in (1, 4, 32):
+            assert lookback_profile(t).critical_path == 5
+
+    def test_full_width_everywhere(self):
+        p = lookback_profile(6)
+        assert p.max_width == 36
+        assert p.mean_width == 36.0
+
+    def test_depth_independent_of_size(self):
+        assert lookback_profile(2).critical_path == \
+            lookback_profile(64).critical_path
+
+
+class TestComparison:
+    @given(t=st.integers(4, 40))
+    def test_lookback_shallower_beyond_tiny_grids(self, t):
+        """The look-back's constant 5 levels beat the Θ(t) wavefront chain
+        for every grid with 4+ tiles per side (they tie at t=3 and the
+        wavefront is trivially shallow below that)."""
+        assert lookback_profile(t).critical_path < \
+            wavefront_profile(t).critical_path
+
+    def test_crossover_at_t3(self):
+        assert lookback_profile(3).critical_path == \
+            wavefront_profile(3).critical_path == 5
+
+    @given(t=st.integers(2, 40))
+    def test_lookback_wider_on_average(self, t):
+        assert lookback_profile(t).mean_width >= \
+            wavefront_profile(t).mean_width
+
+    def test_profile_dispatch(self):
+        assert profile("1R1W", 4).algorithm == "1R1W"
+        with pytest.raises(ConfigurationError):
+            profile("2R2W", 4)
+
+    def test_invalid_t(self):
+        with pytest.raises(ConfigurationError):
+            wavefront_profile(0)
+
+
+class TestRendering:
+    def test_short_profile(self):
+        art = render_profile(wavefront_profile(3))
+        assert "critical path=5" in art
+        assert art.count("L") >= 5
+
+    def test_long_profile_elided(self):
+        art = render_profile(wavefront_profile(32))
+        assert "..." in art

@@ -1,0 +1,60 @@
+"""Adaptive thresholding on the synthetic document workload."""
+
+import numpy as np
+import pytest
+
+from repro.apps import adaptive_threshold, global_threshold
+from repro.apps.synthetic import noisy_document
+from repro.errors import ConfigurationError
+
+
+class TestAdaptiveThreshold:
+    def test_recovers_text_under_uneven_illumination(self):
+        """The motivating scenario: on a document with an illumination
+        gradient, local-mean thresholding segments strokes in both the bright
+        and the dark halves, while a global threshold misses one side."""
+        doc = noisy_document(128, seed=1)
+        adaptive = adaptive_threshold(doc, radius=8, ratio=0.3)
+        left = adaptive[:, :64].mean()
+        right = adaptive[:, 64:].mean()
+        # Strokes exist everywhere: both halves have foreground.
+        assert left > 0.02 and right > 0.02
+        # But foreground is sparse (text, not the page).
+        assert adaptive.mean() < 0.35
+
+    def test_global_threshold_breaks_on_gradient(self):
+        """The baseline comparison: choose the threshold that works on the
+        dark side and it floods the bright side (or vice versa)."""
+        doc = noisy_document(128, seed=1)
+        flooded = global_threshold(doc, level=0.75)
+        adaptive = adaptive_threshold(doc, radius=8, ratio=0.3)
+        assert flooded.mean() > 2 * adaptive.mean()
+
+    def test_blank_page_has_no_foreground(self):
+        page = np.full((64, 64), 0.9)
+        assert not adaptive_threshold(page, radius=4, ratio=0.1).any()
+
+    def test_ratio_monotone(self):
+        doc = noisy_document(64, seed=2)
+        loose = adaptive_threshold(doc, radius=6, ratio=0.05).mean()
+        strict = adaptive_threshold(doc, radius=6, ratio=0.5).mean()
+        assert strict <= loose
+
+    def test_default_radius(self):
+        doc = noisy_document(64, seed=3)
+        out = adaptive_threshold(doc)
+        assert out.dtype == bool and out.shape == doc.shape
+
+    def test_invalid_ratio_rejected(self):
+        with pytest.raises(ConfigurationError):
+            adaptive_threshold(np.zeros((8, 8)), ratio=1.5)
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ConfigurationError):
+            adaptive_threshold(np.zeros(8))
+
+    def test_through_sat_algorithm(self):
+        doc = noisy_document(64, seed=4)
+        a = adaptive_threshold(doc, radius=6, algorithm="1R1W-SKSS-LB")
+        b = adaptive_threshold(doc, radius=6)
+        assert np.array_equal(a, b)

@@ -1,0 +1,106 @@
+"""SURF-style box-Hessian blob detection."""
+
+import numpy as np
+import pytest
+
+from repro.apps.blob_detection import (Blob, detect_blobs, hessian_dxx,
+                                       hessian_dxy, hessian_dyy,
+                                       hessian_response, non_max_suppress)
+from repro.apps.synthetic import gaussian_blobs, gradient_image
+from repro.errors import ConfigurationError
+from repro.sat import sat_reference
+
+
+class TestHessianFilters:
+    def test_zero_on_constant_image(self):
+        sat = sat_reference(np.full((32, 32), 5.0))
+        for f in (hessian_dxx, hessian_dyy, hessian_dxy):
+            assert np.allclose(f(sat, 3), 0.0)
+
+    def test_zero_on_linear_gradient(self):
+        """Second derivatives annihilate affine images (interior region)."""
+        sat = sat_reference(gradient_image(48) * 100)
+        for f in (hessian_dxx, hessian_dyy, hessian_dxy):
+            resp = f(sat, 3)
+            assert np.allclose(resp[6:-6, 6:-6], 0.0, atol=1e-8)
+
+    def test_dyy_responds_to_horizontal_bar(self):
+        img = np.zeros((48, 48))
+        img[22:26, 8:40] = 1.0  # bright horizontal bar
+        sat = sat_reference(img)
+        dyy = hessian_dyy(sat, 3)
+        dxx = hessian_dxx(sat, 3)
+        # The bar is a strong -Dyy feature at its centre, weak for Dxx.
+        assert abs(dyy[23, 24]) > 4 * abs(dxx[23, 24])
+        assert dyy[23, 24] < 0  # bright centre lobe -> negative curvature
+
+    def test_dxx_is_transpose_of_dyy(self, rng):
+        img = rng.random((40, 40))
+        sat = sat_reference(img)
+        sat_t = sat_reference(np.ascontiguousarray(img.T))
+        assert np.allclose(hessian_dxx(sat, 3),
+                           hessian_dyy(sat_t, 3).T)
+
+    def test_dxy_sign_pattern(self):
+        """A bright quadrant pattern (saddle) excites Dxy."""
+        img = np.zeros((40, 40))
+        img[:20, :20] = 1.0
+        img[20:, 20:] = 1.0
+        sat = sat_reference(img)
+        dxy = hessian_dxy(sat, 3)
+        assert abs(dxy[20, 20]) > 0
+
+    def test_even_lobe_rejected(self):
+        sat = sat_reference(np.zeros((32, 32)))
+        with pytest.raises(ConfigurationError):
+            hessian_dyy(sat, 4)
+
+    def test_image_too_small(self):
+        sat = sat_reference(np.zeros((6, 6)))
+        with pytest.raises(ConfigurationError):
+            hessian_dyy(sat, 3)
+
+
+class TestDetection:
+    def test_finds_planted_blob(self):
+        img = gaussian_blobs(64, num_blobs=1, seed=3)
+        true_i, true_j = np.unravel_index(np.argmax(img), img.shape)
+        blobs = detect_blobs(img, threshold=1e-6)
+        assert blobs, "no blobs detected"
+        best = blobs[0]
+        assert abs(best.row - true_i) <= 4 and abs(best.col - true_j) <= 4
+
+    def test_no_blobs_on_flat_image(self):
+        assert detect_blobs(np.full((48, 48), 0.5), threshold=1e-6) == []
+
+    def test_sorted_by_response(self):
+        img = gaussian_blobs(64, num_blobs=4, seed=1)
+        blobs = detect_blobs(img, threshold=1e-7)
+        responses = [b.response for b in blobs]
+        assert responses == sorted(responses, reverse=True)
+
+    def test_blob_record(self):
+        b = Blob(row=3, col=4, lobe=3, response=0.5)
+        assert (b.row, b.col, b.lobe) == (3, 4, 3)
+
+    def test_nms_keeps_isolated_peaks(self):
+        resp = np.zeros((20, 20))
+        resp[5, 5] = 1.0
+        resp[15, 15] = 2.0
+        peaks = non_max_suppress(resp, threshold=0.5)
+        assert {(i, j) for i, j, _ in peaks} == {(5, 5), (15, 15)}
+
+    def test_nms_suppresses_shoulders(self):
+        resp = np.zeros((20, 20))
+        resp[10, 10] = 2.0
+        resp[10, 11] = 1.9  # shoulder of the same peak
+        peaks = non_max_suppress(resp, threshold=0.5, radius=2)
+        assert [(i, j) for i, j, _ in peaks] == [(10, 10)]
+
+    def test_response_scale_normalization(self):
+        """A matched blob responds comparably across neighbouring scales
+        (within an order of magnitude) thanks to area normalization."""
+        img = gaussian_blobs(64, num_blobs=1, seed=3)
+        r3 = np.abs(hessian_response(img, 3)).max()
+        r5 = np.abs(hessian_response(img, 5)).max()
+        assert 0.05 < r3 / r5 < 20

@@ -1,0 +1,101 @@
+"""Mini Viola–Jones cascade on integral images."""
+
+import numpy as np
+import pytest
+
+from repro.apps.cascade import (CascadeStage, ContrastTest,
+                                bright_square_cascade, detect, squares_scene)
+from repro.errors import ConfigurationError
+
+
+class TestContrastTest:
+    def test_passes_on_bright_centre(self):
+        from repro.sat.integral import integral_image
+        img = np.zeros((16, 16))
+        img[4:12, 4:12] = 1.0
+        ii = integral_image(img)
+        test = ContrastTest(inner=(4, 4, 11, 11), outer=(0, 0, 15, 15),
+                            threshold=0.2)
+        assert test.evaluate(ii, np.array([0]), np.array([0]))[0]
+
+    def test_fails_on_flat(self):
+        from repro.sat.integral import integral_image
+        ii = integral_image(np.full((16, 16), 0.5))
+        test = ContrastTest(inner=(4, 4, 11, 11), outer=(0, 0, 15, 15),
+                            threshold=0.1)
+        assert not test.evaluate(ii, np.array([0]), np.array([0]))[0]
+
+    def test_vectorised_anchors(self):
+        from repro.sat.integral import integral_image
+        img = np.zeros((32, 32))
+        img[4:12, 4:12] = 1.0  # object only at anchor (0, 0)
+        ii = integral_image(img)
+        test = ContrastTest(inner=(4, 4, 11, 11), outer=(0, 0, 15, 15),
+                            threshold=0.2)
+        out = test.evaluate(ii, np.array([0, 16]), np.array([0, 16]))
+        assert out.tolist() == [True, False]
+
+
+class TestCascade:
+    def test_finds_all_planted_squares(self):
+        img, corners = squares_scene(128, num_squares=3, square=14, seed=2)
+        dets, _ = detect(img, window=16)
+        for (r, c) in corners:
+            assert any(abs(d.row - r) <= 6 and abs(d.col - c) <= 6
+                       for d in dets), (r, c)
+
+    def test_no_detections_on_background(self):
+        img, _ = squares_scene(96, num_squares=0, seed=1)
+        dets, _ = detect(img, window=16)
+        assert dets == []
+
+    def test_early_rejection_dominates(self):
+        """The point of a cascade: stage 1 kills the vast majority."""
+        img, _ = squares_scene(128, num_squares=2, seed=3)
+        _, stats = detect(img, window=16)
+        assert stats.early_reject_fraction > 0.9
+        assert stats.survivors_per_stage[-1] <= stats.survivors_per_stage[0]
+
+    def test_stage2_rejects_gradient_distractors(self):
+        """A pure bright edge passes the centre-vs-frame test but fails the
+        four-quadrant stage."""
+        img = np.full((64, 64), 0.2)
+        img[:, 32:] = 0.9  # hard vertical edge, no square
+        dets, stats = detect(img, window=16)
+        assert dets == []
+
+    def test_nms_one_box_per_object(self):
+        img, corners = squares_scene(96, num_squares=1, square=14, seed=5)
+        dets, _ = detect(img, window=16, stride=1)
+        assert len(dets) == 1
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            detect(np.zeros((8, 8)), window=16)
+        with pytest.raises(ConfigurationError):
+            detect(np.zeros(8))
+        with pytest.raises(ConfigurationError):
+            bright_square_cascade(4)
+
+    def test_custom_cascade(self):
+        img, _ = squares_scene(64, num_squares=1, square=14, seed=7)
+        always = CascadeStage((ContrastTest((0, 0, 15, 15), (0, 0, 15, 15),
+                                            -1.0),), 1)
+        dets, stats = detect(img, window=16, cascade=[always], stride=8)
+        # A pass-everything stage keeps every window; NMS then prunes.
+        assert stats.survivors_per_stage[0] == stats.windows_total
+        assert len(dets) >= 1
+
+
+class TestScene:
+    def test_corners_returned_match_squares(self):
+        img, corners = squares_scene(96, num_squares=2, square=10, seed=9)
+        for (r, c) in corners:
+            inner = img[r:r + 10, c:c + 10].mean()
+            around = img.mean()
+            assert inner > around + 0.2
+
+    def test_deterministic(self):
+        a, ca = squares_scene(64, seed=4)
+        b, cb = squares_scene(64, seed=4)
+        assert np.array_equal(a, b) and ca == cb

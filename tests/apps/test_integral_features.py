@@ -1,0 +1,104 @@
+"""Haar-like features over the integral image."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (KINDS, HaarFeature, evaluate_feature,
+                        evaluate_feature_dense, feature_bank)
+from repro.apps.synthetic import checkerboard, gradient_image
+from repro.errors import ConfigurationError
+from repro.sat import sat_reference
+
+
+class TestHaarFeature:
+    def test_invalid_kind(self):
+        with pytest.raises(ConfigurationError):
+            HaarFeature("five", 0, 0, 2, 2)
+
+    def test_empty_cell(self):
+        with pytest.raises(ConfigurationError):
+            HaarFeature("two_h", 0, 0, 0, 2)
+
+    def test_spans(self):
+        assert HaarFeature("two_h", 0, 0, 3, 4).span == (3, 8)
+        assert HaarFeature("two_v", 0, 0, 3, 4).span == (6, 4)
+        assert HaarFeature("three_h", 0, 0, 3, 4).span == (3, 12)
+        assert HaarFeature("three_v", 0, 0, 3, 4).span == (9, 4)
+        assert HaarFeature("four", 0, 0, 3, 4).span == (6, 8)
+
+    def test_cell_weights_cancel_on_constant(self):
+        """Every Haar feature has zero response on a constant image."""
+        img = np.full((32, 32), 5.0)
+        sat = sat_reference(img)
+        for kind in KINDS:
+            f = HaarFeature(kind, 3, 4, 3, 3)
+            assert evaluate_feature(sat, f) == pytest.approx(0.0)
+
+    def test_two_h_detects_vertical_edge(self):
+        img = np.zeros((16, 16))
+        img[:, 8:] = 1.0
+        sat = sat_reference(img)
+        # Feature straddling the edge: right cell minus... left(+1), right(-1).
+        f = HaarFeature("two_h", 4, 4, 4, 4)
+        assert evaluate_feature(sat, f) == pytest.approx(-16.0)
+        # Away from the edge: zero.
+        f2 = HaarFeature("two_h", 4, 0, 4, 2)
+        assert evaluate_feature(sat, f2) == pytest.approx(0.0)
+
+    def test_matches_manual_sum(self):
+        rng = np.random.default_rng(1)
+        img = rng.integers(0, 10, size=(20, 20)).astype(float)
+        sat = sat_reference(img)
+        f = HaarFeature("four", 2, 3, 4, 5)
+        manual = (img[2:6, 3:8].sum() - img[2:6, 8:13].sum()
+                  - img[6:10, 3:8].sum() + img[6:10, 8:13].sum())
+        assert evaluate_feature(sat, f) == pytest.approx(manual)
+
+    def test_out_of_bounds_rejected(self):
+        sat = sat_reference(np.zeros((10, 10)))
+        with pytest.raises(ConfigurationError):
+            evaluate_feature(sat, HaarFeature("two_h", 8, 8, 4, 4))
+
+
+class TestDenseEvaluation:
+    def test_shape(self):
+        sat = sat_reference(gradient_image(32))
+        out = evaluate_feature_dense(sat, "two_v", 3, 5)
+        assert out.shape == (32 - 6 + 1, 32 - 5 + 1)
+
+    def test_matches_pointwise(self):
+        rng = np.random.default_rng(2)
+        img = rng.integers(0, 9, size=(18, 18)).astype(float)
+        sat = sat_reference(img)
+        dense = evaluate_feature_dense(sat, "three_h", 2, 3)
+        for (t, l) in ((0, 0), (3, 4), (16, 9)):
+            f = HaarFeature("three_h", t, l, 2, 3)
+            assert dense[t, l] == pytest.approx(evaluate_feature(sat, f))
+
+    def test_checkerboard_periodicity(self):
+        """On a checkerboard, a cell-aligned two-rect feature alternates sign
+        with the board period."""
+        img = checkerboard(32, cell=4)
+        sat = sat_reference(img)
+        dense = evaluate_feature_dense(sat, "two_h", 4, 4)
+        assert dense[0, 0] == pytest.approx(-dense[0, 4])
+
+    def test_feature_too_large(self):
+        sat = sat_reference(np.zeros((8, 8)))
+        with pytest.raises(ConfigurationError):
+            evaluate_feature_dense(sat, "two_h", 8, 8)
+
+
+class TestFeatureBank:
+    def test_all_valid(self):
+        img = gradient_image(40)
+        sat = sat_reference(img)
+        for f in feature_bank(40, seed=3, count=100):
+            evaluate_feature(sat, f)  # no exception
+
+    def test_deterministic(self):
+        assert feature_bank(32, seed=5, count=10) == \
+            feature_bank(32, seed=5, count=10)
+
+    def test_count(self):
+        assert len(feature_bank(64, seed=1, count=37)) == 37

@@ -1,0 +1,54 @@
+"""Synthetic scene generators."""
+
+import numpy as np
+import pytest
+
+from repro.apps.synthetic import (checkerboard, gaussian_blobs, gradient_image,
+                                  noisy_document, texture)
+from repro.errors import ConfigurationError
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("gen", [gradient_image, noisy_document,
+                                     lambda n: gaussian_blobs(n, seed=0),
+                                     lambda n: texture(n, seed=0),
+                                     checkerboard])
+    def test_shapes(self, gen):
+        assert gen(32).shape == (32, 32)
+
+    def test_gradient_range(self):
+        g = gradient_image(64)
+        assert g[0, 0] == 0.0 and g[-1, -1] == 1.0
+        assert (np.diff(g, axis=0) >= 0).all()
+
+    def test_checkerboard_alternates(self):
+        cb = checkerboard(16, cell=4)
+        assert cb[0, 0] != cb[0, 4]
+        assert cb[0, 0] == cb[4, 4]
+        assert set(np.unique(cb)) == {0.0, 1.0}
+
+    def test_checkerboard_invalid_cell(self):
+        with pytest.raises(ConfigurationError):
+            checkerboard(16, cell=0)
+
+    def test_gradient_invalid_size(self):
+        with pytest.raises(ConfigurationError):
+            gradient_image(0)
+
+    def test_blobs_nonnegative_and_seeded(self):
+        a = gaussian_blobs(32, seed=3)
+        b = gaussian_blobs(32, seed=3)
+        c = gaussian_blobs(32, seed=4)
+        assert (a >= 0).all()
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_document_has_illumination_gradient(self):
+        doc = noisy_document(96, seed=1)
+        assert doc[:, 64:].mean() > doc[:, :32].mean()
+        assert 0.0 <= doc.min() and doc.max() <= 1.0
+
+    def test_texture_normalized(self):
+        t = texture(48, seed=2)
+        assert t.min() == pytest.approx(0.0)
+        assert t.max() == pytest.approx(1.0)

@@ -1,0 +1,69 @@
+"""NCC template matching via integral images."""
+
+import numpy as np
+import pytest
+
+from repro.apps.template_match import best_match, ncc_match, window_stats
+from repro.errors import ConfigurationError
+
+
+class TestWindowStats:
+    def test_matches_direct_windows(self, rng):
+        img = rng.random((20, 24))
+        s, sq = window_stats(img, 5, 7)
+        assert s.shape == (16, 18)
+        for i, j in ((0, 0), (3, 9), (15, 17)):
+            win = img[i:i + 5, j:j + 7]
+            assert s[i, j] == pytest.approx(win.sum())
+            assert sq[i, j] == pytest.approx((win * win).sum())
+
+    def test_full_image_window(self, rng):
+        img = rng.random((8, 8))
+        s, sq = window_stats(img, 8, 8)
+        assert s.shape == (1, 1)
+        assert s[0, 0] == pytest.approx(img.sum())
+
+    def test_oversized_template_rejected(self):
+        with pytest.raises(ConfigurationError):
+            window_stats(np.zeros((4, 4)), 5, 2)
+
+
+class TestNCC:
+    def test_exact_match_scores_one(self, rng):
+        scene = rng.random((40, 40))
+        tmpl = scene[12:20, 25:35].copy()
+        i, j, score = best_match(scene, tmpl)
+        assert (i, j) == (12, 25)
+        assert score == pytest.approx(1.0, abs=1e-9)
+
+    def test_invariant_to_brightness_and_contrast(self, rng):
+        """NCC is invariant to affine intensity changes of the scene window."""
+        scene = rng.random((32, 32))
+        tmpl = scene[5:15, 5:15].copy()
+        transformed = scene * 3.7 + 11.0
+        i, j, score = best_match(transformed, tmpl)
+        assert (i, j) == (5, 5)
+        assert score == pytest.approx(1.0, abs=1e-9)
+
+    def test_negated_template_scores_minus_one(self, rng):
+        scene = rng.random((24, 24))
+        tmpl = -scene[4:12, 6:16].copy()
+        ncc = ncc_match(scene, tmpl)
+        assert ncc[4, 6] == pytest.approx(-1.0, abs=1e-9)
+
+    def test_scores_bounded(self, rng):
+        scene = rng.random((30, 30))
+        tmpl = rng.random((6, 9))
+        ncc = ncc_match(scene, tmpl)
+        assert (ncc <= 1.0 + 1e-12).all() and (ncc >= -1.0 - 1e-12).all()
+
+    def test_constant_window_scores_zero(self):
+        scene = np.zeros((16, 16))
+        scene[8:, :] = 1.0
+        tmpl = np.array([[0.0, 1.0], [1.0, 0.0]])
+        ncc = ncc_match(scene, tmpl)
+        assert ncc[0, 0] == 0.0  # flat region: zero variance window
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ncc_match(np.zeros(8), np.zeros((2, 2)))

@@ -1,0 +1,74 @@
+"""Local moments via two SATs (variance shadow maps)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (chebyshev_upper_bound, local_contrast_normalize,
+                        local_moments)
+from repro.apps.synthetic import gaussian_blobs, texture
+from repro.errors import ConfigurationError
+
+
+class TestLocalMoments:
+    def test_matches_direct_windows(self):
+        img = gaussian_blobs(32, seed=1)
+        mean, var = local_moments(img, 3)
+        for i, j in ((0, 0), (5, 17), (31, 31), (16, 2)):
+            win = img[max(0, i - 3):i + 4, max(0, j - 3):j + 4]
+            assert mean[i, j] == pytest.approx(win.mean())
+            assert var[i, j] == pytest.approx(win.var(), abs=1e-9)
+
+    def test_variance_nonnegative(self):
+        img = texture(48, seed=2) * 1000
+        _, var = local_moments(img, 5)
+        assert (var >= 0).all()
+
+    def test_constant_image_zero_variance(self):
+        img = np.full((24, 24), 7.0)
+        mean, var = local_moments(img, 4)
+        assert np.allclose(mean, 7.0)
+        assert np.allclose(var, 0.0, atol=1e-9)
+
+    def test_invalid_radius(self):
+        with pytest.raises(ConfigurationError):
+            local_moments(np.zeros((8, 8)), -2)
+
+    def test_through_sat_algorithm(self):
+        img = gaussian_blobs(64, seed=3)
+        m1, v1 = local_moments(img, 2, algorithm="skss-lb")
+        m2, v2 = local_moments(img, 2)
+        assert np.allclose(m1, m2) and np.allclose(v1, v2)
+
+
+class TestChebyshev:
+    def test_below_mean_fully_visible(self):
+        p = chebyshev_upper_bound(np.array([5.0]), np.array([1.0]), 4.0)
+        assert p[0] == 1.0
+
+    def test_above_mean_bounded(self):
+        p = chebyshev_upper_bound(np.array([0.0]), np.array([1.0]), 2.0)
+        assert p[0] == pytest.approx(1.0 / 5.0)
+
+    def test_zero_variance_above_mean(self):
+        p = chebyshev_upper_bound(np.array([0.0]), np.array([0.0]), 1.0)
+        assert p[0] == 0.0
+
+    def test_shrinks_with_distance(self):
+        mean = np.zeros(3)
+        var = np.ones(3)
+        p = [chebyshev_upper_bound(mean, var, t)[0] for t in (1.0, 2.0, 4.0)]
+        assert p[0] > p[1] > p[2]
+
+
+class TestContrastNormalize:
+    def test_output_standardized_locally(self):
+        img = texture(64, seed=4)
+        out = local_contrast_normalize(img, 8)
+        assert abs(out.mean()) < 0.3
+        assert 0.3 < out.std() < 3.0
+
+    def test_removes_global_offset(self):
+        img = texture(32, seed=5)
+        a = local_contrast_normalize(img, 4)
+        b = local_contrast_normalize(img + 100.0, 4)
+        assert np.allclose(a, b, atol=1e-6)

@@ -1,0 +1,52 @@
+"""Shared fixtures for the test suite.
+
+Simulated runs default to adversarial settings — relaxed consistency and a
+seeded random scheduling policy — so every algorithm test doubles as a
+concurrency test.  ``small_matrix`` sizes keep full simulations fast while
+still spanning multiple tiles at W = 32.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gpusim import GPU, TINY_DEVICE, TITAN_V
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_matrix(rng) -> np.ndarray:
+    """A 96x96 integer-valued matrix (3x3 tiles at W=32); exact in float64."""
+    return rng.integers(0, 10, size=(96, 96)).astype(np.float64)
+
+
+@pytest.fixture
+def medium_matrix(rng) -> np.ndarray:
+    """A 128x128 integer-valued matrix (4x4 tiles at W=32, 2x2 at 64)."""
+    return rng.integers(-5, 10, size=(128, 128)).astype(np.float64)
+
+
+def make_gpu(*, seed: int = 0, policy: str = "random",
+             consistency: str = "relaxed", tiny: bool = False,
+             max_resident: int | None = None) -> GPU:
+    """Factory for configured simulators (importable helper, not a fixture)."""
+    return GPU(device=TINY_DEVICE if tiny else TITAN_V,
+               consistency=consistency, scheduler_policy=policy, seed=seed,
+               max_resident_blocks=max_resident)
+
+
+@pytest.fixture
+def gpu() -> GPU:
+    """Default adversarial simulator: relaxed consistency, random scheduling."""
+    return make_gpu(seed=7)
+
+
+@pytest.fixture
+def strict_gpu() -> GPU:
+    """Strong-consistency, round-robin simulator (for accounting-only tests)."""
+    return make_gpu(policy="round_robin", consistency="strong")

@@ -1,0 +1,132 @@
+"""BlockContext: accounted global/shared access from kernels."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gpusim import GPU, TITAN_V
+
+
+def run_single_block(kernel, *args, threads=32, gpu=None):
+    gpu = gpu or GPU(device=TITAN_V, consistency="strong")
+    return gpu, gpu.launch(kernel, grid_blocks=1, threads_per_block=threads,
+                           args=args)
+
+
+class TestGlobalAccess:
+    def test_gload_shape_preserved(self):
+        gpu = GPU()
+        buf = gpu.alloc("x", (8, 8), np.float64,
+                        fill=np.arange(64.0).reshape(8, 8))
+        seen = {}
+
+        def k(ctx, buf):
+            seen["v"] = ctx.gload(buf, np.arange(64).reshape(8, 8))
+        gpu.launch(k, grid_blocks=1, threads_per_block=64, args=(buf,))
+        assert seen["v"].shape == (8, 8)
+        assert np.array_equal(seen["v"], np.arange(64.0).reshape(8, 8))
+
+    def test_coalesced_read_transactions(self):
+        gpu = GPU()
+        buf = gpu.alloc("x", (64,), np.float64)
+
+        def k(ctx, buf):
+            ctx.gload(buf, ctx.tids)  # 32 consecutive float64 = 8 segments
+        _, stats = run_single_block(k, buf, gpu=gpu)
+        assert stats.traffic.global_read_requests == 32
+        assert stats.traffic.global_read_transactions == 8
+
+    def test_strided_read_transactions(self):
+        gpu = GPU()
+        n = 256
+        buf = gpu.alloc("x", (n * 32,), np.float64)
+
+        def k(ctx, buf):
+            ctx.gload(buf, ctx.tids * n)  # one segment per thread
+        _, stats = run_single_block(k, buf, gpu=gpu)
+        assert stats.traffic.global_read_transactions == 32
+
+    def test_store_visible_after_kernel(self):
+        gpu = GPU()  # relaxed: retirement must flush
+        buf = gpu.alloc("x", (32,), np.float64)
+
+        def k(ctx, buf):
+            ctx.gstore(buf, ctx.tids, ctx.tids.astype(float))
+        run_single_block(k, buf, gpu=gpu)
+        assert np.array_equal(gpu.read("x"), np.arange(32.0))
+
+    def test_atomic_add_returns_sequence(self):
+        gpu = GPU()
+        buf = gpu.alloc("c", (1,), np.int64)
+        got = []
+
+        def k(ctx, buf):
+            got.append(ctx.atomic_add(buf, 0, 1))
+        gpu.launch(k, grid_blocks=5, threads_per_block=32, args=(buf,))
+        assert sorted(got) == [0, 1, 2, 3, 4]
+
+    def test_scalar_roundtrip(self):
+        gpu = GPU(consistency="strong")
+        buf = gpu.alloc("x", (4,), np.float64)
+
+        def k(ctx, buf):
+            ctx.gstore_scalar(buf, 2, 1.25)
+            assert ctx.gload_scalar(buf, 2) == 1.25
+        run_single_block(k, buf, gpu=gpu)
+
+    def test_read_own_writes_in_relaxed_mode(self):
+        gpu = GPU(consistency="relaxed")
+        buf = gpu.alloc("x", (4,), np.float64)
+        ok = {}
+
+        def k(ctx, buf):
+            ctx.gstore_scalar(buf, 1, 5.0)
+            ok["v"] = ctx.gload_scalar(buf, 1)
+        run_single_block(k, buf, gpu=gpu)
+        assert ok["v"] == 5.0
+
+
+class TestSharedAndWarp:
+    def test_shared_roundtrip_with_counters(self):
+        gpu = GPU()
+
+        def k(ctx):
+            ctx.salloc("t", 64)
+            ctx.sstore("t", np.arange(32), np.arange(32.0))
+            assert np.array_equal(ctx.sload("t", np.arange(32)),
+                                  np.arange(32.0))
+        _, stats = run_single_block(k, gpu=gpu)
+        assert stats.traffic.shared_write_requests == 32
+        assert stats.traffic.shared_read_requests == 32
+
+    def test_warp_scan_through_context(self):
+        gpu = GPU()
+        out = {}
+
+        def k(ctx):
+            out["v"] = ctx.warp_inclusive_scan(np.ones(32))
+        run_single_block(k, gpu=gpu)
+        assert np.array_equal(out["v"], np.arange(1.0, 33.0))
+
+    def test_syncthreads_counted(self):
+        gpu = GPU()
+
+        def k(ctx):
+            yield ctx.syncthreads()
+            yield ctx.syncthreads()
+        _, stats = run_single_block(k, gpu=gpu)
+        assert stats.traffic.syncthreads == 2
+
+    def test_non_warp_multiple_block_rejected(self):
+        gpu = GPU()
+        with pytest.raises(ConfigurationError):
+            gpu.launch(lambda ctx: None, grid_blocks=1, threads_per_block=33)
+
+    def test_cycle_accounting_accumulates(self):
+        gpu = GPU()
+        buf = gpu.alloc("x", (32,), np.float64)
+
+        def k(ctx, buf):
+            ctx.gload(buf, ctx.tids)
+        _, stats = run_single_block(k, buf, gpu=gpu)
+        assert stats.sim_cycles > 0

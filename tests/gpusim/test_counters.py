@@ -1,0 +1,79 @@
+"""Counter bookkeeping: MemoryTraffic, KernelStats, LaunchSummary."""
+
+import numpy as np
+
+from repro.gpusim import GPU, KernelStats, LaunchSummary, MemoryTraffic
+
+
+class TestMemoryTraffic:
+    def test_merge_accumulates_every_field(self):
+        a = MemoryTraffic(global_read_requests=1, fences=2, shuffle_ops=3)
+        b = MemoryTraffic(global_read_requests=10, fences=20, spin_iterations=5)
+        a.merge(b)
+        assert a.global_read_requests == 11
+        assert a.fences == 22
+        assert a.shuffle_ops == 3
+        assert a.spin_iterations == 5
+
+    def test_copy_is_independent(self):
+        a = MemoryTraffic(global_write_requests=4)
+        b = a.copy()
+        b.global_write_requests = 99
+        assert a.global_write_requests == 4
+
+    def test_bytes_properties(self):
+        t = MemoryTraffic(global_read_transactions=3,
+                          global_write_transactions=2)
+        assert t.global_bytes_read == 96
+        assert t.global_bytes_written == 64
+
+    def test_as_dict_round_trip(self):
+        t = MemoryTraffic(atomic_ops=7)
+        assert MemoryTraffic(**t.as_dict()).atomic_ops == 7
+
+
+class TestKernelStats:
+    def test_total_threads(self):
+        s = KernelStats(name="k", grid_blocks=10, threads_per_block=256)
+        assert s.total_threads == 2560
+
+    def test_max_resident_observed_recorded(self):
+        gpu = GPU(max_resident_blocks=3)
+        buf = gpu.alloc("x", (10,), np.float64)
+
+        def k(ctx, buf):
+            ctx.gstore_scalar(buf, ctx.block_id, 1.0)
+            yield ctx.syncthreads()
+        stats = gpu.launch(k, grid_blocks=10, threads_per_block=32,
+                           args=(buf,))
+        assert 1 <= stats.max_resident_observed <= 3
+
+    def test_full_residency_observed(self):
+        gpu = GPU()
+        buf = gpu.alloc("x", (4,), np.float64)
+
+        def k(ctx, buf):
+            yield ctx.syncthreads()
+            ctx.gstore_scalar(buf, ctx.block_id, 1.0)
+        stats = gpu.launch(k, grid_blocks=4, threads_per_block=32, args=(buf,))
+        assert stats.max_resident_observed == 4
+
+
+class TestLaunchSummary:
+    def test_aggregates(self):
+        s = LaunchSummary()
+        k1 = KernelStats(name="a", grid_blocks=2, threads_per_block=64)
+        k1.traffic.global_read_requests = 5
+        k2 = KernelStats(name="b", grid_blocks=8, threads_per_block=32)
+        k2.traffic.global_read_requests = 7
+        s.add(k1)
+        s.add(k2)
+        assert s.kernel_calls == 2
+        assert s.max_threads == 256
+        assert s.global_read_requests == 12
+        assert s.traffic.global_read_requests == 12
+
+    def test_empty_summary(self):
+        s = LaunchSummary()
+        assert s.kernel_calls == 0
+        assert s.max_threads == 0

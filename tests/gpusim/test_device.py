@@ -1,0 +1,70 @@
+"""DeviceProperties: limits, occupancy arithmetic, validation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gpusim import TINY_DEVICE, TITAN_V, DeviceProperties
+
+
+class TestTitanV:
+    def test_core_count_matches_paper(self):
+        # "80 streaming multiprocessors with 64 cores each"
+        assert TITAN_V.num_sms == 80
+        assert TITAN_V.cores_per_sm == 64
+        assert TITAN_V.total_cores == 5120
+
+    def test_memory_capacity_is_12gb(self):
+        assert TITAN_V.global_mem_bytes == 12 * 1024**3
+
+    def test_shared_memory_fits_w128_float32_tile(self):
+        # "When W = 128, 4-byte float matrices of size 128x128 needs 64Kbytes"
+        assert 128 * 128 * 4 <= TITAN_V.shared_mem_per_block
+
+    def test_warp_size(self):
+        assert TITAN_V.warp_size == 32
+
+
+class TestResidency:
+    def test_thread_limit_bounds_blocks(self):
+        # 1024-thread blocks: 2 per SM (2048-thread SM limit).
+        assert TITAN_V.max_resident_blocks(1024) == 2 * 80
+
+    def test_small_blocks_hit_block_slot_limit(self):
+        assert TITAN_V.max_resident_blocks(32) == 32 * 80
+
+    def test_shared_memory_bounds_blocks(self):
+        # A 96 KB block occupies a whole SM's shared memory.
+        blocks = TITAN_V.max_resident_blocks(128, 96 * 1024)
+        assert blocks == 80
+
+    def test_oversized_shared_request_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TITAN_V.max_resident_blocks(128, 97 * 1024)
+
+    def test_oversized_block_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TITAN_V.max_resident_blocks(2048)
+
+    def test_nonpositive_block_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TITAN_V.max_resident_blocks(0)
+
+    def test_tiny_device_single_block_per_sm(self):
+        assert TINY_DEVICE.max_resident_blocks(512) == 2
+
+
+class TestValidation:
+    def test_warp_size_must_be_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            DeviceProperties(name="bad", num_sms=1, cores_per_sm=1, warp_size=24)
+
+    def test_block_limit_must_be_warp_multiple(self):
+        with pytest.raises(ConfigurationError):
+            DeviceProperties(name="bad", num_sms=1, cores_per_sm=1,
+                             max_threads_per_block=100)
+
+    def test_with_overrides_returns_copy(self):
+        tweaked = TITAN_V.with_overrides(num_sms=40)
+        assert tweaked.num_sms == 40
+        assert TITAN_V.num_sms == 80
+        assert tweaked.name == TITAN_V.name

@@ -1,0 +1,119 @@
+"""Memory-consistency hazards: why the publish protocol needs its fence.
+
+These tests *inject* the classic look-back bug — raising a status flag without
+a ``__threadfence()`` between the data store and the flag store — and show the
+relaxed-consistency simulator exposes it, while the correct protocol survives
+every adversarial schedule.  This is the "fences and look back are tricky"
+content of the paper made executable.
+"""
+
+import numpy as np
+
+from repro.gpusim import GPU, TINY_DEVICE
+from repro.primitives.lookback import publish
+
+N_SEEDS = 40
+
+
+def _writer_reader(buggy: bool):
+    def kernel(ctx, data, flag, out):
+        if ctx.block_id == 0:
+            ctx.gstore_scalar(data, 0, 42.0)
+            if not buggy:
+                ctx.threadfence()
+            ctx.gstore_scalar(flag, 0, 1)
+            yield ctx.syncthreads()
+        else:
+            yield from ctx.wait_until(flag, 0, lambda v: v >= 1)
+            ctx.gstore_scalar(out, 0, ctx.gload_scalar(data, 0))
+    return kernel
+
+
+def _run_once(seed: int, buggy: bool) -> float:
+    gpu = GPU(device=TINY_DEVICE, scheduler_policy="random", seed=seed,
+              consistency="relaxed", max_resident_blocks=2)
+    data = gpu.alloc("data", (1,), np.float64)
+    flag = gpu.alloc("flag", (1,), np.int64)
+    out = gpu.alloc("out", (1,), np.float64)
+    gpu.launch(_writer_reader(buggy), grid_blocks=2, threads_per_block=32,
+               args=(data, flag, out))
+    return float(gpu.read("out")[0])
+
+
+class TestFenceProtocol:
+    def test_missing_fence_is_observable(self):
+        """Without the fence, some schedule publishes the flag before the
+        data: the reader sees a stale value at least once across seeds."""
+        stale = sum(1 for s in range(N_SEEDS) if _run_once(s, buggy=True) != 42.0)
+        assert stale > 0
+
+    def test_correct_protocol_never_stale(self):
+        for s in range(N_SEEDS):
+            assert _run_once(s, buggy=False) == 42.0
+
+    def test_strong_mode_hides_the_bug(self):
+        """Under strong consistency even the buggy kernel works — which is
+        exactly why the simulator defaults to relaxed mode."""
+        for s in range(10):
+            gpu = GPU(device=TINY_DEVICE, scheduler_policy="random", seed=s,
+                      consistency="strong", max_resident_blocks=2)
+            data = gpu.alloc("data", (1,), np.float64)
+            flag = gpu.alloc("flag", (1,), np.int64)
+            out = gpu.alloc("out", (1,), np.float64)
+            gpu.launch(_writer_reader(buggy=True), grid_blocks=2,
+                       threads_per_block=32, args=(data, flag, out))
+            assert gpu.read("out")[0] == 42.0
+
+
+class TestPublishHelper:
+    def test_publish_orders_data_before_flag(self):
+        """The publish() helper (used by every look-back) is fence-correct:
+        a vector published under it is never observed stale."""
+        def kernel(ctx, data, flag, out):
+            if ctx.block_id == 0:
+                publish(ctx, [(data, np.arange(8), np.full(8, 3.0))],
+                        flag, 0, 2)
+                yield ctx.syncthreads()
+            else:
+                yield from ctx.wait_until(flag, 0, lambda v: v >= 2)
+                ctx.gstore(out, np.arange(8), ctx.gload(data, np.arange(8)))
+
+        for s in range(N_SEEDS):
+            gpu = GPU(device=TINY_DEVICE, scheduler_policy="random", seed=s,
+                      max_resident_blocks=2)
+            data = gpu.alloc("data", (8,), np.float64)
+            flag = gpu.alloc("flag", (1,), np.int64)
+            out = gpu.alloc("out", (8,), np.float64)
+            gpu.launch(kernel, grid_blocks=2, threads_per_block=32,
+                       args=(data, flag, out))
+            assert (gpu.read("out") == 3.0).all(), f"seed {s}"
+
+    def test_flag_values_monotone_under_drain(self):
+        """Status bytes written 1 then 2 without fences in between must never
+        be observed to regress (the drain logic drops superseded writes)."""
+        observed = []
+
+        def kernel(ctx, flag, log):
+            if ctx.block_id == 0:
+                ctx.gstore_scalar(flag, 0, 1)
+                yield ctx.syncthreads()
+                ctx.gstore_scalar(flag, 0, 2)
+                yield ctx.syncthreads()
+                ctx.gstore_scalar(flag, 0, 3)
+            else:
+                last = 0
+                for _ in range(50):
+                    v = ctx.gload_scalar(flag, 0)
+                    observed.append((last, v))
+                    assert v >= last, "status flag regressed"
+                    last = v
+                    yield ctx.syncthreads()
+
+        for s in range(15):
+            observed.clear()
+            gpu = GPU(device=TINY_DEVICE, scheduler_policy="random", seed=s,
+                      max_resident_blocks=2)
+            flag = gpu.alloc("flag", (1,), np.int64)
+            log = gpu.alloc("log", (1,), np.int64)
+            gpu.launch(kernel, grid_blocks=2, threads_per_block=32,
+                       args=(flag, log))

@@ -1,0 +1,79 @@
+"""The GPU facade: allocation helpers, readback, upload, launch plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidAccessError
+from repro.gpusim import GPU, TINY_DEVICE
+
+
+class TestMemoryHelpers:
+    def test_read_returns_copy(self):
+        gpu = GPU()
+        gpu.alloc("x", (4,), np.float64, fill=1.0)
+        out = gpu.read("x")
+        out[0] = 99.0
+        assert gpu.read("x")[0] == 1.0
+
+    def test_read_by_handle_or_name(self):
+        gpu = GPU()
+        buf = gpu.alloc("x", (4,), np.float64, fill=2.0)
+        assert np.array_equal(gpu.read(buf), gpu.read("x"))
+
+    def test_write_uploads(self):
+        gpu = GPU()
+        gpu.alloc("x", (2, 2), np.float64)
+        gpu.write("x", np.arange(4.0).reshape(2, 2))
+        assert gpu.read("x")[1, 1] == 3.0
+
+    def test_write_reshapes_and_casts(self):
+        gpu = GPU()
+        gpu.alloc("x", (2, 2), np.float64)
+        gpu.write("x", [1, 2, 3, 4])
+        assert gpu.read("x").dtype == np.float64
+
+    def test_buffer_lookup_unknown(self):
+        with pytest.raises(InvalidAccessError):
+            GPU().buffer("nope")
+
+    def test_free_then_realloc(self):
+        gpu = GPU()
+        gpu.alloc("x", (4,), np.float64)
+        gpu.free("x")
+        gpu.alloc("x", (8,), np.float64)
+        assert gpu.buffer("x").size == 8
+
+
+class TestLaunchPlumbing:
+    def test_kernel_name_defaults_to_function_name(self):
+        gpu = GPU()
+
+        def my_kernel(ctx):
+            pass
+        stats = gpu.launch(my_kernel, grid_blocks=1, threads_per_block=32)
+        assert stats.name == "my_kernel"
+
+    def test_kernel_name_override(self):
+        gpu = GPU()
+        stats = gpu.launch(lambda ctx: None, grid_blocks=1,
+                           threads_per_block=32, name="custom")
+        assert stats.name == "custom"
+
+    def test_args_passed_through(self):
+        gpu = GPU()
+        seen = {}
+
+        def k(ctx, x, y):
+            seen["sum"] = x + y
+        gpu.launch(k, grid_blocks=1, threads_per_block=32, args=(2, 3))
+        assert seen["sum"] == 5
+
+    def test_launches_recorded_in_order(self):
+        gpu = GPU()
+        for name in ("first", "second"):
+            gpu.launch(lambda ctx: None, grid_blocks=1, threads_per_block=32,
+                       name=name)
+        assert [k.name for k in gpu.launches.kernels] == ["first", "second"]
+
+    def test_device_attribute(self):
+        assert GPU(device=TINY_DEVICE).device.name == "tiny-test-device"

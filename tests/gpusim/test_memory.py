@@ -1,0 +1,226 @@
+"""Global memory: allocation, transaction counting, atomics, store buffers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AllocationError, InvalidAccessError
+from repro.gpusim import (SEGMENT_BYTES, TINY_DEVICE, TITAN_V, GlobalMemory,
+                          MemoryTraffic, StoreBuffer, count_warp_transactions)
+
+
+class TestTransactions:
+    def test_coalesced_float32_warp_costs_four_segments(self):
+        addrs = np.arange(32) * 4
+        assert count_warp_transactions(addrs) == 128 // SEGMENT_BYTES
+
+    def test_coalesced_float64_warp_costs_eight_segments(self):
+        addrs = np.arange(32) * 8
+        assert count_warp_transactions(addrs) == 8
+
+    def test_fully_strided_warp_costs_one_per_thread(self):
+        addrs = np.arange(32) * 4096
+        assert count_warp_transactions(addrs) == 32
+
+    def test_broadcast_same_address_costs_one(self):
+        addrs = np.full(32, 1024)
+        assert count_warp_transactions(addrs) == 1
+
+    def test_two_warps_counted_independently(self):
+        # Both warps touch the same segment; each still pays for it.
+        addrs = np.concatenate([np.arange(32) * 4, np.arange(32) * 4])
+        assert count_warp_transactions(addrs) == 8
+
+    def test_partial_trailing_warp(self):
+        addrs = np.arange(40) * 4  # 32 + 8 threads
+        assert count_warp_transactions(addrs) == 4 + 1
+
+    def test_empty_access(self):
+        assert count_warp_transactions(np.array([], dtype=np.int64)) == 0
+
+    @given(st.lists(st.integers(0, 10_000), min_size=1, max_size=96))
+    def test_bounds(self, offsets):
+        """1 <= transactions <= thread count; every distinct segment is paid
+        for at least once."""
+        addrs = np.asarray(offsets) * 4
+        tx = count_warp_transactions(addrs)
+        assert 1 <= tx <= len(offsets)
+        unique_segments = len(set(int(a) // SEGMENT_BYTES for a in addrs))
+        assert tx >= unique_segments // max(1, (len(offsets) + 31) // 32)
+
+
+class TestAllocation:
+    def test_alloc_and_read_back(self):
+        mem = GlobalMemory(TITAN_V)
+        buf = mem.alloc("x", (4, 4), np.float64, fill=7.5)
+        assert buf.shape == (4, 4)
+        assert (buf.array == 7.5).all()
+
+    def test_alloc_from_array(self):
+        mem = GlobalMemory(TITAN_V)
+        src = np.arange(12).reshape(3, 4)
+        buf = mem.alloc("x", (3, 4), np.int64, fill=src)
+        assert np.array_equal(buf.array, src)
+        src[0, 0] = 99  # the buffer must own its data
+        assert buf.array[0, 0] == 0
+
+    def test_duplicate_name_rejected(self):
+        mem = GlobalMemory(TITAN_V)
+        mem.alloc("x", (2,), np.float64)
+        with pytest.raises(AllocationError):
+            mem.alloc("x", (2,), np.float64)
+
+    def test_capacity_enforced(self):
+        mem = GlobalMemory(TINY_DEVICE)
+        with pytest.raises(AllocationError):
+            mem.alloc("big", (TINY_DEVICE.global_mem_bytes,), np.float64)
+
+    def test_free_reclaims_capacity(self):
+        mem = GlobalMemory(TINY_DEVICE)
+        nelem = TINY_DEVICE.global_mem_bytes // 8 - 1024
+        mem.alloc("a", (nelem,), np.float64)
+        mem.free("a")
+        mem.alloc("b", (nelem,), np.float64)  # fits again
+
+    def test_free_unknown_rejected(self):
+        mem = GlobalMemory(TITAN_V)
+        with pytest.raises(InvalidAccessError):
+            mem.free("nope")
+
+    def test_buffers_have_disjoint_address_ranges(self):
+        mem = GlobalMemory(TITAN_V)
+        a = mem.alloc("a", (100,), np.float64)
+        b = mem.alloc("b", (100,), np.float64)
+        assert b.base_address >= a.base_address + a.nbytes
+
+    def test_out_of_bounds_read_rejected(self):
+        mem = GlobalMemory(TITAN_V)
+        buf = mem.alloc("x", (10,), np.float64)
+        with pytest.raises(InvalidAccessError):
+            mem.committed_read(buf, np.asarray([10]))
+
+
+class TestAtomics:
+    def test_atomic_add_returns_old_value(self):
+        mem = GlobalMemory(TITAN_V)
+        buf = mem.alloc("c", (1,), np.int64)
+        traffic = MemoryTraffic()
+        assert mem.atomic_add(buf, 0, 1, traffic) == 0
+        assert mem.atomic_add(buf, 0, 1, traffic) == 1
+        assert buf.array[0] == 2
+        assert traffic.atomic_ops == 2
+
+    def test_atomic_sequence_is_dense(self):
+        """atomicAdd tile acquisition: values 0..k-1 each returned once."""
+        mem = GlobalMemory(TITAN_V)
+        buf = mem.alloc("c", (1,), np.int64)
+        got = [mem.atomic_add(buf, 0, 1) for _ in range(50)]
+        assert got == list(range(50))
+
+    def test_atomic_bumps_commit_epoch(self):
+        mem = GlobalMemory(TITAN_V)
+        buf = mem.alloc("c", (1,), np.int64)
+        before = mem.commit_epoch
+        mem.atomic_add(buf, 0, 1)
+        assert mem.commit_epoch == before + 1
+
+
+class TestStoreBuffer:
+    def _mem(self):
+        mem = GlobalMemory(TITAN_V)
+        return mem, mem.alloc("x", (16,), np.float64)
+
+    def test_strong_mode_commits_immediately(self):
+        mem, buf = self._mem()
+        sb = StoreBuffer(memory=mem, mode="strong")
+        sb.store(buf, np.asarray([3]), np.asarray([1.5]))
+        assert buf.array[3] == 1.5
+
+    def test_relaxed_holds_until_fence(self):
+        mem, buf = self._mem()
+        sb = StoreBuffer(memory=mem, mode="relaxed")
+        sb.store(buf, np.asarray([3]), np.asarray([1.5]))
+        assert buf.array[3] == 0.0        # not visible to others
+        sb.fence()
+        assert buf.array[3] == 1.5
+
+    def test_read_own_writes(self):
+        mem, buf = self._mem()
+        sb = StoreBuffer(memory=mem, mode="relaxed")
+        sb.store(buf, np.asarray([3]), np.asarray([1.5]))
+        assert sb.overlay_read(buf, np.asarray([3]))[0] == 1.5
+
+    def test_read_own_writes_respects_program_order(self):
+        mem, buf = self._mem()
+        sb = StoreBuffer(memory=mem, mode="relaxed")
+        sb.store(buf, np.asarray([3]), np.asarray([1.0]))
+        sb.store(buf, np.asarray([3]), np.asarray([2.0]))
+        assert sb.overlay_read(buf, np.asarray([3]))[0] == 2.0
+
+    def test_retire_flushes_everything(self):
+        mem, buf = self._mem()
+        sb = StoreBuffer(memory=mem, mode="relaxed")
+        sb.store(buf, np.asarray([0, 1]), np.asarray([1.0, 2.0]))
+        sb.retire()
+        assert buf.array[0] == 1.0 and buf.array[1] == 2.0
+        assert sb.pending_count == 0
+
+    def test_drain_eventually_commits_without_fence(self):
+        mem, buf = self._mem()
+        sb = StoreBuffer(memory=mem, mode="relaxed",
+                         rng=np.random.default_rng(0), max_age_yields=4)
+        sb.store(buf, np.asarray([5]), np.asarray([9.0]))
+        for _ in range(sb.max_age_yields + 1):
+            sb.drain_at_yield()
+        assert buf.array[5] == 9.0
+
+    def test_drain_reordering_never_corrupts_final_state(self):
+        """Even with adversarial newest-first draining, the final committed
+        value per address must be the program-order last write."""
+        for seed in range(20):
+            mem, buf = self._mem()
+            sb = StoreBuffer(memory=mem, mode="relaxed",
+                             rng=np.random.default_rng(seed))
+            rng = np.random.default_rng(seed + 100)
+            last = {}
+            for k in range(30):
+                idx = int(rng.integers(0, 16))
+                val = float(k)
+                sb.store(buf, np.asarray([idx]), np.asarray([val]))
+                last[idx] = val
+                if rng.random() < 0.5:
+                    sb.drain_at_yield()
+            sb.retire()
+            for idx, val in last.items():
+                assert buf.array[idx] == val, f"seed {seed}, idx {idx}"
+
+    def test_scalar_broadcast_store(self):
+        mem, buf = self._mem()
+        sb = StoreBuffer(memory=mem, mode="relaxed")
+        sb.store(buf, np.asarray([1, 2, 3]), np.asarray([4.0]))
+        sb.fence()
+        assert (buf.array[1:4] == 4.0).all()
+
+
+@settings(deadline=None, max_examples=25)
+@given(seed=st.integers(0, 10_000), nwrites=st.integers(1, 40))
+def test_store_buffer_linearizes_per_location(seed, nwrites):
+    """Property: under any drain schedule the committed final state equals the
+    program-order last write per location (vector writes included)."""
+    mem = GlobalMemory(TITAN_V)
+    buf = mem.alloc("x", (8,), np.float64)
+    sb = StoreBuffer(memory=mem, mode="relaxed",
+                     rng=np.random.default_rng(seed))
+    rng = np.random.default_rng(seed ^ 0xABCDEF)
+    expected = np.zeros(8)
+    for k in range(nwrites):
+        count = int(rng.integers(1, 5))
+        idx = rng.choice(8, size=count, replace=False)
+        vals = rng.normal(size=count)
+        sb.store(buf, idx, vals)
+        expected[idx] = vals
+        if rng.random() < 0.6:
+            sb.drain_at_yield()
+    sb.retire()
+    assert np.array_equal(buf.array, expected)

@@ -1,0 +1,135 @@
+"""Scheduler: dispatch order, residency, policies, deadlock detection."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, DeadlockError, KernelLaunchError
+from repro.gpusim import GPU, TINY_DEVICE, TITAN_V, Scheduler
+
+
+def chain_kernel(ctx, flags, counter, out, N):
+    """Forward soft-sync chain via atomic tile acquisition (deadlock-free)."""
+    tile = ctx.atomic_add(counter, 0, 1)
+    if tile >= N:
+        return
+    prev = 0.0
+    if tile > 0:
+        yield from ctx.wait_until(flags, tile - 1, lambda v: v >= 1)
+        prev = ctx.gload_scalar(out, tile - 1)
+    ctx.gstore_scalar(out, tile, prev + tile)
+    ctx.threadfence()
+    ctx.gstore_scalar(flags, tile, 1)
+
+
+def backward_chain_kernel(ctx, flags, N):
+    """Block i waits on block i+1: deadlocks once residency < grid."""
+    tile = ctx.block_id
+    if tile < N - 1:
+        yield from ctx.wait_until(flags, tile + 1, lambda v: v >= 1)
+    ctx.threadfence()
+    ctx.gstore_scalar(flags, tile, 1)
+
+
+class TestBasics:
+    def test_all_blocks_execute(self):
+        gpu = GPU()
+        buf = gpu.alloc("x", (100,), np.int64)
+
+        def k(ctx, buf):
+            ctx.gstore_scalar(buf, ctx.block_id, 1)
+        stats = gpu.launch(k, grid_blocks=100, threads_per_block=32,
+                           args=(buf,))
+        assert stats.blocks_executed == 100
+        assert gpu.read("x").sum() == 100
+
+    def test_zero_grid_rejected(self):
+        gpu = GPU()
+        with pytest.raises(KernelLaunchError):
+            gpu.launch(lambda ctx: None, grid_blocks=0, threads_per_block=32)
+
+    def test_oversized_block_rejected(self):
+        gpu = GPU()
+        with pytest.raises(KernelLaunchError):
+            gpu.launch(lambda ctx: None, grid_blocks=1, threads_per_block=2048)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Scheduler(device=TITAN_V, policy="magic")
+
+    def test_unknown_consistency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Scheduler(device=TITAN_V, consistency="weird")
+
+    def test_launch_summary_accumulates(self):
+        gpu = GPU()
+        gpu.alloc("x", (4,), np.float64)
+        for _ in range(3):
+            gpu.launch(lambda ctx: None, grid_blocks=2, threads_per_block=32)
+        assert gpu.launches.kernel_calls == 3
+        gpu.reset_stats()
+        assert gpu.launches.kernel_calls == 0
+
+
+class TestSoftSync:
+    N = 12
+
+    def _run(self, policy, seed, max_resident):
+        gpu = GPU(device=TINY_DEVICE, scheduler_policy=policy, seed=seed,
+                  max_resident_blocks=max_resident)
+        flags = gpu.alloc("flags", (self.N,), np.int64)
+        counter = gpu.alloc("counter", (1,), np.int64)
+        out = gpu.alloc("out", (self.N,), np.float64)
+        gpu.launch(chain_kernel, grid_blocks=self.N, threads_per_block=32,
+                   args=(flags, counter, out, self.N))
+        return gpu.read("out")
+
+    @pytest.mark.parametrize("policy", ["round_robin", "random", "lifo"])
+    @pytest.mark.parametrize("max_resident", [1, 2, 5])
+    def test_chain_correct_under_all_policies(self, policy, max_resident):
+        expect = np.cumsum(np.arange(self.N, dtype=float))
+        for seed in (0, 1, 2):
+            assert np.array_equal(self._run(policy, seed, max_resident), expect)
+
+    def test_backward_chain_deadlocks_with_bounded_residency(self):
+        gpu = GPU(device=TINY_DEVICE, max_resident_blocks=2)
+        flags = gpu.alloc("flags", (8,), np.int64)
+        with pytest.raises(DeadlockError) as exc:
+            gpu.launch(backward_chain_kernel, grid_blocks=8,
+                       threads_per_block=32, args=(flags, 8))
+        assert exc.value.pending_blocks > 0
+        assert len(exc.value.resident_blocks) == 2
+
+    def test_backward_chain_fine_with_full_residency(self):
+        """The same kernel is correct when every block is resident — showing
+        the deadlock is a residency interaction, exactly the hazard SKSS's
+        atomic tile ordering removes."""
+        gpu = GPU(device=TINY_DEVICE, max_resident_blocks=8)
+        flags = gpu.alloc("flags", (8,), np.int64)
+        gpu.launch(backward_chain_kernel, grid_blocks=8, threads_per_block=32,
+                   args=(flags, 8))
+        assert (gpu.read("flags") == 1).all()
+
+    def test_spin_iterations_counted(self):
+        gpu = GPU(device=TINY_DEVICE, max_resident_blocks=2)
+        flags = gpu.alloc("flags", (4,), np.int64)
+        counter = gpu.alloc("counter", (1,), np.int64)
+        out = gpu.alloc("out", (4,), np.float64)
+        stats = gpu.launch(chain_kernel, grid_blocks=4, threads_per_block=32,
+                           args=(flags, counter, out, 4))
+        assert stats.traffic.spin_iterations >= 0
+        assert stats.traffic.fences == 4
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        def run():
+            gpu = GPU(scheduler_policy="random", seed=42,
+                      max_resident_blocks=3)
+            flags = gpu.alloc("flags", (6,), np.int64)
+            counter = gpu.alloc("counter", (1,), np.int64)
+            out = gpu.alloc("out", (6,), np.float64)
+            stats = gpu.launch(chain_kernel, grid_blocks=6,
+                               threads_per_block=32,
+                               args=(flags, counter, out, 6))
+            return stats.scheduler_steps, stats.traffic.spin_iterations
+        assert run() == run()

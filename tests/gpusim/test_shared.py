@@ -1,0 +1,88 @@
+"""Shared memory: allocation limits and bank-conflict accounting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AllocationError, InvalidAccessError
+from repro.gpusim import (NUM_BANKS, TITAN_V, MemoryTraffic, SharedMemory,
+                          bank_conflict_cycles)
+
+
+class TestBankConflicts:
+    def test_consecutive_words_conflict_free(self):
+        assert bank_conflict_cycles(np.arange(32)) == 0
+
+    def test_same_bank_fully_serialized(self):
+        # 32 accesses with stride 32: all land in bank 0 -> 31 replays.
+        assert bank_conflict_cycles(np.arange(32) * 32) == 31
+
+    def test_stride_two_is_two_way_conflict(self):
+        assert bank_conflict_cycles(np.arange(32) * 2) == 1
+
+    def test_broadcast_is_free(self):
+        # All threads reading one address is served by broadcast.
+        assert bank_conflict_cycles(np.full(32, 7)) == 0
+
+    def test_two_warps_accounted_separately(self):
+        offs = np.concatenate([np.arange(32) * 32, np.arange(32)])
+        assert bank_conflict_cycles(offs) == 31
+
+    def test_empty(self):
+        assert bank_conflict_cycles(np.array([], dtype=np.int64)) == 0
+
+    def test_num_banks_is_32(self):
+        assert NUM_BANKS == 32
+
+
+class TestSharedMemory:
+    def _sm(self):
+        return SharedMemory(TITAN_V, MemoryTraffic())
+
+    def test_alloc_load_store_roundtrip(self):
+        sm = self._sm()
+        sm.alloc("t", 64)
+        sm.store("t", np.arange(64), np.arange(64.0))
+        assert np.array_equal(sm.load("t", np.arange(64)), np.arange(64.0))
+
+    def test_capacity_enforced(self):
+        sm = self._sm()
+        words = TITAN_V.shared_mem_per_block // 4
+        sm.alloc("a", words)
+        with pytest.raises(AllocationError):
+            sm.alloc("b", 1)
+
+    def test_duplicate_name_rejected(self):
+        sm = self._sm()
+        sm.alloc("t", 8)
+        with pytest.raises(AllocationError):
+            sm.alloc("t", 8)
+
+    def test_unknown_array_rejected(self):
+        with pytest.raises(InvalidAccessError):
+            self._sm().load("nope", np.asarray([0]))
+
+    def test_out_of_bounds_rejected(self):
+        sm = self._sm()
+        sm.alloc("t", 8)
+        with pytest.raises(InvalidAccessError):
+            sm.load("t", np.asarray([8]))
+
+    def test_traffic_counters(self):
+        traffic = MemoryTraffic()
+        sm = SharedMemory(TITAN_V, traffic)
+        sm.alloc("t", 64)
+        sm.store("t", np.arange(32), np.zeros(32))
+        sm.load("t", np.arange(32))
+        assert traffic.shared_write_requests == 32
+        assert traffic.shared_read_requests == 32
+        assert traffic.shared_bank_conflict_cycles == 0
+
+    def test_conflicts_cross_array_boundaries_use_absolute_banks(self):
+        """Banks are a property of the block's whole address space: an array
+        starting at a non-zero base must account banks from its base."""
+        traffic = MemoryTraffic()
+        sm = SharedMemory(TITAN_V, traffic)
+        sm.alloc("pad", 16)       # shifts the next array's base by 16 words
+        sm.alloc("t", 32 * 32)
+        sm.load("t", np.arange(32) * 32)  # bank (16 + 32k) % 32 == 16 always
+        assert traffic.shared_bank_conflict_cycles == 31

@@ -1,0 +1,121 @@
+"""Event tracing: dispatch/step/spin/retire streams and the timeline view."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DeadlockError
+from repro.gpusim import GPU, TINY_DEVICE, Tracer, render_timeline
+from repro.gpusim import trace as T
+
+
+def traced_gpu(**kw):
+    tracer = Tracer()
+    gpu = GPU(device=TINY_DEVICE, tracer=tracer, **kw)
+    return gpu, tracer
+
+
+def simple_kernel(ctx, buf):
+    ctx.gstore_scalar(buf, ctx.block_id, 1.0)
+    yield ctx.syncthreads()
+
+
+class TestTracer:
+    def test_dispatch_order_is_launch_order(self):
+        gpu, tracer = traced_gpu(max_resident_blocks=2)
+        buf = gpu.alloc("x", (6,), np.float64)
+        gpu.launch(simple_kernel, grid_blocks=6, threads_per_block=32,
+                   args=(buf,))
+        assert tracer.dispatch_order() == list(range(6))
+
+    def test_every_block_dispatches_and_retires(self):
+        gpu, tracer = traced_gpu()
+        buf = gpu.alloc("x", (5,), np.float64)
+        gpu.launch(simple_kernel, grid_blocks=5, threads_per_block=32,
+                   args=(buf,))
+        counts = tracer.counts()
+        assert counts[T.DISPATCH] == 5
+        assert counts[T.RETIRE] == 5
+        assert counts[T.LAUNCH] == 1
+        assert counts[T.KERNEL_DONE] == 1
+
+    def test_spin_events_recorded(self):
+        gpu, tracer = traced_gpu(max_resident_blocks=2)
+        flag = gpu.alloc("flag", (1,), np.int64)
+
+        def waiter(ctx, flag):
+            if ctx.block_id == 1:
+                yield from ctx.wait_until(flag, 0, lambda v: v >= 1)
+            else:
+                yield ctx.syncthreads()
+                ctx.threadfence()
+                ctx.gstore_scalar(flag, 0, 1)
+                ctx.threadfence()
+
+        gpu.launch(waiter, grid_blocks=2, threads_per_block=32, args=(flag,))
+        assert tracer.spin_profile().get(1, 0) >= 1
+        assert 0 not in tracer.spin_profile()
+
+    def test_kind_filter(self):
+        tracer = Tracer(kinds=(T.RETIRE,))
+        gpu = GPU(device=TINY_DEVICE, tracer=tracer)
+        buf = gpu.alloc("x", (3,), np.float64)
+        gpu.launch(simple_kernel, grid_blocks=3, threads_per_block=32,
+                   args=(buf,))
+        assert set(e.kind for e in tracer.events) == {T.RETIRE}
+
+    def test_max_events_cap(self):
+        tracer = Tracer(max_events=4)
+        gpu = GPU(device=TINY_DEVICE, tracer=tracer)
+        buf = gpu.alloc("x", (10,), np.float64)
+        gpu.launch(simple_kernel, grid_blocks=10, threads_per_block=32,
+                   args=(buf,))
+        assert len(tracer.events) == 4
+
+    def test_deadlock_traced(self):
+        gpu, tracer = traced_gpu(max_resident_blocks=2)
+        flags = gpu.alloc("flags", (4,), np.int64)
+
+        def bad(ctx, flags):
+            if ctx.block_id < 3:
+                yield from ctx.wait_until(flags, ctx.block_id + 1,
+                                          lambda v: v >= 1)
+            ctx.gstore_scalar(flags, ctx.block_id, 1)
+
+        with pytest.raises(DeadlockError):
+            gpu.launch(bad, grid_blocks=4, threads_per_block=32, args=(flags,))
+        assert len(tracer.of_kind(T.DEADLOCK)) == 1
+
+    def test_clear(self):
+        tracer = Tracer()
+        tracer.emit(T.STEP, 0)
+        tracer.clear()
+        assert tracer.events == []
+
+    def test_event_str(self):
+        tracer = Tracer()
+        tracer.emit(T.DISPATCH, 3, "hello")
+        assert "dispatch" in str(tracer.events[0])
+        assert "block=3" in str(tracer.events[0])
+
+
+class TestTimeline:
+    def test_render_contains_blocks_and_legend(self):
+        gpu, tracer = traced_gpu(max_resident_blocks=2)
+        buf = gpu.alloc("x", (4,), np.float64)
+        gpu.launch(simple_kernel, grid_blocks=4, threads_per_block=32,
+                   args=(buf,))
+        art = render_timeline(tracer.events)
+        assert "block    0" in art
+        assert "legend" in art
+        assert "D" in art and "R" in art
+
+    def test_render_empty(self):
+        assert render_timeline([]) == "(no events)"
+
+    def test_block_row_has_dispatch_before_retire(self):
+        gpu, tracer = traced_gpu()
+        buf = gpu.alloc("x", (2,), np.float64)
+        gpu.launch(simple_kernel, grid_blocks=2, threads_per_block=32,
+                   args=(buf,))
+        row = render_timeline(tracer.for_block(0)).splitlines()[0]
+        assert row.index("D") < row.index("R")

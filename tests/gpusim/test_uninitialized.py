@@ -1,0 +1,95 @@
+"""Uninitialized-read detection: CUDA global memory is not zeroed.
+
+With ``detect_uninitialized=True`` the simulator raises on any device read of
+a location never stored (unless the buffer was uploaded/memset via ``fill``).
+The headline test runs *every* SAT algorithm in this mode: their publish
+protocols must write every value before anyone reads it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import RaceConditionError
+from repro.gpusim import GPU
+from repro.sat import ALGORITHMS, get_algorithm, sat_reference
+
+
+class TestDetector:
+    def test_read_before_write_raises(self):
+        gpu = GPU(detect_uninitialized=True)
+        buf = gpu.alloc("x", (8,), np.float64)  # no fill: undefined contents
+
+        def k(ctx, buf):
+            ctx.gload(buf, ctx.tids[:4])
+        with pytest.raises(RaceConditionError, match="uninitialized"):
+            gpu.launch(k, grid_blocks=1, threads_per_block=32, args=(buf,))
+
+    def test_write_then_read_ok(self):
+        gpu = GPU(detect_uninitialized=True, consistency="strong")
+        buf = gpu.alloc("x", (8,), np.float64)
+
+        def k(ctx, buf):
+            ctx.gstore(buf, ctx.tids[:4], np.ones(4))
+            assert (ctx.gload(buf, ctx.tids[:4]) == 1).all()
+        gpu.launch(k, grid_blocks=1, threads_per_block=32, args=(buf,))
+
+    def test_own_pending_write_satisfies_read(self):
+        """Relaxed mode: a block reading its *own* uncommitted store is fine."""
+        gpu = GPU(detect_uninitialized=True, consistency="relaxed")
+        buf = gpu.alloc("x", (4,), np.float64)
+
+        def k(ctx, buf):
+            ctx.gstore_scalar(buf, 2, 7.0)
+            assert ctx.gload_scalar(buf, 2) == 7.0
+        gpu.launch(k, grid_blocks=1, threads_per_block=32, args=(buf,))
+
+    def test_filled_buffer_is_defined(self):
+        gpu = GPU(detect_uninitialized=True)
+        buf = gpu.alloc("x", (8,), np.float64, fill=0)
+
+        def k(ctx, buf):
+            ctx.gload(buf, ctx.tids[:8])
+        gpu.launch(k, grid_blocks=1, threads_per_block=32, args=(buf,))
+
+    def test_atomic_on_uninitialized_counter_raises(self):
+        gpu = GPU(detect_uninitialized=True)
+        buf = gpu.alloc("c", (1,), np.int64)  # forgot the memset
+
+        def k(ctx, buf):
+            ctx.atomic_add(buf, 0, 1)
+        with pytest.raises(RaceConditionError):
+            gpu.launch(k, grid_blocks=1, threads_per_block=32, args=(buf,))
+
+    def test_partial_initialization_tracked_per_element(self):
+        gpu = GPU(detect_uninitialized=True, consistency="strong")
+        buf = gpu.alloc("x", (8,), np.float64)
+
+        def writer(ctx, buf):
+            ctx.gstore(buf, np.arange(4), np.ones(4))
+        gpu.launch(writer, grid_blocks=1, threads_per_block=32, args=(buf,))
+
+        def reader_ok(ctx, buf):
+            ctx.gload(buf, np.arange(4))
+        gpu.launch(reader_ok, grid_blocks=1, threads_per_block=32, args=(buf,))
+
+        def reader_bad(ctx, buf):
+            ctx.gload(buf, np.arange(8))
+        with pytest.raises(RaceConditionError):
+            gpu.launch(reader_bad, grid_blocks=1, threads_per_block=32,
+                       args=(buf,))
+
+    def test_detection_off_by_default(self):
+        gpu = GPU()
+        buf = gpu.alloc("x", (8,), np.float64)
+
+        def k(ctx, buf):
+            ctx.gload(buf, ctx.tids[:8])
+        gpu.launch(k, grid_blocks=1, threads_per_block=32, args=(buf,))
+
+
+@pytest.mark.parametrize("name", sorted(ALGORITHMS))
+def test_every_algorithm_clean_under_detection(name, small_matrix):
+    """No SAT algorithm may read a scratch value before it was published."""
+    gpu = GPU(seed=3, scheduler_policy="random", detect_uninitialized=True)
+    res = get_algorithm(name).run(small_matrix, gpu)
+    assert np.array_equal(res.sat, sat_reference(small_matrix))

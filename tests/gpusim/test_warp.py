@@ -1,0 +1,90 @@
+"""Warp primitives: shuffles and the paper's warp prefix-sum algorithm."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.gpusim import (MemoryTraffic, shfl_idx, shfl_up,
+                          warp_exclusive_scan, warp_inclusive_scan,
+                          warp_reduce_sum)
+
+
+class TestShfl:
+    def test_shfl_up_shifts_lanes(self):
+        out = shfl_up(np.arange(32.0), 1)
+        assert out[0] == 0  # lane < delta keeps its own value
+        assert np.array_equal(out[1:], np.arange(31.0))
+
+    def test_shfl_up_delta_zero_is_identity(self):
+        vals = np.arange(32.0)
+        assert np.array_equal(shfl_up(vals, 0), vals)
+
+    def test_shfl_up_multiwarp_independent(self):
+        vals = np.concatenate([np.zeros(32), np.ones(32)])
+        out = shfl_up(vals, 4)
+        # Lane 32+0..3 keep warp-1 values, not warp-0 spillover.
+        assert (out[32:36] == 1).all()
+
+    def test_shfl_idx_broadcasts(self):
+        out = shfl_idx(np.arange(32.0), 5)
+        assert (out == 5.0).all()
+
+    def test_shuffle_counted(self):
+        t = MemoryTraffic()
+        shfl_up(np.arange(32.0), 1, t)
+        assert t.shuffle_ops == 32
+
+    def test_partial_warp_rejected(self):
+        with pytest.raises(ConfigurationError):
+            shfl_up(np.arange(20.0), 1)
+
+
+class TestWarpScan:
+    def test_figure4_example(self):
+        """Figure 4: w = 8 prefix sums (reduced warp size)."""
+        vals = np.array([3, 1, 4, 1, 5, 9, 2, 6], dtype=float)
+        out = warp_inclusive_scan(vals, warp_size=8)
+        assert np.array_equal(out, np.cumsum(vals))
+
+    def test_inclusive_matches_cumsum_per_warp(self):
+        rng = np.random.default_rng(0)
+        vals = rng.integers(0, 100, size=96).astype(float)
+        out = warp_inclusive_scan(vals)
+        for w in range(3):
+            seg = slice(32 * w, 32 * (w + 1))
+            assert np.array_equal(out[seg], np.cumsum(vals[seg]))
+
+    def test_last_lane_holds_warp_sum(self):
+        vals = np.ones(32)
+        assert warp_inclusive_scan(vals)[-1] == 32
+
+    def test_exclusive_scan(self):
+        vals = np.arange(1.0, 33.0)
+        out = warp_exclusive_scan(vals)
+        assert out[0] == 0
+        assert np.array_equal(out[1:], np.cumsum(vals)[:-1])
+
+    def test_reduce_broadcasts_sum(self):
+        vals = np.arange(32.0)
+        out = warp_reduce_sum(vals)
+        assert (out == vals.sum()).all()
+
+    def test_scan_uses_log2w_shuffle_rounds(self):
+        t = MemoryTraffic()
+        warp_inclusive_scan(np.zeros(32), t)
+        assert t.shuffle_ops == 5 * 32  # log2(32) rounds, one shfl per lane
+
+    @given(st.lists(st.integers(-1000, 1000), min_size=32, max_size=32))
+    def test_property_matches_cumsum(self, values):
+        vals = np.asarray(values, dtype=float)
+        assert np.array_equal(warp_inclusive_scan(vals), np.cumsum(vals))
+
+    @given(st.integers(1, 4), st.integers(0, 2**31 - 1))
+    def test_property_multiwarp(self, nwarps, seed):
+        rng = np.random.default_rng(seed)
+        vals = rng.normal(size=32 * nwarps)
+        out = warp_inclusive_scan(vals)
+        expect = vals.reshape(nwarps, 32).cumsum(axis=1).reshape(-1)
+        assert np.allclose(out, expect)

@@ -1,0 +1,34 @@
+"""Calibration against the paper's cudaMemcpy duplication row."""
+
+import pytest
+
+from repro.perfmodel import (DEFAULT_CALIBRATION, PAPER_DUPLICATION_MS, SIZES,
+                             fit_duplication)
+
+
+class TestFit:
+    def test_bandwidth_near_hbm2_spec(self):
+        """The fitted effective bandwidth must be physically plausible for a
+        TITAN V (HBM2 peak 652.8 GB/s, measured copies ~85-95 % of peak)."""
+        cal = fit_duplication()
+        assert 500 <= cal.bandwidth_gbps <= 660
+
+    def test_launch_overhead_is_microseconds(self):
+        cal = fit_duplication()
+        assert 0.0 <= cal.t0_us <= 10.0
+
+    @pytest.mark.parametrize("idx", range(len(SIZES)))
+    def test_every_point_within_20_percent(self, idx):
+        cal = DEFAULT_CALIBRATION
+        model = cal.duplication_us(SIZES[idx]) / 1e3
+        paper = PAPER_DUPLICATION_MS[idx]
+        assert abs(model - paper) / paper < 0.20, (SIZES[idx], model, paper)
+
+    def test_monotone_in_n(self):
+        cal = DEFAULT_CALIBRATION
+        times = [cal.duplication_us(n) for n in SIZES]
+        assert all(a < b for a, b in zip(times, times[1:]))
+
+    def test_bytes_us_linear(self):
+        cal = DEFAULT_CALIBRATION
+        assert cal.bytes_us(2e9) == pytest.approx(2 * cal.bytes_us(1e9))

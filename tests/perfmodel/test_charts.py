@@ -1,0 +1,56 @@
+"""ASCII chart renderers."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.perfmodel.charts import bar_chart, log_chart, table3_chart
+
+
+class TestLogChart:
+    def test_renders_series_and_legend(self):
+        art = log_chart({"a": [1.0, 10.0], "b": [2.0, 20.0]}, [256, 512])
+        assert "legend" in art and "o=a" in art and "x=b" in art
+
+    def test_title(self):
+        art = log_chart({"a": [1.0, 2.0]}, [1, 2], title="hello")
+        assert art.splitlines()[0] == "hello"
+
+    def test_skips_nans(self):
+        art = log_chart({"a": [float("nan"), 5.0]}, [1, 2])
+        assert "o" in art
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            log_chart({}, [1, 2])
+        with pytest.raises(ConfigurationError):
+            log_chart({"a": [float("nan")]}, [1])
+
+    def test_axis_labels_show_extremes(self):
+        art = log_chart({"a": [0.5, 50.0]}, [256, 32768])
+        assert "50" in art and "0.5" in art
+        assert "256" in art and "32768" in art
+
+
+class TestBarChart:
+    def test_bars_scale_to_max(self):
+        art = bar_chart({"small": 1.0, "big": 2.0}, width=10)
+        lines = art.splitlines()
+        assert lines[1].count("#") == 10       # 'big' fills the width
+        assert lines[0].count("#") == 5
+
+    def test_unit_suffix(self):
+        art = bar_chart({"x": 3.0}, unit=" ms")
+        assert "3 ms" in art
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bar_chart({})
+        with pytest.raises(ConfigurationError):
+            bar_chart({"x": 0.0})
+
+
+class TestTable3Chart:
+    def test_contains_all_series(self):
+        art = table3_chart()
+        assert "duplication" in art and "1R1W-SKSS-LB" in art
+        assert "log-log" in art

@@ -1,0 +1,102 @@
+"""Cost model internals: occupancy, strided multiplier, kernel specs."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.perfmodel import TitanVModel, kernel_costs
+from repro.perfmodel.titanv import DEFAULT_CONSTANTS
+
+
+@pytest.fixture
+def model():
+    return TitanVModel()
+
+
+class TestOccupancy:
+    def test_saturated_launch(self, model):
+        assert model.occupancy(1000, 1024) == 1.0
+
+    def test_tiny_launch_penalized(self, model):
+        assert model.occupancy(1, 32) < 0.01
+
+    def test_resident_cap(self, model):
+        # A million blocks can't exceed the resident-thread ceiling.
+        assert model.occupancy(10**6, 1024) == 1.0
+
+    def test_monotone_in_blocks(self, model):
+        occs = [model.occupancy(b, 256) for b in (1, 4, 16, 64, 256)]
+        assert all(a <= b for a, b in zip(occs, occs[1:]))
+
+
+class TestStrided:
+    def test_fits_in_l2_no_penalty(self, model):
+        assert model.strided_multiplier(1024**2) == pytest.approx(1.0, abs=0.3)
+
+    def test_spills_l2_full_penalty(self, model):
+        big = model.strided_multiplier(4 * 1024**3)
+        assert big == pytest.approx(DEFAULT_CONSTANTS.strided_factor, rel=0.02)
+
+    def test_monotone_in_footprint(self, model):
+        ms = [model.strided_multiplier(b) for b in
+              (1e6, 1e7, 1e8, 1e9, 1e10)]
+        assert all(a <= b for a, b in zip(ms, ms[1:]))
+
+
+class TestKernelSpecs:
+    def test_2r2w_two_kernels(self):
+        ks = kernel_costs("2R2W", 1024)
+        assert len(ks) == 2
+        assert ks[0].strided_bytes == 0 and ks[1].strided_bytes > 0
+
+    def test_1r1w_kernel_count(self):
+        ks = kernel_costs("1R1W", 1024, W=32)
+        assert len(ks) == 2 * 32 - 1
+
+    def test_skss_lb_single_kernel_with_atomics(self):
+        (k,) = kernel_costs("1R1W-SKSS-LB", 1024, W=32)
+        assert k.atomics == 32 * 32
+        assert k.blocks == 32 * 32
+
+    def test_traffic_scales_with_n(self):
+        small = sum(k.coalesced_bytes for k in kernel_costs("2R1W", 512))
+        large = sum(k.coalesced_bytes for k in kernel_costs("2R1W", 1024))
+        assert 3.5 <= large / small <= 4.5
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ConfigurationError):
+            kernel_costs("XYZ", 256)
+
+    def test_misaligned_tile(self):
+        with pytest.raises(ConfigurationError):
+            kernel_costs("1R1W", 100, W=32)
+
+    def test_hybrid_r_zero_equals_1r1w_structure(self):
+        hybrid = kernel_costs("(1+r)R1W", 1024, W=32, r=0.0)
+        pure = kernel_costs("1R1W", 1024, W=32)
+        assert len(hybrid) == len(pure)
+
+
+class TestEstimates:
+    def test_breakdown_totals(self, model):
+        bd = model.estimate("1R1W-SKSS-LB", 1024, W=64)
+        assert bd.total_us == pytest.approx(sum(bd.kernel_times_us))
+        assert bd.total_ms == pytest.approx(bd.total_us / 1e3)
+
+    def test_every_algorithm_slower_than_duplication(self, model):
+        """No SAT algorithm may beat the duplication lower bound."""
+        from repro.perfmodel import TABLE3_ORDER
+        for n in (256, 1024, 8192):
+            dup = model.duplication_us(n)
+            for name in TABLE3_ORDER:
+                best = model.best_estimate(name, n)
+                assert best.total_us > dup, (name, n)
+
+    def test_best_estimate_picks_minimum(self, model):
+        per_w = [model.estimate("1R1W-SKSS", 2048, W=w).total_us
+                 for w in (32, 64, 128)]
+        assert model.best_estimate("1R1W-SKSS", 2048).total_us == \
+            pytest.approx(min(per_w))
+
+    def test_w_larger_than_n_skipped(self, model):
+        bd = model.best_estimate("1R1W", 64, tile_widths=(32, 64, 128))
+        assert bd.total_us > 0

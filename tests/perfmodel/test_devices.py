@@ -1,0 +1,58 @@
+"""Cross-device model projections (extension)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.perfmodel.devices import (DEVICE_SPECS, cross_device_summary,
+                                     get_device_spec, model_for_device)
+
+
+class TestSpecs:
+    def test_titan_v_present(self):
+        spec = get_device_spec("titan-v")
+        assert spec.spec_bandwidth_gbps == pytest.approx(652.8)
+        assert spec.num_sms == 80
+
+    def test_effective_bandwidth_derated(self):
+        for spec in DEVICE_SPECS.values():
+            assert 0.8 * spec.spec_bandwidth_gbps < \
+                spec.effective_bandwidth_gbps < spec.spec_bandwidth_gbps
+
+    def test_unknown_device(self):
+        with pytest.raises(ConfigurationError):
+            get_device_spec("tpu")
+
+    def test_case_insensitive(self):
+        assert get_device_spec("V100").name.startswith("NVIDIA Tesla V100")
+
+
+class TestProjections:
+    def test_titan_v_projection_equals_default_model(self):
+        """The titan-v 'projection' must reproduce the fitted calibration."""
+        from repro.perfmodel import DEFAULT_CALIBRATION
+        cal = model_for_device("titan-v").calibration
+        assert cal.bandwidth_gbps == pytest.approx(
+            DEFAULT_CALIBRATION.bandwidth_gbps, rel=1e-9)
+
+    def test_faster_memory_means_faster_sat(self):
+        t_v100 = model_for_device("v100").best_estimate("1R1W-SKSS-LB",
+                                                        8192).total_ms
+        t_1080 = model_for_device("gtx-1080ti").best_estimate("1R1W-SKSS-LB",
+                                                              8192).total_ms
+        assert t_v100 < t_1080
+
+    def test_ranking_preserved_on_every_device(self):
+        """The paper's headline is bandwidth-scale invariant: SKSS-LB wins at
+        8K² on every projected device."""
+        summary = cross_device_summary(8192)
+        for key, row in summary.items():
+            lb = row["1R1W-SKSS-LB"]
+            for name, t in row.items():
+                if name not in ("duplication", "1R1W-SKSS-LB"):
+                    assert lb <= t * 1.001, (key, name)
+
+    def test_summary_contains_all_devices(self):
+        summary = cross_device_summary(2048)
+        assert set(summary) == set(DEVICE_SPECS)
+        for row in summary.values():
+            assert row["duplication"] > 0

@@ -1,0 +1,60 @@
+"""CSV/JSON exports of the reproduced tables."""
+
+import csv
+import io
+import json
+
+from repro.perfmodel.export import (table1_records, table3_records, to_csv,
+                                    to_json, write_all)
+from repro.perfmodel.titanv import SIZES, TILE_WIDTHS
+
+
+class TestRecords:
+    def test_table1_has_seven_rows(self):
+        recs = table1_records(1024)
+        assert len(recs) == 7
+        assert {r["algorithm"] for r in recs} >= {"2R2W", "1R1W-SKSS-LB"}
+
+    def test_table1_fields(self):
+        rec = table1_records(1024)[0]
+        assert set(rec) == {"algorithm", "kernel_calls_symbolic",
+                            "kernel_calls", "threads_symbolic", "max_threads",
+                            "parallelism", "reads_symbolic", "reads",
+                            "writes_symbolic", "writes"}
+
+    def test_table3_cell_count(self):
+        recs = table3_records()
+        # duplication (8) + 2 algorithms without W (2*8) + 5 with 3 widths.
+        expected = len(SIZES) * (1 + 2 + 5 * len(TILE_WIDTHS))
+        assert len(recs) == expected
+
+    def test_table3_paper_values_attached(self):
+        recs = table3_records()
+        lb = [r for r in recs if r["algorithm"] == "1R1W-SKSS-LB"
+              and r["W"] == 128 and r["n"] == 32768]
+        assert len(lb) == 1
+        assert lb[0]["paper_ms"] == 15.8
+        assert 0.3 * 15.8 < lb[0]["model_ms"] < 3 * 15.8
+
+
+class TestSerialization:
+    def test_csv_roundtrip(self):
+        text = to_csv(table1_records(256))
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert len(rows) == 7
+        assert rows[0]["algorithm"] == "2R2W"
+
+    def test_csv_empty(self):
+        assert to_csv([]) == ""
+
+    def test_json_roundtrip(self):
+        recs = json.loads(to_json(table3_records()))
+        assert isinstance(recs, list) and recs[0]["algorithm"] == "duplication"
+
+    def test_write_all(self, tmp_path):
+        written = write_all(tmp_path, n=256)
+        assert len(written) == 4
+        for path in written:
+            assert (tmp_path / path.split("/")[-1]).exists()
+        table3 = json.loads((tmp_path / "table3.json").read_text())
+        assert any(r["algorithm"] == "1R1W-SKSS-LB" for r in table3)

@@ -1,0 +1,71 @@
+"""Robustness of the headline conclusion to the model's fixed constants.
+
+The fitted parameters come from the duplication row; the remaining constants
+(saturation point, strided factor, L2 size, atomic latency, hand-off costs)
+are physically motivated but approximate.  The paper's headline — 1R1W-SKSS-LB
+is the fastest algorithm at every size — must not hinge on their exact
+values, so we perturb each by ±40 % and re-check the ranking.
+"""
+
+import dataclasses
+import math
+
+import pytest
+
+from repro.perfmodel import SIZES, TABLE3_ORDER, TitanVModel, model_table3
+from repro.perfmodel.titanv import DEFAULT_CONSTANTS
+
+PERTURBABLE = ("saturation_threads", "strided_factor", "l2_bytes",
+               "atomic_ns", "skss_handoff_ns_per_width", "lb_chain_step_us")
+
+
+def check_ranking(model: TitanVModel, *, skss_slack_at_32k: float = 1.0) -> None:
+    """Assert SKSS-LB is the fastest everywhere.
+
+    The one genuinely tight margin — LB vs plain SKSS at 32K², 2.5 % in the
+    paper itself (15.8 vs 16.2 ms) — may flip under perturbation; callers
+    allow it explicitly via ``skss_slack_at_32k`` (a tolerated ratio).
+    """
+    table = model_table3(model)
+
+    def best(name, k):
+        return min(v[k] for v in table[name].values() if not math.isnan(v[k]))
+
+    for k, n in enumerate(SIZES):
+        lb = best("1R1W-SKSS-LB", k)
+        for name in TABLE3_ORDER:
+            if name == "1R1W-SKSS-LB":
+                continue
+            slack = skss_slack_at_32k if (name == "1R1W-SKSS"
+                                          and n == 32768) else 1.0
+            assert lb <= best(name, k) * slack * 1.001, \
+                (name, n, lb, best(name, k))
+
+
+@pytest.mark.parametrize("field", PERTURBABLE)
+@pytest.mark.parametrize("factor", [0.6, 1.4])
+def test_ranking_robust_under_perturbation(field, factor):
+    """±40 % on any single constant preserves the ranking against every
+    algorithm at every size, except the documented ≤5 % LB-vs-SKSS margin
+    at 32K² (which is equally tight in the paper's own measurements)."""
+    constants = dataclasses.replace(
+        DEFAULT_CONSTANTS, **{field: getattr(DEFAULT_CONSTANTS, field) * factor})
+    check_ranking(TitanVModel(constants=constants), skss_slack_at_32k=1.05)
+
+
+def test_lb_wins_with_default_constants():
+    check_ranking(TitanVModel())
+
+
+def test_extreme_atomic_cost_does_flip_small_w_order(monkeypatch):
+    """Sanity that the knobs are live: a 10x atomic cost makes W=32 collapse
+    even harder (the model is actually sensitive where it should be)."""
+    import dataclasses
+    heavy = dataclasses.replace(DEFAULT_CONSTANTS, atomic_ns=120.0)
+    model = TitanVModel(constants=heavy)
+    k = SIZES.index(32768)
+    t32 = model.estimate("1R1W-SKSS-LB", 32768, W=32).total_ms
+    t128 = model.estimate("1R1W-SKSS-LB", 32768, W=128).total_ms
+    base = TitanVModel().estimate("1R1W-SKSS-LB", 32768, W=32).total_ms
+    assert t32 > base
+    assert t32 > 3 * t128

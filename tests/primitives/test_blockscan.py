@@ -1,0 +1,75 @@
+"""Block-level inclusive scan (two-level warp scheme)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.gpusim import GPU
+from repro.primitives.blockscan import block_inclusive_scan, block_reduce_sum
+
+
+def scan_in_block(values, threads):
+    gpu = GPU()
+    out = {}
+
+    def k(ctx, values):
+        out["scan"] = block_inclusive_scan(ctx, values)
+    gpu.launch(k, grid_blocks=1, threads_per_block=threads, args=(values,))
+    return out["scan"]
+
+
+class TestBlockScan:
+    @pytest.mark.parametrize("threads", [32, 64, 256, 1024])
+    def test_matches_cumsum(self, threads, rng):
+        vals = rng.integers(0, 50, size=threads).astype(float)
+        assert np.array_equal(scan_in_block(vals, threads), np.cumsum(vals))
+
+    def test_single_warp(self):
+        vals = np.arange(32.0)
+        assert np.array_equal(scan_in_block(vals, 32), np.cumsum(vals))
+
+    def test_wrong_shape_rejected(self):
+        gpu = GPU()
+
+        def k(ctx):
+            block_inclusive_scan(ctx, np.zeros(16))
+        with pytest.raises(ConfigurationError):
+            gpu.launch(k, grid_blocks=1, threads_per_block=32)
+
+    def test_reduce(self):
+        gpu = GPU()
+        out = {}
+
+        def k(ctx):
+            out["sum"] = block_reduce_sum(ctx, np.arange(64.0))
+        gpu.launch(k, grid_blocks=1, threads_per_block=64)
+        assert out["sum"] == np.arange(64.0).sum()
+
+    def test_uses_shared_scratch(self):
+        gpu = GPU()
+
+        def k(ctx):
+            block_inclusive_scan(ctx, np.ones(64))
+        stats = gpu.launch(k, grid_blocks=1, threads_per_block=64)
+        assert stats.traffic.shared_write_requests > 0
+        assert stats.traffic.shuffle_ops > 0
+
+    def test_scratch_reusable_across_calls(self):
+        """A kernel scanning twice must not re-allocate the scratch."""
+        gpu = GPU()
+        out = {}
+
+        def k(ctx):
+            block_inclusive_scan(ctx, np.ones(64))
+            out["second"] = block_inclusive_scan(ctx, np.full(64, 2.0))
+        gpu.launch(k, grid_blocks=1, threads_per_block=64)
+        assert out["second"][-1] == 128.0
+
+    @settings(deadline=None, max_examples=20)
+    @given(nwarps=st.integers(1, 32), seed=st.integers(0, 10_000))
+    def test_property(self, nwarps, seed):
+        rng = np.random.default_rng(seed)
+        vals = rng.normal(size=32 * nwarps)
+        assert np.allclose(scan_in_block(vals, 32 * nwarps), np.cumsum(vals))

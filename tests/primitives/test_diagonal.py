@@ -1,0 +1,91 @@
+"""Diagonal arrangement (Figure 3): bijectivity and conflict-freedom."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.gpusim import bank_conflict_cycles
+from repro.primitives.diagonal import (check_tile_width, col_offsets,
+                                       diag_inverse, diag_offset,
+                                       full_tile_offsets, row_offsets,
+                                       rowmajor_offset)
+
+
+class TestFigure3:
+    """The paper's w = 4 worked example."""
+
+    W = 4
+
+    def test_offsets_match_figure(self):
+        # Figure 3: a[i][j] at offset i*w + (i+j) mod w; e.g. a[1][3] -> 4+0.
+        assert diag_offset(0, 0, 4) == 0
+        assert diag_offset(1, 3, 4) == 4 + 0
+        assert diag_offset(3, 1, 4) == 12 + 0
+        assert diag_offset(2, 3, 4) == 8 + 1
+
+    def test_row_access_distinct_banks(self):
+        offs = row_offsets(1, 4)
+        assert len(set(o % 4 for o in offs)) == 4
+
+    def test_col_access_distinct_banks(self):
+        offs = col_offsets(1, 4)
+        assert len(set(o % 4 for o in offs)) == 4
+
+
+class TestBijection:
+    @pytest.mark.parametrize("W", [32, 64, 128])
+    def test_all_offsets_distinct(self, W):
+        offs = full_tile_offsets(W, "diagonal")
+        assert np.unique(offs).size == W * W
+        assert offs.min() == 0 and offs.max() == W * W - 1
+
+    @given(st.sampled_from([32, 64, 128]), st.integers(0, 127),
+           st.integers(0, 127))
+    def test_inverse(self, W, i, j):
+        i, j = i % W, j % W
+        off = diag_offset(i, j, W)
+        ii, jj = diag_inverse(off, W)
+        assert (ii, jj) == (i, j)
+
+
+class TestConflictFreedom:
+    @pytest.mark.parametrize("W", [32, 64, 128])
+    def test_every_row_conflict_free(self, W):
+        for i in range(W):
+            assert bank_conflict_cycles(row_offsets(i, W)) == 0
+
+    @pytest.mark.parametrize("W", [32, 64, 128])
+    def test_every_column_conflict_free(self, W):
+        for j in range(W):
+            assert bank_conflict_cycles(col_offsets(j, W)) == 0
+
+    def test_rowmajor_columns_fully_conflicted(self):
+        """The ablation baseline: row-major columns serialize 32 ways."""
+        W = 32
+        offs = rowmajor_offset(np.arange(W), 5, W)
+        assert bank_conflict_cycles(offs) == 31
+
+    def test_rowmajor_rows_conflict_free(self):
+        W = 32
+        offs = rowmajor_offset(5, np.arange(W), W)
+        assert bank_conflict_cycles(offs) == 0
+
+
+class TestValidation:
+    def test_width_must_be_warp_multiple(self):
+        with pytest.raises(ConfigurationError):
+            check_tile_width(48)
+
+    def test_width_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            check_tile_width(0)
+
+    def test_valid_widths_accepted(self):
+        for W in (32, 64, 96, 128):
+            check_tile_width(W)
+
+    def test_unknown_layout_rejected(self):
+        with pytest.raises(ConfigurationError):
+            full_tile_offsets(32, "zigzag")

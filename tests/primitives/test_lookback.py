@@ -1,0 +1,131 @@
+"""The generic decoupled look-back walker: publish/walk protocol semantics."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import GPU, TINY_DEVICE
+from repro.primitives.lookback import lookback_walk, publish
+
+
+def chain_scan_kernel(ctx, counter, status, locals_, globals_, out, N):
+    """N partitions, each holding local value (p+1); global aggregates built
+    via look-back.  Tests the exact A/P protocol used everywhere."""
+    while True:
+        p = ctx.atomic_add(counter, 0, 1)
+        if p >= N:
+            return
+        local = float(p + 1)
+        publish(ctx, [(locals_, np.asarray([p]), np.asarray([local]))],
+                status, p, 1)
+        exclusive = yield from lookback_walk(
+            ctx, steps=range(p - 1, -1, -1),
+            status_buf=status, status_index=lambda q: q,
+            local_threshold=1, global_threshold=2,
+            read_local=lambda q: ctx.gload_scalar(locals_, q),
+            read_global=lambda q: ctx.gload_scalar(globals_, q),
+            zero=0.0)
+        publish(ctx, [(globals_, np.asarray([p]),
+                       np.asarray([exclusive + local]))], status, p, 2)
+        ctx.gstore_scalar(out, p, exclusive + local)
+
+
+def run_chain(N=16, *, seed=0, policy="random", max_resident=None):
+    gpu = GPU(device=TINY_DEVICE, scheduler_policy=policy, seed=seed,
+              max_resident_blocks=max_resident)
+    counter = gpu.alloc("c", (1,), np.int64)
+    status = gpu.alloc("s", (N,), np.int64)
+    locals_ = gpu.alloc("l", (N,), np.float64)
+    globals_ = gpu.alloc("g", (N,), np.float64)
+    out = gpu.alloc("o", (N,), np.float64)
+    stats = gpu.launch(chain_scan_kernel, grid_blocks=N, threads_per_block=32,
+                       args=(counter, status, locals_, globals_, out, N))
+    return gpu.read("o"), stats
+
+
+class TestLookbackWalk:
+    def test_inclusive_prefixes_correct(self):
+        out, _ = run_chain(16, seed=1)
+        assert np.array_equal(out, np.cumsum(np.arange(1.0, 17.0)))
+
+    @pytest.mark.parametrize("policy", ["round_robin", "random", "lifo"])
+    @pytest.mark.parametrize("max_resident", [1, 2, 4])
+    def test_all_schedules(self, policy, max_resident):
+        expect = np.cumsum(np.arange(1.0, 13.0))
+        for seed in range(3):
+            out, _ = run_chain(12, seed=seed, policy=policy,
+                               max_resident=max_resident)
+            assert np.array_equal(out, expect), (policy, max_resident, seed)
+
+    def test_empty_steps_returns_zero(self):
+        """Partition 0 walks nothing and gets the additive identity."""
+        out, _ = run_chain(1)
+        assert out[0] == 1.0
+
+    def test_vector_accumulation(self):
+        """The walker works element-wise on vector aggregates."""
+        gpu = GPU(device=TINY_DEVICE, seed=3, scheduler_policy="random",
+                  max_resident_blocks=2)
+        N, W = 6, 4
+        counter = gpu.alloc("c", (1,), np.int64)
+        status = gpu.alloc("s", (N,), np.int64)
+        locals_ = gpu.alloc("l", (N, W), np.float64)
+        globals_ = gpu.alloc("g", (N, W), np.float64)
+
+        def k(ctx, counter, status, locals_, globals_):
+            while True:
+                p = ctx.atomic_add(counter, 0, 1)
+                if p >= N:
+                    return
+                vec = np.full(W, float(p + 1))
+                idx = p * W + np.arange(W)
+                publish(ctx, [(locals_, idx, vec)], status, p, 1)
+                excl = yield from lookback_walk(
+                    ctx, steps=range(p - 1, -1, -1),
+                    status_buf=status, status_index=lambda q: q,
+                    local_threshold=1, global_threshold=2,
+                    read_local=lambda q: ctx.gload(locals_,
+                                                   q * W + np.arange(W)),
+                    read_global=lambda q: ctx.gload(globals_,
+                                                    q * W + np.arange(W)),
+                    zero=np.zeros(W))
+                publish(ctx, [(globals_, idx, excl + vec)], status, p, 2)
+
+        gpu.launch(k, grid_blocks=N, threads_per_block=32,
+                   args=(counter, status, locals_, globals_))
+        expect = np.cumsum(np.arange(1.0, N + 1))
+        assert np.array_equal(gpu.read("g"), np.tile(expect[:, None], (1, W)))
+
+    def test_walk_stops_at_first_global(self):
+        """Once a predecessor exposes a global aggregate the walk must not
+        read further back (bounded look-back depth)."""
+        reads = []
+        gpu = GPU(device=TINY_DEVICE, consistency="strong")
+        status = gpu.alloc("s", (8,), np.int64,
+                           fill=np.array([2, 1, 1, 2, 1, 1, 1, 0]))
+        locals_ = gpu.alloc("l", (8,), np.float64,
+                            fill=np.arange(1.0, 9.0))
+        globals_ = gpu.alloc("g", (8,), np.float64,
+                             fill=np.arange(1.0, 9.0).cumsum())
+
+        def k(ctx, status, locals_, globals_):
+            def rl(q):
+                reads.append(("local", q))
+                return ctx.gload_scalar(locals_, q)
+
+            def rg(q):
+                reads.append(("global", q))
+                return ctx.gload_scalar(globals_, q)
+
+            result = yield from lookback_walk(
+                ctx, steps=range(6, -1, -1), status_buf=status,
+                status_index=lambda q: q, local_threshold=1,
+                global_threshold=2, read_local=rl, read_global=rg, zero=0.0)
+            ctx.gstore_scalar(locals_, 7, result)
+
+        gpu.launch(k, grid_blocks=1, threads_per_block=32,
+                   args=(status, locals_, globals_))
+        # Walk: locals at 6, 5, 4, then global at 3; never touches 2, 1, 0.
+        assert reads == [("local", 6), ("local", 5), ("local", 4),
+                         ("global", 3)]
+        # locals_[q] == q + 1 and globals_[3] == 1+2+3+4.
+        assert gpu.read("l")[7] == 7 + 6 + 5 + (1 + 2 + 3 + 4)

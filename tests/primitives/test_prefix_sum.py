@@ -1,0 +1,87 @@
+"""Host prefix-sum references and partition arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.primitives.prefix_sum import (exclusive_scan, inclusive_scan,
+                                         num_partitions, partition_bounds,
+                                         sequential_inclusive_scan)
+
+
+class TestScans:
+    def test_inclusive_1d(self):
+        assert np.array_equal(inclusive_scan(np.array([1, 2, 3])),
+                              np.array([1, 3, 6]))
+
+    def test_exclusive_1d(self):
+        assert np.array_equal(exclusive_scan(np.array([1, 2, 3])),
+                              np.array([0, 1, 3]))
+
+    def test_inclusive_axis0(self):
+        m = np.arange(6).reshape(2, 3)
+        assert np.array_equal(inclusive_scan(m, axis=0), m.cumsum(axis=0))
+
+    def test_exclusive_axis1(self):
+        m = np.arange(6.0).reshape(2, 3)
+        out = exclusive_scan(m, axis=1)
+        assert np.array_equal(out[:, 0], np.zeros(2))
+        assert np.array_equal(out[:, 1:], m.cumsum(axis=1)[:, :-1])
+
+    def test_multidim_needs_axis(self):
+        with pytest.raises(ConfigurationError):
+            inclusive_scan(np.zeros((2, 2)))
+        with pytest.raises(ConfigurationError):
+            exclusive_scan(np.zeros((2, 2)))
+
+    def test_sequential_matches_vectorised(self):
+        vals = np.array([5, -2, 7, 0, 3])
+        assert np.array_equal(sequential_inclusive_scan(vals),
+                              inclusive_scan(vals))
+
+    def test_sequential_does_not_mutate(self):
+        vals = np.array([1, 2, 3])
+        sequential_inclusive_scan(vals)
+        assert np.array_equal(vals, [1, 2, 3])
+
+    @given(st.lists(st.integers(-100, 100), min_size=1, max_size=50))
+    def test_inclusive_exclusive_relation(self, values):
+        v = np.asarray(values)
+        assert np.array_equal(inclusive_scan(v) - v, exclusive_scan(v))
+
+
+class TestPartitions:
+    def test_exact_division(self):
+        assert num_partitions(100, 25) == 4
+
+    def test_ragged_division(self):
+        assert num_partitions(100, 30) == 4
+
+    def test_single(self):
+        assert num_partitions(5, 100) == 1
+
+    def test_invalid_size(self):
+        with pytest.raises(ConfigurationError):
+            num_partitions(10, 0)
+
+    def test_bounds(self):
+        assert partition_bounds(0, 30, 100) == (0, 30)
+        assert partition_bounds(3, 30, 100) == (90, 100)
+
+    def test_bounds_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            partition_bounds(4, 30, 100)
+
+    @given(st.integers(1, 1000), st.integers(1, 64))
+    def test_partitions_cover_exactly(self, n, size):
+        parts = num_partitions(n, size)
+        covered = 0
+        prev_hi = 0
+        for p in range(parts):
+            lo, hi = partition_bounds(p, size, n)
+            assert lo == prev_hi
+            covered += hi - lo
+            prev_hi = hi
+        assert covered == n

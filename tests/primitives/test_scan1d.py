@@ -1,0 +1,97 @@
+"""Merrill–Garland single-pass row scan: correctness under adversarial
+scheduling, traffic shape, layout arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import GPU
+from repro.primitives.scan1d import RowScanLayout, run_row_scan
+
+
+def scan_rows(a, *, threads=64, policy="random", seed=0, partition=None,
+              max_resident=None):
+    gpu = GPU(scheduler_policy=policy, seed=seed,
+              max_resident_blocks=max_resident)
+    rows, n = a.shape
+    src = gpu.alloc("src", a.shape, np.float64, fill=a)
+    dst = gpu.alloc("dst", a.shape, np.float64)
+    stats = run_row_scan(gpu, src, dst, rows=rows, n=n,
+                         partition_size=partition, threads_per_block=threads)
+    return gpu.read("dst"), stats
+
+
+class TestLayout:
+    def test_parts_per_row(self):
+        lay = RowScanLayout(rows=4, n=100, partition_size=32)
+        assert lay.parts_per_row == 4
+        assert lay.total_parts == 16
+
+    def test_serial_order_is_partition_major(self):
+        lay = RowScanLayout(rows=3, n=64, partition_size=32)
+        tiles = [lay.serial_to_tile(s) for s in range(lay.total_parts)]
+        # All partition-0 tiles come first.
+        assert tiles[:3] == [(0, 0), (1, 0), (2, 0)]
+        assert tiles[3:] == [(0, 1), (1, 1), (2, 1)]
+
+    def test_predecessors_have_smaller_serials(self):
+        lay = RowScanLayout(rows=5, n=96, partition_size=32)
+        serial_of = {lay.serial_to_tile(s): s for s in range(lay.total_parts)}
+        for (row, part), s in serial_of.items():
+            if part > 0:
+                assert serial_of[(row, part - 1)] < s
+
+
+class TestCorrectness:
+    def test_single_partition_rows(self, rng):
+        a = rng.integers(0, 10, size=(8, 64)).astype(float)
+        out, _ = scan_rows(a, threads=64)
+        assert np.array_equal(out, a.cumsum(axis=1))
+
+    def test_multi_partition_rows(self, rng):
+        a = rng.integers(0, 10, size=(6, 256)).astype(float)
+        out, _ = scan_rows(a, threads=64)
+        assert np.array_equal(out, a.cumsum(axis=1))
+
+    def test_ragged_last_partition(self, rng):
+        a = rng.integers(0, 10, size=(4, 96)).astype(float)
+        out, _ = scan_rows(a, threads=64)  # 96 = 64 + 32
+        assert np.array_equal(out, a.cumsum(axis=1))
+
+    @pytest.mark.parametrize("policy", ["round_robin", "random", "lifo"])
+    def test_policies(self, policy, rng):
+        a = rng.normal(size=(4, 128))
+        out, _ = scan_rows(a, policy=policy, seed=3)
+        assert np.allclose(out, a.cumsum(axis=1))
+
+    def test_low_residency(self, rng):
+        a = rng.integers(0, 10, size=(4, 256)).astype(float)
+        out, _ = scan_rows(a, max_resident=2, seed=5)
+        assert np.array_equal(out, a.cumsum(axis=1))
+
+    def test_in_place(self, rng):
+        """dst may alias src (the 2R2W-optimal row phase runs in place)."""
+        a = rng.integers(0, 10, size=(4, 128)).astype(float)
+        gpu = GPU(seed=1)
+        buf = gpu.alloc("x", a.shape, np.float64, fill=a)
+        run_row_scan(gpu, buf, buf, rows=4, n=128, threads_per_block=64)
+        assert np.array_equal(gpu.read("x"), a.cumsum(axis=1))
+
+
+class TestTraffic:
+    def test_one_read_one_write_per_element(self, rng):
+        a = rng.integers(0, 10, size=(8, 256)).astype(float)
+        _, stats = scan_rows(a, threads=64)
+        n_elem = a.size
+        assert stats.traffic.global_read_requests >= n_elem
+        assert stats.traffic.global_read_requests <= 1.3 * n_elem
+        assert stats.traffic.global_write_requests >= n_elem
+        assert stats.traffic.global_write_requests <= 1.3 * n_elem
+
+    def test_scratch_freed(self, rng):
+        a = rng.integers(0, 10, size=(4, 64)).astype(float)
+        gpu = GPU(seed=1)
+        src = gpu.alloc("src", a.shape, np.float64, fill=a)
+        dst = gpu.alloc("dst", a.shape, np.float64)
+        before = gpu.memory.allocated_bytes
+        run_row_scan(gpu, src, dst, rows=4, n=64, threads_per_block=64)
+        assert gpu.memory.allocated_bytes == before

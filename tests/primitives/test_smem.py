@@ -1,0 +1,179 @@
+"""Kernel-side shared-memory tile operations (Section II building blocks)."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import GPU
+from repro.primitives import smem
+
+
+def run_block(kernel, *args, threads=1024, gpu=None):
+    gpu = gpu or GPU(consistency="strong")
+    stats = gpu.launch(kernel, grid_blocks=1, threads_per_block=threads,
+                       args=args)
+    return gpu, stats
+
+
+@pytest.fixture
+def tile_setup(rng):
+    """A 64x64 matrix on a GPU plus its (1, 0) tile at W=32."""
+    a = rng.integers(0, 10, size=(64, 64)).astype(float)
+    gpu = GPU(consistency="strong")
+    buf = gpu.alloc("a", a.shape, np.float64, fill=a)
+    return gpu, buf, a
+
+
+class TestCopy:
+    @pytest.mark.parametrize("layout", ["diagonal", "rowmajor"])
+    def test_roundtrip(self, tile_setup, layout):
+        gpu, buf, a = tile_setup
+        out_buf = gpu.alloc("out", a.shape, np.float64)
+
+        def k(ctx, a_buf, out_buf):
+            smem.alloc_tile(ctx, "t", 32)
+            smem.load_tile(ctx, a_buf, 64, 32, 1, 0, "t", layout)
+            yield ctx.syncthreads()
+            smem.store_tile(ctx, out_buf, 64, 32, 1, 0, "t", layout)
+        run_block(k, buf, out_buf, gpu=gpu)
+        assert np.array_equal(gpu.read("out")[32:, :32], a[32:, :32])
+
+    def test_load_is_coalesced(self, tile_setup):
+        gpu, buf, a = tile_setup
+
+        def k(ctx, a_buf):
+            smem.alloc_tile(ctx, "t", 32)
+            smem.load_tile(ctx, a_buf, 64, 32, 0, 0, "t")
+        _, stats = run_block(k, buf, gpu=gpu)
+        # 1024 float64 elements, rows of 32 within a 64-wide matrix:
+        # 8 sectors per 32-element row, 32 rows.
+        assert stats.traffic.global_read_transactions == 8 * 32
+
+    def test_fused_col_sums(self, tile_setup):
+        gpu, buf, a = tile_setup
+        got = {}
+
+        def k(ctx, a_buf):
+            smem.alloc_tile(ctx, "t", 32)
+            got["lcs"] = smem.load_tile_with_col_sums(ctx, a_buf, 64, 32, 1, 1,
+                                                      "t")
+        run_block(k, buf, gpu=gpu)
+        assert np.array_equal(got["lcs"], a[32:, 32:].sum(axis=0))
+
+    def test_diagonal_layout_conflict_free(self, tile_setup):
+        gpu, buf, a = tile_setup
+
+        def k(ctx, a_buf):
+            smem.alloc_tile(ctx, "t", 32)
+            smem.load_tile(ctx, a_buf, 64, 32, 0, 0, "t", "diagonal")
+            yield ctx.syncthreads()
+            smem.tile_row_prefix_sums(ctx, "t", 32, "diagonal")
+            smem.tile_col_prefix_sums(ctx, "t", 32, "diagonal")
+        _, stats = run_block(k, buf, gpu=gpu)
+        assert stats.traffic.shared_bank_conflict_cycles == 0
+
+    def test_rowmajor_layout_conflicts(self, tile_setup):
+        """Ablation: the row-major layout serializes the row-prefix phase
+        (column-wise warp accesses)."""
+        gpu, buf, a = tile_setup
+
+        def k(ctx, a_buf):
+            smem.alloc_tile(ctx, "t", 32)
+            smem.load_tile(ctx, a_buf, 64, 32, 0, 0, "t", "rowmajor")
+            yield ctx.syncthreads()
+            smem.tile_row_prefix_sums(ctx, "t", 32, "rowmajor")
+        _, stats = run_block(k, buf, gpu=gpu)
+        # 31 prefix steps, each a read+read+write of a 32-way-conflicted column.
+        assert stats.traffic.shared_bank_conflict_cycles >= 31 * 3 * 31
+
+
+class TestPrefixAndSums:
+    def _with_tile(self, a_tile, fn, threads=1024):
+        gpu = GPU(consistency="strong")
+        buf = gpu.alloc("a", (32, 32), np.float64, fill=a_tile)
+        out = {}
+
+        def k(ctx, a_buf):
+            smem.alloc_tile(ctx, "t", 32)
+            smem.load_tile(ctx, a_buf, 32, 32, 0, 0, "t")
+            yield ctx.syncthreads()
+            fn(ctx, out)
+        run_block(k, buf, threads=threads, gpu=gpu)
+        return out
+
+    def test_row_prefix(self, rng):
+        a = rng.integers(0, 10, size=(32, 32)).astype(float)
+
+        def fn(ctx, out):
+            smem.tile_row_prefix_sums(ctx, "t", 32)
+            out["rows"] = np.array([smem.read_row(ctx, "t", 32, i)
+                                    for i in range(32)])
+        out = self._with_tile(a, fn)
+        assert np.array_equal(out["rows"], a.cumsum(axis=1))
+
+    def test_col_prefix(self, rng):
+        a = rng.integers(0, 10, size=(32, 32)).astype(float)
+
+        def fn(ctx, out):
+            smem.tile_col_prefix_sums(ctx, "t", 32)
+            out["cols"] = np.array([smem.read_col(ctx, "t", 32, j)
+                                    for j in range(32)]).T
+        out = self._with_tile(a, fn)
+        assert np.array_equal(out["cols"], a.cumsum(axis=0))
+
+    def test_row_and_col_sums(self, rng):
+        a = rng.integers(0, 10, size=(32, 32)).astype(float)
+
+        def fn(ctx, out):
+            out["lrs"] = smem.tile_row_sums(ctx, "t", 32)
+            out["lcs"] = smem.tile_col_sums(ctx, "t", 32)
+        out = self._with_tile(a, fn)
+        assert np.array_equal(out["lrs"], a.sum(axis=1))
+        assert np.array_equal(out["lcs"], a.sum(axis=0))
+
+    def test_boundary_updates(self, rng):
+        a = rng.integers(0, 10, size=(32, 32)).astype(float)
+        grs = rng.integers(0, 10, size=32).astype(float)
+        gcs = rng.integers(0, 10, size=32).astype(float)
+
+        def fn(ctx, out):
+            smem.add_to_col(ctx, "t", 32, 0, grs)
+            smem.add_to_row(ctx, "t", 32, 0, gcs)
+            smem.add_to_element(ctx, "t", 32, 0, 0, 100.0)
+            out["row0"] = smem.read_row(ctx, "t", 32, 0)
+            out["col0"] = smem.read_col(ctx, "t", 32, 0)
+        out = self._with_tile(a, fn)
+        expect = a.copy()
+        expect[:, 0] += grs
+        expect[0, :] += gcs
+        expect[0, 0] += 100.0
+        assert np.array_equal(out["row0"], expect[0, :])
+        assert np.array_equal(out["col0"], expect[:, 0])
+
+    def test_shared_sat_pipeline(self, rng):
+        """Steps 1-4 of the shared memory SAT algorithm end to end."""
+        a = rng.integers(0, 10, size=(32, 32)).astype(float)
+        gpu = GPU(consistency="strong")
+        buf = gpu.alloc("a", (32, 32), np.float64, fill=a)
+        out_buf = gpu.alloc("b", (32, 32), np.float64)
+
+        def k(ctx, a_buf, b_buf):
+            smem.alloc_tile(ctx, "t", 32)
+            smem.load_tile(ctx, a_buf, 32, 32, 0, 0, "t")
+            yield ctx.syncthreads()
+            smem.tile_row_prefix_sums(ctx, "t", 32)
+            yield ctx.syncthreads()
+            smem.tile_col_prefix_sums(ctx, "t", 32)
+            yield ctx.syncthreads()
+            smem.store_tile(ctx, b_buf, 32, 32, 0, 0, "t")
+        run_block(k, buf, out_buf, gpu=gpu)
+        assert np.array_equal(gpu.read("b"), a.cumsum(axis=1).cumsum(axis=0))
+
+    def test_chunked_copy_matches_m_parameter(self, rng):
+        """With fewer threads than tile elements, the copy runs in m passes
+        (the paper's W²/m threads, m elements per thread)."""
+        a = rng.integers(0, 10, size=(32, 32)).astype(float)
+
+        def fn(ctx, out):
+            out["lrs"] = smem.tile_row_sums(ctx, "t", 32)
+        out = self._with_tile(a, fn, threads=256)  # m = 4
+        assert np.array_equal(out["lrs"], a.sum(axis=1))

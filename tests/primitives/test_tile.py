@@ -1,0 +1,207 @@
+"""Tile region-sum algebra (Table II): definitions, recurrences, assembly."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.primitives.tile import (TileGrid, assemble_gsat_tile,
+                                   assemble_gsat_tile_skss,
+                                   global_col_prefixes, global_col_sums,
+                                   global_l_sum, global_row_sums,
+                                   global_sat_tile, global_sum,
+                                   local_col_sums, local_row_sums, local_sum,
+                                   tile_view)
+from repro.sat.reference import sat_reference
+
+
+@pytest.fixture
+def grid():
+    return TileGrid(n=12, W=4)
+
+
+@pytest.fixture
+def matrix(rng):
+    return rng.integers(0, 10, size=(12, 12)).astype(np.float64)
+
+
+class TestTileGrid:
+    def test_geometry(self, grid):
+        assert grid.tiles_per_side == 3
+        assert grid.num_tiles == 9
+        assert grid.num_diagonals == 5
+
+    def test_size_must_divide(self):
+        with pytest.raises(ConfigurationError):
+            TileGrid(n=10, W=4)
+
+    def test_tile_slice(self, grid, matrix):
+        view = tile_view(matrix, grid, 1, 2)
+        assert view.shape == (4, 4)
+        assert np.array_equal(view, matrix[4:8, 8:12])
+
+    def test_out_of_range_tile(self, grid):
+        with pytest.raises(ConfigurationError):
+            grid.check_tile(3, 0)
+        with pytest.raises(ConfigurationError):
+            grid.check_tile(0, -1)
+
+    def test_diagonals_partition_tiles(self, grid):
+        seen = []
+        for K in range(grid.num_diagonals):
+            tiles = grid.tiles_on_diagonal(K)
+            assert all(I + J == K for I, J in tiles)
+            seen.extend(tiles)
+        assert sorted(seen) == sorted(grid.all_tiles())
+
+    def test_diagonal_sizes(self):
+        grid = TileGrid(n=20, W=4)  # t = 5
+        sizes = [len(grid.tiles_on_diagonal(K)) for K in range(9)]
+        assert sizes == [1, 2, 3, 4, 5, 4, 3, 2, 1]
+
+
+class TestRegionSums:
+    def test_local_sums(self, grid, matrix):
+        tile = matrix[4:8, 0:4]
+        assert np.array_equal(local_row_sums(matrix, grid, 1, 0),
+                              tile.sum(axis=1))
+        assert np.array_equal(local_col_sums(matrix, grid, 1, 0),
+                              tile.sum(axis=0))
+        assert local_sum(matrix, grid, 1, 0) == tile.sum()
+
+    def test_global_row_sums_definition(self, grid, matrix):
+        got = global_row_sums(matrix, grid, 1, 1)
+        expect = matrix[4:8, :8].sum(axis=1)
+        assert np.array_equal(got, expect)
+
+    def test_global_col_sums_definition(self, grid, matrix):
+        got = global_col_sums(matrix, grid, 1, 1)
+        expect = matrix[:8, 4:8].sum(axis=0)
+        assert np.array_equal(got, expect)
+
+    def test_global_sum_definition(self, grid, matrix):
+        assert global_sum(matrix, grid, 1, 2) == matrix[:8, :].sum()
+
+    def test_negative_indices_are_empty_regions(self, grid, matrix):
+        assert np.array_equal(global_row_sums(matrix, grid, 0, -1), np.zeros(4))
+        assert np.array_equal(global_col_sums(matrix, grid, -1, 0), np.zeros(4))
+        assert global_sum(matrix, grid, -1, 2) == 0
+        assert global_sum(matrix, grid, 2, -1) == 0
+
+    def test_grs_recurrence(self, grid, matrix):
+        """GRS(I, J) = GRS(I, J-1) + LRS(I, J) — the Figure 10 identity."""
+        for I in range(3):
+            for J in range(3):
+                assert np.array_equal(
+                    global_row_sums(matrix, grid, I, J),
+                    global_row_sums(matrix, grid, I, J - 1)
+                    + local_row_sums(matrix, grid, I, J))
+
+    def test_gcs_recurrence(self, grid, matrix):
+        for I in range(3):
+            for J in range(3):
+                assert np.array_equal(
+                    global_col_sums(matrix, grid, I, J),
+                    global_col_sums(matrix, grid, I - 1, J)
+                    + local_col_sums(matrix, grid, I, J))
+
+    def test_gls_is_gnomon(self, grid, matrix):
+        """GLS(I, J) = GS(I, J) - GS(I-1, J-1)."""
+        for I in range(3):
+            for J in range(3):
+                assert global_l_sum(matrix, grid, I, J) == \
+                    global_sum(matrix, grid, I, J) \
+                    - global_sum(matrix, grid, I - 1, J - 1)
+
+    def test_gls_step31_identity(self, grid, matrix):
+        """Figure 11: GLS = sum(GRS(I,J-1)) + sum(GCS(I-1,J)) + sum(LRS)."""
+        for I in range(3):
+            for J in range(3):
+                lhs = global_l_sum(matrix, grid, I, J)
+                rhs = (global_row_sums(matrix, grid, I, J - 1).sum()
+                       + global_col_sums(matrix, grid, I - 1, J).sum()
+                       + local_row_sums(matrix, grid, I, J).sum())
+                assert lhs == rhs
+
+    def test_gs_diagonal_telescoping(self):
+        """GS(I-1, J-1) = GS(I-k, J-k) + sum of GLS along the diagonal —
+        the Step 3.2 look-back identity."""
+        rng = np.random.default_rng(3)
+        grid = TileGrid(n=20, W=4)
+        m = rng.integers(0, 7, size=(20, 20)).astype(np.float64)
+        I, J = 4, 3
+        for k in range(1, min(I, J) + 1):
+            gls_sum = sum(global_l_sum(m, grid, I - c, J - c)
+                          for c in range(1, k + 1))
+            assert global_sum(m, grid, I - 1, J - 1) == \
+                global_sum(m, grid, I - k - 1, J - k - 1) + gls_sum
+
+    def test_gcp_is_bottom_row_of_gsat(self, grid, matrix):
+        for I in range(3):
+            for J in range(3):
+                gsat = global_sat_tile(matrix, grid, I, J)
+                assert np.array_equal(global_col_prefixes(matrix, grid, I, J),
+                                      gsat[-1, :])
+
+    def test_gsat_matches_reference_sat(self, grid, matrix):
+        full = sat_reference(matrix)
+        for I in range(3):
+            for J in range(3):
+                assert np.array_equal(global_sat_tile(matrix, grid, I, J),
+                                      full[grid.tile_slice(I, J)])
+
+    def test_gs_is_gsat_corner(self, grid, matrix):
+        for I in range(3):
+            for J in range(3):
+                assert global_sum(matrix, grid, I, J) == \
+                    global_sat_tile(matrix, grid, I, J)[-1, -1]
+
+
+class TestAssembly:
+    def test_assemble_matches_gsat(self, grid, matrix):
+        """The 1R1W-family Step 4 (boundary add + double prefix) is exact."""
+        for I in range(3):
+            for J in range(3):
+                got = assemble_gsat_tile(
+                    tile_view(matrix, grid, I, J),
+                    global_row_sums(matrix, grid, I, J - 1),
+                    global_col_sums(matrix, grid, I - 1, J),
+                    global_sum(matrix, grid, I - 1, J - 1))
+                assert np.array_equal(got, global_sat_tile(matrix, grid, I, J))
+
+    def test_assemble_skss_matches_gsat(self, grid, matrix):
+        """The SKSS variant (GCP added after the row prefix) is also exact."""
+        for I in range(3):
+            for J in range(3):
+                got = assemble_gsat_tile_skss(
+                    tile_view(matrix, grid, I, J),
+                    global_row_sums(matrix, grid, I, J - 1),
+                    global_col_prefixes(matrix, grid, I - 1, J))
+                assert np.array_equal(got, global_sat_tile(matrix, grid, I, J))
+
+    def test_assemble_does_not_mutate_input(self, grid, matrix):
+        tile = tile_view(matrix, grid, 0, 0).copy()
+        assemble_gsat_tile(tile, np.zeros(4), np.zeros(4), 0.0)
+        assert np.array_equal(tile, tile_view(matrix, grid, 0, 0))
+
+
+@settings(deadline=None, max_examples=30)
+@given(t=st.integers(1, 4), W=st.sampled_from([2, 4, 8]),
+       seed=st.integers(0, 10_000))
+def test_property_assembly_reconstructs_sat(t, W, seed):
+    """For any tile geometry, assembling every tile from its Table II boundary
+    terms reproduces the full SAT exactly (integer matrices)."""
+    n = t * W
+    rng = np.random.default_rng(seed)
+    m = rng.integers(-20, 20, size=(n, n)).astype(np.float64)
+    grid = TileGrid(n=n, W=W)
+    out = np.zeros_like(m)
+    for I in range(t):
+        for J in range(t):
+            out[grid.tile_slice(I, J)] = assemble_gsat_tile(
+                tile_view(m, grid, I, J),
+                global_row_sums(m, grid, I, J - 1),
+                global_col_sums(m, grid, I - 1, J),
+                global_sum(m, grid, I - 1, J - 1))
+    assert np.array_equal(out, sat_reference(m))

@@ -1,0 +1,81 @@
+"""Tile acquisition order ablation (why Figure 9's numbering is the one).
+
+The soundness invariant is "every dependency has a smaller serial".  The
+paper's diagonal-major order satisfies it; row-major happens to as well (but
+pipelines worse); a reversed order violates it and must deadlock as soon as
+block residency is bounded.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, DeadlockError
+from repro.gpusim import GPU, TINY_DEVICE
+from repro.sat import sat_reference
+from repro.sat.skss_lb import (ACQUISITION_ORDERS, SKSSLB1R1W,
+                               acquisition_tile, tile_serial_number)
+
+
+class TestMapping:
+    def test_diagonal_is_figure9(self):
+        for s in range(25):
+            I, J = acquisition_tile(s, 5, "diagonal")
+            assert tile_serial_number(I, J, 5) == s
+
+    def test_rowmajor(self):
+        assert acquisition_tile(0, 4, "rowmajor") == (0, 0)
+        assert acquisition_tile(5, 4, "rowmajor") == (1, 1)
+
+    def test_reversed_starts_at_bottom_right(self):
+        assert acquisition_tile(0, 4, "reversed") == (3, 3)
+
+    def test_unknown_order(self):
+        with pytest.raises(ConfigurationError):
+            acquisition_tile(0, 4, "spiral")
+        with pytest.raises(ConfigurationError):
+            SKSSLB1R1W(acquisition="spiral")
+
+    def test_rowmajor_also_satisfies_invariant(self):
+        """Row-major serials: left/up/diagonal neighbours are all smaller."""
+        t = 6
+        for I in range(t):
+            for J in range(t):
+                s = I * t + J
+                if J > 0:
+                    assert I * t + (J - 1) < s
+                if I > 0:
+                    assert (I - 1) * t + J < s
+
+
+class TestExecution:
+    def test_rowmajor_correct_under_low_residency(self, small_matrix):
+        res = SKSSLB1R1W(acquisition="rowmajor").run(
+            small_matrix, GPU(device=TINY_DEVICE, seed=2,
+                              scheduler_policy="lifo", max_resident_blocks=2))
+        assert np.array_equal(res.sat, sat_reference(small_matrix))
+
+    def test_reversed_deadlocks_under_low_residency(self, small_matrix):
+        """Bottom-right tiles acquired first wait on tiles that can never
+        launch: the exact failure Figure 9's ordering prevents."""
+        gpu = GPU(device=TINY_DEVICE, seed=2, max_resident_blocks=2)
+        with pytest.raises(DeadlockError):
+            SKSSLB1R1W(acquisition="reversed").run(small_matrix, gpu)
+
+    def test_reversed_survives_full_residency(self, small_matrix):
+        """With every block resident, even the reversed order completes —
+        the hazard is an interaction with the dispatcher, which is why it
+        cannot be found by testing on one configuration."""
+        tiles = (small_matrix.shape[0] // 32) ** 2
+        gpu = GPU(device=TINY_DEVICE, seed=2, max_resident_blocks=tiles)
+        res = SKSSLB1R1W(acquisition="reversed").run(small_matrix, gpu)
+        assert np.array_equal(res.sat, sat_reference(small_matrix))
+
+    def test_all_safe_orders_same_result(self, small_matrix):
+        outs = []
+        for order in ("diagonal", "rowmajor"):
+            res = SKSSLB1R1W(acquisition=order).run(small_matrix, GPU(seed=5))
+            outs.append(res.sat)
+        assert np.array_equal(outs[0], outs[1])
+
+    def test_orders_tuple(self):
+        assert ACQUISITION_ORDERS == ("diagonal", "rowmajor", "reversed")

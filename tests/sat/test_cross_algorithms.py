@@ -1,0 +1,85 @@
+"""Integration: all seven algorithms produce the reference SAT, simulated and
+host paths, across tile widths, devices and scheduling policies."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import check_counts, check_result
+from repro.gpusim import GPU, TINY_DEVICE
+from repro.sat import ALGORITHMS, get_algorithm, sat_reference
+
+ALL_NAMES = sorted(ALGORITHMS)
+TILE_NAMES = [n for n in ALL_NAMES if ALGORITHMS[n].tile_based]
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+class TestEveryAlgorithm:
+    def test_simulated_matches_reference(self, name, small_matrix):
+        res = get_algorithm(name).run(small_matrix, GPU(seed=11))
+        assert check_result(res, small_matrix)
+
+    def test_host_matches_reference(self, name, small_matrix):
+        got = get_algorithm(name).run_host(small_matrix)
+        assert np.array_equal(got, sat_reference(small_matrix))
+
+    def test_counts_match_table1(self, name, small_matrix):
+        res = get_algorithm(name).run(small_matrix, GPU(seed=11))
+        check = check_counts(res)
+        assert check.ok, str(check)
+
+    def test_scratch_buffers_freed(self, name, small_matrix):
+        gpu = GPU(seed=1)
+        get_algorithm(name).run(small_matrix, gpu)
+        assert gpu.memory.allocated_bytes == 0
+
+    def test_non_square_rejected(self, name):
+        from repro.errors import ConfigurationError
+        with pytest.raises(ConfigurationError):
+            get_algorithm(name).run_host(np.zeros((32, 64)))
+
+    def test_negative_values_supported(self, name, rng):
+        a = rng.integers(-50, 50, size=(64, 64)).astype(float)
+        res = get_algorithm(name).run(a, GPU(seed=2))
+        assert check_result(res, a)
+
+
+@pytest.mark.parametrize("name", TILE_NAMES)
+class TestTileWidths:
+    def test_w64(self, name, medium_matrix):
+        res = get_algorithm(name, tile_width=64).run(medium_matrix, GPU(seed=3))
+        assert check_result(res, medium_matrix)
+
+    def test_w_equals_n(self, name):
+        """One tile covering the whole (small) matrix."""
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 10, size=(32, 32)).astype(float)
+        res = get_algorithm(name, tile_width=32).run(a, GPU(seed=4))
+        assert check_result(res, a)
+
+    def test_misaligned_size_rejected(self, name):
+        from repro.errors import ConfigurationError
+        with pytest.raises(ConfigurationError):
+            get_algorithm(name, tile_width=32).run_host(np.zeros((48, 48)))
+
+    def test_host_path_small_tiles(self, name, rng):
+        """Host path supports sub-warp tiles (simulator needs W % 32 == 0)."""
+        a = rng.integers(0, 10, size=(24, 24)).astype(float)
+        got = get_algorithm(name, tile_width=4).run_host(a)
+        assert np.array_equal(got, sat_reference(a))
+
+
+class TestAlgorithmsAgree:
+    def test_all_algorithms_identical_output(self, medium_matrix):
+        """All seven produce bit-identical SATs on integer-valued input."""
+        outs = [get_algorithm(n).run(medium_matrix, GPU(seed=7)).sat
+                for n in ALL_NAMES]
+        for other in outs[1:]:
+            assert np.array_equal(outs[0], other)
+
+    def test_tiny_device_all_algorithms(self, small_matrix):
+        """Everything still works with 2 SMs and 1 block per SM resident."""
+        for name in ALL_NAMES:
+            gpu = GPU(device=TINY_DEVICE, seed=5, scheduler_policy="lifo",
+                      max_resident_blocks=2)
+            res = get_algorithm(name).run(small_matrix, gpu)
+            assert check_result(res, small_matrix), name

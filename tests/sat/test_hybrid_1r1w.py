@@ -1,0 +1,99 @@
+"""(1+r)R1W: band decomposition, r sweep, traffic scaling."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import check_result
+from repro.errors import ConfigurationError
+from repro.gpusim import GPU
+from repro.primitives.tile import TileGrid
+from repro.sat.hybrid_1r1w import Hybrid1R1W, band_limits, band_tiles
+
+
+class TestBands:
+    def test_limits_r_zero_is_pure_1r1w(self):
+        Ka, Kc = band_limits(0.0, 8)
+        assert Ka == 0 and Kc == 2 * 8 - 2
+
+    def test_limits_r_one_has_empty_middle(self):
+        Ka, Kc = band_limits(1.0, 8)
+        assert Ka == 8 and Kc == 7  # band B is K in [8, 7] = empty
+
+    def test_limits_quarter(self):
+        # sqrt(0.25) = 0.5: A is K < t/2, C is K > 1.5t - 1.
+        Ka, Kc = band_limits(0.25, 8)
+        assert Ka == 4 and Kc == 11
+
+    def test_invalid_r_rejected(self):
+        with pytest.raises(ConfigurationError):
+            band_limits(1.5, 8)
+        with pytest.raises(ConfigurationError):
+            band_limits(-0.1, 8)
+
+    def test_bands_partition_all_tiles(self):
+        grid = TileGrid(n=256, W=32)
+        for r in (0.0, 0.25, 0.5, 1.0):
+            Ka, Kc = band_limits(r, grid.tiles_per_side)
+            a, b, c = band_tiles(grid, Ka, Kc)
+            assert sorted(a + b + c) == sorted(grid.all_tiles())
+
+    def test_band_a_is_downward_closed(self):
+        """Every predecessor (left/up) of an A tile is also in A — required
+        for the restricted prefix computation."""
+        grid = TileGrid(n=256, W=32)
+        Ka, Kc = band_limits(0.25, grid.tiles_per_side)
+        a_tiles, _, _ = band_tiles(grid, Ka, Kc)
+        a_set = set(a_tiles)
+        for I, J in a_tiles:
+            if I > 0:
+                assert (I - 1, J) in a_set
+            if J > 0:
+                assert (I, J - 1) in a_set
+
+
+class TestHybridExecution:
+    @pytest.mark.parametrize("r", [0.0, 0.1, 0.25, 0.5, 0.75, 1.0])
+    def test_correct_for_all_r(self, r, small_matrix):
+        res = Hybrid1R1W(r=r).run(small_matrix, GPU(seed=1))
+        assert check_result(res, small_matrix), f"r={r}"
+
+    def test_r_zero_matches_1r1w_kernel_count(self, small_matrix):
+        t = small_matrix.shape[0] // 32
+        res = Hybrid1R1W(r=0.0).run(small_matrix, GPU(seed=1))
+        assert res.kernel_calls == 2 * t - 1
+
+    def test_reads_scale_with_r(self, medium_matrix):
+        """Global reads grow monotonically toward ~2n² as r -> 1."""
+        reads = []
+        for r in (0.0, 0.5, 1.0):
+            res = Hybrid1R1W(r=r).run(medium_matrix, GPU(seed=2))
+            reads.append(res.report.traffic.global_read_requests)
+        n2 = medium_matrix.size
+        assert reads[0] < reads[1] < reads[2]
+        assert reads[0] <= 1.15 * n2
+        assert reads[2] >= 1.9 * n2
+
+    def test_writes_stay_1w(self, medium_matrix):
+        for r in (0.0, 0.5, 1.0):
+            res = Hybrid1R1W(r=r).run(medium_matrix, GPU(seed=3))
+            n2 = medium_matrix.size
+            assert res.report.traffic.global_write_requests <= 1.15 * n2
+
+    def test_fewer_kernels_than_pure_wavefront(self, medium_matrix):
+        pure = Hybrid1R1W(r=0.0).run(medium_matrix, GPU(seed=4)).kernel_calls
+        mixed = Hybrid1R1W(r=0.5).run(medium_matrix, GPU(seed=4)).kernel_calls
+        # t=4: pure = 7 kernels; r=0.5 replaces several diagonals by 2 bands.
+        assert mixed != pure or medium_matrix.shape[0] // 32 <= 2
+
+    def test_r_recorded_in_params(self, small_matrix):
+        res = Hybrid1R1W(r=0.3).run(small_matrix, GPU(seed=5))
+        assert res.params["r"] == 0.3
+
+    def test_w64(self, medium_matrix):
+        res = Hybrid1R1W(r=0.25, tile_width=64).run(medium_matrix, GPU(seed=6))
+        assert check_result(res, medium_matrix)
+
+    def test_host_path(self, small_matrix):
+        from repro.sat import sat_reference
+        assert np.array_equal(Hybrid1R1W(r=0.25).run_host(small_matrix),
+                              sat_reference(small_matrix))

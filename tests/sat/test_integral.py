@@ -1,0 +1,106 @@
+"""OpenCV-style integral images, exclusive SATs, tilted integrals."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.sat import sat_reference
+from repro.sat.integral import (exclusive_sat, integral_image, rect_sum_ii,
+                                tilted_integral, tilted_integral_bruteforce)
+
+
+class TestIntegralImage:
+    def test_shape_and_padding(self, rng):
+        a = rng.integers(0, 9, size=(5, 7))
+        ii = integral_image(a)
+        assert ii.shape == (6, 8)
+        assert (ii[0, :] == 0).all() and (ii[:, 0] == 0).all()
+        assert np.array_equal(ii[1:, 1:], sat_reference(a))
+
+    def test_accepts_precomputed_sat(self, rng):
+        a = rng.integers(0, 9, size=(4, 4))
+        sat = sat_reference(a)
+        assert np.array_equal(integral_image(a, sat=sat),
+                              integral_image(a))
+
+    def test_exclusive_sat(self, rng):
+        a = rng.integers(0, 9, size=(6, 6))
+        ex = exclusive_sat(a)
+        assert ex.shape == a.shape
+        assert ex[0, 0] == 0
+        assert ex[3, 4] == a[:3, :4].sum()
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ConfigurationError):
+            integral_image(np.zeros(4))
+        with pytest.raises(ConfigurationError):
+            exclusive_sat(np.zeros(4))
+
+    def test_rect_sum_ii_branch_free_queries(self, rng):
+        a = rng.integers(-9, 9, size=(10, 12))
+        ii = integral_image(a)
+        for (t, l, b, r) in ((0, 0, 9, 11), (3, 4, 3, 4), (0, 5, 7, 11),
+                             (2, 0, 9, 3)):
+            assert rect_sum_ii(ii, t, l, b, r) == a[t:b + 1, l:r + 1].sum()
+
+    def test_rect_sum_ii_bounds(self, rng):
+        ii = integral_image(np.zeros((4, 4)))
+        with pytest.raises(ConfigurationError):
+            rect_sum_ii(ii, 0, 0, 4, 0)
+
+    @settings(deadline=None, max_examples=25)
+    @given(rows=st.integers(1, 12), cols=st.integers(1, 12),
+           seed=st.integers(0, 10_000))
+    def test_property_query_identity(self, rows, cols, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.integers(-20, 20, size=(rows, cols))
+        ii = integral_image(a)
+        t, b = sorted(rng.integers(0, rows, 2).tolist())
+        l, r = sorted(rng.integers(0, cols, 2).tolist())
+        assert rect_sum_ii(ii, t, l, b, r) == a[t:b + 1, l:r + 1].sum()
+
+
+class TestTiltedIntegral:
+    def test_matches_bruteforce(self, rng):
+        for shape in ((1, 1), (3, 5), (6, 6), (8, 3)):
+            a = rng.integers(0, 9, size=shape).astype(float)
+            assert np.allclose(tilted_integral(a),
+                               tilted_integral_bruteforce(a)), shape
+
+    def test_row0_is_zero(self, rng):
+        a = rng.random((4, 4))
+        assert (tilted_integral(a)[0] == 0).all()
+
+    def test_single_pixel(self):
+        a = np.array([[5.0]])
+        tilt = tilted_integral(a)
+        # The triangle of (1, 0) has apex column 0, reach 0 at y=0: it holds
+        # (0, 0).  The triangle of (1, 1) only reaches column 1, which is
+        # outside the 1-wide image, so it is empty.
+        assert tilt[1, 0] == 5.0 and tilt[1, 1] == 0.0
+
+    def test_full_bottom_row_covers_everything(self, rng):
+        """With apex far enough down, the middle-column triangle covers the
+        whole image."""
+        n = 5
+        a = rng.integers(0, 9, size=(n, n)).astype(float)
+        wide = tilted_integral_bruteforce(a)
+        # Cell (n, j) with j at the centre reaches all columns for the upper
+        # rows; verify the definition's brute force agrees with manual sums.
+        assert wide[n, n // 2] == sum(
+            a[y, max(0, n // 2 - (n - 1 - y)):n // 2 + (n - 1 - y) + 1].sum()
+            for y in range(n))
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ConfigurationError):
+            tilted_integral(np.zeros(4))
+
+    @settings(deadline=None, max_examples=15)
+    @given(rows=st.integers(1, 7), cols=st.integers(1, 7),
+           seed=st.integers(0, 10_000))
+    def test_property_recurrence_equals_definition(self, rows, cols, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.integers(-9, 9, size=(rows, cols)).astype(float)
+        assert np.allclose(tilted_integral(a), tilted_integral_bruteforce(a))

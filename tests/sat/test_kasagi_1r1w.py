@@ -1,0 +1,56 @@
+"""1R1W (Kasagi): 2n/W - 1 wavefront kernels over tile anti-diagonals."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import check_result
+from repro.gpusim import GPU
+from repro.sat.kasagi_1r1w import Kasagi1R1W
+
+
+class Test1R1W:
+    def test_correct(self, small_matrix):
+        assert check_result(Kasagi1R1W().run(small_matrix, GPU(seed=1)),
+                            small_matrix)
+
+    def test_kernel_count_is_2t_minus_1(self, small_matrix):
+        t = small_matrix.shape[0] // 32
+        res = Kasagi1R1W().run(small_matrix, GPU(seed=1))
+        assert res.kernel_calls == 2 * t - 1
+
+    def test_wavefront_block_counts(self, small_matrix):
+        """Kernel K launches exactly one block per tile on diagonal K —
+        the low-parallelism profile Table I calls out."""
+        t = small_matrix.shape[0] // 32
+        res = Kasagi1R1W().run(small_matrix, GPU(seed=1))
+        blocks = [k.grid_blocks for k in res.report.kernels]
+        assert blocks == [t - abs(K - (t - 1)) for K in range(2 * t - 1)]
+
+    def test_one_read_one_write(self, medium_matrix):
+        res = Kasagi1R1W(tile_width=64).run(medium_matrix, GPU(seed=2))
+        n2 = medium_matrix.size
+        t = res.report.traffic
+        assert n2 <= t.global_read_requests <= 1.15 * n2
+        assert n2 <= t.global_write_requests <= 1.15 * n2
+
+    def test_no_spinning(self, small_matrix):
+        """Kernel boundaries synchronize: the wavefront never spin-waits."""
+        res = Kasagi1R1W().run(small_matrix, GPU(seed=1))
+        assert res.report.traffic.spin_iterations == 0
+
+    def test_single_tile_matrix(self, rng):
+        a = rng.integers(0, 9, size=(32, 32)).astype(float)
+        res = Kasagi1R1W().run(a, GPU(seed=3))
+        assert res.kernel_calls == 1
+        assert check_result(res, a)
+
+    @pytest.mark.parametrize("policy", ["random", "lifo"])
+    def test_policies(self, policy, small_matrix):
+        res = Kasagi1R1W().run(small_matrix,
+                               GPU(seed=5, scheduler_policy=policy))
+        assert check_result(res, small_matrix)
+
+    def test_host_path(self, small_matrix):
+        from repro.sat import sat_reference
+        assert np.array_equal(Kasagi1R1W().run_host(small_matrix),
+                              sat_reference(small_matrix))

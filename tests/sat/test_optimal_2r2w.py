@@ -1,0 +1,56 @@
+"""2R2W-optimal: two coalesced high-parallelism scan kernels."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import check_result
+from repro.gpusim import GPU
+from repro.sat.optimal_2r2w import Optimal2R2W
+
+
+class Test2R2WOptimal:
+    def test_correct(self, small_matrix):
+        assert check_result(Optimal2R2W().run(small_matrix, GPU(seed=1)),
+                            small_matrix)
+
+    def test_two_kernels(self, small_matrix):
+        res = Optimal2R2W().run(small_matrix, GPU(seed=1))
+        assert res.kernel_calls == 2
+
+    def test_column_phase_runs_first(self, small_matrix):
+        """Figure 2's order: column-wise prefix sums, then row-wise."""
+        res = Optimal2R2W().run(small_matrix, GPU(seed=1))
+        names = [k.name for k in res.report.kernels]
+        assert names == ["2r2w_opt_col_scan", "2r2w_opt_row_scan"]
+
+    def test_no_strided_amplification(self, small_matrix):
+        """All accesses coalesced: float64 transactions stay within ~1.4x of
+        the 1-per-4-elements floor for both kernels."""
+        res = Optimal2R2W().run(small_matrix, GPU(seed=1))
+        n2 = small_matrix.size
+        for k in res.report.kernels:
+            floor = n2 / 4  # read floor per phase
+            assert k.traffic.global_read_transactions <= 1.5 * floor
+
+    def test_traffic_about_double_duplication(self, small_matrix):
+        """The >= 100 % overhead floor: ~2 reads + 2 writes per element."""
+        res = Optimal2R2W().run(small_matrix, GPU(seed=1))
+        n2 = small_matrix.size
+        t = res.report.traffic
+        assert 2 * n2 <= t.global_read_requests <= 2.2 * n2
+        assert 2 * n2 <= t.global_write_requests <= 2.2 * n2
+
+    def test_custom_panel_rows(self, medium_matrix):
+        res = Optimal2R2W(panel_rows=64).run(medium_matrix, GPU(seed=2))
+        assert check_result(res, medium_matrix)
+
+    @pytest.mark.parametrize("policy", ["random", "lifo"])
+    def test_adversarial_scheduling(self, policy, small_matrix):
+        res = Optimal2R2W().run(small_matrix,
+                                GPU(seed=9, scheduler_policy=policy))
+        assert check_result(res, small_matrix)
+
+    def test_host_path(self, small_matrix):
+        from repro.sat import sat_reference
+        assert np.array_equal(Optimal2R2W().run_host(small_matrix),
+                              sat_reference(small_matrix))

@@ -1,0 +1,109 @@
+"""Out-of-core banded SAT (extension)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.gpusim import GPU
+from repro.sat import sat_reference
+from repro.sat.outofcore import OutOfCoreSAT, band_bounds, out_of_core_sat
+
+
+class TestBandBounds:
+    def test_even_split(self):
+        assert band_bounds(8, 4) == [(0, 4), (4, 8)]
+
+    def test_ragged_split(self):
+        assert band_bounds(10, 4) == [(0, 4), (4, 8), (8, 10)]
+
+    def test_single_band(self):
+        assert band_bounds(5, 100) == [(0, 5)]
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            band_bounds(8, 0)
+
+
+class TestOutOfCoreSat:
+    def test_matches_reference(self, rng):
+        a = rng.integers(0, 9, size=(64, 48)).astype(float)
+        for band in (8, 16, 37, 64, 100):
+            got = out_of_core_sat(a, band_rows=band)
+            assert np.array_equal(got, sat_reference(a)), band
+
+    def test_rectangular_matrix(self, rng):
+        a = rng.normal(size=(30, 90))
+        got = out_of_core_sat(a, band_rows=7)
+        assert np.allclose(got, sat_reference(a))
+
+    def test_square_bands_through_algorithm_host(self, rng):
+        a = rng.integers(0, 9, size=(128, 64)).astype(float)
+        got = out_of_core_sat(a, band_rows=64, algorithm="1R1W-SKSS-LB")
+        assert np.array_equal(got, sat_reference(a))
+
+    def test_square_bands_through_simulator(self, rng):
+        a = rng.integers(0, 9, size=(128, 64)).astype(float)
+        got = out_of_core_sat(a, band_rows=64, algorithm="skss-lb",
+                              gpu_factory=lambda: GPU(seed=3))
+        assert np.array_equal(got, sat_reference(a))
+
+    def test_non_square_bands_fall_back_to_reference(self, rng):
+        a = rng.integers(0, 9, size=(96, 64)).astype(float)
+        got = out_of_core_sat(a, band_rows=48, algorithm="skss-lb")
+        assert np.array_equal(got, sat_reference(a))
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ConfigurationError):
+            out_of_core_sat(np.zeros(8), band_rows=2)
+
+    @settings(deadline=None, max_examples=25)
+    @given(rows=st.integers(1, 40), cols=st.integers(1, 40),
+           band=st.integers(1, 45), seed=st.integers(0, 10_000))
+    def test_property_any_banding(self, rows, cols, band, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.integers(-9, 9, size=(rows, cols)).astype(float)
+        assert np.array_equal(out_of_core_sat(a, band_rows=band),
+                              sat_reference(a))
+
+
+class TestStreaming:
+    def test_incremental_assembly(self, rng):
+        a = rng.integers(0, 9, size=(40, 24)).astype(float)
+        oos = OutOfCoreSAT(n_cols=24)
+        for lo, hi in band_bounds(40, 12):
+            oos.push_band(a[lo:hi])
+        assert np.array_equal(oos.sat(), sat_reference(a))
+
+    def test_queries_during_streaming(self, rng):
+        a = rng.integers(0, 9, size=(32, 16)).astype(float)
+        oos = OutOfCoreSAT(n_cols=16)
+        oos.push_band(a[:16])
+        assert oos.rect_sum(2, 3, 10, 12) == a[2:11, 3:13].sum()
+        with pytest.raises(ConfigurationError):
+            oos.rect_sum(0, 0, 20, 0)  # row 20 not pushed yet
+        oos.push_band(a[16:])
+        assert oos.rect_sum(5, 0, 25, 15) == a[5:26, :].sum()
+
+    def test_low_memory_mode_band_aligned(self, rng):
+        a = rng.integers(0, 9, size=(30, 10)).astype(float)
+        oos = OutOfCoreSAT(n_cols=10, keep_sat=False)
+        for lo, hi in band_bounds(30, 10):
+            oos.push_band(a[lo:hi])
+        # Band edges are rows 9, 19, 29: queries aligned to them work.
+        assert oos.rect_sum(10, 0, 29, 9) == a[10:, :].sum()
+        assert oos.rect_sum(0, 2, 19, 7) == a[:20, 2:8].sum()
+        with pytest.raises(ConfigurationError):
+            oos.rect_sum(0, 0, 15, 9)   # row 15 is not a retained edge
+        with pytest.raises(ConfigurationError):
+            oos.sat()
+
+    def test_band_width_checked(self):
+        oos = OutOfCoreSAT(n_cols=8)
+        with pytest.raises(ConfigurationError):
+            oos.push_band(np.zeros((4, 9)))
+
+    def test_invalid_n_cols(self):
+        with pytest.raises(ConfigurationError):
+            OutOfCoreSAT(n_cols=0)

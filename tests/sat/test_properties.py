@@ -1,0 +1,115 @@
+"""Algebraic properties of the SAT, property-tested across algorithms.
+
+The SAT operator is linear, commutes with transposition, is monotone on
+non-negative inputs, and inverts through second differences.  Each property
+is verified both for the reference and through the algorithms' host paths
+(exercising the tile dataflow on arbitrary shapes)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sat import get_algorithm, sat_reference
+
+HOST_ALGOS = ["2R1W", "1R1W", "1R1W-SKSS", "1R1W-SKSS-LB"]
+
+
+def host_sat(name: str, a: np.ndarray, W: int) -> np.ndarray:
+    return get_algorithm(name, tile_width=W).run_host(a)
+
+
+def square(rng, t, W, lo=-9, hi=9):
+    n = t * W
+    return rng.integers(lo, hi, size=(n, n)).astype(np.float64)
+
+
+@settings(deadline=None, max_examples=20)
+@given(t=st.integers(1, 3), W=st.sampled_from([2, 4, 8]),
+       seed=st.integers(0, 10_000),
+       name=st.sampled_from(HOST_ALGOS))
+def test_linearity(t, W, seed, name):
+    """SAT(αa + βb) = α·SAT(a) + β·SAT(b)."""
+    rng = np.random.default_rng(seed)
+    a, b = square(rng, t, W), square(rng, t, W)
+    alpha, beta = 3.0, -2.0
+    lhs = host_sat(name, alpha * a + beta * b, W)
+    rhs = alpha * host_sat(name, a, W) + beta * host_sat(name, b, W)
+    assert np.array_equal(lhs, rhs)
+
+
+@settings(deadline=None, max_examples=20)
+@given(t=st.integers(1, 3), W=st.sampled_from([2, 4, 8]),
+       seed=st.integers(0, 10_000),
+       name=st.sampled_from(HOST_ALGOS))
+def test_transpose_commutes(t, W, seed, name):
+    """SAT(aᵀ) = SAT(a)ᵀ."""
+    rng = np.random.default_rng(seed)
+    a = square(rng, t, W)
+    assert np.array_equal(host_sat(name, a.T.copy(), W),
+                          host_sat(name, a, W).T)
+
+
+@settings(deadline=None, max_examples=20)
+@given(t=st.integers(1, 3), W=st.sampled_from([2, 4, 8]),
+       seed=st.integers(0, 10_000))
+def test_monotone_on_nonnegative(t, W, seed):
+    """Non-negative input ⇒ SAT non-decreasing along rows and columns."""
+    rng = np.random.default_rng(seed)
+    a = square(rng, t, W, lo=0, hi=9)
+    sat = host_sat("1R1W-SKSS-LB", a, W)
+    assert (np.diff(sat, axis=0) >= 0).all()
+    assert (np.diff(sat, axis=1) >= 0).all()
+
+
+@settings(deadline=None, max_examples=20)
+@given(t=st.integers(1, 3), W=st.sampled_from([2, 4, 8]),
+       seed=st.integers(0, 10_000),
+       name=st.sampled_from(HOST_ALGOS))
+def test_second_difference_inverts(t, W, seed, name):
+    """a[i][j] = b[i][j] − b[i-1][j] − b[i][j-1] + b[i-1][j-1]."""
+    rng = np.random.default_rng(seed)
+    a = square(rng, t, W)
+    b = host_sat(name, a, W)
+    padded = np.zeros((a.shape[0] + 1, a.shape[1] + 1))
+    padded[1:, 1:] = b
+    recovered = padded[1:, 1:] - padded[:-1, 1:] - padded[1:, :-1] \
+        + padded[:-1, :-1]
+    assert np.array_equal(recovered, a)
+
+
+@settings(deadline=None, max_examples=15)
+@given(t=st.integers(1, 3), W=st.sampled_from([2, 4, 8]),
+       seed=st.integers(0, 10_000))
+def test_all_host_paths_agree(t, W, seed):
+    """Every algorithm's host dataflow produces the identical SAT."""
+    rng = np.random.default_rng(seed)
+    a = square(rng, t, W)
+    ref = sat_reference(a)
+    for name in HOST_ALGOS + ["2R2W", "2R2W-optimal", "(1+r)R1W"]:
+        assert np.array_equal(host_sat(name, a, W), ref), name
+
+
+@settings(deadline=None, max_examples=15)
+@given(seed=st.integers(0, 10_000))
+def test_constant_matrix_closed_form(seed):
+    """SAT of a constant c matrix is c·(i+1)·(j+1)."""
+    rng = np.random.default_rng(seed)
+    c = float(rng.integers(-5, 6))
+    n = int(rng.integers(1, 20))
+    a = np.full((n, n), c)
+    ii, jj = np.meshgrid(np.arange(1, n + 1), np.arange(1, n + 1),
+                         indexing="ij")
+    assert np.allclose(sat_reference(a), c * ii * jj)
+
+
+@settings(deadline=None, max_examples=15)
+@given(seed=st.integers(0, 10_000), n=st.integers(1, 16))
+def test_single_impulse(seed, n):
+    """SAT of a unit impulse at (p, q) is the indicator of i>=p and j>=q."""
+    rng = np.random.default_rng(seed)
+    p, q = rng.integers(0, n, size=2)
+    a = np.zeros((n, n))
+    a[p, q] = 1.0
+    sat = sat_reference(a)
+    ii, jj = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+    assert np.array_equal(sat, ((ii >= p) & (jj >= q)).astype(float))

@@ -1,0 +1,141 @@
+"""Reference SAT and rectangle queries, including the paper's Figure 2."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import ConfigurationError
+from repro.sat.reference import (rect_sum, rect_sums, sat_reference,
+                                 sat_sequential)
+
+#: The 9x9 input matrix of the paper's Figure 2.
+FIGURE2_INPUT = np.array([
+    [0, 0, 0, 1, 1, 1, 0, 0, 0],
+    [0, 0, 1, 1, 1, 1, 1, 0, 0],
+    [0, 1, 1, 1, 2, 1, 1, 1, 0],
+    [1, 1, 1, 2, 2, 2, 1, 1, 1],
+    [1, 1, 2, 2, 3, 2, 2, 1, 1],
+    [1, 1, 1, 2, 2, 2, 1, 1, 1],
+    [0, 1, 1, 1, 2, 1, 1, 1, 0],
+    [0, 0, 1, 1, 1, 1, 1, 0, 0],
+    [0, 0, 0, 1, 1, 1, 0, 0, 0],
+], dtype=np.int64)
+
+#: Figure 2's middle matrix: the column-wise prefix sums.
+FIGURE2_COLUMN_PREFIX = np.array([
+    [0, 0, 0, 1, 1, 1, 0, 0, 0],
+    [0, 0, 1, 2, 2, 2, 1, 0, 0],
+    [0, 1, 2, 3, 4, 3, 2, 1, 0],
+    [1, 2, 3, 5, 6, 5, 3, 2, 1],
+    [2, 3, 5, 7, 9, 7, 5, 3, 2],
+    [3, 4, 6, 9, 11, 9, 6, 4, 3],
+    [3, 5, 7, 10, 13, 10, 7, 5, 3],
+    [3, 5, 8, 11, 14, 11, 8, 5, 3],
+    [3, 5, 8, 12, 15, 12, 8, 5, 3],
+], dtype=np.int64)
+
+#: Figure 2's right matrix: the summed area table.
+FIGURE2_SAT = np.array([
+    [0, 0, 0, 1, 2, 3, 3, 3, 3],
+    [0, 0, 1, 3, 5, 7, 8, 8, 8],
+    [0, 1, 3, 6, 10, 13, 15, 16, 16],
+    [1, 3, 6, 11, 17, 22, 25, 27, 28],
+    [2, 5, 10, 17, 26, 33, 38, 41, 43],
+    [3, 7, 13, 22, 33, 42, 48, 52, 55],
+    [3, 8, 15, 25, 38, 48, 55, 60, 63],
+    [3, 8, 16, 27, 41, 52, 60, 65, 68],
+    [3, 8, 16, 28, 43, 55, 63, 68, 71],
+], dtype=np.int64)
+
+
+class TestFigure2:
+    def test_column_prefix_stage(self):
+        assert np.array_equal(FIGURE2_INPUT.cumsum(axis=0),
+                              FIGURE2_COLUMN_PREFIX)
+
+    def test_paper_figure2_matrix(self):
+        assert np.array_equal(sat_reference(FIGURE2_INPUT), FIGURE2_SAT)
+
+    def test_sequential_oracle_agrees(self):
+        assert np.array_equal(sat_sequential(FIGURE2_INPUT), FIGURE2_SAT)
+
+    def test_total_sum_corner(self):
+        assert FIGURE2_SAT[-1, -1] == FIGURE2_INPUT.sum() == 71
+
+
+class TestSatReference:
+    def test_rejects_non_2d(self):
+        with pytest.raises(ConfigurationError):
+            sat_reference(np.zeros(5))
+        with pytest.raises(ConfigurationError):
+            sat_sequential(np.zeros((2, 2, 2)))
+
+    def test_rectangular_input_allowed(self):
+        a = np.arange(12).reshape(3, 4)
+        assert np.array_equal(sat_reference(a), a.cumsum(0).cumsum(1))
+
+    def test_single_element(self):
+        assert sat_reference(np.array([[5]]))[0, 0] == 5
+
+    def test_preserves_integer_dtype(self):
+        assert sat_reference(np.ones((3, 3), dtype=np.int64)).dtype == np.int64
+
+    @settings(deadline=None, max_examples=25)
+    @given(hnp.arrays(np.int64, hnp.array_shapes(min_dims=2, max_dims=2,
+                                                 min_side=1, max_side=12),
+                      elements=st.integers(-100, 100)))
+    def test_matches_sequential_recurrence(self, a):
+        assert np.array_equal(sat_reference(a), sat_sequential(a))
+
+
+class TestRectSum:
+    @pytest.fixture
+    def sat(self):
+        return sat_reference(FIGURE2_INPUT)
+
+    def test_full_matrix(self, sat):
+        assert rect_sum(sat, 0, 0, 8, 8) == 71
+
+    def test_single_cell(self, sat):
+        assert rect_sum(sat, 4, 4, 4, 4) == FIGURE2_INPUT[4, 4] == 3
+
+    def test_interior_rectangle(self, sat):
+        assert rect_sum(sat, 2, 3, 5, 6) == FIGURE2_INPUT[2:6, 3:7].sum()
+
+    def test_touching_edges(self, sat):
+        assert rect_sum(sat, 0, 0, 3, 2) == FIGURE2_INPUT[:4, :3].sum()
+        assert rect_sum(sat, 5, 6, 8, 8) == FIGURE2_INPUT[5:, 6:].sum()
+
+    def test_invalid_bounds(self, sat):
+        with pytest.raises(ConfigurationError):
+            rect_sum(sat, 5, 0, 4, 0)   # top > bottom
+        with pytest.raises(ConfigurationError):
+            rect_sum(sat, 0, 0, 9, 0)   # bottom out of range
+
+    def test_vectorised_matches_scalar(self, sat, rng):
+        tops = rng.integers(0, 9, 50)
+        lefts = rng.integers(0, 9, 50)
+        bottoms = np.minimum(8, tops + rng.integers(0, 9, 50))
+        rights = np.minimum(8, lefts + rng.integers(0, 9, 50))
+        got = rect_sums(sat, tops, lefts, bottoms, rights)
+        for k in range(50):
+            assert got[k] == rect_sum(sat, tops[k], lefts[k], bottoms[k],
+                                      rights[k])
+
+    def test_vectorised_bounds_checked(self, sat):
+        with pytest.raises(ConfigurationError):
+            rect_sums(sat, [0], [0], [9], [0])
+
+    @settings(deadline=None, max_examples=30)
+    @given(seed=st.integers(0, 2**31 - 1), n=st.integers(1, 16))
+    def test_property_four_corner_identity(self, seed, n):
+        """The paper's Section I claim: any rectangle sum from 4 SAT entries."""
+        rng = np.random.default_rng(seed)
+        a = rng.integers(-50, 50, size=(n, n))
+        sat = sat_reference(a)
+        top, bottom = sorted(rng.integers(0, n, 2).tolist())
+        left, right = sorted(rng.integers(0, n, 2).tolist())
+        assert rect_sum(sat, top, left, bottom, right) == \
+            a[top:bottom + 1, left:right + 1].sum()

@@ -1,0 +1,62 @@
+"""1R1W-SKSS: column-per-block soft synchronization."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import check_result
+from repro.gpusim import GPU, TINY_DEVICE
+from repro.sat.skss import SKSS1R1W
+
+
+class TestSKSS:
+    def test_correct(self, small_matrix):
+        assert check_result(SKSS1R1W().run(small_matrix, GPU(seed=1)),
+                            small_matrix)
+
+    def test_single_kernel_t_blocks(self, small_matrix):
+        t = small_matrix.shape[0] // 32
+        res = SKSS1R1W().run(small_matrix, GPU(seed=1))
+        assert res.kernel_calls == 1
+        assert res.report.kernels[0].grid_blocks == t
+
+    def test_medium_parallelism(self, small_matrix):
+        """Table I: max threads nW/m — one block per tile *column*."""
+        t = small_matrix.shape[0] // 32
+        res = SKSS1R1W().run(small_matrix, GPU(seed=1))
+        assert res.max_threads == t * min(1024, 32 * 32)
+
+    def test_gcp_carried_in_registers(self, small_matrix):
+        """The block never reads GCP from global memory: reads stay within
+        tile loads + GRS vectors (no extra n²/W column traffic)."""
+        res = SKSS1R1W().run(small_matrix, GPU(seed=1))
+        n2 = small_matrix.size
+        t = small_matrix.shape[0] // 32
+        vec = t * t * 32
+        # tile loads + GRS(I, J-1) reads (t(t-1) vectors) + flag polls.
+        assert res.report.traffic.global_read_requests <= n2 + vec + 2000
+
+    def test_waits_on_left_column(self, small_matrix):
+        """With a single resident block columns serialize; with several the
+        right columns spin until the left publishes."""
+        res = SKSS1R1W().run(small_matrix,
+                             GPU(device=TINY_DEVICE, seed=2,
+                                 max_resident_blocks=2,
+                                 scheduler_policy="lifo"))
+        assert check_result(res, small_matrix)
+
+    def test_single_column_matrix(self, rng):
+        a = rng.integers(0, 9, size=(64, 64)).astype(float)
+        res = SKSS1R1W(tile_width=64).run(a, GPU(seed=3))
+        assert res.report.kernels[0].grid_blocks == 1
+        assert check_result(res, a)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_schedules(self, seed, small_matrix):
+        res = SKSS1R1W().run(small_matrix,
+                             GPU(seed=seed, scheduler_policy="random"))
+        assert check_result(res, small_matrix)
+
+    def test_host_path(self, small_matrix):
+        from repro.sat import sat_reference
+        assert np.array_equal(SKSS1R1W().run_host(small_matrix),
+                              sat_reference(small_matrix))

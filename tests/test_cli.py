@@ -1,0 +1,109 @@
+"""CLI smoke/behaviour tests (direct main() invocation, captured output)."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    return code, capsys.readouterr().out
+
+
+class TestRun:
+    def test_default_run(self, capsys):
+        code, out = run_cli(capsys, "run", "-n", "64")
+        assert code == 0
+        assert "1R1W-SKSS-LB" in out
+        assert "correct vs reference: True" in out
+
+    def test_host_path(self, capsys):
+        code, out = run_cli(capsys, "run", "-n", "64", "--host")
+        assert code == 0
+        assert "host path" in out
+
+    def test_algorithm_alias(self, capsys):
+        code, out = run_cli(capsys, "run", "-n", "64", "-a", "nehab")
+        assert code == 0
+        assert "2R1W" in out
+
+    def test_detect_uninitialized(self, capsys):
+        code, out = run_cli(capsys, "run", "-n", "64",
+                            "--detect-uninitialized")
+        assert code == 0
+
+    def test_tile_width(self, capsys):
+        code, out = run_cli(capsys, "run", "-n", "128", "-W", "64")
+        assert code == 0
+
+
+class TestTables:
+    def test_table1(self, capsys):
+        code, out = run_cli(capsys, "table1")
+        assert code == 0
+        assert "1R1W-SKSS-LB" in out and "kernel calls" in out
+
+    def test_table1_measured(self, capsys):
+        code, out = run_cli(capsys, "table1", "--measure",
+                            "--measure-size", "64")
+        assert code == 0
+        assert "measured on the simulator" in out
+        assert "OK" in out
+
+    def test_table3(self, capsys):
+        code, out = run_cli(capsys, "table3")
+        assert code == 0
+        assert "matrix duplication" in out and "(paper)" in out
+
+    def test_table3_no_paper(self, capsys):
+        code, out = run_cli(capsys, "table3", "--no-paper")
+        assert code == 0
+        assert "(paper)" not in out
+
+
+class TestSweeps:
+    def test_sweep_w(self, capsys):
+        code, out = run_cli(capsys, "sweep-w", "-n", "1024")
+        assert code == 0
+        assert "W=32" in out and "W=128" in out
+
+    def test_sweep_w_skips_incompatible(self, capsys):
+        code, out = run_cli(capsys, "sweep-w", "-n", "96")
+        assert code == 0
+        assert "skipped" in out
+
+    def test_sweep_r(self, capsys):
+        code, out = run_cli(capsys, "sweep-r", "-n", "1024")
+        assert code == 0
+        assert "best r:" in out
+
+
+class TestExport:
+    def test_export_writes_files(self, capsys, tmp_path):
+        code, out = run_cli(capsys, "export", "-o", str(tmp_path), "-n", "256")
+        assert code == 0
+        assert (tmp_path / "table3.csv").exists()
+        assert (tmp_path / "table1.json").exists()
+        assert out.count("wrote") == 4
+
+
+class TestMisc:
+    def test_trace(self, capsys):
+        code, out = run_cli(capsys, "trace", "-n", "64")
+        assert code == 0
+        assert "legend" in out and "correct=True" in out
+
+    def test_list(self, capsys):
+        code, out = run_cli(capsys, "list")
+        assert code == 0
+        for name in ("2R2W", "1R1W-SKSS-LB", "aliases"):
+            assert name in out
+
+    def test_no_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0

@@ -1,0 +1,38 @@
+"""Every example script must run cleanly (they are part of the public API)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[1] / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_expected_examples_present():
+    assert {"quickstart.py", "compare_algorithms.py", "box_filter_demo.py",
+            "lookback_trace.py", "performance_table.py",
+            "out_of_core_demo.py"} <= set(EXAMPLES)
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name):
+    proc = subprocess.run([sys.executable, str(EXAMPLES_DIR / name)],
+                          capture_output=True, text=True, timeout=300)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "example produced no output"
+
+
+def test_quickstart_reports_correct():
+    proc = subprocess.run([sys.executable,
+                           str(EXAMPLES_DIR / "quickstart.py")],
+                          capture_output=True, text=True, timeout=300)
+    assert "correct vs reference: True" in proc.stdout
+
+
+def test_performance_table_headline():
+    proc = subprocess.run([sys.executable,
+                           str(EXAMPLES_DIR / "performance_table.py")],
+                          capture_output=True, text=True, timeout=300)
+    assert "fastest at every size: True" in proc.stdout

@@ -1,0 +1,36 @@
+"""The one-shot reproduction report generator."""
+
+from repro.cli import main
+from repro.report import generate_report, write_report
+
+
+class TestReport:
+    def test_contains_all_sections(self):
+        text = generate_report(measure_size=64, fuzz_runs=3)
+        for heading in ("# Reproduction report", "## Table I",
+                        "## Table III", "## Dependence-parallelism",
+                        "## Cross-device", "## Differential fuzzing",
+                        "## float32 precision"):
+            assert heading in text
+
+    def test_measured_counts_all_ok(self):
+        text = generate_report(measure_size=64, fuzz_runs=1)
+        assert "[OK ]" in text
+        assert "FAIL" not in text.replace("FAILURES", "")
+
+    def test_fuzz_clean(self):
+        text = generate_report(measure_size=64, fuzz_runs=4)
+        assert "-> OK" in text
+
+    def test_write_report(self, tmp_path):
+        path = tmp_path / "report.md"
+        write_report(str(path), measure_size=64, fuzz_runs=2)
+        assert path.read_text().startswith("# Reproduction report")
+
+    def test_cli_report(self, tmp_path, capsys):
+        out_path = tmp_path / "r.md"
+        code = main(["report", "-o", str(out_path), "--measure-size", "64",
+                     "--fuzz-runs", "2"])
+        assert code == 0
+        assert out_path.exists()
+        assert "wrote" in capsys.readouterr().out
