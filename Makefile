@@ -2,16 +2,20 @@
 
 PY ?= python
 
-.PHONY: install test bench tables report fuzz examples all
+.PHONY: install test bench bench-smoke tables report fuzz examples all
 
 install:
 	pip install -e . --no-build-isolation
 
 test:
 	$(PY) -m pytest tests/
+	$(MAKE) bench-smoke
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only
+
+bench-smoke:
+	PYTHONPATH=src $(PY) benchmarks/bench_host_engine.py --smoke
 
 tables:
 	$(PY) -m repro table1 --measure

@@ -13,7 +13,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.sat.reference import sat_reference
-from repro.sat.registry import compute_sat
+from repro.sat.registry import compute_sat, host_sat
 
 
 def _window_bounds(n_rows: int, n_cols: int, radius: int):
@@ -53,17 +53,26 @@ def window_areas(rows: int, cols: int, radius: int) -> np.ndarray:
 
 def box_filter(image: np.ndarray, radius: int, *,
                algorithm: str | None = None, tile_width: int = 32,
-               gpu=None) -> np.ndarray:
+               gpu=None, engine=None,
+               workers: int | None = None) -> np.ndarray:
     """Mean-filter ``image`` with a clamped ``(2·radius+1)²`` box window.
 
     With ``algorithm`` given, the SAT is built by that paper algorithm (on the
     simulator when ``gpu`` is provided, host path otherwise); the default uses
-    the NumPy reference SAT.
+    the NumPy reference SAT.  ``engine`` picks a host executor
+    (:func:`~repro.sat.registry.host_sat`) and is mutually exclusive with
+    ``gpu``.
     """
     image = np.asarray(image, dtype=np.float64)
     if image.ndim != 2:
         raise ConfigurationError("box_filter expects a 2-D image")
-    if algorithm is None:
+    if engine is not None:
+        if gpu is not None:
+            raise ConfigurationError(
+                "a host engine and a simulator GPU are mutually exclusive")
+        sat = host_sat(image, algorithm=algorithm, tile_width=tile_width,
+                       engine=engine, workers=workers)
+    elif algorithm is None:
         sat = sat_reference(image)
     else:
         result = compute_sat(image, algorithm=algorithm, tile_width=tile_width,

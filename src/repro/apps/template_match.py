@@ -15,18 +15,27 @@ from repro.errors import ConfigurationError
 from repro.sat.reference import sat_reference
 
 
-def window_stats(image: np.ndarray, th: int, tw: int) -> tuple[np.ndarray, np.ndarray]:
+def window_stats(image: np.ndarray, th: int, tw: int, *,
+                 engine=None,
+                 workers: int | None = None) -> tuple[np.ndarray, np.ndarray]:
     """Per-anchor window sums and sums of squares via two SATs.
 
     Returns arrays of shape ``(rows-th+1, cols-tw+1)`` where entry ``(i, j)``
-    covers ``image[i:i+th, j:j+tw]``.
+    covers ``image[i:i+th, j:j+tw]``.  ``engine`` routes the two SAT builds
+    through a host executor (:func:`~repro.sat.registry.host_sat`); note the
+    ``"wavefront"`` engine requires a square, tile-aligned image.
     """
     image = np.asarray(image, dtype=np.float64)
     rows, cols = image.shape
     if th > rows or tw > cols or th <= 0 or tw <= 0:
         raise ConfigurationError("template larger than image (or empty)")
-    sat1 = sat_reference(image)
-    sat2 = sat_reference(image * image)
+    if engine is not None:
+        from repro.sat.registry import host_sat
+        sat1 = host_sat(image, engine=engine, workers=workers)
+        sat2 = host_sat(image * image, engine=engine, workers=workers)
+    else:
+        sat1 = sat_reference(image)
+        sat2 = sat_reference(image * image)
 
     def sums(sat):
         padded = np.zeros((rows + 1, cols + 1))
@@ -39,10 +48,12 @@ def window_stats(image: np.ndarray, th: int, tw: int) -> tuple[np.ndarray, np.nd
 
 
 def ncc_match(image: np.ndarray, template: np.ndarray,
-              eps: float = 1e-12) -> np.ndarray:
+              eps: float = 1e-12, *, engine=None,
+              workers: int | None = None) -> np.ndarray:
     """Normalized cross-correlation map over all template placements.
 
-    Output in ``[-1, 1]`` (0 where the window is constant).
+    Output in ``[-1, 1]`` (0 where the window is constant).  ``engine``
+    selects the host executor for the two window-statistics SATs.
     """
     image = np.asarray(image, dtype=np.float64)
     template = np.asarray(template, dtype=np.float64)
@@ -52,7 +63,8 @@ def ncc_match(image: np.ndarray, template: np.ndarray,
     area = th * tw
     t_centered = template - template.mean()
     t_norm = np.sqrt((t_centered ** 2).sum())
-    win_sum, win_sq = window_stats(image, th, tw)
+    win_sum, win_sq = window_stats(image, th, tw, engine=engine,
+                                   workers=workers)
     win_var = np.maximum(win_sq - win_sum**2 / area, 0.0)
 
     # Raw correlation with the zero-mean template (direct evaluation).

@@ -13,24 +13,38 @@ import numpy as np
 from repro.apps.box_filter import window_areas, window_sums_from_sat
 from repro.errors import ConfigurationError
 from repro.sat.reference import sat_reference
-from repro.sat.registry import compute_sat
+from repro.sat.registry import compute_sat, host_sat
 
 
 def local_moments(image: np.ndarray, radius: int, *,
                   algorithm: str | None = None, tile_width: int = 32,
-                  gpu=None) -> tuple[np.ndarray, np.ndarray]:
+                  gpu=None, engine=None,
+                  workers: int | None = None) -> tuple[np.ndarray, np.ndarray]:
     """Per-pixel clamped-window mean and variance via the two-SAT trick.
 
     Variance is computed as ``E[x²] - E[x]²`` and clipped at zero (the clip
     absorbs the float round-off that can push tiny variances negative —
     the standard caveat of the VSM formulation).
+
+    ``engine`` routes both SAT builds through a host executor
+    (:func:`~repro.sat.registry.host_sat`); with ``engine="wavefront"`` the
+    two builds share one pooled engine, so the second SAT reuses the tile
+    plan of the first.  Mutually exclusive with ``gpu``.
     """
     image = np.asarray(image, dtype=np.float64)
     if image.ndim != 2:
         raise ConfigurationError("local_moments expects a 2-D image")
     if radius < 0:
         raise ConfigurationError("radius must be non-negative")
-    if algorithm is None:
+    if engine is not None:
+        if gpu is not None:
+            raise ConfigurationError(
+                "a host engine and a simulator GPU are mutually exclusive")
+        sat1 = host_sat(image, algorithm=algorithm, tile_width=tile_width,
+                        engine=engine, workers=workers)
+        sat2 = host_sat(image * image, algorithm=algorithm,
+                        tile_width=tile_width, engine=engine, workers=workers)
+    elif algorithm is None:
         sat1 = sat_reference(image)
         sat2 = sat_reference(image * image)
     else:

@@ -44,6 +44,14 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("-W", "--tile-width", type=int, default=32)
     run.add_argument("--host", action="store_true",
                      help="use the pure-NumPy host path (no simulation)")
+    run.add_argument("--engine", default="serial",
+                     choices=["serial", "wavefront", "parallel"],
+                     help="host execution engine (implies --host when not "
+                          "'serial'): serial tile loop, multi-core wavefront "
+                          "tile engine, or fork/join banded 2R2W scan")
+    run.add_argument("--workers", type=int, default=None,
+                     help="worker threads for the wavefront/parallel engines "
+                          "(default: REPRO_WORKERS or all cores)")
     run.add_argument("--policy", default="random",
                      choices=["round_robin", "random", "lifo"])
     run.add_argument("--seed", type=int, default=0)
@@ -111,9 +119,11 @@ def _cmd_run(args) -> int:
 
     rng = np.random.default_rng(args.seed)
     a = rng.integers(0, 100, size=(args.size, args.size)).astype(np.float64)
-    if args.host:
+    if args.host or args.engine != "serial":
         result = compute_sat(a, algorithm=args.algorithm,
-                             tile_width=args.tile_width, simulate=False)
+                             tile_width=args.tile_width, simulate=False,
+                             engine=args.engine if args.engine != "serial"
+                             else None, workers=args.workers)
     else:
         gpu = GPU(seed=args.seed, scheduler_policy=args.policy,
                   consistency=args.consistency,

@@ -132,10 +132,26 @@ class SATAlgorithm(ABC):
         return SATResult(sat=sat, algorithm=self.name, n=n,
                          params=self.params(), report=report)
 
-    def run_host(self, a: np.ndarray) -> np.ndarray:
-        """Dataflow-equivalent host execution (same tile algebra, no simulator)."""
+    def run_host(self, a: np.ndarray, *, engine=None) -> np.ndarray:
+        """Dataflow-equivalent host execution (same tile algebra, no simulator).
+
+        ``engine`` selects the host executor: ``None``/``"serial"`` runs the
+        algorithm's own serial tile loop (the default — deterministic and
+        dependency-free); ``"wavefront"`` or a
+        :class:`~repro.hostexec.WavefrontEngine` instance routes the same
+        dataflow through the multi-core wavefront engine (tile-based
+        algorithms only; results are bit-identical to the serial path).
+        """
         a = self._validate(a)
-        return self._run_host(a)
+        if engine is None or engine == "serial":
+            return self._run_host(a)
+        if not self.tile_based:
+            raise ConfigurationError(
+                f"{self.name} has no tile dataflow; only tile-based "
+                "algorithms support engine='wavefront'")
+        from repro.hostexec import resolve_engine
+        return resolve_engine(engine).compute(
+            a, algorithm=self.name, tile_width=self.tile_width)
 
     # -- subclass hooks ------------------------------------------------------------
 

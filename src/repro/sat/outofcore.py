@@ -38,7 +38,7 @@ def band_bounds(n_rows: int, band_rows: int) -> list[tuple[int, int]]:
 
 def out_of_core_sat(a: np.ndarray, *, band_rows: int,
                     algorithm: str | None = None, tile_width: int = 32,
-                    gpu_factory=None) -> np.ndarray:
+                    gpu_factory=None, engine=None) -> np.ndarray:
     """Compute the SAT of ``a`` band by band.
 
     ``algorithm`` selects the per-band SAT engine (``None`` = NumPy
@@ -49,31 +49,45 @@ def out_of_core_sat(a: np.ndarray, *, band_rows: int,
     tile-based engines, ``band_rows`` and the matrix width must be multiples
     of ``tile_width`` and the band must be square (``band_rows == n``) —
     otherwise the reference engine is used per band.
+
+    ``engine`` selects the *host* executor for the per-band computation
+    (``"serial"``, ``"wavefront"``/a
+    :class:`~repro.hostexec.WavefrontEngine`, or ``"parallel"``); it is
+    mutually exclusive with ``gpu_factory``.  ``"parallel"`` applies to every
+    band (the banded 2R2W scan accepts any shape); ``"wavefront"`` applies
+    where the tile algorithm itself would (square, tile-aligned bands).
     """
     a = np.asarray(a, dtype=np.float64)
     if a.ndim != 2:
         raise ConfigurationError("out_of_core_sat expects a 2-D matrix")
+    if engine is not None and gpu_factory is not None:
+        raise ConfigurationError(
+            "a host engine and gpu_factory are mutually exclusive")
     n_rows, n_cols = a.shape
     out = np.empty_like(a)
     carry_cols = np.zeros(n_cols)
     for lo, hi in band_bounds(n_rows, band_rows):
         band = a[lo:hi]
-        band_sat = _band_engine(band, algorithm, tile_width, gpu_factory)
+        band_sat = _band_engine(band, algorithm, tile_width, gpu_factory,
+                                engine)
         out[lo:hi] = band_sat + np.cumsum(carry_cols)[None, :]
         carry_cols = carry_cols + band.sum(axis=0)
     return out
 
 
 def _band_engine(band: np.ndarray, algorithm: str | None, tile_width: int,
-                 gpu_factory) -> np.ndarray:
+                 gpu_factory, engine=None) -> np.ndarray:
     rows, cols = band.shape
+    if engine == "parallel":
+        from repro.sat.parallel_host import parallel_sat
+        return parallel_sat(band)
     if algorithm is None or rows != cols or rows % tile_width \
             or cols % tile_width:
         return band.cumsum(axis=0).cumsum(axis=1)
     alg = get_algorithm(algorithm, tile_width=tile_width)
     if gpu_factory is not None:
         return alg.run(band, gpu_factory()).sat
-    return alg.run_host(band)
+    return alg.run_host(band, engine=engine)
 
 
 @dataclass

@@ -13,21 +13,26 @@ independently-implemented engine the tests difference against the others.
 The two phases each read and write every element once (2R2W on the CPU);
 ``parallel_sat`` is the simple fork/join version and
 :class:`ParallelSATEngine` keeps a persistent pool for repeated use.
+
+The row phase needs no transpose (and no carry stitching at all): row-wise
+prefix sums are independent per row, so each worker simply ``cumsum``\\ s its
+band of rows along ``axis=1`` in place.  The whole computation therefore
+makes exactly one copy — the defensive copy of the input.
+
+The worker count defaults to the ``REPRO_WORKERS`` environment variable,
+falling back to the full ``os.cpu_count()`` (shared with the wavefront
+engine's :func:`repro.hostexec.default_workers`).
 """
 
 from __future__ import annotations
 
-import os
 from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.hostexec.engine import default_workers as _default_workers
 from repro.primitives.prefix_sum import partition_bounds
-
-
-def _default_workers() -> int:
-    return max(1, min(8, os.cpu_count() or 1))
 
 
 def _band_edges(n: int, workers: int) -> list[tuple[int, int]]:
@@ -60,6 +65,21 @@ def _parallel_cumsum_axis0(a: np.ndarray, pool: ThreadPoolExecutor,
     list(pool.map(fix, enumerate(bands)))
 
 
+def _parallel_cumsum_axis1(a: np.ndarray, pool: ThreadPoolExecutor,
+                           workers: int) -> None:
+    """In-place row-direction inclusive scan, parallel over row bands.
+
+    Rows are independent, so no carries and no transpose copies are needed —
+    each band is one contiguous in-place ``cumsum``.
+    """
+    bands = _band_edges(a.shape[0], workers)
+
+    def local(band):
+        lo, hi = band
+        np.cumsum(a[lo:hi], axis=1, out=a[lo:hi])
+    list(pool.map(local, bands))
+
+
 def parallel_sat(a: np.ndarray, *, workers: int | None = None) -> np.ndarray:
     """Compute the SAT with a fork/join thread pool (CPU-parallel 2R2W)."""
     a = np.array(a, dtype=np.float64, copy=True)
@@ -70,17 +90,16 @@ def parallel_sat(a: np.ndarray, *, workers: int | None = None) -> np.ndarray:
     workers = workers or _default_workers()
     with ThreadPoolExecutor(max_workers=workers) as pool:
         _parallel_cumsum_axis0(a, pool, workers)
-        at = a.T  # the row phase is the column phase of the transpose (view)
-        at_c = np.ascontiguousarray(at)
-        _parallel_cumsum_axis0(at_c, pool, workers)
-        return np.ascontiguousarray(at_c.T)
+        _parallel_cumsum_axis1(a, pool, workers)
+    return a
 
 
 class ParallelSATEngine:
-    """Reusable engine: persistent pool + preallocated transpose scratch.
+    """Reusable engine: persistent pool for repeated fork/join SATs.
 
-    For repeated SATs of same-shaped matrices (video pipelines), keeping the
-    pool alive and reusing scratch removes the per-call setup.
+    For repeated SATs (video pipelines), keeping the pool alive removes the
+    per-call thread setup; both scan phases run in place on the single
+    defensive input copy, which each call returns (no aliasing across calls).
     """
 
     def __init__(self, *, workers: int | None = None) -> None:
@@ -88,18 +107,14 @@ class ParallelSATEngine:
             raise ConfigurationError("workers must be positive")
         self.workers = workers or _default_workers()
         self._pool = ThreadPoolExecutor(max_workers=self.workers)
-        self._scratch: np.ndarray | None = None
 
     def compute(self, a: np.ndarray) -> np.ndarray:
         a = np.array(a, dtype=np.float64, copy=True)
         if a.ndim != 2:
             raise ConfigurationError("expected a 2-D matrix")
         _parallel_cumsum_axis0(a, self._pool, self.workers)
-        if self._scratch is None or self._scratch.shape != a.T.shape:
-            self._scratch = np.empty_like(np.ascontiguousarray(a.T))
-        np.copyto(self._scratch, a.T)
-        _parallel_cumsum_axis0(self._scratch, self._pool, self.workers)
-        return np.ascontiguousarray(self._scratch.T)
+        _parallel_cumsum_axis1(a, self._pool, self.workers)
+        return a
 
     def close(self) -> None:
         self._pool.shutdown(wait=True)

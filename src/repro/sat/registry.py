@@ -68,9 +68,50 @@ def get_algorithm(name: str, **params: Any) -> SATAlgorithm:
     return ALGORITHMS[canonical](**params)
 
 
+#: Host execution engines accepted by :func:`compute_sat` / the CLI.
+#: ``serial`` runs each algorithm's own tile loop, ``wavefront`` the
+#: dependency-driven multi-core engine (:mod:`repro.hostexec`; tile-based
+#: algorithms only, bit-identical results), ``parallel`` the fork/join banded
+#: 2R2W scan (:func:`repro.sat.parallel_host.parallel_sat`; any algorithm —
+#: it computes the same SAT by plain double prefix sums).
+HOST_ENGINES = ("serial", "wavefront", "parallel")
+
+
+def host_sat(a: np.ndarray, *, algorithm: str | None = None,
+             tile_width: int = 32, engine=None,
+             workers: int | None = None) -> np.ndarray:
+    """Route a host-path SAT computation through the chosen engine.
+
+    The single entry point the applications layer uses: ``engine`` is
+    ``None``/``"serial"`` (the algorithm's serial host loop, or the NumPy
+    reference when ``algorithm`` is ``None``), ``"wavefront"`` (or a
+    :class:`~repro.hostexec.WavefrontEngine` instance), or ``"parallel"``.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    if engine == "parallel":
+        from repro.sat.parallel_host import parallel_sat
+        return parallel_sat(a, workers=workers)
+    if engine is None or engine == "serial":
+        if algorithm is None:
+            return a.cumsum(axis=0).cumsum(axis=1)
+        return get_algorithm(algorithm, tile_width=tile_width).run_host(a)
+    # Wavefront (by name or instance): default to the paper's algorithm.
+    from repro.hostexec import WavefrontEngine, resolve_engine
+    if not (isinstance(engine, WavefrontEngine) or engine == "wavefront"):
+        raise ConfigurationError(
+            f"unknown host engine {engine!r}; known: {HOST_ENGINES}")
+    name = get_algorithm(algorithm or "1R1W-SKSS-LB").name
+    if workers is not None and not isinstance(engine, WavefrontEngine):
+        with WavefrontEngine(workers=workers) as eng:
+            return eng.compute(a, algorithm=name, tile_width=tile_width)
+    return resolve_engine(engine).compute(a, algorithm=name,
+                                          tile_width=tile_width)
+
+
 def compute_sat(a: np.ndarray, *, algorithm: str = "1R1W-SKSS-LB",
                 tile_width: int = 32, gpu: GPU | None = None,
-                simulate: bool = True, **params: Any) -> SATResult:
+                simulate: bool = True, engine=None,
+                workers: int | None = None, **params: Any) -> SATResult:
     """Compute the summed area table of ``a``.
 
     Parameters
@@ -86,12 +127,37 @@ def compute_sat(a: np.ndarray, *, algorithm: str = "1R1W-SKSS-LB",
     simulate:
         When ``False``, run the dataflow-equivalent host path instead of the
         simulator (no traffic report; much faster for large matrices).
+    engine:
+        Host executor for the non-simulated path (implies ``simulate=False``):
+        one of :data:`HOST_ENGINES` or a
+        :class:`~repro.hostexec.WavefrontEngine` instance.
+    workers:
+        Worker count for the ``wavefront``/``parallel`` engines.
 
     Returns a :class:`~repro.sat.base.SATResult`.
     """
     alg = get_algorithm(algorithm, tile_width=tile_width, **params)
+    if engine is not None and engine != "serial":
+        if gpu is not None:
+            raise ConfigurationError(
+                "a host engine and a simulator GPU are mutually exclusive")
+        simulate = False
     if simulate:
         return alg.run(a, gpu)
-    sat = alg.run_host(a)
+    if engine is None or engine == "serial":
+        sat = alg.run_host(a)
+    elif engine == "parallel":
+        from repro.sat.parallel_host import parallel_sat
+        sat = parallel_sat(np.asarray(a, dtype=np.float64), workers=workers)
+    else:
+        from repro.hostexec import WavefrontEngine
+        if workers is not None and not isinstance(engine, WavefrontEngine):
+            with WavefrontEngine(workers=workers) as eng:
+                sat = alg.run_host(a, engine=eng)
+        else:
+            sat = alg.run_host(a, engine=engine)
+    p = alg.params()
+    if engine is not None:
+        p["engine"] = engine if isinstance(engine, str) else "wavefront"
     return SATResult(sat=sat, algorithm=alg.name, n=sat.shape[0],
-                     params=alg.params(), report=None)
+                     params=p, report=None)

@@ -1,0 +1,130 @@
+"""Structure tests for the wavefront plan (chunking, dependencies, DAG)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hostexec.plan import (DEPS_LEFT_UP, DEPS_LEFT_UP_CORNER,
+                                 MIN_CHUNK_TILES, TILE_PENDING, TILE_READY,
+                                 build_plan, split_diagonal)
+from repro.primitives.tile import TileGrid
+
+
+def grid(n=256, W=32):
+    return TileGrid(n=n, W=W)
+
+
+class TestSplitDiagonal:
+    def test_whole_when_one_part(self):
+        tiles = [(0, 3), (1, 2), (2, 1), (3, 0)]
+        assert split_diagonal(tiles, 1) == [tiles]
+
+    def test_contiguous_cover(self):
+        tiles = [(i, 9 - i) for i in range(10)]
+        parts = split_diagonal(tiles, 3)
+        assert sum(parts, []) == tiles
+        assert len(parts) == 3
+
+    def test_never_more_parts_than_tiles(self):
+        tiles = [(0, 1), (1, 0)]
+        assert len(split_diagonal(tiles, 8)) == 2
+
+    def test_min_tiles_limits_parts(self):
+        tiles = [(i, 19 - i) for i in range(20)]
+        parts = split_diagonal(tiles, 8, min_tiles=8)
+        assert len(parts) == 2
+        assert all(len(p) >= 8 for p in parts)
+
+    def test_short_diagonal_stays_whole_under_min_tiles(self):
+        tiles = [(i, 4 - i) for i in range(5)]
+        assert split_diagonal(tiles, 4, min_tiles=8) == [tiles]
+
+    def test_zero_parts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            split_diagonal([(0, 0)], 0)
+
+
+class TestBuildPlan:
+    def test_every_tile_owned_by_exactly_one_chunk(self):
+        plan = build_plan(grid(), DEPS_LEFT_UP_CORNER, workers=4)
+        t = plan.grid.tiles_per_side
+        seen = np.zeros((t, t), dtype=int)
+        for c in plan.chunks:
+            seen[c.Is, c.Js] += 1
+        assert (seen == 1).all()
+        assert (plan.chunk_id >= 0).all()
+
+    def test_chunks_are_single_diagonal(self):
+        plan = build_plan(grid(), DEPS_LEFT_UP_CORNER, workers=4)
+        for c in plan.chunks:
+            assert (c.Is + c.Js == c.diagonal).all()
+
+    def test_deps_init_corner_family(self):
+        plan = build_plan(grid(128, 32), DEPS_LEFT_UP_CORNER, workers=2)
+        d = plan.deps_init
+        assert d[0, 0] == 0
+        assert (d[0, 1:] == 1).all() and (d[1:, 0] == 1).all()
+        assert (d[1:, 1:] == 3).all()
+
+    def test_deps_init_left_up(self):
+        plan = build_plan(grid(128, 32), DEPS_LEFT_UP, workers=2)
+        d = plan.deps_init
+        assert d[0, 0] == 0
+        assert (d[1:, 1:] == 2).all()
+
+    def test_single_root_at_origin(self):
+        plan = build_plan(grid(), DEPS_LEFT_UP_CORNER, workers=4)
+        roots = plan.roots()
+        assert len(roots) == 1
+        root = plan.chunks[roots[0]]
+        assert root.diagonal == 0 and root.num_predecessors == 0
+
+    def test_successor_edges_point_forward(self):
+        plan = build_plan(grid(), DEPS_LEFT_UP_CORNER, workers=4)
+        for c in plan.chunks:
+            for sid in c.successors:
+                assert plan.chunks[sid].diagonal > c.diagonal
+
+    def test_predecessor_counts_consistent_with_successors(self):
+        plan = build_plan(grid(), DEPS_LEFT_UP_CORNER, workers=4)
+        counted = np.zeros(plan.num_chunks, dtype=int)
+        for c in plan.chunks:
+            for sid in c.successors:
+                counted[sid] += 1
+        assert (counted == plan.pending_init).all()
+        assert (counted
+                == [c.num_predecessors for c in plan.chunks]).all()
+
+    def test_topological_diagonal_order(self):
+        # Executing chunks in index (diagonal-major) order satisfies all
+        # dependencies — the workers=1 fast path relies on this.
+        plan = build_plan(grid(), DEPS_LEFT_UP_CORNER, workers=4)
+        done = set()
+        for c in plan.chunks:
+            for p, other in enumerate(plan.chunks):
+                if c.index in other.successors:
+                    assert p in done
+            done.add(c.index)
+
+    def test_initial_status_words(self):
+        plan = build_plan(grid(128, 32), DEPS_LEFT_UP_CORNER, workers=2)
+        status = plan.initial_status()
+        assert status[0, 0] == TILE_READY
+        assert (status.ravel()[1:] == TILE_PENDING).all()
+
+    def test_min_chunk_size_respected(self):
+        plan = build_plan(grid(2048, 32), DEPS_LEFT_UP_CORNER, workers=8)
+        for c in plan.chunks:
+            diag_len = len(plan.grid.tiles_on_diagonal(c.diagonal))
+            if diag_len >= 2 * MIN_CHUNK_TILES:
+                assert c.num_tiles >= MIN_CHUNK_TILES
+
+    def test_long_diagonals_split_up_to_workers(self):
+        plan = build_plan(grid(2048, 32), DEPS_LEFT_UP_CORNER, workers=4)
+        t = plan.grid.tiles_per_side
+        mid = [c for c in plan.chunks if c.diagonal == t - 1]
+        assert len(mid) == 4
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            build_plan(grid(), DEPS_LEFT_UP_CORNER, workers=0)
