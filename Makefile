@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test bench bench-smoke tables report fuzz examples all
+.PHONY: install test lint bench bench-smoke tables report fuzz examples all
 
 install:
 	pip install -e . --no-build-isolation
@@ -10,6 +10,11 @@ install:
 test:
 	$(PY) -m pytest tests/
 	$(MAKE) bench-smoke
+
+lint:
+	@$(PY) -m ruff --version >/dev/null 2>&1 || \
+		{ echo "ruff is not installed (pip install ruff)"; exit 1; }
+	$(PY) -m ruff check src/ tests/ benchmarks/ examples/
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only

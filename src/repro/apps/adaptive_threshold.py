@@ -23,7 +23,7 @@ def adaptive_threshold(image: np.ndarray, *, radius: int | None = None,
     ``radius`` defaults to one eighth of the image side (the Bradley–Roth
     recommendation of a window about ``n/8`` wide).
     """
-    image = np.asarray(image, dtype=np.float64)
+    image = np.asarray(image)
     if image.ndim != 2:
         raise ConfigurationError("adaptive_threshold expects a 2-D image")
     if not 0.0 <= ratio < 1.0:
@@ -38,4 +38,4 @@ def adaptive_threshold(image: np.ndarray, *, radius: int | None = None,
 def global_threshold(image: np.ndarray, level: float = 0.5) -> np.ndarray:
     """Naive global threshold (comparison baseline: fails under uneven
     illumination, which is the scenario the adaptive version handles)."""
-    return np.asarray(image, dtype=np.float64) < level
+    return np.asarray(image) < level

@@ -24,7 +24,9 @@ from repro.sat.reference import sat_reference
 def _box(sat: np.ndarray, top: np.ndarray, left: np.ndarray,
          bottom: np.ndarray, right: np.ndarray) -> np.ndarray:
     """Vectorised four-corner sums (callers guarantee in-range indices)."""
-    total = sat[bottom, right].astype(np.float64, copy=True)
+    acc = (np.result_type(sat.dtype, np.int64)
+           if np.issubdtype(sat.dtype, np.integer) else sat.dtype)
+    total = sat[bottom, right].astype(acc, copy=True)
     m = top > 0
     total[m] -= sat[top[m] - 1, right[m]]
     m = left > 0
@@ -95,7 +97,7 @@ def hessian_response(image: np.ndarray, lobe: int = 3) -> np.ndarray:
     ``det = Dxx·Dyy − (0.9·Dxy)²`` (SURF's 0.9 weight), normalized by the
     filter area squared so responses are comparable across scales.
     """
-    image = np.asarray(image, dtype=np.float64)
+    image = np.asarray(image)
     if image.ndim != 2:
         raise ConfigurationError("hessian_response expects a 2-D image")
     sat = sat_reference(image)

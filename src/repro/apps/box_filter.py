@@ -30,12 +30,19 @@ def _window_bounds(n_rows: int, n_cols: int, radius: int):
 
 
 def window_sums_from_sat(sat: np.ndarray, radius: int) -> np.ndarray:
-    """Clamped-window sums for every pixel, from a prebuilt SAT (vectorised)."""
+    """Clamped-window sums for every pixel, from a prebuilt SAT (vectorised).
+
+    The sums come back in the SAT's own dtype (widened to at least ``int64``
+    for integer SATs), so integer pixel data stays exact until a caller
+    divides.
+    """
     if radius < 0:
         raise ConfigurationError("box-filter radius must be non-negative")
     rows, cols = sat.shape
     top, bottom, left, right = _window_bounds(rows, cols, radius)
-    total = sat[bottom, right].astype(np.float64, copy=True)
+    acc = (np.result_type(sat.dtype, np.int64)
+           if np.issubdtype(sat.dtype, np.integer) else sat.dtype)
+    total = sat[bottom, right].astype(acc, copy=True)
     m = top > 0
     total[m] -= sat[top[m] - 1, right[m]]
     m = left > 0
@@ -62,8 +69,11 @@ def box_filter(image: np.ndarray, radius: int, *,
     the NumPy reference SAT.  ``engine`` picks a host executor
     (:func:`~repro.sat.registry.host_sat`) and is mutually exclusive with
     ``gpu``.
+
+    Any dtype is accepted: integer images accumulate exactly (the SAT stack's
+    exact dtype policy) and only the final mean division produces floats.
     """
-    image = np.asarray(image, dtype=np.float64)
+    image = np.asarray(image)
     if image.ndim != 2:
         raise ConfigurationError("box_filter expects a 2-D image")
     if engine is not None:
@@ -85,9 +95,9 @@ def box_filter(image: np.ndarray, radius: int, *,
 def box_filter_direct(image: np.ndarray, radius: int) -> np.ndarray:
     """O(r²)-per-pixel direct convolution oracle (for tests; intentionally
     simple and slow)."""
-    image = np.asarray(image, dtype=np.float64)
+    image = np.asarray(image)
     rows, cols = image.shape
-    out = np.empty_like(image)
+    out = np.empty((rows, cols), dtype=np.float64)
     for i in range(rows):
         for j in range(cols):
             window = image[max(i - radius, 0):i + radius + 1,

@@ -153,7 +153,7 @@ def detect(image: np.ndarray, *, window: int = 16,
     window, and the cascade's early rejection makes dense evaluation cheap
     (integral-image lookups only).
     """
-    image = np.asarray(image, dtype=np.float64)
+    image = np.asarray(image)
     if image.ndim != 2:
         raise ConfigurationError("detect expects a 2-D image")
     rows, cols = image.shape

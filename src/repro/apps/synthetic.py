@@ -4,6 +4,13 @@ The paper's motivating applications operate on images; we have no image data
 in this offline environment, so these generators produce deterministic
 synthetic scenes (documented substitution in DESIGN.md) with enough structure
 — edges, blobs, texture — to exercise the SAT applications meaningfully.
+
+Every generator accepts either a single side length ``n`` (square, the
+paper's benchmark shape) or a ``(rows, cols)`` pair — camera-style
+rectangles such as 640x480 work throughout the stack.  Float scenes are in
+[0, 1]; :func:`to_uint8` quantizes them to the 8-bit representation real
+image pipelines feed the SAT (exact integer accumulation downstream), and
+:func:`uint8_noise` generates raw 8-bit test frames directly.
 """
 
 from __future__ import annotations
@@ -13,65 +20,99 @@ import numpy as np
 from repro.errors import ConfigurationError
 
 
-def gradient_image(n: int) -> np.ndarray:
-    """A diagonal intensity ramp in [0, 1]."""
-    if n <= 0:
+def _resolve_shape(shape) -> tuple[int, int]:
+    """Normalize an ``n`` or ``(rows, cols)`` argument to a (rows, cols) pair."""
+    if isinstance(shape, (int, np.integer)):
+        rows = cols = int(shape)
+    else:
+        try:
+            rows, cols = (int(s) for s in shape)
+        except (TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"shape must be an int or a (rows, cols) pair, got {shape!r}"
+            ) from exc
+    if rows <= 0 or cols <= 0:
         raise ConfigurationError("image size must be positive")
-    ii, jj = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
-    return (ii + jj) / (2.0 * (n - 1)) if n > 1 else np.zeros((1, 1))
+    return rows, cols
 
 
-def checkerboard(n: int, cell: int = 8) -> np.ndarray:
+def gradient_image(shape) -> np.ndarray:
+    """A diagonal intensity ramp in [0, 1]."""
+    rows, cols = _resolve_shape(shape)
+    ri = np.arange(rows) / (rows - 1) if rows > 1 else np.zeros(rows)
+    cj = np.arange(cols) / (cols - 1) if cols > 1 else np.zeros(cols)
+    return (ri[:, None] + cj[None, :]) / 2.0
+
+
+def checkerboard(shape, cell: int = 8) -> np.ndarray:
     """A binary checkerboard with ``cell x cell`` squares."""
     if cell <= 0:
         raise ConfigurationError("cell size must be positive")
-    ii, jj = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+    rows, cols = _resolve_shape(shape)
+    ii, jj = np.meshgrid(np.arange(rows), np.arange(cols), indexing="ij")
     return (((ii // cell) + (jj // cell)) % 2).astype(np.float64)
 
 
-def gaussian_blobs(n: int, *, num_blobs: int = 5, seed: int = 0,
+def gaussian_blobs(shape, *, num_blobs: int = 5, seed: int = 0,
                    sigma_frac: float = 0.08) -> np.ndarray:
     """A field of Gaussian bumps at random centres (values roughly in [0, 1])."""
+    rows, cols = _resolve_shape(shape)
     rng = np.random.default_rng(seed)
-    ii, jj = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
-    img = np.zeros((n, n))
-    sigma = max(1.0, sigma_frac * n)
+    ii, jj = np.meshgrid(np.arange(rows), np.arange(cols), indexing="ij")
+    img = np.zeros((rows, cols))
+    sigma = max(1.0, sigma_frac * min(rows, cols))
     for _ in range(num_blobs):
-        ci, cj = rng.uniform(0, n, size=2)
+        ci = rng.uniform(0, rows)
+        cj = rng.uniform(0, cols)
         amp = rng.uniform(0.5, 1.0)
         img += amp * np.exp(-((ii - ci) ** 2 + (jj - cj) ** 2) / (2 * sigma**2))
     return np.clip(img, 0.0, None)
 
 
-def noisy_document(n: int, *, seed: int = 0, text_rows: int = 12) -> np.ndarray:
+def noisy_document(shape, *, seed: int = 0, text_rows: int = 12) -> np.ndarray:
     """A document-like scene: dark "text" bars on a bright page with an
     illumination gradient and noise — the classic adaptive-threshold workload."""
+    rows, cols = _resolve_shape(shape)
     rng = np.random.default_rng(seed)
     # Strong illumination fall-off: the dark side's *page* is dimmer than the
     # bright side's *ink*, so no global threshold can separate both sides.
-    page = 0.25 + 0.75 * gradient_image(n)
+    page = 0.25 + 0.75 * gradient_image((rows, cols))
     img = page.copy()
-    bar_h = max(1, n // (3 * text_rows))
+    bar_h = max(1, rows // (3 * text_rows))
     for k in range(text_rows):
-        top = int((k + 0.5) * n / text_rows)
-        if top + bar_h >= n:
+        top = int((k + 0.5) * rows / text_rows)
+        if top + bar_h >= rows:
             break
-        left = int(rng.uniform(0.05, 0.2) * n)
-        right = int(rng.uniform(0.6, 0.95) * n)
+        left = int(rng.uniform(0.05, 0.2) * cols)
+        right = int(rng.uniform(0.6, 0.95) * cols)
         img[top:top + bar_h, left:right] *= 0.3   # dark strokes
-    img += rng.normal(0.0, 0.02, size=(n, n))
+    img += rng.normal(0.0, 0.02, size=(rows, cols))
     return np.clip(img, 0.0, 1.0)
 
 
-def texture(n: int, *, seed: int = 0) -> np.ndarray:
+def texture(shape, *, seed: int = 0) -> np.ndarray:
     """Band-limited random texture (smoothed white noise), roughly in [0, 1]."""
+    rows, cols = _resolve_shape(shape)
     rng = np.random.default_rng(seed)
-    img = rng.normal(size=(n, n))
+    img = rng.normal(size=(rows, cols))
     # Cheap separable smoothing via cumulative-sum box filters.
-    k = max(1, n // 32)
+    k = max(1, min(rows, cols) // 32)
     csum = np.cumsum(img, axis=0)
     img = (np.vstack([csum[k:], np.tile(csum[-1], (k, 1))]) - csum) / k
     csum = np.cumsum(img, axis=1)
     img = (np.hstack([csum[:, k:], np.tile(csum[:, -1:], (1, k))]) - csum) / k
     lo, hi = img.min(), img.max()
-    return (img - lo) / (hi - lo) if hi > lo else np.zeros((n, n))
+    return (img - lo) / (hi - lo) if hi > lo else np.zeros((rows, cols))
+
+
+def to_uint8(image: np.ndarray) -> np.ndarray:
+    """Quantize a [0, 1] float scene to 8-bit pixels (rounds, clips)."""
+    image = np.asarray(image)
+    return np.clip(np.rint(image * 255.0), 0, 255).astype(np.uint8)
+
+
+def uint8_noise(shape, *, seed: int = 0) -> np.ndarray:
+    """A uniform random 8-bit frame — the raw-sensor SAT workload."""
+    rows, cols = _resolve_shape(shape)
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 256, size=(rows, cols), dtype=np.uint8)

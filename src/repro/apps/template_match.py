@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.apps.variance_filter import squared_image
 from repro.errors import ConfigurationError
 from repro.sat.reference import sat_reference
 
@@ -22,23 +23,26 @@ def window_stats(image: np.ndarray, th: int, tw: int, *,
 
     Returns arrays of shape ``(rows-th+1, cols-tw+1)`` where entry ``(i, j)``
     covers ``image[i:i+th, j:j+tw]``.  ``engine`` routes the two SAT builds
-    through a host executor (:func:`~repro.sat.registry.host_sat`); note the
-    ``"wavefront"`` engine requires a square, tile-aligned image.
+    through a host executor (:func:`~repro.sat.registry.host_sat`);
+    any rectangular image works with either engine.  Integer images stay
+    exact: ``x²`` is widened before summing and the returned statistics are
+    integer-valued.
     """
-    image = np.asarray(image, dtype=np.float64)
+    image = np.asarray(image)
     rows, cols = image.shape
     if th > rows or tw > cols or th <= 0 or tw <= 0:
         raise ConfigurationError("template larger than image (or empty)")
+    squared = squared_image(image)
     if engine is not None:
         from repro.sat.registry import host_sat
         sat1 = host_sat(image, engine=engine, workers=workers)
-        sat2 = host_sat(image * image, engine=engine, workers=workers)
+        sat2 = host_sat(squared, engine=engine, workers=workers)
     else:
         sat1 = sat_reference(image)
-        sat2 = sat_reference(image * image)
+        sat2 = sat_reference(squared)
 
     def sums(sat):
-        padded = np.zeros((rows + 1, cols + 1))
+        padded = np.zeros((rows + 1, cols + 1), dtype=sat.dtype)
         padded[1:, 1:] = sat
         return (padded[th:, tw:] - padded[:-th or None, tw:][:rows - th + 1]
                 - padded[th:, :-tw or None][:, :cols - tw + 1]
@@ -55,7 +59,7 @@ def ncc_match(image: np.ndarray, template: np.ndarray,
     Output in ``[-1, 1]`` (0 where the window is constant).  ``engine``
     selects the host executor for the two window-statistics SATs.
     """
-    image = np.asarray(image, dtype=np.float64)
+    image = np.asarray(image)
     template = np.asarray(template, dtype=np.float64)
     if image.ndim != 2 or template.ndim != 2:
         raise ConfigurationError("image and template must be 2-D")

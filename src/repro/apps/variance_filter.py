@@ -16,6 +16,20 @@ from repro.sat.reference import sat_reference
 from repro.sat.registry import compute_sat, host_sat
 
 
+def squared_image(image: np.ndarray) -> np.ndarray:
+    """``image * image`` with integer inputs widened first.
+
+    8/16/32-bit pixels overflow when squared in their own dtype (255² alone
+    exceeds uint8); widening to ``int64`` keeps the ``x²`` SAT exact.  Floats
+    square in place in their own dtype.
+    """
+    image = np.asarray(image)
+    if image.dtype == np.bool_ or np.issubdtype(image.dtype, np.integer):
+        wide = image.astype(np.result_type(image.dtype, np.int64))
+        return wide * wide
+    return image * image
+
+
 def local_moments(image: np.ndarray, radius: int, *,
                   algorithm: str | None = None, tile_width: int = 32,
                   gpu=None, engine=None,
@@ -30,28 +44,33 @@ def local_moments(image: np.ndarray, radius: int, *,
     (:func:`~repro.sat.registry.host_sat`); with ``engine="wavefront"`` the
     two builds share one pooled engine, so the second SAT reuses the tile
     plan of the first.  Mutually exclusive with ``gpu``.
+
+    Integer images are supported directly: both SATs accumulate exactly
+    (``x²`` is widened via :func:`squared_image` before summing) and only the
+    final divisions by window area produce floats.
     """
-    image = np.asarray(image, dtype=np.float64)
+    image = np.asarray(image)
     if image.ndim != 2:
         raise ConfigurationError("local_moments expects a 2-D image")
     if radius < 0:
         raise ConfigurationError("radius must be non-negative")
+    squared = squared_image(image)
     if engine is not None:
         if gpu is not None:
             raise ConfigurationError(
                 "a host engine and a simulator GPU are mutually exclusive")
         sat1 = host_sat(image, algorithm=algorithm, tile_width=tile_width,
                         engine=engine, workers=workers)
-        sat2 = host_sat(image * image, algorithm=algorithm,
+        sat2 = host_sat(squared, algorithm=algorithm,
                         tile_width=tile_width, engine=engine, workers=workers)
     elif algorithm is None:
         sat1 = sat_reference(image)
-        sat2 = sat_reference(image * image)
+        sat2 = sat_reference(squared)
     else:
         simulate = gpu is not None
         sat1 = compute_sat(image, algorithm=algorithm, tile_width=tile_width,
                            gpu=gpu, simulate=simulate).sat
-        sat2 = compute_sat(image * image, algorithm=algorithm,
+        sat2 = compute_sat(squared, algorithm=algorithm,
                            tile_width=tile_width, gpu=gpu,
                            simulate=simulate).sat
     area = window_areas(*image.shape, radius)
@@ -69,7 +88,7 @@ def chebyshev_upper_bound(mean: np.ndarray, variance: np.ndarray,
     """
     mean = np.asarray(mean, dtype=np.float64)
     variance = np.asarray(variance, dtype=np.float64)
-    diff = threshold - mean
+    diff = threshold - mean  # moments are float already; cast is a no-op there
     with np.errstate(divide="ignore", invalid="ignore"):
         p = variance / (variance + diff * diff)
     return np.where(diff > 0, np.nan_to_num(p), 1.0)
@@ -79,4 +98,4 @@ def local_contrast_normalize(image: np.ndarray, radius: int,
                              eps: float = 1e-3) -> np.ndarray:
     """Normalize each pixel by its local mean and standard deviation."""
     mean, var = local_moments(image, radius)
-    return (np.asarray(image, dtype=np.float64) - mean) / np.sqrt(var + eps)
+    return (np.asarray(image) - mean) / np.sqrt(var + eps)

@@ -41,6 +41,14 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="algorithm name or alias (default: the paper's)")
     run.add_argument("-n", "--size", type=int, default=128,
                      help="matrix side (default 128)")
+    run.add_argument("--shape", type=int, nargs=2, metavar=("H", "W"),
+                     default=None,
+                     help="explicit rows x cols (overrides -n; any rectangle "
+                          "works — ragged tiles are zero-padded internally)")
+    run.add_argument("--dtype", default="float64",
+                     help="input dtype of the random matrix (e.g. uint8, "
+                          "int32, float32; default float64); the accumulator "
+                          "dtype follows the exact policy")
     run.add_argument("-W", "--tile-width", type=int, default=32)
     run.add_argument("--host", action="store_true",
                      help="use the pure-NumPy host path (no simulation)")
@@ -114,11 +122,25 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_run(args) -> int:
+    from repro.errors import ConfigurationError
     from repro.gpusim import GPU
-    from repro.sat import compute_sat, sat_reference
+    from repro.sat import compute_sat, resolve_policy, sat_reference
 
     rng = np.random.default_rng(args.seed)
-    a = rng.integers(0, 100, size=(args.size, args.size)).astype(np.float64)
+    shape = tuple(args.shape) if args.shape else (args.size, args.size)
+    try:
+        dtype = np.dtype(args.dtype)
+    except TypeError as exc:
+        raise ConfigurationError(f"unknown dtype {args.dtype!r}") from exc
+    # Integer-valued data in every dtype: keeps float64 runs bit-exact
+    # against the reference regardless of the accumulation order.
+    if np.issubdtype(dtype, np.integer):
+        hi = min(100, np.iinfo(dtype).max)
+        a = rng.integers(0, hi, size=shape, dtype=dtype)
+    elif dtype == np.bool_:
+        a = rng.integers(0, 2, size=shape).astype(bool)
+    else:
+        a = rng.integers(0, 100, size=shape).astype(dtype)
     if args.host or args.engine != "serial":
         result = compute_sat(a, algorithm=args.algorithm,
                              tile_width=args.tile_width, simulate=False,
@@ -130,12 +152,19 @@ def _cmd_run(args) -> int:
                   detect_uninitialized=args.detect_uninitialized)
         result = compute_sat(a, algorithm=args.algorithm,
                              tile_width=args.tile_width, gpu=gpu)
-    ok = np.array_equal(result.sat, sat_reference(a))
+    acc = resolve_policy(None).accumulator(a.dtype)
+    ref = sat_reference(a.astype(acc, copy=False))
+    if np.issubdtype(acc, np.floating) and acc.itemsize < 8:
+        ok = bool(np.allclose(result.sat, ref, rtol=1e-5))
+    else:
+        ok = np.array_equal(result.sat, ref)
     print(result.summary())
+    print(f"input {a.shape[0]}x{a.shape[1]} {a.dtype.name} -> "
+          f"SAT {result.sat.dtype.name}")
     print(f"correct vs reference: {ok}")
     if result.report is not None:
         t = result.report.traffic
-        n2 = args.size ** 2
+        n2 = a.size
         print(f"reads/element: {t.global_read_requests / n2:.3f}   "
               f"writes/element: {t.global_write_requests / n2:.3f}   "
               f"spins: {t.spin_iterations}   fences: {t.fences}   "

@@ -21,10 +21,15 @@ Two usage shapes:
   (:meth:`~WavefrontEngine.compute_many`, :meth:`~WavefrontEngine.stream`)
   cheap for video-style repeated same-shape SATs.
 
-Results are bit-identical (float64) to each algorithm's serial host path and
-independent of the worker count and of scheduling order: chunk kernels only
-gather values from tiles whose status word is DONE, and each tile's algebra
-is a pure function of those values.
+Results are bit-identical to each algorithm's serial host path (in the same
+accumulator dtype) and independent of the worker count and of scheduling
+order: chunk kernels only gather values from tiles whose status word is DONE,
+and each tile's algebra is a pure function of those values.
+
+Rectangular inputs follow the virtual zero-padding convention of
+:mod:`repro.sat.base`: the matrix is padded to tile multiples with zeros
+(which leave every valid-region SAT value unchanged) and the result is
+cropped back on output.
 """
 
 from __future__ import annotations
@@ -41,6 +46,7 @@ from repro.hostexec.kernels import CarrySet, KernelSpec, kernel_for
 from repro.hostexec.plan import (TILE_DONE, TILE_READY, WavefrontPlan,
                                  build_plan)
 from repro.primitives.tile import TileGrid
+from repro.sat.dtypes import resolve_policy
 
 
 def default_workers() -> int:
@@ -75,7 +81,7 @@ class WavefrontEngine:
         self.workers = workers or default_workers()
         self._pool: ThreadPoolExecutor | None = None
         self._plans: dict[tuple, WavefrontPlan] = {}
-        self._carries: dict[tuple[int, int], CarrySet] = {}
+        self._carries: dict[tuple, CarrySet] = {}
         self._lock = threading.Lock()   # one compute at a time per engine
         self._closed = False
 
@@ -93,18 +99,18 @@ class WavefrontEngine:
     def plan(self, grid: TileGrid,
              deps: tuple[tuple[int, int], ...]) -> WavefrontPlan:
         """The cached chunked-wavefront plan for one grid geometry."""
-        key = (grid.n, grid.W, deps, self.workers)
+        key = (grid.tile_rows, grid.tile_cols, grid.W, deps, self.workers)
         plan = self._plans.get(key)
         if plan is None:
             plan = self._plans[key] = build_plan(grid, deps, self.workers)
         return plan
 
-    def _carry(self, grid: TileGrid) -> CarrySet:
-        key = (grid.tiles_per_side, grid.W)
+    def _carry(self, grid: TileGrid, dtype: np.dtype) -> CarrySet:
+        key = (grid.tile_rows, grid.tile_cols, grid.W, dtype)
         carry = self._carries.get(key)
         if carry is None:
-            carry = self._carries[key] = CarrySet(t=grid.tiles_per_side,
-                                                  W=grid.W)
+            carry = self._carries[key] = CarrySet(
+                tr=grid.tile_rows, tc=grid.tile_cols, W=grid.W, dtype=dtype)
         return carry
 
     def close(self) -> None:
@@ -125,41 +131,59 @@ class WavefrontEngine:
     # -- execution --------------------------------------------------------------
 
     def compute(self, a: np.ndarray, *, algorithm: str = "1R1W-SKSS-LB",
-                tile_width: int = 32, out: np.ndarray | None = None
-                ) -> np.ndarray:
+                tile_width: int = 32, out: np.ndarray | None = None,
+                dtype_policy=None) -> np.ndarray:
         """Compute one SAT through the wavefront schedule.
 
-        ``out`` (optional, ``(n, n)`` float64 C-contiguous) receives the
-        result in place — callers streaming many frames can recycle a buffer.
+        ``a`` may be any 2-D ``rows x cols`` matrix; ragged edges are padded
+        with zeros to tile multiples internally and cropped on output.
+        ``dtype_policy`` resolves the accumulator dtype exactly as
+        ``SATAlgorithm.run_host`` does (a policy, a policy name, a fixed
+        dtype, or ``None`` for the exact default).
+
+        ``out`` (optional, ``(rows, cols)`` C-contiguous, accumulator dtype)
+        receives the result in place — callers streaming many frames can
+        recycle a buffer.
         """
         spec = kernel_for(algorithm)
-        a = np.ascontiguousarray(a, dtype=np.float64)
-        if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        a = np.asarray(a)
+        if a.ndim != 2:
             raise ConfigurationError(
-                f"wavefront engine expects a square matrix, got {a.shape}")
-        n = a.shape[0]
-        if n % tile_width:
+                f"wavefront engine expects a 2-D matrix, got shape {a.shape}")
+        rows, cols = a.shape
+        acc = resolve_policy(dtype_policy).accumulator(a.dtype)
+        grid = TileGrid(rows=rows, cols=cols, W=tile_width)
+        tr, tc, W = grid.tile_rows, grid.tile_cols, grid.W
+        if grid.aligned:
+            work = np.ascontiguousarray(a, dtype=acc)
+        else:
+            work = np.zeros((grid.padded_rows, grid.padded_cols), dtype=acc)
+            work[:rows, :cols] = a
+        if out is not None and (out.shape != (rows, cols) or out.dtype != acc
+                                or not out.flags.c_contiguous):
             raise ConfigurationError(
-                f"matrix size {n} is not a multiple of tile width {tile_width}")
-        if out is None:
-            out = np.empty_like(a)
-        elif (out.shape != a.shape or out.dtype != np.float64
-              or not out.flags.c_contiguous):
-            raise ConfigurationError(
-                "out must be a C-contiguous float64 array of the input shape")
-        grid = TileGrid(n=n, W=tile_width)
+                "out must be a C-contiguous array of the input shape in the "
+                f"accumulator dtype {acc.name}")
+        # The kernels run over the padded geometry; reuse ``out`` directly
+        # when no padding is involved, otherwise crop afterwards.
+        res = out if (out is not None and grid.aligned) \
+            else np.empty_like(work)
         with self._lock:
             plan = self.plan(grid, spec.deps)
-            carry = self._carry(grid)
-            t, W = grid.tiles_per_side, grid.W
-            a4 = a.reshape(t, W, t, W)
-            out4 = out.reshape(t, W, t, W)
+            carry = self._carry(grid, work.dtype)
+            a4 = work.reshape(tr, W, tc, W)
+            out4 = res.reshape(tr, W, tc, W)
             if self.workers == 1 or plan.num_chunks == 1:
                 for chunk in plan.chunks:   # diagonal order is topological
                     spec.run(a4, out4, carry, chunk, W)
             else:
                 self._run_parallel(plan, spec, a4, out4, carry, W)
-        return out
+        if res.shape != (rows, cols):
+            if out is not None:
+                out[...] = res[:rows, :cols]
+                return out
+            return np.ascontiguousarray(res[:rows, :cols])
+        return res
 
     def _run_parallel(self, plan: WavefrontPlan, spec: KernelSpec,
                       a4: np.ndarray, out4: np.ndarray, carry: CarrySet,
@@ -224,15 +248,17 @@ class WavefrontEngine:
     # -- batched API -------------------------------------------------------------
 
     def compute_many(self, arrays: Iterable[np.ndarray], *,
-                     algorithm: str = "1R1W-SKSS-LB",
-                     tile_width: int = 32) -> list[np.ndarray]:
+                     algorithm: str = "1R1W-SKSS-LB", tile_width: int = 32,
+                     dtype_policy=None) -> list[np.ndarray]:
         """SATs of many same-shape matrices, amortizing pool/plan/carries."""
-        return [self.compute(a, algorithm=algorithm, tile_width=tile_width)
+        return [self.compute(a, algorithm=algorithm, tile_width=tile_width,
+                             dtype_policy=dtype_policy)
                 for a in arrays]
 
     def stream(self, arrays: Iterable[np.ndarray], *,
                algorithm: str = "1R1W-SKSS-LB", tile_width: int = 32,
-               reuse_output: bool = False) -> Iterator[np.ndarray]:
+               reuse_output: bool = False,
+               dtype_policy=None) -> Iterator[np.ndarray]:
         """Streaming iterator over SATs (video-style pipelines).
 
         With ``reuse_output=True`` every yield returns the *same* buffer,
@@ -243,7 +269,8 @@ class WavefrontEngine:
         for a in arrays:
             result = self.compute(a, algorithm=algorithm,
                                   tile_width=tile_width,
-                                  out=out if reuse_output else None)
+                                  out=out if reuse_output else None,
+                                  dtype_policy=dtype_policy)
             if reuse_output:
                 out = result
             yield result
@@ -280,11 +307,13 @@ def resolve_engine(engine) -> WavefrontEngine:
 
 
 def wavefront_sat(a: np.ndarray, *, algorithm: str = "1R1W-SKSS-LB",
-                  tile_width: int = 32, workers: int | None = None
-                  ) -> np.ndarray:
+                  tile_width: int = 32, workers: int | None = None,
+                  dtype_policy=None) -> np.ndarray:
     """One-shot wavefront SAT (uses the shared engine unless ``workers`` set)."""
     if workers is None:
         return shared_engine().compute(a, algorithm=algorithm,
-                                       tile_width=tile_width)
+                                       tile_width=tile_width,
+                                       dtype_policy=dtype_policy)
     with WavefrontEngine(workers=workers) as engine:
-        return engine.compute(a, algorithm=algorithm, tile_width=tile_width)
+        return engine.compute(a, algorithm=algorithm, tile_width=tile_width,
+                              dtype_policy=dtype_policy)

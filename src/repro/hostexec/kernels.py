@@ -41,24 +41,27 @@ class CarrySet:
 
     ``vec_row``/``vec_col`` hold the GRS / GCS planes (``vec_col`` doubles as
     the GCP plane for 1R1W-SKSS); ``scal`` holds GS and ``scal2`` the 2R1W
-    column-carry of the tile-sum SAT.  Planes are never cleared between
-    calls: the wavefront order guarantees every gathered entry was written
-    earlier in the *same* call, and border gathers synthesise zeros instead
-    of reading the planes.
+    column-carry of the tile-sum SAT.  Planes are allocated in the run's
+    accumulator dtype so carries never round-trip through a wider type.
+    Planes are never cleared between calls: the wavefront order guarantees
+    every gathered entry was written earlier in the *same* call, and border
+    gathers synthesise zeros instead of reading the planes.
     """
 
-    t: int
+    tr: int
+    tc: int
     W: int
+    dtype: np.dtype = np.dtype(np.float64)
     vec_row: np.ndarray = field(init=False)
     vec_col: np.ndarray = field(init=False)
     scal: np.ndarray = field(init=False)
     scal2: np.ndarray = field(init=False)
 
     def __post_init__(self) -> None:
-        self.vec_row = np.empty((self.t, self.t, self.W))
-        self.vec_col = np.empty((self.t, self.t, self.W))
-        self.scal = np.empty((self.t, self.t))
-        self.scal2 = np.empty((self.t, self.t))
+        self.vec_row = np.empty((self.tr, self.tc, self.W), dtype=self.dtype)
+        self.vec_col = np.empty((self.tr, self.tc, self.W), dtype=self.dtype)
+        self.scal = np.empty((self.tr, self.tc), dtype=self.dtype)
+        self.scal2 = np.empty((self.tr, self.tc), dtype=self.dtype)
 
 
 def _gather_vec(plane: np.ndarray, Is: np.ndarray, Js: np.ndarray,
@@ -67,7 +70,7 @@ def _gather_vec(plane: np.ndarray, Is: np.ndarray, Js: np.ndarray,
     m = (Is >= 0) & (Js >= 0)
     if m.all():
         return plane[Is, Js]
-    out = np.zeros((len(Is), W))
+    out = np.zeros((len(Is), W), dtype=plane.dtype)
     if m.any():
         out[m] = plane[Is[m], Js[m]]
     return out
@@ -78,7 +81,7 @@ def _gather_scal(plane: np.ndarray, Is: np.ndarray,
     m = (Is >= 0) & (Js >= 0)
     if m.all():
         return plane[Is, Js]
-    out = np.zeros(len(Is))
+    out = np.zeros(len(Is), dtype=plane.dtype)
     if m.any():
         out[m] = plane[Is[m], Js[m]]
     return out

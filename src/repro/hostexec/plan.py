@@ -77,15 +77,15 @@ class Chunk:
 
 @dataclass(frozen=True)
 class WavefrontPlan:
-    """Immutable chunked-wavefront schedule for one ``(n, W, deps, workers)``."""
+    """Immutable chunked-wavefront schedule for one tile-grid geometry."""
 
     grid: TileGrid
     deps: tuple[tuple[int, int], ...]
     workers: int
     chunks: tuple[Chunk, ...]
-    #: ``(t, t)`` chunk index owning each tile.
+    #: ``(tr, tc)`` chunk index owning each tile.
     chunk_id: np.ndarray
-    #: ``(t, t)`` number of in-bounds producers per tile.
+    #: ``(tr, tc)`` number of in-bounds producers per tile.
     deps_init: np.ndarray
     #: Per-chunk count of predecessor chunks (0 = dispatchable at once).
     #: Because chunks retire atomically, chunk readiness reduces to this
@@ -99,8 +99,8 @@ class WavefrontPlan:
 
     def initial_status(self) -> np.ndarray:
         """Fresh per-tile status words for one execution."""
-        status = np.full((self.grid.tiles_per_side,) * 2, TILE_PENDING,
-                         dtype=np.int8)
+        status = np.full((self.grid.tile_rows, self.grid.tile_cols),
+                         TILE_PENDING, dtype=np.int8)
         status[self.deps_init == 0] = TILE_READY
         return status
 
@@ -133,8 +133,8 @@ def build_plan(grid: TileGrid, deps: tuple[tuple[int, int], ...],
     """Construct the chunked wavefront plan for one tile grid."""
     if workers <= 0:
         raise ConfigurationError("workers must be positive")
-    t = grid.tiles_per_side
-    chunk_id = np.full((t, t), -1, dtype=np.int32)
+    tr, tc = grid.tile_rows, grid.tile_cols
+    chunk_id = np.full((tr, tc), -1, dtype=np.int32)
     chunks: list[Chunk] = []
     for K in range(grid.num_diagonals):
         for part in split_diagonal(grid.tiles_on_diagonal(K), workers,
@@ -144,7 +144,7 @@ def build_plan(grid: TileGrid, deps: tuple[tuple[int, int], ...],
             chunk_id[Is, Js] = len(chunks)
             chunks.append(Chunk(index=len(chunks), diagonal=K, Is=Is, Js=Js))
 
-    deps_init = np.zeros((t, t), dtype=np.int8)
+    deps_init = np.zeros((tr, tc), dtype=np.int8)
     for dI, dJ in deps:
         # Tiles whose producer (I+dI, J+dJ) is in bounds gain one dependency.
         lo_i, lo_j = max(0, -dI), max(0, -dJ)

@@ -34,32 +34,61 @@ from repro.primitives.lookback import lookback_walk, publish
 from repro.primitives.scan1d import STATUS_AGGREGATE, STATUS_PREFIX
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, init=False)
 class ColScanLayout:
-    """Geometry of the column scan: ``n x n`` matrix, warp-wide strips,
-    ``panel_rows``-row panels."""
+    """Geometry of the column scan: ``rows x cols`` matrix, warp-wide strips,
+    ``panel_rows``-row panels.
 
-    n: int
+    Construct with ``rows=``/``cols=`` for rectangles or the legacy square
+    form ``ColScanLayout(n=..., panel_rows=...)``.
+    """
+
+    rows: int
+    cols: int
     panel_rows: int
     strip_width: int = 32
 
-    def __post_init__(self) -> None:
-        if self.n % self.strip_width:
+    def __init__(self, rows: int | None = None, cols: int | None = None,
+                 panel_rows: int | None = None, strip_width: int = 32, *,
+                 n: int | None = None) -> None:
+        if n is not None:
+            if rows is not None or cols is not None:
+                raise ConfigurationError(
+                    "pass either n= (square) or rows=/cols=, not both")
+            rows = cols = n
+        if rows is None or panel_rows is None:
             raise ConfigurationError(
-                f"matrix size {self.n} is not a multiple of the strip width "
-                f"{self.strip_width}")
-        if self.n % self.panel_rows:
+                "ColScanLayout needs rows (or n=) and panel_rows")
+        if cols is None:
+            cols = rows
+        object.__setattr__(self, "rows", int(rows))
+        object.__setattr__(self, "cols", int(cols))
+        object.__setattr__(self, "panel_rows", int(panel_rows))
+        object.__setattr__(self, "strip_width", int(strip_width))
+        if self.cols % self.strip_width:
             raise ConfigurationError(
-                f"matrix size {self.n} is not a multiple of the panel height "
-                f"{self.panel_rows}")
+                f"matrix width {self.cols} is not a multiple of the strip "
+                f"width {self.strip_width}")
+        if self.rows % self.panel_rows:
+            raise ConfigurationError(
+                f"matrix height {self.rows} is not a multiple of the panel "
+                f"height {self.panel_rows}")
+
+    @property
+    def n(self) -> int:
+        """Side length of a square layout (legacy accessor)."""
+        if self.rows != self.cols:
+            raise ConfigurationError(
+                f"layout is {self.rows}x{self.cols}; use rows/cols")
+        return self.rows
 
     @property
     def num_strips(self) -> int:
-        return self.n // self.strip_width
+        return self.cols // self.strip_width
 
     @property
     def num_panels(self) -> int:
-        return self.n // self.panel_rows
+        return self.rows // self.panel_rows
 
     @property
     def total_tiles(self) -> int:
@@ -99,7 +128,7 @@ def col_scan_kernel(ctx: BlockContext, src: GlobalBuffer, dst: GlobalBuffer,
         for r in range(0, H, rows_per_pass):
             nrows = min(rows_per_pass, H - r)
             rr = (row0 + r + np.arange(nrows))[:, None]
-            gidx = (rr * layout.n + cols[None, :]).ravel()
+            gidx = (rr * layout.cols + cols[None, :]).ravel()
             values = ctx.gload(src, gidx)
             soff = ((r + np.arange(nrows))[:, None] * pad + np.arange(C)[None, :])
             ctx.sstore("panel", soff.ravel(), values)
@@ -139,28 +168,38 @@ def col_scan_kernel(ctx: BlockContext, src: GlobalBuffer, dst: GlobalBuffer,
         for r in range(H):
             soff = r * pad + np.arange(C)
             running = running + ctx.sload("panel", soff)
-            gidx = (row0 + r) * layout.n + cols
+            gidx = (row0 + r) * layout.cols + cols
             ctx.gstore(dst, gidx, running)
         yield ctx.syncthreads()
 
 
-def run_col_scan(gpu: GPU, src: GlobalBuffer, dst: GlobalBuffer, *, n: int,
+def run_col_scan(gpu: GPU, src: GlobalBuffer, dst: GlobalBuffer, *,
+                 n: int | None = None, rows: int | None = None,
+                 cols: int | None = None,
                  panel_rows: int | None = None, strip_width: int = 32,
                  threads_per_block: int = 1024,
                  grid_blocks: int | None = None,
                  name: str = "tokura_col_scan"):
-    """Launch the column-wise scan over an ``n x n`` matrix.
+    """Launch the column-wise scan over a ``rows x cols`` matrix.
 
+    ``n`` is the legacy square shorthand for ``rows == cols``.
     ``panel_rows`` defaults to a panel of about ``threads_per_block`` elements
-    per pass times 8 (bounded by ``n``), a reasonable trade between look-back
-    chain length and per-block shared usage.
+    per pass times 8 (bounded by the height), a reasonable trade between
+    look-back chain length and per-block shared usage.
     """
+    if n is not None:
+        rows = cols = n
+    if rows is None:
+        raise ConfigurationError("run_col_scan needs rows (or n=)")
+    if cols is None:
+        cols = rows
     if panel_rows is None:
-        panel_rows = min(n, max(strip_width,
-                                8 * threads_per_block // strip_width))
-        while n % panel_rows:
+        panel_rows = min(rows, max(strip_width,
+                                   8 * threads_per_block // strip_width))
+        while rows % panel_rows:
             panel_rows //= 2
-    layout = ColScanLayout(n=n, panel_rows=panel_rows, strip_width=strip_width)
+    layout = ColScanLayout(rows=rows, cols=cols, panel_rows=panel_rows,
+                           strip_width=strip_width)
     tag = f"_{name}_{id(src):x}"
     counter = gpu.alloc(tag + "_counter", (1,), np.int64, fill=0)
     status = gpu.alloc(tag + "_status", (layout.total_tiles,), np.int64,

@@ -1,11 +1,19 @@
 """Tile region-sum algebra (paper Table II and Figure 5).
 
-An ``n x n`` matrix is partitioned into ``(n/W)²`` tiles ``T(I, J)`` of
-``W x W`` elements, ``T(I, J)`` holding ``a[W*I + i][W*J + j]`` for
-``0 <= i, j < W``.  The paper's algorithms communicate through sums of regions
-anchored at tiles; this module defines every one of them as a directly
-testable NumPy function, used both as test oracles and as the host-path
-implementation of the algorithms' dataflow.
+A ``rows x cols`` matrix is partitioned into ``⌈rows/W⌉ x ⌈cols/W⌉`` tiles
+``T(I, J)`` of ``W x W`` elements, ``T(I, J)`` holding ``a[W*I + i][W*J + j]``
+for ``0 <= i, j < W``.  The paper assumes ``rows == cols == n`` with ``n`` a
+multiple of ``W``; :class:`TileGrid` generalizes this to arbitrary rectangles
+via the *virtual zero-padding convention*: a ragged edge tile is treated as a
+full ``W x W`` tile whose out-of-matrix elements are zero.  Padding the
+bottom/right with zeros changes no SAT value inside the valid region, so the
+execution layers physically pad to ``(padded_rows, padded_cols)``, run the
+unchanged tile algebra, and crop the output.
+
+The paper's algorithms communicate through sums of regions anchored at tiles;
+this module defines every one of them as a directly testable NumPy function,
+used both as test oracles and as the host-path implementation of the
+algorithms' dataflow.
 
 Region glossary (all for tile ``T(I, J)``; vectors are length ``W``):
 
@@ -38,55 +46,124 @@ import numpy as np
 from repro.errors import ConfigurationError
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, init=False)
 class TileGrid:
-    """Geometry of the tile decomposition of an ``n x n`` matrix."""
+    """Geometry of the tile decomposition of a ``rows x cols`` matrix.
 
-    n: int
+    Construct with ``TileGrid(rows=..., cols=..., W=...)`` for rectangles or
+    the legacy square form ``TileGrid(n=..., W=...)``.  Ragged shapes (sides
+    not multiples of ``W``) are allowed: the grid covers the matrix with full
+    ``W x W`` tiles under the zero-padding convention, and
+    :meth:`tile_height` / :meth:`tile_width_at` report each tile's *valid*
+    (in-matrix) extent.
+    """
+
+    rows: int
+    cols: int
     W: int
 
-    def __post_init__(self) -> None:
-        if self.n <= 0 or self.W <= 0:
+    def __init__(self, rows: int | None = None, cols: int | None = None,
+                 W: int | None = None, *, n: int | None = None) -> None:
+        if n is not None:
+            if rows is not None or cols is not None:
+                raise ConfigurationError(
+                    "pass either n= (square) or rows=/cols=, not both")
+            rows = cols = n
+        if rows is None or W is None:
+            raise ConfigurationError("TileGrid needs rows (or n=) and W")
+        if cols is None:
+            cols = rows
+        object.__setattr__(self, "rows", int(rows))
+        object.__setattr__(self, "cols", int(cols))
+        object.__setattr__(self, "W", int(W))
+        if self.rows <= 0 or self.cols <= 0 or self.W <= 0:
             raise ConfigurationError("matrix and tile sizes must be positive")
-        if self.n % self.W:
+
+    # -- geometry ---------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Side length of a square grid (legacy accessor)."""
+        if self.rows != self.cols:
             raise ConfigurationError(
-                f"matrix size {self.n} is not a multiple of tile width {self.W}")
+                f"grid is {self.rows}x{self.cols}; use rows/cols")
+        return self.rows
+
+    @property
+    def tile_rows(self) -> int:
+        """Number of tile rows (``⌈rows/W⌉``)."""
+        return -(-self.rows // self.W)
+
+    @property
+    def tile_cols(self) -> int:
+        """Number of tile columns (``⌈cols/W⌉``)."""
+        return -(-self.cols // self.W)
+
+    @property
+    def padded_rows(self) -> int:
+        """Row count after zero-padding to a whole number of tiles."""
+        return self.tile_rows * self.W
+
+    @property
+    def padded_cols(self) -> int:
+        return self.tile_cols * self.W
+
+    @property
+    def aligned(self) -> bool:
+        """Whether both sides are already multiples of ``W`` (no padding)."""
+        return self.rows == self.padded_rows and self.cols == self.padded_cols
 
     @property
     def tiles_per_side(self) -> int:
-        return self.n // self.W
+        """Tiles per side of a *square* grid (legacy accessor)."""
+        if self.tile_rows != self.tile_cols:
+            raise ConfigurationError(
+                f"grid is {self.tile_rows}x{self.tile_cols} tiles; "
+                "use tile_rows/tile_cols")
+        return self.tile_rows
 
     @property
     def num_tiles(self) -> int:
-        return self.tiles_per_side ** 2
+        return self.tile_rows * self.tile_cols
 
     @property
     def num_diagonals(self) -> int:
-        """Number of anti-diagonals of tiles (``2*(n/W) - 1``)."""
-        return 2 * self.tiles_per_side - 1
+        """Number of anti-diagonals of tiles (``tile_rows + tile_cols - 1``)."""
+        return self.tile_rows + self.tile_cols - 1
+
+    def tile_height(self, I: int) -> int:
+        """Valid (in-matrix) height of the tiles in tile row ``I``."""
+        self.check_tile(I, 0)
+        return min(self.W, self.rows - self.W * I)
+
+    def tile_width_at(self, J: int) -> int:
+        """Valid (in-matrix) width of the tiles in tile column ``J``."""
+        self.check_tile(0, J)
+        return min(self.W, self.cols - self.W * J)
 
     def tile_slice(self, I: int, J: int) -> tuple[slice, slice]:
-        """Array slices selecting tile ``T(I, J)`` from the full matrix."""
+        """Array slices selecting tile ``T(I, J)`` from the (padded) matrix."""
         self.check_tile(I, J)
         return (slice(self.W * I, self.W * (I + 1)),
                 slice(self.W * J, self.W * (J + 1)))
 
     def check_tile(self, I: int, J: int) -> None:
-        t = self.tiles_per_side
-        if not (0 <= I < t and 0 <= J < t):
+        if not (0 <= I < self.tile_rows and 0 <= J < self.tile_cols):
             raise ConfigurationError(
-                f"tile ({I}, {J}) out of range for a {t}x{t} tile grid")
+                f"tile ({I}, {J}) out of range for a "
+                f"{self.tile_rows}x{self.tile_cols} tile grid")
 
     def tiles_on_diagonal(self, K: int) -> list[tuple[int, int]]:
         """Tiles ``T(I, J)`` with ``I + J == K`` (the wavefront of kernel K in 1R1W)."""
-        t = self.tiles_per_side
-        if not (0 <= K <= 2 * t - 2):
+        tr, tc = self.tile_rows, self.tile_cols
+        if not (0 <= K < self.num_diagonals):
             raise ConfigurationError(f"diagonal {K} out of range")
-        return [(I, K - I) for I in range(max(0, K - t + 1), min(t - 1, K) + 1)]
+        return [(I, K - I)
+                for I in range(max(0, K - tc + 1), min(tr - 1, K) + 1)]
 
     def all_tiles(self) -> list[tuple[int, int]]:
-        t = self.tiles_per_side
-        return [(I, J) for I in range(t) for J in range(t)]
+        return [(I, J) for I in range(self.tile_rows)
+                for J in range(self.tile_cols)]
 
 
 def tile_view(a: np.ndarray, grid: TileGrid, I: int, J: int) -> np.ndarray:

@@ -5,6 +5,9 @@ exported for callers who want to configure and reuse them.
 """
 
 from repro.sat.base import SATAlgorithm, SATResult
+from repro.sat.dtypes import (EXACT, LEGACY_FLOAT64, POLICIES, WIDEN_FLOAT,
+                              DTypePolicy, accumulator_dtype, fixed_policy,
+                              resolve_policy)
 from repro.sat.hybrid_1r1w import Hybrid1R1W, band_limits, band_tiles
 from repro.sat.kasagi_1r1w import Kasagi1R1W
 from repro.sat.naive_2r2w import Naive2R2W
@@ -31,4 +34,6 @@ __all__ = [
     "integral_image", "exclusive_sat", "rect_sum_ii", "tilted_integral",
     "ParallelSATEngine", "parallel_sat",
     "tile_serial_number", "serial_to_tile",
+    "DTypePolicy", "EXACT", "WIDEN_FLOAT", "LEGACY_FLOAT64", "POLICIES",
+    "fixed_policy", "resolve_policy", "accumulator_dtype",
 ]

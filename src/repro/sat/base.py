@@ -12,6 +12,15 @@ Every algorithm is a :class:`SATAlgorithm` subclass with two execution paths:
 
 Construction takes the paper's tuning parameters: ``tile_width`` (W) and
 ``threads_per_block`` (W²/m for tile-based algorithms).
+
+Both paths accept arbitrary ``rows x cols`` rectangles and a ``dtype_policy``
+(:mod:`repro.sat.dtypes`).  Ragged shapes are handled by the zero-padding
+convention: the input is physically padded (bottom/right) to whole tiles in
+the accumulator dtype, the unchanged tile algebra runs on the padded matrix,
+and the output is cropped back — zero padding provably leaves every SAT value
+in the valid region unchanged.  When the input already matches the resolved
+accumulator dtype, is C-contiguous and needs no padding, it is used without
+copying.
 """
 
 from __future__ import annotations
@@ -27,6 +36,7 @@ from repro.gpusim.counters import LaunchSummary
 from repro.gpusim.kernel import GPU
 from repro.gpusim.memory import GlobalBuffer
 from repro.primitives.tile import TileGrid
+from repro.sat.dtypes import resolve_policy
 
 
 @dataclass
@@ -34,7 +44,9 @@ class SATResult:
     """Output of one SAT computation.
 
     ``report`` is ``None`` for the host path; for simulated runs it holds the
-    per-kernel statistics from which Table I rows are measured.
+    per-kernel statistics from which Table I rows are measured.  ``n`` is the
+    row count (equal to the side length for the paper's square matrices);
+    ``shape`` gives the full output shape.
     """
 
     sat: np.ndarray
@@ -42,6 +54,10 @@ class SATResult:
     n: int
     params: dict[str, Any] = field(default_factory=dict)
     report: LaunchSummary | None = None
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.sat.shape
 
     @property
     def kernel_calls(self) -> int:
@@ -57,12 +73,43 @@ class SATResult:
 
     def summary(self) -> str:
         """One-line human-readable summary of the run."""
+        rows, cols = self.sat.shape
+        size = f"n={rows}" if rows == cols else f"shape={rows}x{cols}"
         if self.report is None:
-            return f"{self.algorithm}: n={self.n} (host path)"
+            return f"{self.algorithm}: {size} (host path)"
         t = self.report.traffic
-        return (f"{self.algorithm}: n={self.n}, kernels={self.report.kernel_calls}, "
+        return (f"{self.algorithm}: {size}, kernels={self.report.kernel_calls}, "
                 f"max_threads={self.report.max_threads}, "
                 f"reads={t.global_read_requests}, writes={t.global_write_requests}")
+
+
+@dataclass
+class PreparedInput:
+    """A validated input: accumulator dtype, C-contiguous, padded to tiles.
+
+    ``array`` has shape ``(grid.padded_rows, grid.padded_cols)`` for
+    tile-based algorithms (``(rows, cols)`` otherwise); ``rows``/``cols`` is
+    the original valid shape the output is cropped to.  ``copied`` records
+    whether preparation had to materialize a new array (the no-copy fast path
+    leaves the caller's array untouched and aliased).
+    """
+
+    array: np.ndarray
+    grid: TileGrid
+    rows: int
+    cols: int
+    acc_dtype: np.dtype
+    copied: bool
+
+    @property
+    def padded(self) -> bool:
+        return self.array.shape != (self.rows, self.cols)
+
+    def crop(self, sat: np.ndarray) -> np.ndarray:
+        """Crop a (possibly padded) SAT back to the valid region."""
+        if sat.shape == (self.rows, self.cols):
+            return sat
+        return np.ascontiguousarray(sat[:self.rows, :self.cols])
 
 
 class SATAlgorithm(ABC):
@@ -95,44 +142,70 @@ class SATAlgorithm(ABC):
             p["tile_width"] = self.tile_width
         return p
 
-    def _validate(self, a: np.ndarray) -> np.ndarray:
-        a = np.asarray(a, dtype=np.float64)
-        if a.ndim != 2 or a.shape[0] != a.shape[1]:
+    def _validate(self, a: np.ndarray, dtype_policy=None) -> PreparedInput:
+        """Validate ``a`` and prepare it for execution (cast / pad / no-copy).
+
+        The resolved accumulator dtype comes from ``dtype_policy``
+        (:func:`repro.sat.dtypes.resolve_policy`).  When the input already
+        matches it, is C-contiguous and tile-aligned, no copy is made.
+        """
+        a = np.asarray(a)
+        if a.ndim != 2:
             raise ConfigurationError(
-                f"{self.name} expects a square matrix, got shape {a.shape}")
-        n = a.shape[0]
-        if self.tile_based:
-            if n % self.tile_width:
-                raise ConfigurationError(
-                    f"matrix size {n} is not a multiple of tile width "
-                    f"{self.tile_width}")
-        return a
+                f"{self.name} expects a 2-D matrix, got shape {a.shape}")
+        rows, cols = a.shape
+        acc = resolve_policy(dtype_policy).accumulator(a.dtype)
+        grid = TileGrid(rows=rows, cols=cols, W=self.tile_width)
+        pad = self.tile_based and not grid.aligned
+        if not pad and a.dtype == acc and a.flags.c_contiguous:
+            return PreparedInput(array=a, grid=grid, rows=rows, cols=cols,
+                                 acc_dtype=acc, copied=False)
+        if pad:
+            buf = np.zeros((grid.padded_rows, grid.padded_cols), dtype=acc)
+            buf[:rows, :cols] = a
+        else:
+            buf = np.ascontiguousarray(a, dtype=acc)
+        return PreparedInput(array=buf, grid=grid, rows=rows, cols=cols,
+                             acc_dtype=acc, copied=True)
 
     def grid(self, n: int) -> TileGrid:
         return TileGrid(n=n, W=self.tile_width)
 
     # -- the two execution paths -------------------------------------------------
 
-    def run(self, a: np.ndarray, gpu: GPU | None = None) -> SATResult:
+    def run(self, a: np.ndarray, gpu: GPU | None = None, *,
+            dtype_policy=None) -> SATResult:
         """Compute the SAT on the simulator; ``gpu`` may carry a custom device,
-        scheduling policy, seed or consistency mode."""
-        a = self._validate(a)
-        n = a.shape[0]
+        scheduling policy, seed or consistency mode.
+
+        The simulator's internal buffers are float64 (its shared-memory and
+        scan primitives model one machine word); the result is cast to the
+        policy's accumulator dtype on read-back.  This is exact for integer
+        inputs whose SAT stays below 2**53 — the host paths accumulate in the
+        integer dtype itself.
+        """
+        prep = self._validate(a, dtype_policy)
+        grid = prep.grid
         gpu = gpu or GPU()
         report = LaunchSummary()
-        a_buf = gpu.alloc("_sat_a", (n, n), np.float64, fill=a)
-        b_buf = gpu.alloc("_sat_b", (n, n), np.float64)
+        a_buf = gpu.alloc("_sat_a", prep.array.shape, np.float64,
+                          fill=prep.array.astype(np.float64, copy=False))
+        b_buf = gpu.alloc("_sat_b", prep.array.shape, np.float64)
         try:
-            self._run_device(gpu, a_buf, b_buf, n, report)
+            self._run_device(gpu, a_buf, b_buf, grid, report)
             sat = gpu.read(b_buf)
         finally:
             self._cleanup(gpu)
             gpu.free("_sat_a")
             gpu.free("_sat_b")
-        return SATResult(sat=sat, algorithm=self.name, n=n,
+        sat = prep.crop(sat)
+        if sat.dtype != prep.acc_dtype:
+            sat = sat.astype(prep.acc_dtype)
+        return SATResult(sat=sat, algorithm=self.name, n=prep.rows,
                          params=self.params(), report=report)
 
-    def run_host(self, a: np.ndarray, *, engine=None) -> np.ndarray:
+    def run_host(self, a: np.ndarray, *, engine=None,
+                 dtype_policy=None) -> np.ndarray:
         """Dataflow-equivalent host execution (same tile algebra, no simulator).
 
         ``engine`` selects the host executor: ``None``/``"serial"`` runs the
@@ -140,29 +213,42 @@ class SATAlgorithm(ABC):
         dependency-free); ``"wavefront"`` or a
         :class:`~repro.hostexec.WavefrontEngine` instance routes the same
         dataflow through the multi-core wavefront engine (tile-based
-        algorithms only; results are bit-identical to the serial path).
+        algorithms only; results are bit-identical to the serial path for
+        every shape and dtype).
         """
-        a = self._validate(a)
+        prep = self._validate(a, dtype_policy)
         if engine is None or engine == "serial":
-            return self._run_host(a)
+            return prep.crop(self._run_host(prep.array))
         if not self.tile_based:
             raise ConfigurationError(
                 f"{self.name} has no tile dataflow; only tile-based "
                 "algorithms support engine='wavefront'")
         from repro.hostexec import resolve_engine
-        return resolve_engine(engine).compute(
-            a, algorithm=self.name, tile_width=self.tile_width)
+        sat = resolve_engine(engine).compute(
+            prep.array, algorithm=self.name, tile_width=self.tile_width,
+            dtype_policy=prep.acc_dtype)
+        return prep.crop(sat)
 
     # -- subclass hooks ------------------------------------------------------------
 
     @abstractmethod
     def _run_device(self, gpu: GPU, a_buf: GlobalBuffer, b_buf: GlobalBuffer,
-                    n: int, report: LaunchSummary) -> None:
-        """Launch the algorithm's kernels; append every launch's stats to ``report``."""
+                    grid: TileGrid, report: LaunchSummary) -> None:
+        """Launch the algorithm's kernels; append every launch's stats to ``report``.
+
+        ``grid`` describes the (already padded) buffer geometry: the buffers
+        are ``(grid.padded_rows, grid.padded_cols)`` for tile-based
+        algorithms and ``(grid.rows, grid.cols)`` otherwise.
+        """
 
     @abstractmethod
     def _run_host(self, a: np.ndarray) -> np.ndarray:
-        """Pure-NumPy execution of the same dataflow."""
+        """Pure-NumPy execution of the same dataflow.
+
+        ``a`` is prepared: accumulator dtype, C-contiguous, tile-aligned
+        (padded) for tile-based algorithms.  The result must have ``a``'s
+        shape and dtype; cropping happens in :meth:`run_host`.
+        """
 
     def _cleanup(self, gpu: GPU) -> None:
         """Free any scratch buffers the subclass allocated (prefix ``_sat_s_``)."""

@@ -38,17 +38,27 @@ from repro.sat.tilecommon import TileScratch, alloc_scratch, \
     assemble_gsat_in_shared
 
 
-def band_limits(r: float, t: int) -> tuple[int, int]:
+def band_limits(r: float, t: int, tc: int | None = None) -> tuple[int, int]:
     """Return ``(Ka, Kc)``: band A is ``K < Ka``, band C is ``K > Kc``.
 
-    ``Ka = round(√r · t)`` and ``Kc = round((2-√r) · t) - 1``, clamped so the
-    C band never touches the matrix edges (``Kc >= t-1``) and ``Ka <= t``.
+    For the square grid, ``Ka = round(√r · t)`` and
+    ``Kc = round((2-√r) · t) - 1``, clamped so the C band never touches the
+    matrix edges (``Kc >= t-1``) and ``Ka <= t``.  For a rectangular
+    ``t x tc`` grid the bands cover the short ramp-up/ramp-down diagonals
+    (of length < min(t, tc)) scaled the same way, leaving the full-width
+    plateau to the wavefront.
     """
     if not 0.0 <= r <= 1.0:
         raise ConfigurationError(f"hybrid parameter r must be in [0, 1], got {r}")
     sq = math.sqrt(r)
-    Ka = min(t, round(sq * t))
-    Kc = min(2 * t - 2, max(t - 1, round((2.0 - sq) * t) - 1))
+    if tc is None or tc == t:
+        Ka = min(t, round(sq * t))
+        Kc = min(2 * t - 2, max(t - 1, round((2.0 - sq) * t) - 1))
+        return Ka, Kc
+    m, M = min(t, tc), max(t, tc)
+    D = t + tc - 1
+    Ka = min(m, round(sq * m))
+    Kc = min(D - 1, max(M - 1, round((2.0 - sq) * m) - 1 + (M - m)))
     return Ka, Kc
 
 
@@ -62,14 +72,14 @@ def band_tiles(grid: TileGrid, Ka: int, Kc: int) -> tuple[list, list, list]:
 
 
 def band_local_sums_kernel(ctx: BlockContext, a: GlobalBuffer, sb: TileScratch,
-                           n: int, tiles: list, layout: str = "diagonal"):
+                           stride: int, tiles: list, layout: str = "diagonal"):
     """2R1W kernel 1 restricted to a band: LRS/LCS/LS of the listed tiles."""
     if ctx.block_id >= len(tiles):
         return
     I, J = tiles[ctx.block_id]
     W = sb.W
     smem.alloc_tile(ctx, "tile", W)
-    lcs = smem.load_tile_with_col_sums(ctx, a, n, W, I, J, "tile", layout)
+    lcs = smem.load_tile_with_col_sums(ctx, a, stride, W, I, J, "tile", layout)
     yield ctx.syncthreads()
     lrs = smem.tile_row_sums(ctx, "tile", W, layout)
     ctx.gstore(sb.lrs, sb.vec_idx(I, J), lrs)
@@ -78,7 +88,8 @@ def band_local_sums_kernel(ctx: BlockContext, a: GlobalBuffer, sb: TileScratch,
 
 
 def band_global_sums_kernel(ctx: BlockContext, sb: TileScratch, band: str,
-                            Ka: int, Kc: int, lane_blocks: int):
+                            Ka: int, Kc: int, grs_blocks: int,
+                            gcs_blocks: int):
     """2R1W kernel 2 restricted to band A or C.
 
     For band A the prefixes start from zero; for band C they are seeded from
@@ -87,22 +98,22 @@ def band_global_sums_kernel(ctx: BlockContext, sb: TileScratch, band: str,
     ``GS(I,J) = GS(I-1,J) + GS(I,J-1) - GS(I-1,J-1) + LS(I,J)``, whose
     neighbours are always in an earlier band or earlier in the iteration.
     """
-    t, W = sb.t, sb.W
+    tr, tc, W = sb.tr, sb.tc, sb.W
     bid = ctx.block_id
 
     def row_range(I: int) -> range:
         if band == "A":
-            return range(0, min(t, Ka - I))
-        return range(max(0, Kc - I + 1), t)
+            return range(0, min(tc, Ka - I))
+        return range(max(0, Kc - I + 1), tc)
 
     def col_range(J: int) -> range:
         if band == "A":
-            return range(0, min(t, Ka - J))
-        return range(max(0, Kc - J + 1), t)
+            return range(0, min(tr, Ka - J))
+        return range(max(0, Kc - J + 1), tr)
 
-    if bid < lane_blocks:
+    if bid < grs_blocks:
         lanes = bid * ctx.nthreads + ctx.tids
-        lanes = lanes[lanes < t * W]
+        lanes = lanes[lanes < tr * W]
         for base in np.unique(lanes // W):
             I = int(base)
             i = lanes[lanes // W == I] % W
@@ -110,17 +121,17 @@ def band_global_sums_kernel(ctx: BlockContext, sb: TileScratch, band: str,
             if len(Js) == 0:
                 continue
             if band == "C" and Js.start > 0:
-                acc = ctx.gload(sb.grs, (I * t + (Js.start - 1)) * W + i)
+                acc = ctx.gload(sb.grs, (I * tc + (Js.start - 1)) * W + i)
             else:
                 acc = np.zeros(i.size)
             for J in Js:
-                idx = (I * t + J) * W + i
+                idx = (I * tc + J) * W + i
                 acc = acc + ctx.gload(sb.lrs, idx)
                 ctx.gstore(sb.grs, idx, acc)
                 ctx.charge(ctx.costs.compute_step)
-    elif bid < 2 * lane_blocks:
-        lanes = (bid - lane_blocks) * ctx.nthreads + ctx.tids
-        lanes = lanes[lanes < t * W]
+    elif bid < grs_blocks + gcs_blocks:
+        lanes = (bid - grs_blocks) * ctx.nthreads + ctx.tids
+        lanes = lanes[lanes < tc * W]
         for base in np.unique(lanes // W):
             J = int(base)
             j = lanes[lanes // W == J] % W
@@ -128,17 +139,17 @@ def band_global_sums_kernel(ctx: BlockContext, sb: TileScratch, band: str,
             if len(Is) == 0:
                 continue
             if band == "C" and Is.start > 0:
-                acc = ctx.gload(sb.gcs, ((Is.start - 1) * t + J) * W + j)
+                acc = ctx.gload(sb.gcs, ((Is.start - 1) * tc + J) * W + j)
             else:
                 acc = np.zeros(j.size)
             for I in Is:
-                idx = (I * t + J) * W + j
+                idx = (I * tc + J) * W + j
                 acc = acc + ctx.gload(sb.lcs, idx)
                 ctx.gstore(sb.gcs, idx, acc)
                 ctx.charge(ctx.costs.compute_step)
     else:
         # GS block.
-        for I in range(t):
+        for I in range(tr):
             for J in row_range(I):
                 up = ctx.gload_scalar(sb.gs, sb.scalar_idx(I - 1, J)) if I else 0.0
                 left = ctx.gload_scalar(sb.gs, sb.scalar_idx(I, J - 1)) if J else 0.0
@@ -151,7 +162,7 @@ def band_global_sums_kernel(ctx: BlockContext, sb: TileScratch, band: str,
 
 
 def band_gsat_kernel(ctx: BlockContext, a: GlobalBuffer, b: GlobalBuffer,
-                     sb: TileScratch, n: int, tiles: list,
+                     sb: TileScratch, stride: int, tiles: list,
                      layout: str = "diagonal"):
     """2R1W kernel 3 restricted to a band: assemble GSAT of the listed tiles."""
     if ctx.block_id >= len(tiles):
@@ -159,7 +170,7 @@ def band_gsat_kernel(ctx: BlockContext, a: GlobalBuffer, b: GlobalBuffer,
     I, J = tiles[ctx.block_id]
     W = sb.W
     smem.alloc_tile(ctx, "tile", W)
-    smem.load_tile(ctx, a, n, W, I, J, "tile", layout)
+    smem.load_tile(ctx, a, stride, W, I, J, "tile", layout)
     yield ctx.syncthreads()
     grs_left = ctx.gload(sb.grs, sb.vec_idx(I, J - 1)) if J > 0 else np.zeros(W)
     gcs_above = ctx.gload(sb.gcs, sb.vec_idx(I - 1, J)) if I > 0 else np.zeros(W)
@@ -168,7 +179,7 @@ def band_gsat_kernel(ctx: BlockContext, a: GlobalBuffer, b: GlobalBuffer,
     assemble_gsat_in_shared(ctx, W, "tile", grs_left, gcs_above, gs_corner,
                             layout)
     yield ctx.syncthreads()
-    smem.store_tile(ctx, b, n, W, I, J, "tile", layout)
+    smem.store_tile(ctx, b, stride, W, I, J, "tile", layout)
 
 
 class Hybrid1R1W(SATAlgorithm):
@@ -189,16 +200,17 @@ class Hybrid1R1W(SATAlgorithm):
         return p
 
     def _run_device(self, gpu: GPU, a_buf: GlobalBuffer, b_buf: GlobalBuffer,
-                    n: int, report: LaunchSummary) -> None:
-        grid = self.grid(n)
+                    grid: TileGrid, report: LaunchSummary) -> None:
         sb = alloc_scratch(gpu, grid)
-        t, W = grid.tiles_per_side, grid.W
-        Ka, Kc = band_limits(self.r, t)
+        tr, tc, W = grid.tile_rows, grid.tile_cols, grid.W
+        stride = grid.padded_cols
+        Ka, Kc = band_limits(self.r, tr, tc)
         a_tiles, _, c_tiles = band_tiles(grid, Ka, Kc)
         threads = min(self.block_threads(gpu.device.max_threads_per_block),
                       W * W)
         threads = max(threads, gpu.device.warp_size)
-        lane_blocks = (t * W + threads - 1) // threads
+        grs_blocks = (tr * W + threads - 1) // threads
+        gcs_blocks = (tc * W + threads - 1) // threads
 
         def run_band(band: str, tiles: list) -> None:
             if not tiles:
@@ -206,17 +218,18 @@ class Hybrid1R1W(SATAlgorithm):
             report.add(gpu.launch(
                 band_local_sums_kernel, grid_blocks=len(tiles),
                 threads_per_block=threads,
-                args=(a_buf, sb, n, tiles, self.layout),
+                args=(a_buf, sb, stride, tiles, self.layout),
                 name=f"hybrid_{band}_local", shared_bytes_hint=W * W * 4))
             report.add(gpu.launch(
-                band_global_sums_kernel, grid_blocks=2 * lane_blocks + 1,
+                band_global_sums_kernel,
+                grid_blocks=grs_blocks + gcs_blocks + 1,
                 threads_per_block=threads,
-                args=(sb, band, Ka, Kc, lane_blocks),
+                args=(sb, band, Ka, Kc, grs_blocks, gcs_blocks),
                 name=f"hybrid_{band}_global"))
             report.add(gpu.launch(
                 band_gsat_kernel, grid_blocks=len(tiles),
                 threads_per_block=threads,
-                args=(a_buf, b_buf, sb, n, tiles, self.layout),
+                args=(a_buf, b_buf, sb, stride, tiles, self.layout),
                 name=f"hybrid_{band}_gsat", shared_bytes_hint=W * W * 4))
 
         run_band("A", a_tiles)
@@ -225,25 +238,27 @@ class Hybrid1R1W(SATAlgorithm):
                 wavefront_kernel,
                 grid_blocks=len(grid.tiles_on_diagonal(K)),
                 threads_per_block=threads,
-                args=(a_buf, b_buf, sb, n, K, self.layout),
+                args=(a_buf, b_buf, sb, stride, K, self.layout),
                 name=f"hybrid_wave_{K}", shared_bytes_hint=W * W * 4))
         run_band("C", c_tiles)
 
     def _run_host(self, a: np.ndarray) -> np.ndarray:
         """Host dataflow: the published values are schedule-independent, so
         band order collapses to a single diagonal sweep with the same algebra."""
-        grid = TileGrid(n=a.shape[0], W=self.tile_width)
-        t, W = grid.tiles_per_side, grid.W
-        grs = np.zeros((t, t, W))
-        gcs = np.zeros((t, t, W))
-        gs = np.zeros((t, t))
-        out = np.zeros_like(a, dtype=np.float64)
+        grid = TileGrid(rows=a.shape[0], cols=a.shape[1], W=self.tile_width)
+        tr, tc, W = grid.tile_rows, grid.tile_cols, grid.W
+        grs = np.zeros((tr, tc, W), dtype=a.dtype)
+        gcs = np.zeros((tr, tc, W), dtype=a.dtype)
+        gs = np.zeros((tr, tc), dtype=a.dtype)
+        out = np.zeros_like(a)
+        zeros = np.zeros(W, dtype=a.dtype)
         for K in range(grid.num_diagonals):
             for I, J in grid.tiles_on_diagonal(K):
-                tile = a[grid.tile_slice(I, J)].astype(np.float64)
-                grs_left = grs[I, J - 1] if J > 0 else np.zeros(W)
-                gcs_above = gcs[I - 1, J] if I > 0 else np.zeros(W)
-                gs_corner = gs[I - 1, J - 1] if I > 0 and J > 0 else 0.0
+                tile = a[grid.tile_slice(I, J)]
+                grs_left = grs[I, J - 1] if J > 0 else zeros
+                gcs_above = gcs[I - 1, J] if I > 0 else zeros
+                gs_corner = (gs[I - 1, J - 1] if I > 0 and J > 0
+                             else a.dtype.type(0))
                 grs[I, J] = grs_left + tile.sum(axis=1)
                 gcs[I, J] = gcs_above + tile.sum(axis=0)
                 gsat = assemble_gsat_tile(tile, grs_left, gcs_above, gs_corner)

@@ -28,7 +28,7 @@ from repro.sat.tilecommon import TileScratch, alloc_scratch, \
 
 
 def wavefront_kernel(ctx: BlockContext, a: GlobalBuffer, b: GlobalBuffer,
-                     sb: TileScratch, n: int, K: int,
+                     sb: TileScratch, stride: int, K: int,
                      layout: str = "diagonal"):
     """Kernel ``K`` of the 1R1W algorithm: one block per tile on diagonal ``K``.
 
@@ -36,15 +36,16 @@ def wavefront_kernel(ctx: BlockContext, a: GlobalBuffer, b: GlobalBuffer,
     rightmost column / bottom row of ``GSAT(I, J)``; we compute them
     equivalently as ``GRS(I, J-1) + LRS(I, J)`` from the tile still in shared
     memory before the prefix passes (same values, one less shared pass).
+    ``stride`` is the buffer's row stride (its padded column count).
     """
-    W, t = sb.W, sb.t
+    W = sb.W
     tiles = sb.grid.tiles_on_diagonal(K)
     if ctx.block_id >= len(tiles):
         return
     I, J = tiles[ctx.block_id]
     smem.alloc_tile(ctx, "tile", W)
 
-    smem.load_tile(ctx, a, n, W, I, J, "tile", layout)
+    smem.load_tile(ctx, a, stride, W, I, J, "tile", layout)
     yield ctx.syncthreads()
 
     grs_left = ctx.gload(sb.grs, sb.vec_idx(I, J - 1)) if J > 0 else np.zeros(W)
@@ -65,7 +66,7 @@ def wavefront_kernel(ctx: BlockContext, a: GlobalBuffer, b: GlobalBuffer,
     gs_now = float(ctx.sload("tile",
                              smem.full_tile_offsets(W, layout)[W - 1:W, W - 1])[0])
     ctx.gstore_scalar(sb.gs, sb.scalar_idx(I, J), gs_now)
-    smem.store_tile(ctx, b, n, W, I, J, "tile", layout)
+    smem.store_tile(ctx, b, stride, W, I, J, "tile", layout)
 
 
 class Kasagi1R1W(SATAlgorithm):
@@ -80,9 +81,9 @@ class Kasagi1R1W(SATAlgorithm):
         self.layout = layout
 
     def _run_device(self, gpu: GPU, a_buf: GlobalBuffer, b_buf: GlobalBuffer,
-                    n: int, report: LaunchSummary) -> None:
-        grid = self.grid(n)
+                    grid: TileGrid, report: LaunchSummary) -> None:
         sb = alloc_scratch(gpu, grid)
+        stride = grid.padded_cols
         threads = min(self.block_threads(gpu.device.max_threads_per_block),
                       grid.W * grid.W)
         threads = max(threads, gpu.device.warp_size)
@@ -91,24 +92,26 @@ class Kasagi1R1W(SATAlgorithm):
                 wavefront_kernel,
                 grid_blocks=len(grid.tiles_on_diagonal(K)),
                 threads_per_block=threads,
-                args=(a_buf, b_buf, sb, n, K, self.layout),
+                args=(a_buf, b_buf, sb, stride, K, self.layout),
                 name=f"1r1w_wave_{K}",
                 shared_bytes_hint=grid.W * grid.W * 4))
 
     def _run_host(self, a: np.ndarray) -> np.ndarray:
         """Host dataflow: diagonals in order, boundary terms built incrementally."""
-        grid = TileGrid(n=a.shape[0], W=self.tile_width)
-        t, W = grid.tiles_per_side, grid.W
-        grs = np.zeros((t, t, W))
-        gcs = np.zeros((t, t, W))
-        gs = np.zeros((t, t))
-        out = np.zeros_like(a, dtype=np.float64)
+        grid = TileGrid(rows=a.shape[0], cols=a.shape[1], W=self.tile_width)
+        tr, tc, W = grid.tile_rows, grid.tile_cols, grid.W
+        grs = np.zeros((tr, tc, W), dtype=a.dtype)
+        gcs = np.zeros((tr, tc, W), dtype=a.dtype)
+        gs = np.zeros((tr, tc), dtype=a.dtype)
+        out = np.zeros_like(a)
+        zeros = np.zeros(W, dtype=a.dtype)
         for K in range(grid.num_diagonals):
             for I, J in grid.tiles_on_diagonal(K):
-                tile = a[grid.tile_slice(I, J)].astype(np.float64)
-                grs_left = grs[I, J - 1] if J > 0 else np.zeros(W)
-                gcs_above = gcs[I - 1, J] if I > 0 else np.zeros(W)
-                gs_corner = gs[I - 1, J - 1] if I > 0 and J > 0 else 0.0
+                tile = a[grid.tile_slice(I, J)]
+                grs_left = grs[I, J - 1] if J > 0 else zeros
+                gcs_above = gcs[I - 1, J] if I > 0 else zeros
+                gs_corner = (gs[I - 1, J - 1] if I > 0 and J > 0
+                             else a.dtype.type(0))
                 grs[I, J] = grs_left + tile.sum(axis=1)
                 gcs[I, J] = gcs_above + tile.sum(axis=0)
                 gsat = assemble_gsat_tile(tile, grs_left, gcs_above, gs_corner)

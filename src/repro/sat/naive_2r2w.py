@@ -16,33 +16,35 @@ from repro.gpusim.block import BlockContext
 from repro.gpusim.counters import LaunchSummary
 from repro.gpusim.kernel import GPU
 from repro.gpusim.memory import GlobalBuffer
+from repro.primitives.tile import TileGrid
 from repro.sat.base import SATAlgorithm
 
 
 def column_scan_kernel(ctx: BlockContext, src: GlobalBuffer, dst: GlobalBuffer,
-                       n: int) -> None:
+                       n_rows: int, n_cols: int) -> None:
     """Thread ``j`` computes the prefix sums of column ``j`` sequentially."""
     cols = ctx.block_id * ctx.nthreads + ctx.tids
-    cols = cols[cols < n]
+    cols = cols[cols < n_cols]
     if cols.size == 0:
         return
     running = np.zeros(cols.size)
-    for i in range(n):
-        running = running + ctx.gload(src, i * n + cols)
-        ctx.gstore(dst, i * n + cols, running)
+    for i in range(n_rows):
+        running = running + ctx.gload(src, i * n_cols + cols)
+        ctx.gstore(dst, i * n_cols + cols, running)
         ctx.charge(ctx.costs.compute_step)
 
 
-def row_scan_kernel(ctx: BlockContext, buf: GlobalBuffer, n: int) -> None:
+def row_scan_kernel(ctx: BlockContext, buf: GlobalBuffer, n_rows: int,
+                    n_cols: int) -> None:
     """Thread ``i`` computes the prefix sums of row ``i`` sequentially (strided)."""
     rows = ctx.block_id * ctx.nthreads + ctx.tids
-    rows = rows[rows < n]
+    rows = rows[rows < n_rows]
     if rows.size == 0:
         return
     running = np.zeros(rows.size)
-    for j in range(n):
-        running = running + ctx.gload(buf, rows * n + j)
-        ctx.gstore(buf, rows * n + j, running)
+    for j in range(n_cols):
+        running = running + ctx.gload(buf, rows * n_cols + j)
+        ctx.gstore(buf, rows * n_cols + j, running)
         ctx.charge(ctx.costs.compute_step)
 
 
@@ -53,16 +55,21 @@ class Naive2R2W(SATAlgorithm):
     tile_based = False
 
     def _run_device(self, gpu: GPU, a_buf: GlobalBuffer, b_buf: GlobalBuffer,
-                    n: int, report: LaunchSummary) -> None:
+                    grid: TileGrid, report: LaunchSummary) -> None:
+        rows, cols = grid.rows, grid.cols
         # One thread per column/row, rounded up to whole warps.
         w = gpu.device.warp_size
-        threads = ((min(self.block_threads(), n) + w - 1) // w) * w
-        grid = (n + threads - 1) // threads
-        report.add(gpu.launch(column_scan_kernel, grid_blocks=grid,
-                              threads_per_block=threads, args=(a_buf, b_buf, n),
+        threads = ((min(self.block_threads(), max(rows, cols)) + w - 1)
+                   // w) * w
+        report.add(gpu.launch(column_scan_kernel,
+                              grid_blocks=(cols + threads - 1) // threads,
+                              threads_per_block=threads,
+                              args=(a_buf, b_buf, rows, cols),
                               name="2r2w_column_scan"))
-        report.add(gpu.launch(row_scan_kernel, grid_blocks=grid,
-                              threads_per_block=threads, args=(b_buf, n),
+        report.add(gpu.launch(row_scan_kernel,
+                              grid_blocks=(rows + threads - 1) // threads,
+                              threads_per_block=threads,
+                              args=(b_buf, rows, cols),
                               name="2r2w_row_scan"))
 
     def _run_host(self, a: np.ndarray) -> np.ndarray:

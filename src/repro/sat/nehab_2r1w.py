@@ -31,14 +31,17 @@ from repro.sat.tilecommon import TileScratch, alloc_scratch, \
 
 
 def local_sums_kernel(ctx: BlockContext, a: GlobalBuffer, sb: TileScratch,
-                      n: int, layout: str = "diagonal"):
-    """Kernel 1: one block per tile; writes LRS, LCS and LS."""
-    W, t = sb.W, sb.t
-    I, J = divmod(ctx.block_id, t)
-    if I >= t:
+                      stride: int, layout: str = "diagonal"):
+    """Kernel 1: one block per tile; writes LRS, LCS and LS.
+
+    ``stride`` is the buffer's row stride (its padded column count).
+    """
+    W, tc = sb.W, sb.tc
+    I, J = divmod(ctx.block_id, tc)
+    if I >= sb.tr:
         return
     smem.alloc_tile(ctx, "tile", W)
-    lcs = smem.load_tile_with_col_sums(ctx, a, n, W, I, J, "tile", layout)
+    lcs = smem.load_tile_with_col_sums(ctx, a, stride, W, I, J, "tile", layout)
     yield ctx.syncthreads()
     lrs = smem.tile_row_sums(ctx, "tile", W, layout)
     ls = lane_vector_sum(ctx, lcs)
@@ -55,52 +58,52 @@ def global_sums_kernel(ctx: BlockContext, sb: TileScratch, grs_blocks: int,
     lane, sequential over ``J`` — coalesced, exactly the paper's "column-wise
     prefix-sums of the (n/W) x n arrays using n threads").  The next
     ``gcs_blocks`` do the same for columns.  The final block computes the SAT
-    of the ``t x t`` LS array (the paper's "recursive computation"; at tile
+    of the ``tr x tc`` LS array (the paper's "recursive computation"; at tile
     granularity one block suffices for every size we simulate).
     """
-    t, W = sb.t, sb.W
+    tr, tc, W = sb.tr, sb.tc, sb.W
     bid = ctx.block_id
     if bid < grs_blocks:
         lanes = bid * ctx.nthreads + ctx.tids
-        lanes = lanes[lanes < t * W]
+        lanes = lanes[lanes < tr * W]
         if lanes.size == 0:
             return
         I, i = lanes // W, lanes % W
         acc = np.zeros(lanes.size)
-        for J in range(t):
-            idx = (I * t + J) * W + i
+        for J in range(tc):
+            idx = (I * tc + J) * W + i
             acc = acc + ctx.gload(sb.lrs, idx)
             ctx.gstore(sb.grs, idx, acc)
             ctx.charge(ctx.costs.compute_step)
     elif bid < grs_blocks + gcs_blocks:
         lanes = (bid - grs_blocks) * ctx.nthreads + ctx.tids
-        lanes = lanes[lanes < t * W]
+        lanes = lanes[lanes < tc * W]
         if lanes.size == 0:
             return
         J, j = lanes // W, lanes % W
         acc = np.zeros(lanes.size)
-        for I in range(t):
-            idx = (I * t + J) * W + j
+        for I in range(tr):
+            idx = (I * tc + J) * W + j
             acc = acc + ctx.gload(sb.lcs, idx)
             ctx.gstore(sb.gcs, idx, acc)
             ctx.charge(ctx.costs.compute_step)
     else:
-        # GS block: SAT of the t x t LS array.
-        ls = ctx.gload(sb.ls, np.arange(t * t)).reshape(t, t)
+        # GS block: SAT of the tr x tc LS array.
+        ls = ctx.gload(sb.ls, np.arange(tr * tc)).reshape(tr, tc)
         gs = ls.cumsum(axis=0).cumsum(axis=1)
-        ctx.charge(2 * t * t * ctx.costs.compute_step / max(1, ctx.nthreads))
-        ctx.gstore(sb.gs, np.arange(t * t), gs.ravel())
+        ctx.charge(2 * tr * tc * ctx.costs.compute_step / max(1, ctx.nthreads))
+        ctx.gstore(sb.gs, np.arange(tr * tc), gs.ravel())
 
 
 def gsat_kernel(ctx: BlockContext, a: GlobalBuffer, b: GlobalBuffer,
-                sb: TileScratch, n: int, layout: str = "diagonal"):
+                sb: TileScratch, stride: int, layout: str = "diagonal"):
     """Kernel 3: one block per tile; assembles and writes GSAT(I, J)."""
-    W, t = sb.W, sb.t
-    I, J = divmod(ctx.block_id, t)
-    if I >= t:
+    W, tc = sb.W, sb.tc
+    I, J = divmod(ctx.block_id, tc)
+    if I >= sb.tr:
         return
     smem.alloc_tile(ctx, "tile", W)
-    smem.load_tile(ctx, a, n, W, I, J, "tile", layout)
+    smem.load_tile(ctx, a, stride, W, I, J, "tile", layout)
     yield ctx.syncthreads()
     grs_left = ctx.gload(sb.grs, sb.vec_idx(I, J - 1)) if J > 0 else np.zeros(W)
     gcs_above = ctx.gload(sb.gcs, sb.vec_idx(I - 1, J)) if I > 0 else np.zeros(W)
@@ -109,7 +112,7 @@ def gsat_kernel(ctx: BlockContext, a: GlobalBuffer, b: GlobalBuffer,
     assemble_gsat_in_shared(ctx, W, "tile", grs_left, gcs_above, gs_corner,
                             layout)
     yield ctx.syncthreads()
-    smem.store_tile(ctx, b, n, W, I, J, "tile", layout)
+    smem.store_tile(ctx, b, stride, W, I, J, "tile", layout)
 
 
 class Nehab2R1W(SATAlgorithm):
@@ -124,33 +127,35 @@ class Nehab2R1W(SATAlgorithm):
         self.layout = layout
 
     def _run_device(self, gpu: GPU, a_buf: GlobalBuffer, b_buf: GlobalBuffer,
-                    n: int, report: LaunchSummary) -> None:
-        grid = self.grid(n)
+                    grid: TileGrid, report: LaunchSummary) -> None:
         sb = alloc_scratch(gpu, grid)
-        t, W = grid.tiles_per_side, grid.W
+        tr, tc, W = grid.tile_rows, grid.tile_cols, grid.W
+        stride = grid.padded_cols
         threads = min(self.block_threads(gpu.device.max_threads_per_block),
                       W * W)
         threads = max(threads, gpu.device.warp_size)
         report.add(gpu.launch(
             local_sums_kernel, grid_blocks=grid.num_tiles,
-            threads_per_block=threads, args=(a_buf, sb, n, self.layout),
+            threads_per_block=threads, args=(a_buf, sb, stride, self.layout),
             name="2r1w_local_sums", shared_bytes_hint=W * W * 4))
-        lane_blocks = (t * W + threads - 1) // threads
+        grs_blocks = (tr * W + threads - 1) // threads
+        gcs_blocks = (tc * W + threads - 1) // threads
         report.add(gpu.launch(
-            global_sums_kernel, grid_blocks=2 * lane_blocks + 1,
+            global_sums_kernel, grid_blocks=grs_blocks + gcs_blocks + 1,
             threads_per_block=threads,
-            args=(sb, lane_blocks, lane_blocks), name="2r1w_global_sums"))
+            args=(sb, grs_blocks, gcs_blocks), name="2r1w_global_sums"))
         report.add(gpu.launch(
             gsat_kernel, grid_blocks=grid.num_tiles,
-            threads_per_block=threads, args=(a_buf, b_buf, sb, n, self.layout),
+            threads_per_block=threads,
+            args=(a_buf, b_buf, sb, stride, self.layout),
             name="2r1w_gsat", shared_bytes_hint=W * W * 4))
 
     def _run_host(self, a: np.ndarray) -> np.ndarray:
         """Host dataflow: the three phases as whole-array operations."""
-        grid = TileGrid(n=a.shape[0], W=self.tile_width)
-        t, W = grid.tiles_per_side, grid.W
-        # Phase 1: local sums.
-        tiles = a.astype(np.float64).reshape(t, W, t, W)
+        grid = TileGrid(rows=a.shape[0], cols=a.shape[1], W=self.tile_width)
+        tr, tc, W = grid.tile_rows, grid.tile_cols, grid.W
+        # Phase 1: local sums (a view — no copy, dtype preserved).
+        tiles = a.reshape(tr, W, tc, W)
         lrs = tiles.sum(axis=3).transpose(0, 2, 1)   # (I, J, i)
         lcs = tiles.sum(axis=1)                       # (I, J, j)
         ls = lcs.sum(axis=2)                          # (I, J)
@@ -159,13 +164,13 @@ class Nehab2R1W(SATAlgorithm):
         gcs = lcs.cumsum(axis=0)
         gs = ls.cumsum(axis=0).cumsum(axis=1)
         # Phase 3: assembly.
-        out = np.zeros_like(a, dtype=np.float64)
-        for I in range(t):
-            for J in range(t):
-                tile = a[grid.tile_slice(I, J)].astype(np.float64)
+        out = np.zeros_like(a)
+        zeros = np.zeros(W, dtype=a.dtype)
+        for I in range(tr):
+            for J in range(tc):
                 out[grid.tile_slice(I, J)] = assemble_gsat_tile(
-                    tile,
-                    grs[I, J - 1] if J > 0 else np.zeros(W),
-                    gcs[I - 1, J] if I > 0 else np.zeros(W),
-                    gs[I - 1, J - 1] if I > 0 and J > 0 else 0.0)
+                    a[grid.tile_slice(I, J)],
+                    grs[I, J - 1] if J > 0 else zeros,
+                    gcs[I - 1, J] if I > 0 else zeros,
+                    gs[I - 1, J - 1] if I > 0 and J > 0 else a.dtype.type(0))
         return out

@@ -20,6 +20,7 @@ from repro.gpusim.kernel import GPU
 from repro.gpusim.memory import GlobalBuffer
 from repro.primitives.colscan import run_col_scan
 from repro.primitives.scan1d import run_row_scan
+from repro.primitives.tile import TileGrid
 from repro.sat.base import SATAlgorithm
 
 
@@ -36,20 +37,27 @@ class Optimal2R2W(SATAlgorithm):
         self.panel_rows = panel_rows
 
     def _run_device(self, gpu: GPU, a_buf: GlobalBuffer, b_buf: GlobalBuffer,
-                    n: int, report: LaunchSummary) -> None:
+                    grid: TileGrid, report: LaunchSummary) -> None:
+        rows, cols = grid.rows, grid.cols
         threads = min(self.block_threads(gpu.device.max_threads_per_block), 1024)
         threads = max(threads, gpu.device.warp_size)
-        report.add(run_col_scan(gpu, a_buf, b_buf, n=n,
+        # Strips are warp-wide when the width allows; otherwise fall back to
+        # the widest power-of-two divisor (rectangular widths need not be
+        # warp multiples).
+        strip = gpu.device.warp_size
+        while cols % strip:
+            strip //= 2
+        report.add(run_col_scan(gpu, a_buf, b_buf, rows=rows, cols=cols,
                                 panel_rows=self.panel_rows,
-                                strip_width=gpu.device.warp_size,
+                                strip_width=strip,
                                 threads_per_block=threads,
                                 name="2r2w_opt_col_scan"))
         # Row phase scans b in place: each partition's loads complete before
         # its stores, and look-back reads only the scratch aggregate arrays.
         w = gpu.device.warp_size
-        row_threads = min(threads, ((max(w, n) + w - 1) // w) * w)
-        report.add(run_row_scan(gpu, b_buf, b_buf, rows=n, n=n,
-                                partition_size=min(row_threads, n),
+        row_threads = min(threads, ((max(w, cols) + w - 1) // w) * w)
+        report.add(run_row_scan(gpu, b_buf, b_buf, rows=rows, n=cols,
+                                partition_size=min(row_threads, cols),
                                 threads_per_block=row_threads,
                                 name="2r2w_opt_row_scan"))
 

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.sat.dtypes import resolve_policy
 from repro.sat.registry import get_algorithm
 
 
@@ -38,56 +39,53 @@ def band_bounds(n_rows: int, band_rows: int) -> list[tuple[int, int]]:
 
 def out_of_core_sat(a: np.ndarray, *, band_rows: int,
                     algorithm: str | None = None, tile_width: int = 32,
-                    gpu_factory=None, engine=None) -> np.ndarray:
+                    gpu_factory=None, engine=None,
+                    dtype_policy=None) -> np.ndarray:
     """Compute the SAT of ``a`` band by band.
 
     ``algorithm`` selects the per-band SAT engine (``None`` = NumPy
     reference).  With an algorithm name, bands are computed via that
     algorithm's host path, or on fresh simulator instances produced by
-    ``gpu_factory()`` when given.  Band heights must keep each band square-
-    compatible with the tile algorithms only when one is requested: for
-    tile-based engines, ``band_rows`` and the matrix width must be multiples
-    of ``tile_width`` and the band must be square (``band_rows == n``) —
-    otherwise the reference engine is used per band.
+    ``gpu_factory()`` when given.  Bands may be any rectangle — ragged tile
+    edges follow the zero-padding convention of :mod:`repro.sat.base`.
 
     ``engine`` selects the *host* executor for the per-band computation
     (``"serial"``, ``"wavefront"``/a
     :class:`~repro.hostexec.WavefrontEngine`, or ``"parallel"``); it is
-    mutually exclusive with ``gpu_factory``.  ``"parallel"`` applies to every
-    band (the banded 2R2W scan accepts any shape); ``"wavefront"`` applies
-    where the tile algorithm itself would (square, tile-aligned bands).
+    mutually exclusive with ``gpu_factory``.  ``dtype_policy`` resolves the
+    accumulator dtype (:mod:`repro.sat.dtypes`; exact by default) — the carry
+    vectors accumulate in that dtype too, so integer inputs stitch exactly.
     """
-    a = np.asarray(a, dtype=np.float64)
+    a = np.asarray(a)
     if a.ndim != 2:
         raise ConfigurationError("out_of_core_sat expects a 2-D matrix")
     if engine is not None and gpu_factory is not None:
         raise ConfigurationError(
             "a host engine and gpu_factory are mutually exclusive")
+    acc = resolve_policy(dtype_policy).accumulator(a.dtype)
     n_rows, n_cols = a.shape
-    out = np.empty_like(a)
-    carry_cols = np.zeros(n_cols)
+    out = np.empty((n_rows, n_cols), dtype=acc)
+    carry_cols = np.zeros(n_cols, dtype=acc)
     for lo, hi in band_bounds(n_rows, band_rows):
         band = a[lo:hi]
         band_sat = _band_engine(band, algorithm, tile_width, gpu_factory,
-                                engine)
+                                engine, acc)
         out[lo:hi] = band_sat + np.cumsum(carry_cols)[None, :]
-        carry_cols = carry_cols + band.sum(axis=0)
+        carry_cols = carry_cols + band.sum(axis=0, dtype=acc)
     return out
 
 
 def _band_engine(band: np.ndarray, algorithm: str | None, tile_width: int,
-                 gpu_factory, engine=None) -> np.ndarray:
-    rows, cols = band.shape
+                 gpu_factory, engine, acc: np.dtype) -> np.ndarray:
     if engine == "parallel":
         from repro.sat.parallel_host import parallel_sat
-        return parallel_sat(band)
-    if algorithm is None or rows != cols or rows % tile_width \
-            or cols % tile_width:
-        return band.cumsum(axis=0).cumsum(axis=1)
+        return parallel_sat(band, dtype_policy=acc)
+    if algorithm is None:
+        return band.astype(acc, copy=False).cumsum(axis=0).cumsum(axis=1)
     alg = get_algorithm(algorithm, tile_width=tile_width)
     if gpu_factory is not None:
-        return alg.run(band, gpu_factory()).sat
-    return alg.run_host(band, engine=engine)
+        return alg.run(band, gpu_factory(), dtype_policy=acc).sat
+    return alg.run_host(band, engine=engine, dtype_policy=acc)
 
 
 @dataclass
@@ -105,6 +103,7 @@ class OutOfCoreSAT:
 
     n_cols: int
     keep_sat: bool = True
+    dtype: np.dtype = np.dtype(np.float64)
     _rows_done: int = 0
     _carry: np.ndarray = field(default=None)  # type: ignore[assignment]
     _sat_rows: list[np.ndarray] = field(default_factory=list)
@@ -114,7 +113,8 @@ class OutOfCoreSAT:
     def __post_init__(self) -> None:
         if self.n_cols <= 0:
             raise ConfigurationError("n_cols must be positive")
-        self._carry = np.zeros(self.n_cols)
+        self.dtype = np.dtype(self.dtype)
+        self._carry = np.zeros(self.n_cols, dtype=self.dtype)
 
     @property
     def rows_done(self) -> int:
@@ -122,11 +122,12 @@ class OutOfCoreSAT:
 
     def push_band(self, band: np.ndarray) -> np.ndarray:
         """Consume the next band of rows; returns that band's SAT rows."""
-        band = np.asarray(band, dtype=np.float64)
+        band = np.asarray(band)
         if band.ndim != 2 or band.shape[1] != self.n_cols:
             raise ConfigurationError(
                 f"band must be 2-D with {self.n_cols} columns, "
                 f"got shape {band.shape}")
+        band = band.astype(self.dtype, copy=False)
         band_sat = band.cumsum(axis=0).cumsum(axis=1)
         full = band_sat + np.cumsum(self._carry)[None, :]
         self._carry = self._carry + band.sum(axis=0)
@@ -142,7 +143,7 @@ class OutOfCoreSAT:
         if not self.keep_sat:
             raise ConfigurationError("sat() requires keep_sat=True")
         if not self._sat_rows:
-            return np.zeros((0, self.n_cols))
+            return np.zeros((0, self.n_cols), dtype=self.dtype)
         return np.vstack(self._sat_rows)
 
     def _sat_row(self, i: int) -> np.ndarray:

@@ -33,6 +33,7 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.hostexec.engine import default_workers as _default_workers
 from repro.primitives.prefix_sum import partition_bounds
+from repro.sat.dtypes import resolve_policy
 
 
 def _band_edges(n: int, workers: int) -> list[tuple[int, int]]:
@@ -80,11 +81,18 @@ def _parallel_cumsum_axis1(a: np.ndarray, pool: ThreadPoolExecutor,
     list(pool.map(local, bands))
 
 
-def parallel_sat(a: np.ndarray, *, workers: int | None = None) -> np.ndarray:
-    """Compute the SAT with a fork/join thread pool (CPU-parallel 2R2W)."""
-    a = np.array(a, dtype=np.float64, copy=True)
+def parallel_sat(a: np.ndarray, *, workers: int | None = None,
+                 dtype_policy=None) -> np.ndarray:
+    """Compute the SAT with a fork/join thread pool (CPU-parallel 2R2W).
+
+    The defensive copy is made in the accumulator dtype the ``dtype_policy``
+    resolves for the input (:mod:`repro.sat.dtypes`).
+    """
+    a = np.asarray(a)
     if a.ndim != 2:
         raise ConfigurationError("parallel_sat expects a 2-D matrix")
+    acc = resolve_policy(dtype_policy).accumulator(a.dtype)
+    a = np.array(a, dtype=acc, copy=True)
     if workers is not None and workers <= 0:
         raise ConfigurationError("workers must be positive")
     workers = workers or _default_workers()
@@ -108,10 +116,12 @@ class ParallelSATEngine:
         self.workers = workers or _default_workers()
         self._pool = ThreadPoolExecutor(max_workers=self.workers)
 
-    def compute(self, a: np.ndarray) -> np.ndarray:
-        a = np.array(a, dtype=np.float64, copy=True)
+    def compute(self, a: np.ndarray, *, dtype_policy=None) -> np.ndarray:
+        a = np.asarray(a)
         if a.ndim != 2:
             raise ConfigurationError("expected a 2-D matrix")
+        acc = resolve_policy(dtype_policy).accumulator(a.dtype)
+        a = np.array(a, dtype=acc, copy=True)
         _parallel_cumsum_axis0(a, self._pool, self.workers)
         _parallel_cumsum_axis1(a, self._pool, self.workers)
         return a

@@ -9,6 +9,7 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.gpusim.kernel import GPU
 from repro.sat.base import SATAlgorithm, SATResult
+from repro.sat.dtypes import resolve_policy
 from repro.sat.hybrid_1r1w import Hybrid1R1W
 from repro.sat.kasagi_1r1w import Kasagi1R1W
 from repro.sat.naive_2r2w import Naive2R2W
@@ -79,22 +80,26 @@ HOST_ENGINES = ("serial", "wavefront", "parallel")
 
 def host_sat(a: np.ndarray, *, algorithm: str | None = None,
              tile_width: int = 32, engine=None,
-             workers: int | None = None) -> np.ndarray:
+             workers: int | None = None, dtype_policy=None) -> np.ndarray:
     """Route a host-path SAT computation through the chosen engine.
 
     The single entry point the applications layer uses: ``engine`` is
     ``None``/``"serial"`` (the algorithm's serial host loop, or the NumPy
     reference when ``algorithm`` is ``None``), ``"wavefront"`` (or a
     :class:`~repro.hostexec.WavefrontEngine` instance), or ``"parallel"``.
+    ``a`` may be any 2-D rectangle; ``dtype_policy`` resolves the accumulator
+    dtype (:mod:`repro.sat.dtypes`; exact by default).
     """
-    a = np.asarray(a, dtype=np.float64)
+    a = np.asarray(a)
     if engine == "parallel":
         from repro.sat.parallel_host import parallel_sat
-        return parallel_sat(a, workers=workers)
+        return parallel_sat(a, workers=workers, dtype_policy=dtype_policy)
     if engine is None or engine == "serial":
         if algorithm is None:
-            return a.cumsum(axis=0).cumsum(axis=1)
-        return get_algorithm(algorithm, tile_width=tile_width).run_host(a)
+            acc = resolve_policy(dtype_policy).accumulator(a.dtype)
+            return a.astype(acc, copy=False).cumsum(axis=0).cumsum(axis=1)
+        return get_algorithm(algorithm, tile_width=tile_width).run_host(
+            a, dtype_policy=dtype_policy)
     # Wavefront (by name or instance): default to the paper's algorithm.
     from repro.hostexec import WavefrontEngine, resolve_engine
     if not (isinstance(engine, WavefrontEngine) or engine == "wavefront"):
@@ -103,22 +108,25 @@ def host_sat(a: np.ndarray, *, algorithm: str | None = None,
     name = get_algorithm(algorithm or "1R1W-SKSS-LB").name
     if workers is not None and not isinstance(engine, WavefrontEngine):
         with WavefrontEngine(workers=workers) as eng:
-            return eng.compute(a, algorithm=name, tile_width=tile_width)
+            return eng.compute(a, algorithm=name, tile_width=tile_width,
+                               dtype_policy=dtype_policy)
     return resolve_engine(engine).compute(a, algorithm=name,
-                                          tile_width=tile_width)
+                                          tile_width=tile_width,
+                                          dtype_policy=dtype_policy)
 
 
 def compute_sat(a: np.ndarray, *, algorithm: str = "1R1W-SKSS-LB",
                 tile_width: int = 32, gpu: GPU | None = None,
                 simulate: bool = True, engine=None,
-                workers: int | None = None, **params: Any) -> SATResult:
+                workers: int | None = None, dtype_policy=None,
+                **params: Any) -> SATResult:
     """Compute the summed area table of ``a``.
 
     Parameters
     ----------
     a:
-        Square matrix (size a multiple of ``tile_width`` for tile-based
-        algorithms).
+        Any 2-D ``rows x cols`` matrix; ragged tile edges are zero-padded
+        internally and the result is cropped back.
     algorithm:
         Paper name or alias; defaults to the paper's 1R1W-SKSS-LB.
     gpu:
@@ -133,6 +141,10 @@ def compute_sat(a: np.ndarray, *, algorithm: str = "1R1W-SKSS-LB",
         :class:`~repro.hostexec.WavefrontEngine` instance.
     workers:
         Worker count for the ``wavefront``/``parallel`` engines.
+    dtype_policy:
+        Input-to-accumulator dtype mapping (:mod:`repro.sat.dtypes`): a
+        policy, a policy name (``"exact"``, ``"widen-float"``, ``"float64"``)
+        or a fixed dtype.  Defaults to the exact policy.
 
     Returns a :class:`~repro.sat.base.SATResult`.
     """
@@ -143,19 +155,19 @@ def compute_sat(a: np.ndarray, *, algorithm: str = "1R1W-SKSS-LB",
                 "a host engine and a simulator GPU are mutually exclusive")
         simulate = False
     if simulate:
-        return alg.run(a, gpu)
+        return alg.run(a, gpu, dtype_policy=dtype_policy)
     if engine is None or engine == "serial":
-        sat = alg.run_host(a)
+        sat = alg.run_host(a, dtype_policy=dtype_policy)
     elif engine == "parallel":
         from repro.sat.parallel_host import parallel_sat
-        sat = parallel_sat(np.asarray(a, dtype=np.float64), workers=workers)
+        sat = parallel_sat(a, workers=workers, dtype_policy=dtype_policy)
     else:
         from repro.hostexec import WavefrontEngine
         if workers is not None and not isinstance(engine, WavefrontEngine):
             with WavefrontEngine(workers=workers) as eng:
-                sat = alg.run_host(a, engine=eng)
+                sat = alg.run_host(a, engine=eng, dtype_policy=dtype_policy)
         else:
-            sat = alg.run_host(a, engine=engine)
+            sat = alg.run_host(a, engine=engine, dtype_policy=dtype_policy)
     p = alg.params()
     if engine is not None:
         p["engine"] = engine if isinstance(engine, str) else "wavefront"

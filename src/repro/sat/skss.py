@@ -32,17 +32,20 @@ GRS_READY = 1
 
 
 def skss_kernel(ctx: BlockContext, a: GlobalBuffer, b: GlobalBuffer,
-                sb: TileScratch, n: int, layout: str = "diagonal"):
-    """One CUDA block of the 1R1W-SKSS kernel: processes whole tile columns."""
-    W, t = sb.W, sb.t
+                sb: TileScratch, stride: int, layout: str = "diagonal"):
+    """One CUDA block of the 1R1W-SKSS kernel: processes whole tile columns.
+
+    ``stride`` is the buffer's row stride (its padded column count).
+    """
+    W, tr, tc = sb.W, sb.tr, sb.tc
     smem.alloc_tile(ctx, "tile", W)
     while True:
         J = ctx.atomic_add(sb.counter, 0, 1)
-        if J >= t:
+        if J >= tc:
             return
         gcp = np.zeros(W)  # bottom row of the GSAT above, kept in registers
-        for I in range(t):
-            smem.load_tile(ctx, a, n, W, I, J, "tile", layout)
+        for I in range(tr):
+            smem.load_tile(ctx, a, stride, W, I, J, "tile", layout)
             yield ctx.syncthreads()
 
             if J > 0:
@@ -66,7 +69,7 @@ def skss_kernel(ctx: BlockContext, a: GlobalBuffer, b: GlobalBuffer,
             smem.add_to_row(ctx, "tile", W, 0, gcp, layout)
             smem.tile_col_prefix_sums(ctx, "tile", W, layout)
             yield ctx.syncthreads()
-            smem.store_tile(ctx, b, n, W, I, J, "tile", layout)
+            smem.store_tile(ctx, b, stride, W, I, J, "tile", layout)
             gcp = smem.read_row(ctx, "tile", W, W - 1, layout)
             yield ctx.syncthreads()
 
@@ -85,30 +88,30 @@ class SKSS1R1W(SATAlgorithm):
         self.grid_blocks = grid_blocks
 
     def _run_device(self, gpu: GPU, a_buf: GlobalBuffer, b_buf: GlobalBuffer,
-                    n: int, report: LaunchSummary) -> None:
-        grid = self.grid(n)
+                    grid: TileGrid, report: LaunchSummary) -> None:
         sb = alloc_scratch(gpu, grid)
-        blocks = self.grid_blocks or grid.tiles_per_side
+        blocks = self.grid_blocks or grid.tile_cols
         threads = min(self.block_threads(gpu.device.max_threads_per_block),
                       grid.W * grid.W)
         threads = max(threads, gpu.device.warp_size)
         report.add(gpu.launch(
             skss_kernel, grid_blocks=blocks, threads_per_block=threads,
-            args=(a_buf, b_buf, sb, n, self.layout), name="skss",
-            shared_bytes_hint=grid.W * grid.W * 4))
+            args=(a_buf, b_buf, sb, grid.padded_cols, self.layout),
+            name="skss", shared_bytes_hint=grid.W * grid.W * 4))
 
     def _run_host(self, a: np.ndarray) -> np.ndarray:
         """Host dataflow: columns left to right, rows top to bottom, with the
         same GRS hand-off and register-carried GCP."""
-        grid = TileGrid(n=a.shape[0], W=self.tile_width)
-        t, W = grid.tiles_per_side, grid.W
-        grs = np.zeros((t, t, W))
-        out = np.zeros_like(a, dtype=np.float64)
-        for J in range(t):
-            gcp = np.zeros(W)
-            for I in range(t):
-                tile = a[grid.tile_slice(I, J)].astype(np.float64)
-                grs_left = grs[I, J - 1] if J > 0 else np.zeros(W)
+        grid = TileGrid(rows=a.shape[0], cols=a.shape[1], W=self.tile_width)
+        tr, tc, W = grid.tile_rows, grid.tile_cols, grid.W
+        grs = np.zeros((tr, tc, W), dtype=a.dtype)
+        out = np.zeros_like(a)
+        zeros = np.zeros(W, dtype=a.dtype)
+        for J in range(tc):
+            gcp = zeros
+            for I in range(tr):
+                tile = a[grid.tile_slice(I, J)]
+                grs_left = grs[I, J - 1] if J > 0 else zeros
                 gsat = assemble_gsat_tile_skss(tile, grs_left, gcp)
                 grs[I, J] = grs_left + tile.sum(axis=1)
                 out[grid.tile_slice(I, J)] = gsat

@@ -70,32 +70,41 @@ def lane_vector_sum(ctx: BlockContext, values: np.ndarray) -> float:
 ACQUISITION_ORDERS = ("diagonal", "rowmajor", "reversed")
 
 
-def acquisition_tile(serial: int, t: int, order: str) -> tuple[int, int]:
-    """Map an atomicAdd ticket to a tile under the chosen acquisition order."""
+def acquisition_tile(serial: int, t: int, order: str,
+                     tc: int | None = None) -> tuple[int, int]:
+    """Map an atomicAdd ticket to a tile under the chosen acquisition order.
+
+    ``tc`` (tile columns) defaults to ``t`` for the legacy square grid.
+    """
+    tc = t if tc is None else tc
     if order == "diagonal":
-        return serial_to_tile(serial, t)
+        return serial_to_tile(serial, t, tc)
     if order == "rowmajor":
-        return divmod(serial, t)
+        return divmod(serial, tc)
     if order == "reversed":
-        return serial_to_tile(t * t - 1 - serial, t)
+        return serial_to_tile(t * tc - 1 - serial, t, tc)
     raise ConfigurationError(f"unknown acquisition order '{order}'")
 
 
 def skss_lb_kernel(ctx: BlockContext, a: GlobalBuffer, b: GlobalBuffer,
-                   sb: TileScratch, n: int, layout: str = "diagonal",
+                   sb: TileScratch, stride: int, layout: str = "diagonal",
                    acquisition: str = "diagonal"):
-    """One CUDA block of the 1R1W-SKSS-LB kernel (loops acquiring tiles)."""
-    W, t = sb.W, sb.t
+    """One CUDA block of the 1R1W-SKSS-LB kernel (loops acquiring tiles).
+
+    ``stride`` is the buffer's row stride (its padded column count).
+    """
+    W, tr, tc = sb.W, sb.tr, sb.tc
     smem.alloc_tile(ctx, "tile", W)
-    total = t * t
+    total = tr * tc
     while True:
         serial = ctx.atomic_add(sb.counter, 0, 1)
         if serial >= total:
             return
-        I, J = acquisition_tile(serial, t, acquisition)
+        I, J = acquisition_tile(serial, tr, acquisition, tc)
 
         # Step 1: tile to shared (fused LCS), then LRS; first barrier.
-        lcs = smem.load_tile_with_col_sums(ctx, a, n, W, I, J, "tile", layout)
+        lcs = smem.load_tile_with_col_sums(ctx, a, stride, W, I, J, "tile",
+                                           layout)
         lrs = smem.tile_row_sums(ctx, "tile", W, layout)
         yield ctx.syncthreads()
 
@@ -129,7 +138,7 @@ def skss_lb_kernel(ctx: BlockContext, a: GlobalBuffer, b: GlobalBuffer,
         assemble_gsat_in_shared(ctx, W, "tile", grs_left, gcs_above, gs_corner,
                                 layout)
         yield ctx.syncthreads()
-        smem.store_tile(ctx, b, n, W, I, J, "tile", layout)
+        smem.store_tile(ctx, b, stride, W, I, J, "tile", layout)
 
 
 class SKSSLB1R1W(SATAlgorithm):
@@ -152,8 +161,7 @@ class SKSSLB1R1W(SATAlgorithm):
         self.acquisition = acquisition
 
     def _run_device(self, gpu: GPU, a_buf: GlobalBuffer, b_buf: GlobalBuffer,
-                    n: int, report: LaunchSummary) -> None:
-        grid = self.grid(n)
+                    grid: TileGrid, report: LaunchSummary) -> None:
         sb = alloc_scratch(gpu, grid)
         blocks = self.grid_blocks or grid.num_tiles
         threads = min(self.block_threads(gpu.device.max_threads_per_block),
@@ -161,27 +169,30 @@ class SKSSLB1R1W(SATAlgorithm):
         threads = max(threads, gpu.device.warp_size)
         report.add(gpu.launch(
             skss_lb_kernel, grid_blocks=blocks, threads_per_block=threads,
-            args=(a_buf, b_buf, sb, n, self.layout, self.acquisition),
+            args=(a_buf, b_buf, sb, grid.padded_cols, self.layout,
+                  self.acquisition),
             name="skss_lb", shared_bytes_hint=grid.W * grid.W * 4))
 
     def _run_host(self, a: np.ndarray) -> np.ndarray:
         """Host dataflow: process tiles in serial order, maintaining the same
         published quantities (GRS/GCS/GS built incrementally, never read from
         an oracle)."""
-        grid = TileGrid(n=a.shape[0], W=self.tile_width)
-        t, W = grid.tiles_per_side, grid.W
-        grs = np.zeros((t, t, W))
-        gcs = np.zeros((t, t, W))
-        gs = np.zeros((t, t))
-        out = np.zeros_like(a, dtype=np.float64)
-        for serial in range(t * t):
-            I, J = serial_to_tile(serial, t)
-            tile = a[grid.tile_slice(I, J)].astype(np.float64)
+        grid = TileGrid(rows=a.shape[0], cols=a.shape[1], W=self.tile_width)
+        tr, tc, W = grid.tile_rows, grid.tile_cols, grid.W
+        grs = np.zeros((tr, tc, W), dtype=a.dtype)
+        gcs = np.zeros((tr, tc, W), dtype=a.dtype)
+        gs = np.zeros((tr, tc), dtype=a.dtype)
+        out = np.zeros_like(a)
+        zeros = np.zeros(W, dtype=a.dtype)
+        for serial in range(tr * tc):
+            I, J = serial_to_tile(serial, tr, tc)
+            tile = a[grid.tile_slice(I, J)]
             lrs = tile.sum(axis=1)
             lcs = tile.sum(axis=0)
-            grs_left = grs[I, J - 1] if J > 0 else np.zeros(W)
-            gcs_above = gcs[I - 1, J] if I > 0 else np.zeros(W)
-            gs_corner = gs[I - 1, J - 1] if I > 0 and J > 0 else 0.0
+            grs_left = grs[I, J - 1] if J > 0 else zeros
+            gcs_above = gcs[I - 1, J] if I > 0 else zeros
+            gs_corner = (gs[I - 1, J - 1] if I > 0 and J > 0
+                         else a.dtype.type(0))
             grs[I, J] = grs_left + lrs
             gcs[I, J] = gcs_above + lcs
             gls = grs_left.sum() + gcs_above.sum() + lrs.sum()

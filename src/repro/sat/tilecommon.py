@@ -4,10 +4,10 @@ All tile-based algorithms communicate the Table II region sums through global
 scratch arrays laid out so that each tile's length-``W`` vector is contiguous
 (coalesced to read):
 
-* ``lrs``/``grs`` — shape ``(t, t, W)`` indexed ``[I, J, i]`` (row sums);
-* ``lcs``/``gcs`` — shape ``(t, t, W)`` indexed ``[I, J, j]`` (column sums);
-* ``ls``/``gls``/``gs`` — shape ``(t, t)`` scalars;
-* ``R``/``C`` — ``(t, t)`` int8 status bytes (SKSS-LB protocol, Section IV).
+* ``lrs``/``grs`` — shape ``(tr, tc, W)`` indexed ``[I, J, i]`` (row sums);
+* ``lcs``/``gcs`` — shape ``(tr, tc, W)`` indexed ``[I, J, j]`` (column sums);
+* ``ls``/``gls``/``gs`` — shape ``(tr, tc)`` scalars;
+* ``R``/``C`` — ``(tr, tc)`` int8 status bytes (SKSS-LB protocol, Section IV).
 
 The status protocol: ``R`` advances 1→2→3→4 after ``LRS``, ``GRS``, ``GLS``
 and ``GS`` are published; ``C`` advances 1→2 after ``LCS`` and ``GCS``.
@@ -46,37 +46,46 @@ C_GCS = 2
 # -- Figure 9: diagonal-major serial numbers ---------------------------------
 
 
-def diagonal_count(K: int, t: int) -> int:
-    """Number of tiles on anti-diagonal ``K`` of a ``t x t`` tile grid."""
-    if not 0 <= K <= 2 * t - 2:
-        raise ConfigurationError(f"diagonal {K} out of range for t={t}")
-    return t - abs(K - (t - 1))
+def diagonal_count(K: int, t: int, tc: int | None = None) -> int:
+    """Number of tiles on anti-diagonal ``K`` of a ``t x tc`` tile grid.
+
+    ``tc`` defaults to ``t`` (the paper's square grid).
+    """
+    tc = t if tc is None else tc
+    if not 0 <= K <= t + tc - 2:
+        raise ConfigurationError(f"diagonal {K} out of range for {t}x{tc}")
+    return min(t - 1, K) - max(0, K - tc + 1) + 1
 
 
-def tile_serial_number(I: int, J: int, t: int) -> int:
+def tile_serial_number(I: int, J: int, t: int, tc: int | None = None) -> int:
     """Diagonal-major serial of tile ``T(I, J)`` (paper Figure 9).
 
     For tiles above the main anti-diagonal this equals the paper's closed
     form ``(I+J)(I+J+1)/2 + I``; past it the numbering continues consecutively
-    along the (shorter) diagonals, matching the figure's 5x5 example.
+    along the (shorter) diagonals, matching the figure's 5x5 example.  For a
+    rectangular ``t x tc`` grid the same diagonal-major order applies.
     """
-    if not (0 <= I < t and 0 <= J < t):
-        raise ConfigurationError(f"tile ({I}, {J}) out of range for t={t}")
+    tc = t if tc is None else tc
+    if not (0 <= I < t and 0 <= J < tc):
+        raise ConfigurationError(
+            f"tile ({I}, {J}) out of range for {t}x{tc}")
     K = I + J
-    before = sum(diagonal_count(k, t) for k in range(K))
-    return before + (I - max(0, K - t + 1))
+    before = sum(diagonal_count(k, t, tc) for k in range(K))
+    return before + (I - max(0, K - tc + 1))
 
 
-def serial_to_tile(serial: int, t: int) -> tuple[int, int]:
+def serial_to_tile(serial: int, t: int, tc: int | None = None) -> tuple[int, int]:
     """Inverse of :func:`tile_serial_number`."""
-    if not 0 <= serial < t * t:
-        raise ConfigurationError(f"serial {serial} out of range for t={t}")
+    tc = t if tc is None else tc
+    if not 0 <= serial < t * tc:
+        raise ConfigurationError(
+            f"serial {serial} out of range for {t}x{tc}")
     K = 0
     remaining = serial
-    while remaining >= diagonal_count(K, t):
-        remaining -= diagonal_count(K, t)
+    while remaining >= diagonal_count(K, t, tc):
+        remaining -= diagonal_count(K, t, tc)
         K += 1
-    I = max(0, K - t + 1) + remaining
+    I = max(0, K - tc + 1) + remaining
     return I, K - I
 
 
@@ -101,7 +110,16 @@ class TileScratch:
 
     @property
     def t(self) -> int:
+        """Tiles per side of a square grid (legacy accessor)."""
         return self.grid.tiles_per_side
+
+    @property
+    def tr(self) -> int:
+        return self.grid.tile_rows
+
+    @property
+    def tc(self) -> int:
+        return self.grid.tile_cols
 
     @property
     def W(self) -> int:
@@ -109,13 +127,13 @@ class TileScratch:
 
     def vec_base(self, I: int, J: int) -> int:
         """Flat base index of tile ``(I, J)``'s length-``W`` vector."""
-        return (I * self.t + J) * self.W
+        return (I * self.tc + J) * self.W
 
     def vec_idx(self, I: int, J: int) -> np.ndarray:
         return self.vec_base(I, J) + np.arange(self.W)
 
     def scalar_idx(self, I: int, J: int) -> int:
-        return I * self.t + J
+        return I * self.tc + J
 
 
 _SCRATCH_FIELDS = ("counter", "lrs", "grs", "lcs", "gcs", "ls", "gls", "gs",
@@ -124,7 +142,7 @@ _SCRATCH_FIELDS = ("counter", "lrs", "grs", "lcs", "gcs", "ls", "gls", "gs",
 
 def alloc_scratch(gpu: GPU, grid: TileGrid, tag: str = "_sat_s_") -> TileScratch:
     """Allocate the scratch arrays (freed by ``SATAlgorithm._cleanup``)."""
-    t, W = grid.tiles_per_side, grid.W
+    tr, tc, W = grid.tile_rows, grid.tile_cols, grid.W
     # The counter and status bytes are memset to zero (the host-side
     # cudaMemset every soft-sync scheme needs); the value arrays are left
     # uninitialized — the publish protocol must write before anyone reads,
@@ -132,15 +150,15 @@ def alloc_scratch(gpu: GPU, grid: TileGrid, tag: str = "_sat_s_") -> TileScratch
     return TileScratch(
         grid=grid,
         counter=gpu.alloc(tag + "counter", (1,), np.int64, fill=0),
-        lrs=gpu.alloc(tag + "lrs", (t, t, W), np.float64),
-        grs=gpu.alloc(tag + "grs", (t, t, W), np.float64),
-        lcs=gpu.alloc(tag + "lcs", (t, t, W), np.float64),
-        gcs=gpu.alloc(tag + "gcs", (t, t, W), np.float64),
-        ls=gpu.alloc(tag + "ls", (t, t), np.float64),
-        gls=gpu.alloc(tag + "gls", (t, t), np.float64),
-        gs=gpu.alloc(tag + "gs", (t, t), np.float64),
-        R=gpu.alloc(tag + "R", (t, t), np.int8, fill=0),
-        C=gpu.alloc(tag + "C", (t, t), np.int8, fill=0),
+        lrs=gpu.alloc(tag + "lrs", (tr, tc, W), np.float64),
+        grs=gpu.alloc(tag + "grs", (tr, tc, W), np.float64),
+        lcs=gpu.alloc(tag + "lcs", (tr, tc, W), np.float64),
+        gcs=gpu.alloc(tag + "gcs", (tr, tc, W), np.float64),
+        ls=gpu.alloc(tag + "ls", (tr, tc), np.float64),
+        gls=gpu.alloc(tag + "gls", (tr, tc), np.float64),
+        gs=gpu.alloc(tag + "gs", (tr, tc), np.float64),
+        R=gpu.alloc(tag + "R", (tr, tc), np.int8, fill=0),
+        C=gpu.alloc(tag + "C", (tr, tc), np.int8, fill=0),
     )
 
 

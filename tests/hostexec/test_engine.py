@@ -164,15 +164,21 @@ class TestOutParameter:
 
 
 class TestValidation:
-    def test_non_square_rejected(self):
+    def test_non_square_supported(self):
+        rng = np.random.default_rng(7)
+        a = rng.integers(0, 9, size=(64, 32)).astype(float)
         with WavefrontEngine(workers=1) as eng:
-            with pytest.raises(ConfigurationError, match="square"):
-                eng.compute(np.zeros((64, 32)))
+            sat = eng.compute(a)
+        assert sat.shape == a.shape
+        assert np.array_equal(sat, a.cumsum(axis=0).cumsum(axis=1))
 
-    def test_unaligned_size_rejected(self):
+    def test_unaligned_size_supported(self):
+        rng = np.random.default_rng(8)
+        a = rng.integers(0, 9, size=(40, 40)).astype(float)
         with WavefrontEngine(workers=1) as eng:
-            with pytest.raises(ConfigurationError, match="multiple"):
-                eng.compute(np.zeros((40, 40)), tile_width=32)
+            sat = eng.compute(a, tile_width=32)
+        assert sat.shape == a.shape
+        assert np.array_equal(sat, a.cumsum(axis=0).cumsum(axis=1))
 
     def test_non_tile_algorithm_rejected(self):
         with WavefrontEngine(workers=1) as eng:

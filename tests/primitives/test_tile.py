@@ -32,9 +32,11 @@ class TestTileGrid:
         assert grid.num_tiles == 9
         assert grid.num_diagonals == 5
 
-    def test_size_must_divide(self):
-        with pytest.raises(ConfigurationError):
-            TileGrid(n=10, W=4)
+    def test_ragged_size_pads_up(self):
+        grid = TileGrid(n=10, W=4)
+        assert not grid.aligned
+        assert grid.tiles_per_side == 3
+        assert grid.padded_rows == grid.padded_cols == 12
 
     def test_tile_slice(self, grid, matrix):
         view = tile_view(matrix, grid, 1, 2)

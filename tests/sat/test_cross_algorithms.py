@@ -32,10 +32,11 @@ class TestEveryAlgorithm:
         get_algorithm(name).run(small_matrix, gpu)
         assert gpu.memory.allocated_bytes == 0
 
-    def test_non_square_rejected(self, name):
-        from repro.errors import ConfigurationError
-        with pytest.raises(ConfigurationError):
-            get_algorithm(name).run_host(np.zeros((32, 64)))
+    def test_non_square_supported(self, name, rng):
+        a = rng.integers(0, 10, size=(32, 64)).astype(float)
+        got = get_algorithm(name).run_host(a)
+        assert got.shape == a.shape
+        assert np.array_equal(got, sat_reference(a))
 
     def test_negative_values_supported(self, name, rng):
         a = rng.integers(-50, 50, size=(64, 64)).astype(float)
@@ -56,10 +57,12 @@ class TestTileWidths:
         res = get_algorithm(name, tile_width=32).run(a, GPU(seed=4))
         assert check_result(res, a)
 
-    def test_misaligned_size_rejected(self, name):
-        from repro.errors import ConfigurationError
-        with pytest.raises(ConfigurationError):
-            get_algorithm(name, tile_width=32).run_host(np.zeros((48, 48)))
+    def test_misaligned_size_supported(self, name, rng):
+        """Ragged edges: padded internally, cropped back on output."""
+        a = rng.integers(0, 10, size=(48, 48)).astype(float)
+        got = get_algorithm(name, tile_width=32).run_host(a)
+        assert got.shape == a.shape
+        assert np.array_equal(got, sat_reference(a))
 
     def test_host_path_small_tiles(self, name, rng):
         """Host path supports sub-warp tiles (simulator needs W % 32 == 0)."""

@@ -28,7 +28,7 @@ class Test2R1W:
         alg = Nehab2R1W()
         a_buf = gpu.alloc("_sat_a", (n, n), np.float64, fill=small_matrix)
         b_buf = gpu.alloc("_sat_b", (n, n), np.float64)
-        alg._run_device(gpu, a_buf, b_buf, n, LaunchSummary())
+        alg._run_device(gpu, a_buf, b_buf, TileGrid(n=n, W=32), LaunchSummary())
         grid = TileGrid(n=n, W=32)
         lrs = gpu.read("_sat_s_lrs")
         lcs = gpu.read("_sat_s_lcs")

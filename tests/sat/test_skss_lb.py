@@ -78,7 +78,8 @@ class TestExecution:
         a_buf = gpu.alloc("_sat_a", (n, n), np.float64, fill=small_matrix)
         b_buf = gpu.alloc("_sat_b", (n, n), np.float64)
         from repro.gpusim.counters import LaunchSummary
-        alg._run_device(gpu, a_buf, b_buf, n, LaunchSummary())
+        from repro.primitives.tile import TileGrid
+        alg._run_device(gpu, a_buf, b_buf, TileGrid(n=n, W=32), LaunchSummary())
         assert (gpu.read("_sat_s_R") == 4).all()
         assert (gpu.read("_sat_s_C") == 2).all()
 
@@ -92,7 +93,7 @@ class TestExecution:
         alg = SKSSLB1R1W()
         a_buf = gpu.alloc("_sat_a", (n, n), np.float64, fill=small_matrix)
         b_buf = gpu.alloc("_sat_b", (n, n), np.float64)
-        alg._run_device(gpu, a_buf, b_buf, n, LaunchSummary())
+        alg._run_device(gpu, a_buf, b_buf, TileGrid(n=n, W=32), LaunchSummary())
         grid = TileGrid(n=n, W=32)
         t = grid.tiles_per_side
         grs = gpu.read("_sat_s_grs")
