@@ -2,7 +2,8 @@
 
 PY ?= python
 
-.PHONY: install test lint bench bench-smoke tables report fuzz examples all
+.PHONY: install test lint typecheck sanitize-smoke bench bench-smoke tables \
+	report fuzz examples all
 
 install:
 	pip install -e . --no-build-isolation
@@ -10,11 +11,24 @@ install:
 test:
 	$(PY) -m pytest tests/
 	$(MAKE) bench-smoke
+	$(MAKE) sanitize-smoke
 
 lint:
 	@$(PY) -m ruff --version >/dev/null 2>&1 || \
 		{ echo "ruff is not installed (pip install ruff)"; exit 1; }
 	$(PY) -m ruff check src/ tests/ benchmarks/ examples/
+	$(MAKE) typecheck
+
+typecheck:
+	@$(PY) -m mypy --version >/dev/null 2>&1 || \
+		{ echo "mypy is not installed (pip install mypy)"; exit 1; }
+	$(PY) -m mypy src/repro/gpusim src/repro/analysis
+
+# Race/protocol sanitizer + static kernel lint over all 7 algorithms under
+# relaxed consistency with the adversarial scheduler (also a CI job).
+sanitize-smoke:
+	PYTHONPATH=src $(PY) -m repro sanitize -n 64 --consistency relaxed \
+		--policy lifo
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only

@@ -5,7 +5,13 @@ from repro.analysis.complexity import (HIGH, LOW, MEDIUM, TABLE1_ORDER,
 from repro.analysis.precision import (PrecisionRow, max_relative_error,
                                       precision_report, sat_float32,
                                       sat_kahan, ulps_needed)
-from repro.analysis.fuzzing import FuzzConfig, FuzzReport, fuzz
+from repro.analysis.fuzzing import (FuzzConfig, FuzzReport, fuzz,
+                                    load_replay_config, run_one)
+from repro.analysis.kernellint import (LintFinding, default_targets, lint_file,
+                                       lint_paths, lint_source)
+from repro.analysis.sanitizer import (PROTOCOL_RULES, RACE_RULES, Finding,
+                                      SanitizeReport, SanitizeRun, Sanitizer,
+                                      sanitize_algorithm, sanitize_all)
 from repro.analysis.verify import CountCheck, check_counts, check_result
 from repro.analysis.waves import (ParallelismProfile, lookback_profile,
                                   profile, render_profile, skss_profile,
@@ -16,7 +22,11 @@ __all__ = [
     "table1_row", "CountCheck", "check_counts", "check_result",
     "PrecisionRow", "max_relative_error", "precision_report", "sat_float32",
     "sat_kahan", "ulps_needed",
-    "FuzzConfig", "FuzzReport", "fuzz",
+    "FuzzConfig", "FuzzReport", "fuzz", "run_one", "load_replay_config",
+    "Sanitizer", "Finding", "SanitizeRun", "SanitizeReport",
+    "RACE_RULES", "PROTOCOL_RULES",
+    "sanitize_algorithm", "sanitize_all",
+    "LintFinding", "lint_source", "lint_file", "lint_paths", "default_targets",
     "ParallelismProfile", "lookback_profile", "profile", "render_profile",
     "skss_profile", "wavefront_profile",
 ]

@@ -12,11 +12,14 @@ Used by the test suite (short budget) and the ``repro fuzz`` CLI command
 
 from __future__ import annotations
 
+import json
 import time
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
 
 import numpy as np
 
+from repro.errors import ConfigurationError
 from repro.gpusim import GPU, TINY_DEVICE, TITAN_V
 from repro.sat import get_algorithm, sat_reference
 
@@ -49,6 +52,44 @@ class FuzzConfig:
     def build_matrix(self) -> np.ndarray:
         rng = np.random.default_rng(self.data_seed)
         return rng.integers(-50, 50, size=(self.n, self.n)).astype(np.float64)
+
+    def to_json(self) -> str:
+        """Serialize for ``repro fuzz --replay`` (stable key order)."""
+        return json.dumps(asdict(self), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FuzzConfig":
+        """Inverse of :meth:`to_json`; rejects unknown/missing fields."""
+        try:
+            raw = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"invalid replay config JSON: {exc}") \
+                from None
+        if not isinstance(raw, dict):
+            raise ConfigurationError(
+                "replay config must be a JSON object of FuzzConfig fields")
+        fields = {f for f in cls.__dataclass_fields__}
+        unknown = set(raw) - fields
+        if unknown:
+            raise ConfigurationError(
+                f"unknown replay config field(s): {sorted(unknown)}")
+        try:
+            return cls(**raw)
+        except TypeError as exc:
+            raise ConfigurationError(f"incomplete replay config: {exc}") \
+                from None
+
+
+def load_replay_config(spec: str) -> FuzzConfig:
+    """Parse a ``--replay`` argument: a JSON file path or an inline JSON object."""
+    text = spec
+    if not spec.lstrip().startswith("{"):
+        path = Path(spec)
+        if not path.is_file():
+            raise ConfigurationError(
+                f"replay config '{spec}' is neither a file nor inline JSON")
+        text = path.read_text()
+    return FuzzConfig.from_json(text)
 
 
 @dataclass
@@ -89,25 +130,39 @@ def sample_config(rng: np.random.Generator) -> FuzzConfig:
     )
 
 
-def run_one(config: FuzzConfig) -> str | None:
-    """Run one configuration; returns an error description or ``None``."""
+def run_one(config: FuzzConfig, *, sanitize: bool = False) -> str | None:
+    """Run one configuration; returns an error description or ``None``.
+
+    With ``sanitize=True`` the run executes under the concurrency sanitizer
+    (:mod:`repro.analysis.sanitizer`) and any race or protocol finding counts
+    as a failure even when the numeric result happens to be right.
+    """
     a = config.build_matrix()
     kwargs = {"tile_width": config.tile_width}
     if config.algorithm == "(1+r)R1W":
         kwargs["r"] = config.r
+    gpu = config.build_gpu()
+    sanitizer = None
+    if sanitize:
+        from repro.analysis.sanitizer import Sanitizer
+        sanitizer = Sanitizer()
+        gpu.attach_sanitizer(sanitizer)
     try:
-        result = get_algorithm(config.algorithm, **kwargs).run(
-            a, config.build_gpu())
+        result = get_algorithm(config.algorithm, **kwargs).run(a, gpu)
     except Exception as exc:  # noqa: BLE001 - the fuzzer reports, not raises
         return f"exception: {type(exc).__name__}: {exc}"
     if not np.array_equal(result.sat, sat_reference(a)):
         bad = int(np.argmax(result.sat != sat_reference(a)))
         return f"wrong SAT (first mismatch at flat index {bad})"
+    if sanitizer is not None and not sanitizer.ok:
+        first = sanitizer.findings[0]
+        return f"{sanitizer.summary()}; first: {first}"
     return None
 
 
 def fuzz(num_runs: int = 50, *, seed: int = 0,
-         time_budget_s: float | None = None) -> FuzzReport:
+         time_budget_s: float | None = None,
+         sanitize: bool = False) -> FuzzReport:
     """Run ``num_runs`` random configurations (or until the time budget)."""
     rng = np.random.default_rng(seed)
     report = FuzzReport()
@@ -117,7 +172,7 @@ def fuzz(num_runs: int = 50, *, seed: int = 0,
                 and time.perf_counter() - start > time_budget_s:
             break
         config = sample_config(rng)
-        error = run_one(config)
+        error = run_one(config, sanitize=sanitize)
         report.runs += 1
         if error is not None:
             report.failures.append((config, error))

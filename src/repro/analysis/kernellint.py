@@ -1,0 +1,209 @@
+"""Static kernel lint: AST checks for look-back protocol discipline.
+
+The dynamic sanitizer (:mod:`repro.analysis.sanitizer`) catches protocol bugs
+on the schedules a test run happens to explore; this module catches the same
+*classes* of bug at the source level, before any simulation runs.  It parses
+kernel modules (``src/repro/primitives`` and ``src/repro/sat`` by default) and
+checks, per function and in source order:
+
+``KL001`` *fence-before-flag* — a store to a status buffer while earlier data
+    stores in the same function have not been fenced.  This is the static twin
+    of the sanitizer's ``missing-fence`` rule: on hardware the unfenced data
+    may land after the flag.
+``KL002`` *atomic-only counters* — a ticket counter accessed with a plain
+    ``gload``/``gstore`` instead of ``atomic_add``.  Plain accesses race on
+    the very variable whose atomicity the dispatch-order argument rests on.
+``KL003`` *publish-only status stores* — a direct ``gstore`` to a status
+    buffer anywhere outside :mod:`repro.primitives.lookback`.  All flag
+    raises must go through :func:`~repro.primitives.lookback.publish`, which
+    owns the fence and the strict-monotonicity assertion.
+``KL004`` *yielded spin-waits* — a ``ctx.wait_until(...)`` call not wrapped
+    in ``yield from``.  ``wait_until`` is a generator; calling it without
+    delegation never polls and silently skips the synchronization.
+
+Buffer roles are inferred from names, matching the repo's conventions: an
+identifier (or attribute) containing ``status`` — or the scratch attributes
+``.R``/``.C`` — is a status buffer; one containing ``counter`` is a ticket
+counter.  A call to ``publish``/``publish_vector``/``publish_scalar`` resets
+the unfenced-store count (the helper fences internally).
+
+The checks are heuristic in the way all lints are: they approximate program
+order by source order within one function.  They are tuned to be exactly
+clean on this repository's kernels and to catch each seeded bug in
+``tests/analysis/bug_corpus.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+#: Rule identifiers and their one-line descriptions.
+RULES = {
+    "KL001": "status flag stored while data stores are unfenced "
+             "(missing __threadfence before publish)",
+    "KL002": "ticket counter accessed non-atomically "
+             "(use ctx.atomic_add)",
+    "KL003": "plain global store to a status buffer "
+             "(use lookback.publish, which fences and checks monotonicity)",
+    "KL004": "ctx.wait_until(...) not wrapped in 'yield from' "
+             "(the spin-wait generator is never driven)",
+}
+
+#: Module basenames allowed to store status bytes directly (the publish
+#: helper itself lives here and owns the fence).
+_PUBLISH_MODULES = ("lookback.py",)
+
+_STORE_METHODS = ("gstore", "gstore_scalar")
+_LOAD_METHODS = ("gload", "gload_scalar")
+_PUBLISH_HELPERS = ("publish", "publish_vector", "publish_scalar")
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One static lint diagnostic."""
+
+    rule: str
+    path: str
+    line: int
+    function: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} in '{self.function}': " \
+               f"{self.message}"
+
+
+def _expr_name(node: ast.AST) -> str:
+    """Best-effort identifier for a buffer expression (name or attribute)."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Call):
+        return _expr_name(node.func)
+    if isinstance(node, ast.Subscript):
+        return _expr_name(node.value)
+    return ""
+
+
+def _is_status_buffer(node: ast.AST) -> bool:
+    name = _expr_name(node)
+    if name in ("R", "C"):  # TileScratch status bytes
+        return True
+    return "status" in name.lower()
+
+
+def _is_counter_buffer(node: ast.AST) -> bool:
+    return "counter" in _expr_name(node).lower()
+
+
+def _method_name(call: ast.Call) -> str:
+    """``ctx.gstore(...)`` -> ``gstore``; plain ``publish(...)`` -> ``publish``."""
+    if isinstance(call.func, ast.Attribute):
+        return call.func.attr
+    if isinstance(call.func, ast.Name):
+        return call.func.id
+    return ""
+
+
+def _function_calls(func: ast.AST) -> list[ast.Call]:
+    """All calls lexically inside ``func`` but not inside a nested function,
+    in source order (the lint's approximation of program order)."""
+    calls: list[ast.Call] = []
+
+    def visit(node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.Lambda)):
+                continue
+            if isinstance(child, ast.Call):
+                calls.append(child)
+            visit(child)
+
+    visit(func)
+    calls.sort(key=lambda c: (c.lineno, c.col_offset))
+    return calls
+
+
+def lint_source(source: str, path: str = "<string>") -> list[LintFinding]:
+    """Lint one module's source text; returns all findings in line order."""
+    tree = ast.parse(source, filename=path)
+    parents: dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    basename = Path(path).name
+    may_store_status = basename in _PUBLISH_MODULES
+    findings: list[LintFinding] = []
+
+    funcs = [n for n in ast.walk(tree)
+             if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))]
+    for func in funcs:
+        unfenced = 0  # data stores since the last fence, in source order
+        for call in _function_calls(func):
+            method = _method_name(call)
+            args = call.args
+            if method == "threadfence":
+                unfenced = 0
+            elif method in _PUBLISH_HELPERS:
+                unfenced = 0  # the helper fences before raising the flag
+            elif method in _STORE_METHODS and args:
+                buf = args[0]
+                if _is_counter_buffer(buf):
+                    findings.append(LintFinding(
+                        "KL002", path, call.lineno, func.name,
+                        f"plain store to counter "
+                        f"'{_expr_name(buf)}' — {RULES['KL002']}"))
+                elif _is_status_buffer(buf):
+                    if not may_store_status:
+                        findings.append(LintFinding(
+                            "KL003", path, call.lineno, func.name,
+                            f"direct store to status buffer "
+                            f"'{_expr_name(buf)}' — {RULES['KL003']}"))
+                    if unfenced:
+                        findings.append(LintFinding(
+                            "KL001", path, call.lineno, func.name,
+                            f"{unfenced} data store(s) unfenced when the "
+                            f"status flag is raised — {RULES['KL001']}"))
+                else:
+                    unfenced += 1
+            elif method in _LOAD_METHODS and args \
+                    and _is_counter_buffer(args[0]):
+                findings.append(LintFinding(
+                    "KL002", path, call.lineno, func.name,
+                    f"plain load of counter '{_expr_name(args[0])}' — "
+                    f"{RULES['KL002']}"))
+            elif method == "wait_until":
+                if not isinstance(parents.get(call), ast.YieldFrom):
+                    findings.append(LintFinding(
+                        "KL004", path, call.lineno, func.name,
+                        RULES["KL004"]))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings
+
+
+def lint_file(path: str | Path) -> list[LintFinding]:
+    path = Path(path)
+    return lint_source(path.read_text(), str(path))
+
+
+def default_targets() -> list[Path]:
+    """The kernel-bearing source trees: ``repro/primitives`` and ``repro/sat``."""
+    import repro
+    pkg = Path(repro.__file__).parent
+    return [pkg / "primitives", pkg / "sat"]
+
+
+def lint_paths(paths: Iterable[str | Path] | None = None) -> list[LintFinding]:
+    """Lint files and/or directory trees (defaults to :func:`default_targets`)."""
+    targets: Sequence[str | Path] = list(paths) if paths else default_targets()
+    findings: list[LintFinding] = []
+    for target in targets:
+        target = Path(target)
+        files = sorted(target.rglob("*.py")) if target.is_dir() else [target]
+        for f in files:
+            findings.extend(lint_file(f))
+    return findings

@@ -1,0 +1,495 @@
+"""Concurrency sanitizer: happens-before race detection and protocol checking.
+
+The paper's 1R1W-SKSS-LB correctness hangs on a fragile inter-block protocol —
+data stores, ``__threadfence()``, then a status-flag store, consumed by
+spin-waiting walkers (Figs. 10-11).  The relaxed-consistency simulator can
+*exhibit* the classic missing-fence bug; this module *detects* it (and every
+other unsynchronized inter-block access) automatically, so correctness tooling
+scales with the seven algorithms instead of hand-written litmus tests.
+
+The :class:`Sanitizer` is a :class:`~repro.gpusim.observer.MemoryObserver`
+that consumes the simulator's instrumentation events and maintains a
+happens-before (HB) relation with one **vector clock per block**.  Edges:
+
+* **atomics** — an ``atomicAdd`` acquires the location's clock and releases
+  the block's current clock to it (conservative acquire-release; CUDA atomics
+  are relaxed, but no algorithm here relies on atomic ordering for data
+  visibility, so this only ever *hides* impossible races);
+* **fence + flag-read pairs** — a ``__threadfence()`` snapshots the block's
+  clock; a later store to a *status* location releases that snapshot to the
+  location, and a reader that observes the committed flag acquires it.  A
+  flag raised **without** a fence releases only the previous snapshot, so the
+  data it was meant to publish stays unordered — exactly the missing-fence
+  hazard;
+* **block retirement / kernel boundaries** — a retired block's clock joins a
+  kernel-wide clock inherited by every block dispatched later and by the next
+  launch (the inter-kernel barrier the wavefront algorithms rely on).
+
+On top of HB ordering the sanitizer checks the publish/look-back protocol
+itself:
+
+* a status store issued while *unfenced data stores are pending* is reported
+  (``missing-fence``) even on schedules where the reorder happens not to bite;
+* committed status values must be **monotone non-decreasing** and stay inside
+  the buffer's annotated domain (``R`` ∈ 0..4, ``C`` ∈ 0..2, 1-D scan flags
+  ∈ 0..2);
+* ticket counters must only be accessed atomically (``plain-counter-store``);
+* a read that observes a location while another block still holds an
+  **uncommitted** store to it is reported (``stale-read``) — the dynamic
+  face of "the flag arrived before the data".
+
+Status/counter locations are identified by allocation-site annotations
+(``gpu.alloc(..., kind="status")`` — see :func:`repro.sat.tilecommon.alloc_scratch`)
+and discovered dynamically: any location polled through
+:meth:`~repro.gpusim.block.BlockContext.wait_until` is a flag, any location
+touched by ``atomicAdd`` is a counter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.gpusim.memory import GlobalBuffer, StoreBuffer
+
+from repro.gpusim.observer import MemoryObserver
+
+#: A vector clock: sparse map from task id (one per dispatched block) to count.
+Clock = dict
+
+#: Rules that indicate an unordered (racy) memory access.
+RACE_RULES = ("stale-read", "unordered-read", "unordered-write")
+#: Rules that indicate a publish/look-back protocol violation.
+PROTOCOL_RULES = ("missing-fence", "status-regression", "status-domain",
+                  "plain-counter-store")
+
+
+def _join(into: Clock, other: Clock) -> None:
+    """``into`` |= ``other`` (pointwise max), in place."""
+    for k, v in other.items():
+        if v > into.get(k, 0):
+            into[k] = v
+
+
+def _leq(a: Clock, b: Clock) -> bool:
+    """Whether ``a`` happens-before-or-equals ``b`` (pointwise <=)."""
+    for k, v in a.items():
+        if v > b.get(k, 0):
+            return False
+    return True
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One sanitizer diagnostic."""
+
+    rule: str
+    message: str
+    kernel: str
+    block: int
+    buffer: str
+    index: int | None = None
+
+    @property
+    def is_race(self) -> bool:
+        return self.rule in RACE_RULES
+
+    def __str__(self) -> str:
+        where = f"{self.buffer}" + (f"[{self.index}]" if self.index is not None
+                                    else "")
+        return (f"[{self.rule}] kernel '{self.kernel}' block {self.block} "
+                f"@ {where}: {self.message}")
+
+
+class Sanitizer(MemoryObserver):
+    """Happens-before race detector + protocol state-machine checker.
+
+    Attach to a simulator with ``GPU(sanitizer=Sanitizer())`` (or
+    :meth:`~repro.gpusim.kernel.GPU.attach_sanitizer`); inspect ``findings``
+    after the launches.  Findings are collected, not raised, so one run
+    reports every distinct violation.
+    """
+
+    def __init__(self, *, max_findings: int = 200) -> None:
+        self.findings: list[Finding] = []
+        self.suppressed = 0
+        self.max_findings = max_findings
+        self.events = 0
+        self._kernel = "<none>"
+        self._next_task = 0
+        self._task: dict[int, int] = {}          # block id -> task component
+        self._vc: dict[int, Clock] = {}          # block id -> vector clock
+        self._fence_vc: dict[int, Clock] = {}    # clock at last threadfence
+        self._dirty: dict[int, int] = {}         # unfenced data stores issued
+        self._sb: dict[int, "StoreBuffer"] = {}  # resident store buffers
+        self._kernel_clock: Clock = {}           # join of all finished work
+        # Per-location state; a location is (buffer name, flat element index).
+        self._write: dict[tuple, tuple] = {}     # loc -> (task, clock snapshot)
+        self._reads: dict[tuple, dict] = {}      # loc -> {task: clock snapshot}
+        self._release: dict[tuple, Clock] = {}   # loc -> released clock
+        self._sync_names: set[str] = set()       # dynamically discovered flags
+        self._dedupe: set[tuple] = set()
+
+    # -- report ----------------------------------------------------------------
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    @property
+    def races(self) -> list[Finding]:
+        return [f for f in self.findings if f.rule in RACE_RULES]
+
+    @property
+    def protocol_violations(self) -> list[Finding]:
+        return [f for f in self.findings if f.rule in PROTOCOL_RULES]
+
+    def summary(self) -> str:
+        if self.ok:
+            return f"sanitizer: OK ({self.events} events checked)"
+        extra = f" (+{self.suppressed} suppressed)" if self.suppressed else ""
+        return (f"sanitizer: {len(self.races)} race(s), "
+                f"{len(self.protocol_violations)} protocol violation(s)"
+                f"{extra} in {self.events} events")
+
+    def report(self) -> str:
+        lines = [self.summary()]
+        lines.extend(f"  {f}" for f in self.findings)
+        return "\n".join(lines)
+
+    def _emit(self, rule: str, message: str, block: int, buf_name: str,
+              index: int | None = None) -> None:
+        key = (rule, self._kernel, buf_name, index)
+        if key in self._dedupe or len(self.findings) >= self.max_findings:
+            self.suppressed += 1
+            return
+        self._dedupe.add(key)
+        self.findings.append(Finding(rule=rule, message=message,
+                                     kernel=self._kernel, block=block,
+                                     buffer=buf_name, index=index))
+
+    # -- clock plumbing --------------------------------------------------------
+
+    def _tick(self, block: int) -> None:
+        task = self._task[block]
+        vc = self._vc[block]
+        vc[task] = vc.get(task, 0) + 1
+
+    def _snap(self, block: int) -> Clock:
+        return dict(self._vc[block])
+
+    def _is_sync(self, buf: "GlobalBuffer") -> bool:
+        return buf.kind != "data" or buf.name in self._sync_names
+
+    # -- lifecycle events ------------------------------------------------------
+
+    def on_launch(self, name: str, grid_blocks: int) -> None:
+        self._kernel = name
+        self._task.clear()
+        self._vc.clear()
+        self._fence_vc.clear()
+        self._dirty.clear()
+        self._sb.clear()
+
+    def on_dispatch(self, block_id: int, store_buffer: "StoreBuffer") -> None:
+        task = self._next_task
+        self._next_task += 1
+        self._task[block_id] = task
+        # A new block inherits everything that retired before it was
+        # dispatched (bounded residency: its slot was freed by a retirement)
+        # plus all previous kernel launches (the inter-kernel barrier).
+        vc = dict(self._kernel_clock)
+        vc[task] = 1
+        self._vc[block_id] = vc
+        self._fence_vc[block_id] = dict(vc)
+        self._dirty[block_id] = 0
+        self._sb[block_id] = store_buffer
+
+    def on_retire(self, block_id: int) -> None:
+        if block_id in self._vc:
+            _join(self._kernel_clock, self._vc[block_id])
+        self._sb.pop(block_id, None)
+
+    def on_kernel_done(self, name: str) -> None:
+        for vc in self._vc.values():
+            _join(self._kernel_clock, vc)
+        self._sb.clear()
+
+    # -- memory events ---------------------------------------------------------
+
+    def on_store_issue(self, block_id: int, buf: "GlobalBuffer",
+                       flat_indices: np.ndarray, values: np.ndarray,
+                       pending_before: int) -> None:
+        if block_id not in self._task:
+            return
+        self.events += 1
+        self._tick(block_id)
+        if buf.kind == "counter":
+            self._emit(
+                "plain-counter-store",
+                f"plain store to ticket counter '{buf.name}' — counters must "
+                "only be accessed with atomicAdd (ticket duplication hazard)",
+                block_id, buf.name, int(flat_indices[0]))
+        elif self._is_sync(buf):
+            dirty = self._dirty.get(block_id, 0)
+            if dirty:
+                self._emit(
+                    "missing-fence",
+                    f"status store issued with {dirty} unfenced data store(s) "
+                    "in program order — the flag may become visible before "
+                    "its data (missing __threadfence before publish)",
+                    block_id, buf.name, int(flat_indices[0]))
+        else:
+            self._dirty[block_id] = self._dirty.get(block_id, 0) + 1
+
+    def on_commit(self, block_id: int, buf: "GlobalBuffer",
+                  flat_indices: np.ndarray, values: np.ndarray,
+                  reason: str) -> None:
+        if block_id not in self._task:
+            return
+        self.events += 1
+        self._tick(block_id)
+        sync = self._is_sync(buf)
+        if sync or buf.kind == "status":
+            self._check_status_commit(block_id, buf, flat_indices, values)
+        # Every committed store carries the release clock of the last fence
+        # that precedes it in program order.  Readers only *acquire* it from
+        # locations that are synchronization flags at read time, so ordinary
+        # data locations record it without creating edges.
+        release = self._fence_vc[block_id]
+        for i in flat_indices:
+            loc = (buf.name, int(i))
+            existing = self._release.get(loc)
+            if existing is None:
+                self._release[loc] = release
+            elif existing is not release:
+                merged = dict(existing)
+                _join(merged, release)
+                self._release[loc] = merged
+        if sync:
+            return
+        # Happens-before conflict checks for ordinary data.
+        task = self._task[block_id]
+        vc = self._vc[block_id]
+        snap = self._snap(block_id)
+        for i in flat_indices:
+            loc = (buf.name, int(i))
+            prev = self._write.get(loc)
+            if prev is not None and prev[0] != task and not _leq(prev[1], vc):
+                self._emit(
+                    "unordered-write",
+                    "conflicting global stores by concurrent blocks with no "
+                    "happens-before edge between them (write-write race)",
+                    block_id, buf.name, int(i))
+            readers = self._reads.pop(loc, None)
+            if readers:
+                for rtask, rclock in readers.items():
+                    if rtask != task and not _leq(rclock, vc):
+                        self._emit(
+                            "unordered-write",
+                            "store to a location read by another block with "
+                            "no happens-before edge (read-write race)",
+                            block_id, buf.name, int(i))
+                        break
+            self._write[loc] = (task, snap)
+
+    def on_release(self, block_id: int) -> None:
+        if block_id not in self._task:
+            return
+        self.events += 1
+        self._tick(block_id)
+        self._fence_vc[block_id] = self._snap(block_id)
+        self._dirty[block_id] = 0
+
+    def on_load(self, block_id: int, buf: "GlobalBuffer",
+                flat_indices: np.ndarray, from_own_buffer: np.ndarray) -> None:
+        if block_id not in self._task:
+            return
+        self.events += 1
+        self._tick(block_id)
+        vc = self._vc[block_id]
+        if self._is_sync(buf):
+            # Acquire: reading a committed flag value justifies everything the
+            # publisher fenced before raising it.
+            for i in flat_indices:
+                rel = self._release.get((buf.name, int(i)))
+                if rel is not None:
+                    _join(vc, rel)
+            return
+        # stale-read: the location is being observed while a remote store to
+        # it is still sitting in another block's store buffer.
+        for other_id, other_sb in self._sb.items():
+            if other_id == block_id or other_sb.pending_count == 0:
+                continue
+            mask = other_sb.has_pending(buf, flat_indices)
+            mask &= ~from_own_buffer
+            if mask.any():
+                i = int(flat_indices[int(np.argmax(mask))])
+                self._emit(
+                    "stale-read",
+                    f"read while block {other_id} holds an uncommitted store "
+                    "to the same location (store-buffered data observed "
+                    "stale — flag published before its data?)",
+                    block_id, buf.name, i)
+        # unordered-read: HB check against the last committed writer.
+        task = self._task[block_id]
+        snap = None
+        for k, i in enumerate(flat_indices):
+            if from_own_buffer[k]:
+                continue
+            loc = (buf.name, int(i))
+            prev = self._write.get(loc)
+            if prev is not None and prev[0] != task and not _leq(prev[1], vc):
+                self._emit(
+                    "unordered-read",
+                    "read of another block's store with no happens-before "
+                    "edge (no fence+flag, atomic, or kernel-boundary "
+                    "ordering justifies this value)",
+                    block_id, buf.name, int(i))
+            if snap is None:
+                snap = self._snap(block_id)
+            self._reads.setdefault(loc, {})[task] = snap
+
+    def on_atomic(self, block_id: int, buf: "GlobalBuffer", flat_index: int,
+                  old_value, added) -> None:
+        # Any atomically-accessed location is a synchronization variable.
+        if buf.kind == "data":
+            buf.kind = "counter"
+        self._sync_names.add(buf.name)
+        if block_id not in self._task:
+            return
+        self.events += 1
+        loc = (buf.name, int(flat_index))
+        vc = self._vc[block_id]
+        rel = self._release.get(loc)
+        if rel is not None:
+            _join(vc, rel)
+        self._tick(block_id)
+        self._release[loc] = self._snap(block_id)
+
+    def on_spin_poll(self, block_id: int, buf: "GlobalBuffer",
+                     flat_index: int) -> None:
+        self._sync_names.add(buf.name)
+
+    # -- protocol state machine ------------------------------------------------
+
+    def _check_status_commit(self, block_id: int, buf: "GlobalBuffer",
+                             flat_indices: np.ndarray,
+                             values: np.ndarray) -> None:
+        """Committed status bytes must be monotone and inside their domain."""
+        old = buf.flat_view()[np.asarray(flat_indices, dtype=np.int64)]
+        vals = np.asarray(values).ravel()
+        for k, i in enumerate(flat_indices):
+            new_v, old_v = vals[k], old[k]
+            if new_v < old_v:
+                self._emit(
+                    "status-regression",
+                    f"status flag downgraded {int(old_v)} -> {int(new_v)}; "
+                    "statuses must be monotone non-decreasing for pollers "
+                    "to be sound",
+                    block_id, buf.name, int(i))
+            if buf.status_values is not None \
+                    and int(new_v) not in buf.status_values:
+                self._emit(
+                    "status-domain",
+                    f"status value {int(new_v)} outside the protocol domain "
+                    f"{tuple(buf.status_values)}",
+                    block_id, buf.name, int(i))
+
+
+# -- whole-algorithm sanitized runs ---------------------------------------------
+
+
+@dataclass
+class SanitizeRun:
+    """Outcome of one sanitized simulation of one algorithm."""
+
+    algorithm: str
+    n: int
+    tile_width: int
+    consistency: str
+    policy: str
+    seed: int
+    correct: bool
+    findings: list[Finding]
+    events: int
+
+    @property
+    def ok(self) -> bool:
+        return self.correct and not self.findings
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else (
+            f"{len(self.findings)} finding(s)"
+            + ("" if self.correct else ", WRONG RESULT"))
+        return (f"{self.algorithm:<14} n={self.n:<5} {self.consistency:<7} "
+                f"{self.policy:<11} -> {status}")
+
+
+@dataclass
+class SanitizeReport:
+    """Aggregate of sanitized runs over algorithms x modes x policies."""
+
+    runs: list[SanitizeRun] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.runs)
+
+    @property
+    def failures(self) -> list[SanitizeRun]:
+        return [r for r in self.runs if not r.ok]
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else f"{len(self.failures)} FAILING RUN(S)"
+        return f"sanitize: {len(self.runs)} run(s) -> {status}"
+
+
+def sanitize_algorithm(algorithm: str, *, n: int = 64, tile_width: int = 32,
+                       consistency: str = "relaxed", policy: str = "lifo",
+                       seed: int = 0, residency: int | None = None,
+                       max_findings: int = 200) -> SanitizeRun:
+    """Run one algorithm under the sanitizer and verify the result.
+
+    ``policy="lifo"`` is the adversarial schedule (most recently dispatched
+    block favoured), the worst case for look-back chains.  ``residency``
+    optionally bounds resident blocks to stress soft synchronization.
+    """
+    from repro.gpusim import GPU
+    from repro.sat import get_algorithm, sat_reference
+
+    rng = np.random.default_rng(seed)
+    a = rng.integers(0, 50, size=(n, n)).astype(np.float64)
+    sanitizer = Sanitizer(max_findings=max_findings)
+    gpu = GPU(scheduler_policy=policy, seed=seed, consistency=consistency,
+              max_resident_blocks=residency, sanitizer=sanitizer)
+    alg = get_algorithm(algorithm, tile_width=tile_width)
+    result = alg.run(a, gpu)
+    correct = bool(np.array_equal(result.sat, sat_reference(a)))
+    return SanitizeRun(algorithm=alg.name, n=n, tile_width=tile_width,
+                       consistency=consistency, policy=policy, seed=seed,
+                       correct=correct, findings=list(sanitizer.findings),
+                       events=sanitizer.events)
+
+
+def sanitize_all(algorithms: Sequence[str] | None = None, *,
+                 n: int = 64, tile_width: int = 32,
+                 consistencies: Iterable[str] = ("relaxed",),
+                 policies: Iterable[str] = ("lifo",),
+                 seed: int = 0,
+                 residency: int | None = None) -> SanitizeReport:
+    """Sanitize every algorithm under every consistency x policy combination."""
+    from repro.sat import ALGORITHMS
+
+    names = list(algorithms) if algorithms else list(ALGORITHMS)
+    report = SanitizeReport()
+    for name in names:
+        for consistency in consistencies:
+            for policy in policies:
+                report.runs.append(sanitize_algorithm(
+                    name, n=n, tile_width=tile_width, consistency=consistency,
+                    policy=policy, seed=seed, residency=residency))
+    return report

@@ -12,6 +12,7 @@ Commands
 ``chart``    ASCII log-log chart of Table III (any device projection)
 ``devices``  cross-device model projections (extension)
 ``fuzz``     differential fuzzing of all algorithms
+``sanitize`` race/protocol sanitizer + static kernel lint
 ``report``   write the full REPRODUCTION_REPORT.md
 ``list``     list algorithms and aliases
 
@@ -111,6 +112,35 @@ def _build_parser() -> argparse.ArgumentParser:
     fz.add_argument("--seed", type=int, default=0)
     fz.add_argument("--time-budget", type=float, default=None,
                     help="stop after this many seconds")
+    fz.add_argument("--sanitize", action="store_true",
+                    help="run every configuration under the concurrency "
+                         "sanitizer (races/protocol findings fail the run)")
+    fz.add_argument("--replay", metavar="CONFIG", default=None,
+                    help="replay one configuration instead of fuzzing: a JSON "
+                         "file path or inline JSON as printed for failures")
+
+    sz = sub.add_parser("sanitize",
+                        help="happens-before race detection, protocol "
+                             "checking, and static kernel lint")
+    sz.add_argument("-a", "--algorithm", action="append", default=None,
+                    help="algorithm to sanitize (repeatable; default: all 7)")
+    sz.add_argument("-n", "--size", type=int, default=64,
+                    help="matrix side per run (default 64)")
+    sz.add_argument("-W", "--tile-width", type=int, default=32)
+    sz.add_argument("--consistency", action="append", default=None,
+                    choices=["relaxed", "strong"],
+                    help="consistency mode(s) to run (default: relaxed)")
+    sz.add_argument("--policy", action="append", default=None,
+                    choices=["round_robin", "random", "lifo"],
+                    help="scheduler policy(ies) to run (default: the "
+                         "adversarial lifo)")
+    sz.add_argument("--seed", type=int, default=0)
+    sz.add_argument("--residency", type=int, default=None,
+                    help="bound resident blocks (stresses soft sync)")
+    sz.add_argument("--no-lint", action="store_true",
+                    help="skip the static kernel lint pass")
+    sz.add_argument("--no-dynamic", action="store_true",
+                    help="skip the sanitized simulation runs (lint only)")
 
     rp = sub.add_parser("report", help="write a full reproduction report")
     rp.add_argument("-o", "--output", default="REPRODUCTION_REPORT.md")
@@ -286,12 +316,48 @@ def _cmd_devices(args) -> int:
 
 
 def _cmd_fuzz(args) -> int:
-    from repro.analysis.fuzzing import fuzz
-    report = fuzz(args.runs, seed=args.seed, time_budget_s=args.time_budget)
+    from repro.analysis.fuzzing import fuzz, load_replay_config, run_one
+    if args.replay is not None:
+        config = load_replay_config(args.replay)
+        error = run_one(config, sanitize=args.sanitize)
+        print(f"replay {config.to_json()}")
+        if error is None:
+            print("replay: OK")
+            return 0
+        print(f"replay: FAIL {error}")
+        return 1
+    report = fuzz(args.runs, seed=args.seed, time_budget_s=args.time_budget,
+                  sanitize=args.sanitize)
     print(report.summary())
     for config, error in report.failures:
-        print(f"  FAIL {error}\n       replay: {config}")
+        print(f"  FAIL {error}\n       replay: {config.to_json()}")
     return 0 if report.ok else 1
+
+
+def _cmd_sanitize(args) -> int:
+    from repro.analysis import lint_paths, sanitize_all
+    rc = 0
+    if not args.no_lint:
+        findings = lint_paths()
+        print(f"kernel lint: {len(findings)} finding(s)")
+        for f in findings:
+            print(f"  {f}")
+        if findings:
+            rc = 1
+    if not args.no_dynamic:
+        report = sanitize_all(
+            args.algorithm, n=args.size, tile_width=args.tile_width,
+            consistencies=tuple(args.consistency or ("relaxed",)),
+            policies=tuple(args.policy or ("lifo",)),
+            seed=args.seed, residency=args.residency)
+        for run in report.runs:
+            print(run.summary())
+            for f in run.findings:
+                print(f"    {f}")
+        print(report.summary())
+        if not report.ok:
+            rc = 1
+    return rc
 
 
 def _cmd_report(args) -> int:
@@ -323,6 +389,7 @@ _COMMANDS = {
     "chart": _cmd_chart,
     "devices": _cmd_devices,
     "fuzz": _cmd_fuzz,
+    "sanitize": _cmd_sanitize,
     "report": _cmd_report,
     "list": _cmd_list,
 }

@@ -52,3 +52,9 @@ class KernelLaunchError(SimulationError):
 class RaceConditionError(SimulationError):
     """The simulator's debug checker observed a data hazard (e.g. a non-monotone
     status flag or a read of a location with an uncommitted remote store)."""
+
+
+class ProtocolError(SimulationError):
+    """A publish/look-back protocol invariant was violated in-kernel (e.g. a
+    status flag was written with a value that does not strictly increase the
+    committed flag — statuses must be monotone for pollers to be sound)."""

@@ -22,6 +22,7 @@ from repro.gpusim.device import (NUM_BANKS, SEGMENT_BYTES, TINY_DEVICE,
 from repro.gpusim.kernel import GPU
 from repro.gpusim.memory import (GlobalBuffer, GlobalMemory, StoreBuffer,
                                  count_warp_transactions)
+from repro.gpusim.observer import MemoryObserver
 from repro.gpusim.scheduler import POLICIES, Scheduler
 from repro.gpusim.shared import SharedMemory, bank_conflict_cycles
 from repro.gpusim.timing import DEFAULT_COSTS, CostWeights
@@ -35,6 +36,7 @@ __all__ = [
     "DeviceProperties", "TITAN_V", "TINY_DEVICE",
     "WARP_SIZE", "NUM_BANKS", "SEGMENT_BYTES",
     "GlobalBuffer", "GlobalMemory", "StoreBuffer", "count_warp_transactions",
+    "MemoryObserver",
     "Scheduler", "POLICIES",
     "SharedMemory", "bank_conflict_cycles",
     "CostWeights", "DEFAULT_COSTS",

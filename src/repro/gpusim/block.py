@@ -114,7 +114,11 @@ class BlockContext:
     def atomic_add(self, buf: GlobalBuffer, flat_index: int, value=1):
         """CUDA ``atomicAdd``: immediately visible; returns the old value."""
         self._cycles += self.costs.atomic
-        return self.memory.atomic_add(buf, flat_index, value, self.traffic)
+        old = self.memory.atomic_add(buf, flat_index, value, self.traffic)
+        if self.memory.observer is not None:
+            self.memory.observer.on_atomic(self.block_id, buf, flat_index,
+                                           old, value)
+        return old
 
     def threadfence(self) -> None:
         """``__threadfence()``: commit this block's stores in program order."""
@@ -182,7 +186,16 @@ class BlockContext:
         Use as ``value = yield from ctx.wait_until(...)``.  Each unsuccessful
         poll yields :data:`SPIN`, letting the scheduler run other blocks (and
         detect deadlock if nobody can make progress).
+
+        Polling a location declares it a synchronization flag: the sanitizer
+        treats it as a protocol variable (monotone, exempt from data-race
+        checks, a source of fence-justified happens-before edges) rather than
+        ordinary data.
         """
+        if buf.kind == "data":
+            buf.kind = "status"
+        if self.memory.observer is not None:
+            self.memory.observer.on_spin_poll(self.block_id, buf, flat_index)
         while True:
             value = self.gload_scalar(buf, flat_index)
             if predicate(value):

@@ -56,6 +56,11 @@ class GPU:
     max_resident_blocks:
         Optional override of the occupancy-derived residency bound; tests use
         tiny values to stress soft synchronization.
+    sanitizer:
+        Optional concurrency sanitizer (any
+        :class:`~repro.gpusim.observer.MemoryObserver`); it receives every
+        memory-model event of every launch (see
+        :mod:`repro.analysis.sanitizer`).
     """
 
     def __init__(self, *, device: DeviceProperties = TITAN_V,
@@ -65,23 +70,38 @@ class GPU:
                  costs: CostWeights = DEFAULT_COSTS,
                  max_resident_blocks: int | None = None,
                  tracer: Tracer | None = None,
-                 detect_uninitialized: bool = False) -> None:
+                 detect_uninitialized: bool = False,
+                 sanitizer=None) -> None:
         self.device = device
         self.memory = GlobalMemory(device,
                                    detect_uninitialized=detect_uninitialized)
         self.launches = LaunchSummary()
         self.tracer = tracer
+        self.sanitizer = sanitizer
+        self.memory.observer = sanitizer
         self._scheduler = Scheduler(device=device, policy=scheduler_policy,
                                     seed=seed, consistency=consistency,
                                     costs=costs,
                                     max_resident_blocks=max_resident_blocks,
                                     tracer=tracer)
 
+    def attach_sanitizer(self, sanitizer) -> None:
+        """Attach (or replace) the memory-model observer for later launches."""
+        self.sanitizer = sanitizer
+        self.memory.observer = sanitizer
+
     # -- memory -----------------------------------------------------------------
 
-    def alloc(self, name: str, shape, dtype=np.float64, fill=None) -> GlobalBuffer:
-        """Allocate a named global buffer (optionally copying host data in)."""
-        return self.memory.alloc(name, shape, dtype, fill)
+    def alloc(self, name: str, shape, dtype=np.float64, fill=None, *,
+              kind: str = "data",
+              status_values: tuple[int, ...] | None = None) -> GlobalBuffer:
+        """Allocate a named global buffer (optionally copying host data in).
+
+        ``kind``/``status_values`` annotate the buffer's protocol role for
+        the sanitizer (see :class:`~repro.gpusim.memory.GlobalBuffer`).
+        """
+        return self.memory.alloc(name, shape, dtype, fill, kind=kind,
+                                 status_values=status_values)
 
     def free(self, name: str) -> None:
         self.memory.free(name)
@@ -113,10 +133,14 @@ class GPU:
                             threads_per_block=threads_per_block)
         if self.tracer is not None:
             self.tracer.emit(LAUNCH, -1, stats.name)
+        if self.memory.observer is not None:
+            self.memory.observer.on_launch(stats.name, grid_blocks)
         self._scheduler.run(kernel_fn, grid_blocks=grid_blocks,
                             threads_per_block=threads_per_block, args=args,
                             memory=self.memory, stats=stats,
                             shared_bytes_hint=shared_bytes_hint)
+        if self.memory.observer is not None:
+            self.memory.observer.on_kernel_done(stats.name)
         if self.tracer is not None:
             self.tracer.emit(KERNEL_DONE, -1, stats.name)
         self.launches.add(stats)

@@ -26,9 +26,12 @@ matching CUDA atomics (which bypass the write path modelled by the buffer).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.gpusim.observer import MemoryObserver
 
 from repro.errors import AllocationError, InvalidAccessError
 from repro.gpusim.counters import MemoryTraffic
@@ -69,12 +72,22 @@ class GlobalBuffer:
     (allocated with ``fill=...`` — the cudaMemcpy/cudaMemset analogue) or when
     uninitialized-read detection is off; otherwise it is a boolean mask that
     device stores progressively set.
+
+    ``kind`` annotates the buffer's role in inter-block protocols for the
+    concurrency sanitizer (:mod:`repro.analysis.sanitizer`): ``"data"``
+    (default), ``"status"`` (a publish/look-back flag array — monotone values,
+    polled by spinners) or ``"counter"`` (a ticket counter that must only be
+    accessed atomically).  ``status_values`` optionally restricts a status
+    buffer to a legal value domain (e.g. ``(0, 1, 2, 3, 4)`` for the paper's
+    ``R`` byte).
     """
 
     name: str
     array: np.ndarray
     base_address: int
     initialized: np.ndarray | None = None
+    kind: str = "data"
+    status_values: tuple[int, ...] | None = None
 
     @property
     def shape(self) -> tuple[int, ...]:
@@ -128,11 +141,19 @@ class GlobalMemory:
         self._next_address = 0
         self._allocated_bytes = 0
         self.commit_epoch = 0
+        #: Optional instrumentation sink (see :mod:`repro.gpusim.observer`).
+        self.observer: MemoryObserver | None = None
 
     # -- allocation ---------------------------------------------------------
 
-    def alloc(self, name: str, shape, dtype, fill=None) -> GlobalBuffer:
-        """Allocate a named buffer; ``fill`` may be a scalar or an array to copy."""
+    def alloc(self, name: str, shape, dtype, fill=None, *,
+              kind: str = "data",
+              status_values: tuple[int, ...] | None = None) -> GlobalBuffer:
+        """Allocate a named buffer; ``fill`` may be a scalar or an array to copy.
+
+        ``kind``/``status_values`` annotate the buffer's protocol role for the
+        concurrency sanitizer (see :class:`GlobalBuffer`).
+        """
         if name in self._buffers:
             raise AllocationError(f"buffer '{name}' already allocated")
         dtype = np.dtype(dtype)
@@ -151,7 +172,8 @@ class GlobalMemory:
             init_mask = np.zeros(array.size, dtype=bool)
         buf = GlobalBuffer(name=name, array=array,
                            base_address=self._next_address,
-                           initialized=init_mask)
+                           initialized=init_mask, kind=kind,
+                           status_values=status_values)
         pad = (-array.nbytes) % self.ALIGNMENT
         self._next_address += array.nbytes + pad
         self._allocated_bytes += array.nbytes
@@ -253,6 +275,7 @@ class StoreBuffer:
 
     memory: GlobalMemory
     mode: str = "relaxed"
+    block_id: int = -1
     rng: np.random.Generator | None = None
     max_age_yields: int = 4
     _pending: list[_PendingStore] = field(default_factory=list)
@@ -265,13 +288,34 @@ class StoreBuffer:
         values = np.asarray(values).ravel()
         if values.size == 1 and flat_indices.size > 1:
             values = np.broadcast_to(values, flat_indices.shape)
+        observer = self.memory.observer
+        if observer is not None:
+            observer.on_store_issue(self.block_id, buf, flat_indices, values,
+                                    len(self._pending))
         if self.mode == "strong":
-            self.memory.commit_store(buf, flat_indices, values)
+            self._commit(buf, flat_indices, values, "store")
             return
         buf.check_bounds(flat_indices)
         self._pending.append(_PendingStore(buf, flat_indices, np.array(values),
                                            seq=self._seq))
         self._seq += 1
+
+    def _commit(self, buf: GlobalBuffer, flat_indices: np.ndarray,
+                values: np.ndarray, reason: str) -> None:
+        """Make stores globally visible (observer notified with old state)."""
+        observer = self.memory.observer
+        if observer is not None:
+            observer.on_commit(self.block_id, buf, flat_indices, values, reason)
+        self.memory.commit_store(buf, flat_indices, values)
+
+    def has_pending(self, buf: GlobalBuffer, flat_indices: np.ndarray) -> np.ndarray:
+        """Mask of ``flat_indices`` with an uncommitted store in this buffer."""
+        idx = np.asarray(flat_indices, dtype=np.int64).ravel()
+        mask = np.zeros(idx.size, dtype=bool)
+        for entry in self._pending:
+            if entry.buf is buf and entry.flat_indices.size:
+                mask |= np.isin(idx, entry.flat_indices)
+        return mask
 
     def overlay_read(self, buf: GlobalBuffer, flat_indices: np.ndarray) -> np.ndarray:
         """Read committed state patched with this block's own pending stores.
@@ -292,6 +336,9 @@ class StoreBuffer:
                 if hit is not None:
                     values[out_k] = entry.values[hit]
                     patched[out_k] = True
+        observer = self.memory.observer
+        if observer is not None:
+            observer.on_load(self.block_id, buf, flat_indices, patched)
         if not patched.all():
             # Locations served from committed state must actually have been
             # written by someone (global memory is not zeroed on hardware).
@@ -301,7 +348,22 @@ class StoreBuffer:
     def fence(self) -> None:
         """Commit all pending stores in program order (``__threadfence()``)."""
         for entry in self._pending:
-            self.memory.commit_store(entry.buf, entry.flat_indices, entry.values)
+            self._commit(entry.buf, entry.flat_indices, entry.values, "fence")
+        self._pending.clear()
+        self._age = 0
+        observer = self.memory.observer
+        if observer is not None:
+            observer.on_release(self.block_id)
+
+    def _drain_all(self) -> None:
+        """Commit everything because the age bound expired.
+
+        Unlike :meth:`fence` this carries *no ordering guarantee* — the stores
+        merely became visible eventually — so no release is reported to the
+        observer (a flag published this way must not justify earlier data).
+        """
+        for entry in self._pending:
+            self._commit(entry.buf, entry.flat_indices, entry.values, "drain")
         self._pending.clear()
         self._age = 0
 
@@ -317,7 +379,7 @@ class StoreBuffer:
             return
         self._age += 1
         if self._age >= self.max_age_yields:
-            self.fence()
+            self._drain_all()
             return
         # Commit the newest half (at least one entry), newest-first.
         ncommit = max(1, len(self._pending) // 2)
@@ -338,8 +400,8 @@ class StoreBuffer:
                 entry.flat_indices = entry.flat_indices[keep]
                 entry.values = entry.values[keep]
             if entry.flat_indices.size:
-                self.memory.commit_store(entry.buf, entry.flat_indices,
-                                         entry.values)
+                self._commit(entry.buf, entry.flat_indices, entry.values,
+                             "drain")
                 seen.update(int(i) for i in entry.flat_indices)
         for older in self._pending:
             seen = committed.get(id(older.buf))

@@ -1,0 +1,91 @@
+"""Instrumentation hook interface for the simulator.
+
+The scheduler, the per-block store buffers and the block contexts report
+memory-model-relevant events to an optional *observer* attached to the
+:class:`~repro.gpusim.memory.GlobalMemory` (``memory.observer``).  The
+concurrency sanitizer (:mod:`repro.analysis.sanitizer`) is the main
+implementation; :class:`MemoryObserver` is the no-op base class so the
+simulator pays a single ``is not None`` check per event when nothing is
+attached and implementations only override what they need.
+
+Event vocabulary (all indices are flat element indices into the buffer):
+
+========================  ====================================================
+``on_launch``             a kernel launch begins
+``on_dispatch``           a block became resident (its store buffer attached)
+``on_store_issue``        a plain global store entered program order
+``on_commit``             buffered stores became globally visible
+``on_release``            a ``__threadfence()`` committed the store buffer in
+                          program order (kernel exit / retirement included)
+``on_load``               a global load (with the mask of elements served
+                          from the block's own store buffer)
+``on_atomic``             an ``atomicAdd`` (immediately visible)
+``on_spin_poll``          a block entered a spin-wait on a global flag
+``on_retire``             a block finished (exit fence already performed)
+``on_kernel_done``        the launch completed
+========================  ====================================================
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.gpusim.memory import GlobalBuffer, StoreBuffer
+
+
+class MemoryObserver:
+    """No-op base class for simulator instrumentation hooks."""
+
+    def on_launch(self, name: str, grid_blocks: int) -> None:
+        """A kernel launch named ``name`` with ``grid_blocks`` blocks begins."""
+
+    def on_dispatch(self, block_id: int, store_buffer: "StoreBuffer") -> None:
+        """Block ``block_id`` became resident with the given store buffer."""
+
+    def on_store_issue(self, block_id: int, buf: "GlobalBuffer",
+                       flat_indices: np.ndarray, values: np.ndarray,
+                       pending_before: int) -> None:
+        """Block ``block_id`` issued a plain store (program order).
+
+        ``pending_before`` is the number of store-buffer entries that were
+        still uncommitted when this store was issued (always 0 under strong
+        consistency, where stores commit immediately).
+        """
+
+    def on_commit(self, block_id: int, buf: "GlobalBuffer",
+                  flat_indices: np.ndarray, values: np.ndarray,
+                  reason: str) -> None:
+        """Stores by ``block_id`` are about to become globally visible.
+
+        ``reason`` is ``"store"`` (strong mode), ``"fence"`` (program-order
+        commit by ``__threadfence()`` or block retirement) or ``"drain"``
+        (adversarial partial commit at a yield point, or the staleness age
+        bound forcing visibility — neither implies any ordering).  Called
+        *before* the committed state is updated so implementations can compare
+        against the old values.
+        """
+
+    def on_release(self, block_id: int) -> None:
+        """Block ``block_id`` executed a full program-order fence."""
+
+    def on_load(self, block_id: int, buf: "GlobalBuffer",
+                flat_indices: np.ndarray, from_own_buffer: np.ndarray) -> None:
+        """Block ``block_id`` loaded ``flat_indices``; ``from_own_buffer``
+        masks the elements served from its own (uncommitted) stores."""
+
+    def on_atomic(self, block_id: int, buf: "GlobalBuffer", flat_index: int,
+                  old_value, added) -> None:
+        """Block ``block_id`` performed an ``atomicAdd`` at ``flat_index``."""
+
+    def on_spin_poll(self, block_id: int, buf: "GlobalBuffer",
+                     flat_index: int) -> None:
+        """Block ``block_id`` entered a spin-wait polling ``buf[flat_index]``."""
+
+    def on_retire(self, block_id: int) -> None:
+        """Block ``block_id`` retired (its exit fence has already run)."""
+
+    def on_kernel_done(self, name: str) -> None:
+        """The launch named ``name`` ran to completion."""

@@ -104,11 +104,13 @@ class Scheduler:
             nonlocal next_block
             while next_block < grid_blocks and len(resident) < limit:
                 sb = StoreBuffer(memory=memory, mode=self.consistency,
-                                 rng=self._rng)
+                                 block_id=next_block, rng=self._rng)
                 ctx = BlockContext(block_id=next_block, grid_blocks=grid_blocks,
                                    nthreads=threads_per_block, device=self.device,
                                    memory=memory, store_buffer=sb,
                                    traffic=stats.traffic, costs=self.costs)
+                if memory.observer is not None:
+                    memory.observer.on_dispatch(next_block, sb)
                 gen = self._start(kernel_fn, ctx, args)
                 resident.append(_ResidentBlock(block_id=next_block,
                                                sm_id=next_block % self.device.num_sms,
@@ -139,6 +141,8 @@ class Scheduler:
             for blk in retired:
                 blk.store_buffer.retire()
                 stats.blocks_executed += 1
+                if memory.observer is not None:
+                    memory.observer.on_retire(blk.block_id)
                 if self.tracer is not None:
                     self.tracer.emit(trace_mod.RETIRE, blk.block_id)
             if retired:

@@ -201,9 +201,11 @@ def run_col_scan(gpu: GPU, src: GlobalBuffer, dst: GlobalBuffer, *,
     layout = ColScanLayout(rows=rows, cols=cols, panel_rows=panel_rows,
                            strip_width=strip_width)
     tag = f"_{name}_{id(src):x}"
-    counter = gpu.alloc(tag + "_counter", (1,), np.int64, fill=0)
+    counter = gpu.alloc(tag + "_counter", (1,), np.int64, fill=0,
+                        kind="counter")
     status = gpu.alloc(tag + "_status", (layout.total_tiles,), np.int64,
-                       fill=0)
+                       fill=0, kind="status",
+                       status_values=(0, STATUS_AGGREGATE, STATUS_PREFIX))
     aggregates = gpu.alloc(tag + "_agg", (layout.total_tiles * strip_width,),
                            np.float64)
     prefixes = gpu.alloc(tag + "_pref", (layout.total_tiles * strip_width,),

@@ -23,6 +23,7 @@ from typing import Callable, Iterator, Sequence
 
 import numpy as np
 
+from repro.errors import ProtocolError
 from repro.gpusim.block import BlockContext
 from repro.gpusim.memory import GlobalBuffer
 
@@ -35,10 +36,23 @@ def publish(ctx: BlockContext, stores: Sequence[tuple[GlobalBuffer, np.ndarray, 
     omitting it is the classic look-back bug, which the simulator's relaxed
     consistency mode turns into an observable wrong result (see
     ``tests/gpusim/test_hazards.py``).
+
+    Statuses must be *strictly monotone*: a walker that already observed value
+    ``v`` is allowed to act on it, so re-publishing ``v`` (or lower) could
+    retract a decision another block has taken.  The fence issued just before
+    the flag store has committed this block's own earlier flag stores, so the
+    committed byte is exactly the protocol state every poller may have seen.
     """
     for buf, idx, values in stores:
         ctx.gstore(buf, idx, values)
     ctx.threadfence()
+    committed = status_buf.flat_view()[status_index]
+    if not status_value > committed:
+        raise ProtocolError(
+            f"publish to '{status_buf.name}'[{status_index}] with status "
+            f"{status_value} does not strictly increase the committed flag "
+            f"{int(committed)} (statuses must be strictly monotone; block "
+            f"{ctx.block_id})")
     ctx.gstore_scalar(status_buf, status_index, status_value)
 
 

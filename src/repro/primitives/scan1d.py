@@ -128,8 +128,12 @@ def run_row_scan(gpu: GPU, src: GlobalBuffer, dst: GlobalBuffer, *,
     tag = f"_{name}_{id(src):x}"
     # Counter and statuses are memset; aggregates/prefixes are published
     # (written, fenced, flagged) before any consumer may read them.
-    counter = gpu.alloc(tag + "_counter", (1,), np.int64, fill=0)
-    status = gpu.alloc(tag + "_status", (layout.total_parts,), np.int64, fill=0)
+    counter = gpu.alloc(tag + "_counter", (1,), np.int64, fill=0,
+                        kind="counter")
+    status = gpu.alloc(tag + "_status", (layout.total_parts,), np.int64,
+                       fill=0, kind="status",
+                       status_values=(STATUS_INVALID, STATUS_AGGREGATE,
+                                      STATUS_PREFIX))
     aggregates = gpu.alloc(tag + "_agg", (layout.total_parts,), np.float64)
     prefixes = gpu.alloc(tag + "_pref", (layout.total_parts,), np.float64)
     try:

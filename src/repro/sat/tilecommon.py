@@ -149,7 +149,8 @@ def alloc_scratch(gpu: GPU, grid: TileGrid, tag: str = "_sat_s_") -> TileScratch
     # which the simulator's uninitialized-read detector can verify.
     return TileScratch(
         grid=grid,
-        counter=gpu.alloc(tag + "counter", (1,), np.int64, fill=0),
+        counter=gpu.alloc(tag + "counter", (1,), np.int64, fill=0,
+                          kind="counter"),
         lrs=gpu.alloc(tag + "lrs", (tr, tc, W), np.float64),
         grs=gpu.alloc(tag + "grs", (tr, tc, W), np.float64),
         lcs=gpu.alloc(tag + "lcs", (tr, tc, W), np.float64),
@@ -157,8 +158,10 @@ def alloc_scratch(gpu: GPU, grid: TileGrid, tag: str = "_sat_s_") -> TileScratch
         ls=gpu.alloc(tag + "ls", (tr, tc), np.float64),
         gls=gpu.alloc(tag + "gls", (tr, tc), np.float64),
         gs=gpu.alloc(tag + "gs", (tr, tc), np.float64),
-        R=gpu.alloc(tag + "R", (tr, tc), np.int8, fill=0),
-        C=gpu.alloc(tag + "C", (tr, tc), np.int8, fill=0),
+        R=gpu.alloc(tag + "R", (tr, tc), np.int8, fill=0, kind="status",
+                    status_values=(0, R_LRS, R_GRS, R_GLS, R_GS)),
+        C=gpu.alloc(tag + "C", (tr, tc), np.int8, fill=0, kind="status",
+                    status_values=(0, C_LCS, C_GCS)),
     )
 
 

@@ -1,0 +1,64 @@
+"""Acceptance tests: every seeded bug is caught dynamically AND statically."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import RACE_RULES, lint_file
+from repro.analysis.sanitizer import PROTOCOL_RULES
+
+from .bug_corpus import CONTROL, CORPUS, run_spec
+
+CORPUS_PATH = Path(__file__).parent / "bug_corpus.py"
+
+
+@pytest.mark.parametrize("spec", CORPUS, ids=lambda s: s.name)
+class TestDynamicDetection:
+    def test_caught_under_relaxed(self, spec):
+        rules = set()
+        for seed in range(5):
+            rules |= {f.rule for f in run_spec(spec, seed=seed).findings}
+        assert rules & set(spec.expected_dynamic), \
+            f"{spec.name}: expected one of {spec.expected_dynamic}, got {rules}"
+
+    def test_caught_under_strong(self, spec):
+        """Strong consistency hides the *symptom* (the stale value) but the
+        sanitizer still reports the bug — that is its whole point."""
+        rules = set()
+        for seed in range(5):
+            rules |= {f.rule
+                      for f in run_spec(spec, seed=seed,
+                                        consistency="strong").findings}
+        assert rules & set(spec.expected_dynamic)
+
+    def test_findings_are_classified(self, spec):
+        s = run_spec(spec, seed=0)
+        for f in s.findings:
+            assert f.rule in RACE_RULES + PROTOCOL_RULES
+            assert f.is_race == (f.rule in RACE_RULES)
+
+
+class TestControlKernel:
+    @pytest.mark.parametrize("policy", ["round_robin", "random", "lifo"])
+    def test_correct_protocol_is_clean(self, policy):
+        for seed in range(5):
+            s = run_spec(CONTROL, seed=seed, policy=policy)
+            assert s.ok, s.report()
+            assert s.events > 0  # the sanitizer actually observed the run
+
+
+class TestStaticDetection:
+    def test_every_bug_is_flagged(self):
+        findings = lint_file(CORPUS_PATH)
+        by_function = {}
+        for f in findings:
+            by_function.setdefault(f.function, set()).add(f.rule)
+        for spec in CORPUS:
+            got = by_function.get(spec.kernel.__name__, set())
+            assert set(spec.expected_lint) <= got, \
+                f"{spec.name}: expected {spec.expected_lint}, got {got}"
+
+    def test_control_kernel_is_clean(self):
+        findings = lint_file(CORPUS_PATH)
+        assert not [f for f in findings
+                    if f.function == CONTROL.kernel.__name__]

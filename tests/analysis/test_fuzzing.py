@@ -46,7 +46,7 @@ class TestFuzzing:
         """If an algorithm returned garbage, the fuzzer must notice."""
         import repro.analysis.fuzzing as fuzz_mod
 
-        def broken_run_one(config):
+        def broken_run_one(config, **kwargs):
             return "wrong SAT (planted)"
         monkeypatch.setattr(fuzz_mod, "run_one", broken_run_one)
         report = fuzz_mod.fuzz(3, seed=0)

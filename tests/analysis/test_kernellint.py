@@ -1,0 +1,170 @@
+"""Static kernel lint: rule triggers, exemptions, and a clean real tree."""
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis import default_targets, lint_paths, lint_source
+from repro.analysis.kernellint import RULES
+
+
+def _lint(snippet: str, path: str = "<test>"):
+    return lint_source(textwrap.dedent(snippet), path)
+
+
+def _rules(findings):
+    return {f.rule for f in findings}
+
+
+class TestRealTreeIsClean:
+    def test_default_targets_exist(self):
+        targets = default_targets()
+        assert [t.name for t in targets] == ["primitives", "sat"]
+        assert all(t.is_dir() for t in targets)
+
+    def test_no_findings_in_kernel_sources(self):
+        findings = lint_paths()
+        assert findings == [], "\n".join(str(f) for f in findings)
+
+
+class TestKL001FenceBeforeFlag:
+    def test_unfenced_data_store_before_flag(self):
+        findings = _lint("""
+            def kern(ctx, data, status_buf):
+                ctx.gstore_scalar(data, 0, 1.0)
+                ctx.gstore_scalar(status_buf, 0, 1)
+        """)
+        assert "KL001" in _rules(findings)
+
+    def test_fence_resets_the_count(self):
+        findings = _lint("""
+            def kern(ctx, data, status_buf):
+                ctx.gstore_scalar(data, 0, 1.0)
+                ctx.threadfence()
+                ctx.gstore_scalar(status_buf, 0, 1)
+        """)
+        assert "KL001" not in _rules(findings)
+
+    def test_publish_helper_counts_as_fenced(self):
+        findings = _lint("""
+            def kern(ctx, data, status_buf):
+                ctx.gstore_scalar(data, 0, 1.0)
+                publish(ctx, [], status_buf, 0, 1)
+        """)
+        assert "KL001" not in _rules(findings)
+
+    def test_scratch_attribute_statuses_are_recognized(self):
+        findings = _lint("""
+            def kern(ctx, sb):
+                ctx.gstore(sb.lrs, idx, vals)
+                ctx.gstore_scalar(sb.R, 0, 2)
+        """)
+        assert "KL001" in _rules(findings)
+
+
+class TestKL002AtomicOnlyCounters:
+    def test_plain_store_to_counter(self):
+        findings = _lint("""
+            def kern(ctx, counter):
+                ctx.gstore_scalar(counter, 0, 1)
+        """)
+        assert "KL002" in _rules(findings)
+
+    def test_plain_load_of_counter(self):
+        findings = _lint("""
+            def kern(ctx, tile_counter):
+                serial = ctx.gload_scalar(tile_counter, 0)
+        """)
+        assert "KL002" in _rules(findings)
+
+    def test_atomic_access_is_fine(self):
+        findings = _lint("""
+            def kern(ctx, counter):
+                serial = ctx.atomic_add(counter, 0, 1)
+        """)
+        assert findings == []
+
+
+class TestKL003PublishOnlyStatusStores:
+    def test_direct_status_store_flagged(self):
+        findings = _lint("""
+            def kern(ctx, status):
+                ctx.threadfence()
+                ctx.gstore_scalar(status, 0, 1)
+        """)
+        assert "KL003" in _rules(findings)
+
+    def test_lookback_module_is_exempt(self):
+        findings = _lint("""
+            def publish(ctx, stores, status_buf, status_index, status_value):
+                ctx.threadfence()
+                ctx.gstore_scalar(status_buf, status_index, status_value)
+        """, path="src/repro/primitives/lookback.py")
+        assert "KL003" not in _rules(findings)
+
+    def test_publish_call_is_not_a_direct_store(self):
+        findings = _lint("""
+            def kern(ctx, data, status):
+                publish(ctx, [(data, idx, vals)], status, 0, 1)
+        """)
+        assert findings == []
+
+
+class TestKL004YieldedSpinWaits:
+    def test_unyielded_wait_until(self):
+        findings = _lint("""
+            def kern(ctx, status):
+                ctx.wait_until(status, 0, lambda v: v >= 1)
+        """)
+        assert "KL004" in _rules(findings)
+
+    def test_yield_from_is_fine(self):
+        findings = _lint("""
+            def kern(ctx, status):
+                value = yield from ctx.wait_until(status, 0, lambda v: v >= 1)
+        """)
+        assert findings == []
+
+    def test_assigned_but_not_yielded(self):
+        findings = _lint("""
+            def kern(ctx, status):
+                gen = ctx.wait_until(status, 0, lambda v: v >= 1)
+        """)
+        assert "KL004" in _rules(findings)
+
+
+class TestLintPlumbing:
+    def test_every_rule_has_a_description(self):
+        assert set(RULES) == {"KL001", "KL002", "KL003", "KL004"}
+
+    def test_findings_are_ordered_and_printable(self):
+        findings = _lint("""
+            def kern(ctx, data, status, counter):
+                ctx.gstore_scalar(counter, 0, 1)
+                ctx.gstore_scalar(data, 0, 1.0)
+                ctx.gstore_scalar(status, 0, 1)
+        """)
+        lines = [f.line for f in findings]
+        assert lines == sorted(lines)
+        for f in findings:
+            assert f.rule in str(f) and "kern" in str(f)
+
+    def test_nested_functions_lint_independently(self):
+        findings = _lint("""
+            def outer(ctx, data, status):
+                ctx.gstore_scalar(data, 0, 1.0)
+                def inner(ctx2):
+                    ctx2.gstore_scalar(status, 0, 1)
+        """)
+        # The inner function has no unfenced data stores of its own, so only
+        # the direct-status-store rule fires, not the fence rule.
+        assert "KL003" in _rules(findings)
+        assert "KL001" not in _rules(findings)
+
+    def test_lint_paths_accepts_explicit_files(self, tmp_path):
+        bad = tmp_path / "k.py"
+        bad.write_text("def k(ctx, counter):\n"
+                       "    ctx.gstore_scalar(counter, 0, 1)\n")
+        findings = lint_paths([bad])
+        assert _rules(findings) == {"KL002"}
+        assert findings[0].path == str(bad)
+        assert Path(findings[0].path).exists()

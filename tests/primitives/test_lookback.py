@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.errors import ProtocolError
 from repro.gpusim import GPU, TINY_DEVICE
 from repro.primitives.lookback import lookback_walk, publish
 
@@ -129,3 +130,43 @@ class TestLookbackWalk:
                          ("global", 3)]
         # locals_[q] == q + 1 and globals_[3] == 1+2+3+4.
         assert gpu.read("l")[7] == 7 + 6 + 5 + (1 + 2 + 3 + 4)
+
+
+class TestPublishMonotonicity:
+    """publish() must strictly increase the committed status byte: a walker
+    that already acted on value v may not see v re-published (regression test
+    for the strict-increase assertion)."""
+
+    @staticmethod
+    def _publish_twice(first: int, second: int, consistency: str = "relaxed"):
+        gpu = GPU(device=TINY_DEVICE, consistency=consistency, seed=0)
+        data = gpu.alloc("d", (1,), np.float64)
+        status = gpu.alloc("s", (1,), np.int64, fill=0)
+
+        def k(ctx, data, status):
+            publish(ctx, [(data, np.asarray([0]), np.asarray([1.0]))],
+                    status, 0, first)
+            yield ctx.syncthreads()
+            publish(ctx, [(data, np.asarray([0]), np.asarray([2.0]))],
+                    status, 0, second)
+
+        gpu.launch(k, grid_blocks=1, threads_per_block=32,
+                   args=(data, status))
+        return gpu
+
+    @pytest.mark.parametrize("consistency", ["strong", "relaxed"])
+    def test_republishing_same_value_raises(self, consistency):
+        with pytest.raises(ProtocolError, match="strictly increase"):
+            self._publish_twice(1, 1, consistency)
+
+    def test_decreasing_value_raises(self):
+        with pytest.raises(ProtocolError, match="strictly increase"):
+            self._publish_twice(2, 1)
+
+    def test_increasing_values_are_fine(self):
+        gpu = self._publish_twice(1, 2)
+        assert gpu.read("s")[0] == 2
+
+    def test_error_names_buffer_and_value(self):
+        with pytest.raises(ProtocolError, match=r"'s'\[0\].*status 1"):
+            self._publish_twice(1, 1)

@@ -87,6 +87,53 @@ class TestExport:
         assert out.count("wrote") == 4
 
 
+class TestSanitize:
+    def test_sanitize_default_is_clean(self, capsys):
+        code, out = run_cli(capsys, "sanitize", "-n", "32")
+        assert code == 0
+        assert "kernel lint: 0 finding(s)" in out
+        assert "sanitize:" in out and "OK" in out
+        assert "1R1W-SKSS-LB" in out  # all seven algorithms ran
+
+    def test_sanitize_single_algorithm(self, capsys):
+        code, out = run_cli(capsys, "sanitize", "-n", "32", "-a", "skss-lb",
+                            "--consistency", "relaxed", "--policy", "lifo",
+                            "--residency", "2")
+        assert code == 0
+        assert out.count("n=32") == 1 and "1 run(s) -> OK" in out
+
+    def test_sanitize_lint_only(self, capsys):
+        code, out = run_cli(capsys, "sanitize", "--no-dynamic")
+        assert code == 0
+        assert "kernel lint" in out and "sanitize:" not in out
+
+    def test_fuzz_sanitize(self, capsys):
+        code, out = run_cli(capsys, "fuzz", "--runs", "3", "--sanitize")
+        assert code == 0
+        assert "OK" in out
+
+    def test_fuzz_replay_inline_and_file(self, capsys, tmp_path):
+        from repro.analysis import FuzzConfig
+        config = FuzzConfig(algorithm="2R2W", n=32, tile_width=32,
+                            policy="lifo", sim_seed=1, data_seed=2,
+                            residency=2, consistency="relaxed",
+                            tiny_device=True)
+        code, out = run_cli(capsys, "fuzz", "--replay", config.to_json(),
+                            "--sanitize")
+        assert code == 0
+        assert "replay: OK" in out
+        path = tmp_path / "c.json"
+        path.write_text(config.to_json())
+        code, out = run_cli(capsys, "fuzz", "--replay", str(path))
+        assert code == 0
+        assert "replay: OK" in out
+
+    def test_fuzz_replay_bad_config_raises(self, capsys):
+        from repro.errors import ConfigurationError
+        with pytest.raises(ConfigurationError):
+            run_cli(capsys, "fuzz", "--replay", '{"algorithm": "2R2W"}')
+
+
 class TestMisc:
     def test_trace(self, capsys):
         code, out = run_cli(capsys, "trace", "-n", "64")
