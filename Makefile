@@ -2,16 +2,24 @@
 
 PY ?= python
 
-.PHONY: install test lint typecheck sanitize-smoke bench bench-smoke tables \
-	report fuzz examples all
+.PHONY: install test test-slow lint typecheck sanitize-smoke bench \
+	bench-smoke bench-incremental-smoke tables report fuzz examples all
 
 install:
 	pip install -e . --no-build-isolation
 
+# Tier-1: the fast suite (slow-marked tests excluded via pyproject addopts)
+# plus the benchmark and sanitizer smoke gates.
 test:
 	$(PY) -m pytest tests/
 	$(MAKE) bench-smoke
+	$(MAKE) bench-incremental-smoke
 	$(MAKE) sanitize-smoke
+
+# Tier-2: the @pytest.mark.slow suites (long fuzz sessions, report
+# generation, heavy examples, exhaustive differential sweeps).
+test-slow:
+	$(PY) -m pytest tests/ -m slow --override-ini addopts=-q
 
 lint:
 	@$(PY) -m ruff --version >/dev/null 2>&1 || \
@@ -35,6 +43,9 @@ bench:
 
 bench-smoke:
 	PYTHONPATH=src $(PY) benchmarks/bench_host_engine.py --smoke
+
+bench-incremental-smoke:
+	PYTHONPATH=src $(PY) benchmarks/bench_incremental.py --smoke
 
 tables:
 	$(PY) -m repro table1 --measure

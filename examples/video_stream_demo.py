@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Streaming video on an incrementally-maintained SAT (extension demo).
+
+A synthetic surveillance stream (static background, one moving block) is fed
+through :class:`repro.apps.video.VideoSAT`: each frame repairs only the tiles
+the inter-frame delta dirtied (plus their right/down carry frontier) instead
+of rebuilding the whole table, while every per-frame statistic — global
+mean, ROI sums, a box filter — comes from a SAT that is bit-identical to a
+from-scratch computation.
+"""
+
+import numpy as np
+
+from repro.apps.video import VideoSAT, synthetic_stream
+from repro.sat import sat_reference
+
+
+def main() -> None:
+    n, block = 256, 24
+    frames = list(synthetic_stream(n, frames=6, block=block, step=16,
+                                   seed=11))
+    rois = [(0, 0, 63, 63), (96, 96, 159, 159)]
+
+    print(f"stream: {len(frames)} frames of {n}x{n} int32, "
+          f"{block}x{block} block moving 16 px/frame")
+    print(f"ROIs tracked: {rois}")
+    with VideoSAT(frames[0], rois=rois, tile_width=32) as video:
+        print(f"repair strategy: {video.engine.strategy} "
+              f"(exact for integer frames)\n")
+        print(f"{'frame':>5} {'mean':>8} {'ROI-0 sum':>12} {'ROI-1 sum':>12} "
+              f"{'dirty':>6} {'repaired':>9}")
+        for frame in frames:
+            s = video.process(frame)
+            print(f"{s.index:>5} {s.mean:>8.2f} {s.roi_sums[0]:>12.0f} "
+                  f"{s.roi_sums[1]:>12.0f} {s.dirty_tiles:>6} "
+                  f"{s.repaired_tiles:>4}/{s.total_tiles:<4}")
+
+        ok = np.array_equal(video.sat,
+                            sat_reference(frames[-1].astype(np.int64)))
+        blurred = video.box_filter(radius=4)
+        print(f"\nfinal SAT bit-identical to reference: {ok}")
+        print(f"box filter (r=4) from the resident SAT: "
+              f"mean={blurred.mean():.2f}, max={blurred.max():.1f}")
+        stats = video.engine.stats
+        print(f"lifetime tile work avoided vs per-frame rebuilds: "
+              f"{100 * stats.savings:.0f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -8,6 +8,25 @@ exception is reported with its full configuration for replay.
 
 Used by the test suite (short budget) and the ``repro fuzz`` CLI command
 (arbitrary budgets).
+
+Two modes share the harness (``repro fuzz --mode``):
+
+``simulate``
+    The original algorithm-vs-reference check on the GPU simulator.
+
+``incremental``
+    Edit-sequence fuzzing of :class:`~repro.hostexec.IncrementalSAT`: a
+    random frame takes a random sequence of rectangle writes, tile writes,
+    sparse frame deltas and frame advances, and after *every* edit the
+    resident table must be bit-identical to a from-scratch host computation
+    of the current input (same accumulator dtype), with the carry planes
+    matching their Table II oracles at the end.  Shapes are rectangular
+    (ragged tile edges included) and dtypes span integer and float
+    accumulators, so both repair strategies get adversarial coverage.
+
+Both modes replay from the same :class:`FuzzConfig` JSON round-trip; the
+incremental fields default to inert values so pre-existing replay files keep
+working.
 """
 
 from __future__ import annotations
@@ -27,6 +46,18 @@ from repro.sat import get_algorithm, sat_reference
 FUZZ_ALGORITHMS = ("2R2W", "2R2W-optimal", "2R1W", "1R1W", "(1+r)R1W",
                    "1R1W-SKSS", "1R1W-SKSS-LB")
 
+#: Fuzzing modes accepted by :func:`fuzz` / ``repro fuzz --mode``.
+FUZZ_MODES = ("simulate", "incremental")
+
+#: Tile-based algorithms the incremental engine can maintain (the wavefront
+#: kernel set — 2R2W variants have no tile carry state to repair).
+INCREMENTAL_ALGORITHMS = ("2R1W", "1R1W", "(1+r)R1W", "1R1W-SKSS",
+                          "1R1W-SKSS-LB")
+
+#: Input dtypes exercised by incremental-mode fuzzing (integer accumulators
+#: take the exact delta path, float accumulators the recompute path).
+INCREMENTAL_DTYPES = ("uint8", "int32", "float32", "float64")
+
 
 @dataclass(frozen=True)
 class FuzzConfig:
@@ -42,6 +73,14 @@ class FuzzConfig:
     consistency: str
     tiny_device: bool
     r: float = 0.25
+    # Incremental-mode fields (defaults keep pre-existing replay JSON valid).
+    mode: str = "simulate"
+    dtype: str = "float64"
+    rows: int | None = None
+    cols: int | None = None
+    edits: int = 0
+    workers: int = 1
+    strategy: str = "auto"
 
     def build_gpu(self) -> GPU:
         return GPU(device=TINY_DEVICE if self.tiny_device else TITAN_V,
@@ -51,6 +90,10 @@ class FuzzConfig:
 
     def build_matrix(self) -> np.ndarray:
         rng = np.random.default_rng(self.data_seed)
+        if self.mode == "incremental":
+            shape = (self.rows or self.n, self.cols or self.n)
+            return rng.integers(0, 100, size=shape) \
+                .astype(np.dtype(self.dtype))
         return rng.integers(-50, 50, size=(self.n, self.n)).astype(np.float64)
 
     def to_json(self) -> str:
@@ -130,13 +173,131 @@ def sample_config(rng: np.random.Generator) -> FuzzConfig:
     )
 
 
+def sample_incremental_config(rng: np.random.Generator) -> FuzzConfig:
+    """Draw one random edit-sequence configuration.
+
+    Rectangular shapes (ragged tile edges with probability well above half),
+    all four input dtypes, both repair strategies where legal, and 1 or 4
+    workers for the initial build (repair itself is worker-independent).
+    """
+    tile_width = int(rng.choice([16, 32]))
+    rows = int(rng.integers(1, 5)) * tile_width + int(rng.integers(0, tile_width))
+    cols = int(rng.integers(1, 5)) * tile_width + int(rng.integers(0, tile_width))
+    dtype = str(rng.choice(INCREMENTAL_DTYPES))
+    is_int = np.issubdtype(np.dtype(dtype), np.integer)
+    strategies = ["auto", "recompute"] + (["delta"] if is_int else [])
+    return FuzzConfig(
+        algorithm=str(rng.choice(INCREMENTAL_ALGORITHMS)),
+        n=max(rows, cols),
+        tile_width=tile_width,
+        policy="round_robin",       # unused off-simulator; kept for replay
+        sim_seed=int(rng.integers(0, 2**31)),
+        data_seed=int(rng.integers(0, 2**31)),
+        residency=None,
+        consistency="strong",
+        tiny_device=False,
+        r=float(rng.choice([0.0, 0.25, 1.0])),
+        mode="incremental",
+        dtype=dtype,
+        rows=rows,
+        cols=cols,
+        edits=int(rng.integers(2, 7)),
+        workers=int(rng.choice([1, 4])),
+        strategy=str(rng.choice(strategies)),
+    )
+
+
+def _run_incremental(config: FuzzConfig) -> str | None:
+    """Replay one edit sequence, checking bit-identity after every edit."""
+    from repro.hostexec.incremental import IncrementalSAT, verify_state
+
+    a = config.build_matrix()
+    rows, cols = a.shape
+    rng = np.random.default_rng(config.sim_seed)
+    kwargs = {}
+    if config.algorithm == "(1+r)R1W":
+        kwargs["r"] = config.r
+    oracle = get_algorithm(config.algorithm, tile_width=config.tile_width,
+                           **kwargs)
+    with IncrementalSAT(a, algorithm=config.algorithm,
+                        tile_width=config.tile_width,
+                        strategy=config.strategy,
+                        workers=config.workers) as inc:
+        current = a.astype(inc.dtype)
+        for e in range(config.edits):
+            kind = rng.choice(["rect", "rect", "tiles", "delta", "advance"])
+            if kind == "rect":
+                h = int(rng.integers(1, rows + 1))
+                w = int(rng.integers(1, cols + 1))
+                top = int(rng.integers(0, rows - h + 1))
+                left = int(rng.integers(0, cols - w + 1))
+                vals = rng.integers(0, 100, size=(h, w)).astype(a.dtype)
+                inc.update(top, left, vals)
+                current[top:top + h, left:left + w] = vals
+            elif kind == "tiles":
+                grid = inc.grid
+                k = int(rng.integers(1, min(3, grid.num_tiles) + 1))
+                edits = []
+                for _ in range(k):
+                    I = int(rng.integers(0, grid.tile_rows))
+                    J = int(rng.integers(0, grid.tile_cols))
+                    shape = (grid.tile_height(I), grid.tile_width_at(J))
+                    edits.append((I, J, rng.integers(0, 100, size=shape)
+                                  .astype(a.dtype)))
+                inc.update_tiles(edits)
+                W = config.tile_width
+                for I, J, vals in edits:
+                    current[W * I:W * I + vals.shape[0],
+                            W * J:W * J + vals.shape[1]] = vals
+            elif kind == "delta":
+                d = np.zeros((rows, cols), dtype=inc.dtype)
+                h = int(rng.integers(1, rows + 1))
+                w = int(rng.integers(1, cols + 1))
+                top = int(rng.integers(0, rows - h + 1))
+                left = int(rng.integers(0, cols - w + 1))
+                d[top:top + h, left:left + w] = \
+                    rng.integers(-20, 20, size=(h, w))
+                inc.delta(d)
+                current += d
+            else:  # advance
+                frame = current.copy()
+                h = int(rng.integers(1, rows + 1))
+                w = int(rng.integers(1, cols + 1))
+                top = int(rng.integers(0, rows - h + 1))
+                left = int(rng.integers(0, cols - w + 1))
+                frame[top:top + h, left:left + w] += \
+                    rng.integers(1, 20, size=(h, w)).astype(inc.dtype)
+                inc.advance(frame)
+                current = frame
+            want = oracle.run_host(current, dtype_policy=inc.dtype)
+            if not np.array_equal(inc.sat, want):
+                bad = int(np.argmax(inc.sat != want))
+                return (f"edit {e} ({kind}, strategy={inc.strategy}): "
+                        f"SAT diverged from full recompute "
+                        f"(first mismatch at flat index {bad})")
+        findings = verify_state(inc, check_sat=False)
+        if findings:
+            return f"stale carry state after edits: {findings[0]}"
+    return None
+
+
 def run_one(config: FuzzConfig, *, sanitize: bool = False) -> str | None:
     """Run one configuration; returns an error description or ``None``.
 
     With ``sanitize=True`` the run executes under the concurrency sanitizer
     (:mod:`repro.analysis.sanitizer`) and any race or protocol finding counts
     as a failure even when the numeric result happens to be right.
+    ``mode="incremental"`` configs replay an edit sequence instead (the
+    sanitizer flag does not apply — repair runs on the host, not the
+    simulator).
     """
+    if config.mode == "incremental":
+        try:
+            return _run_incremental(config)
+        except Exception as exc:  # noqa: BLE001 - the fuzzer reports
+            return f"exception: {type(exc).__name__}: {exc}"
+    if config.mode != "simulate":
+        return f"unknown fuzz mode {config.mode!r}; known: {FUZZ_MODES}"
     a = config.build_matrix()
     kwargs = {"tile_width": config.tile_width}
     if config.algorithm == "(1+r)R1W":
@@ -162,8 +323,16 @@ def run_one(config: FuzzConfig, *, sanitize: bool = False) -> str | None:
 
 def fuzz(num_runs: int = 50, *, seed: int = 0,
          time_budget_s: float | None = None,
-         sanitize: bool = False) -> FuzzReport:
-    """Run ``num_runs`` random configurations (or until the time budget)."""
+         sanitize: bool = False, mode: str = "simulate") -> FuzzReport:
+    """Run ``num_runs`` random configurations (or until the time budget).
+
+    ``mode`` selects the harness: ``"simulate"`` (algorithms vs the NumPy
+    reference on the simulator) or ``"incremental"`` (edit sequences vs
+    from-scratch recompute; see :func:`sample_incremental_config`).
+    """
+    if mode not in FUZZ_MODES:
+        raise ConfigurationError(
+            f"unknown fuzz mode {mode!r}; known: {FUZZ_MODES}")
     rng = np.random.default_rng(seed)
     report = FuzzReport()
     start = time.perf_counter()
@@ -171,7 +340,8 @@ def fuzz(num_runs: int = 50, *, seed: int = 0,
         if time_budget_s is not None \
                 and time.perf_counter() - start > time_budget_s:
             break
-        config = sample_config(rng)
+        config = sample_config(rng) if mode == "simulate" \
+            else sample_incremental_config(rng)
         error = run_one(config, sanitize=sanitize)
         report.runs += 1
         if error is not None:

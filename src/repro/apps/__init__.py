@@ -18,6 +18,8 @@ from repro.apps.synthetic import (checkerboard, gaussian_blobs, gradient_image,
 from repro.apps.variance_filter import (chebyshev_upper_bound,
                                         local_contrast_normalize,
                                         local_moments)
+from repro.apps.video import (FrameStats, VideoSAT, process_stream,
+                              synthetic_stream)
 
 __all__ = [
     "adaptive_threshold", "global_threshold",
@@ -32,4 +34,5 @@ __all__ = [
     "best_match", "ncc_match", "window_stats",
     "CascadeStage", "CascadeStats", "ContrastTest", "Detection",
     "SymmetryTest", "bright_square_cascade", "detect", "squares_scene",
+    "VideoSAT", "FrameStats", "process_stream", "synthetic_stream",
 ]

@@ -11,8 +11,9 @@ Commands
 ``export``   write table1/table3 as CSV + JSON
 ``chart``    ASCII log-log chart of Table III (any device projection)
 ``devices``  cross-device model projections (extension)
-``fuzz``     differential fuzzing of all algorithms
+``fuzz``     differential fuzzing of all algorithms (and edit sequences)
 ``sanitize`` race/protocol sanitizer + static kernel lint
+``incremental-bench``  time incremental repair vs full recompute
 ``report``   write the full REPRODUCTION_REPORT.md
 ``list``     list algorithms and aliases
 
@@ -110,6 +111,11 @@ def _build_parser() -> argparse.ArgumentParser:
     fz = sub.add_parser("fuzz", help="differential fuzzing of all algorithms")
     fz.add_argument("--runs", type=int, default=50)
     fz.add_argument("--seed", type=int, default=0)
+    fz.add_argument("--mode", default="simulate",
+                    choices=["simulate", "incremental"],
+                    help="simulate: algorithms vs the reference on the "
+                         "simulator; incremental: random edit sequences "
+                         "through IncrementalSAT vs from-scratch recompute")
     fz.add_argument("--time-budget", type=float, default=None,
                     help="stop after this many seconds")
     fz.add_argument("--sanitize", action="store_true",
@@ -117,7 +123,8 @@ def _build_parser() -> argparse.ArgumentParser:
                          "sanitizer (races/protocol findings fail the run)")
     fz.add_argument("--replay", metavar="CONFIG", default=None,
                     help="replay one configuration instead of fuzzing: a JSON "
-                         "file path or inline JSON as printed for failures")
+                         "file path or inline JSON as printed for failures "
+                         "(the config's own mode field selects the harness)")
 
     sz = sub.add_parser("sanitize",
                         help="happens-before race detection, protocol "
@@ -141,6 +148,32 @@ def _build_parser() -> argparse.ArgumentParser:
                     help="skip the static kernel lint pass")
     sz.add_argument("--no-dynamic", action="store_true",
                     help="skip the sanitized simulation runs (lint only)")
+    sz.add_argument("--no-incremental", action="store_true",
+                    help="skip the incremental state-retention check "
+                         "(carry-plane oracles + recompute bit-identity "
+                         "after an edit sequence)")
+
+    ib = sub.add_parser("incremental-bench",
+                        help="time incremental repair vs full wavefront "
+                             "recompute")
+    ib.add_argument("-n", "--size", type=int, default=2048,
+                    help="matrix side (default 2048)")
+    ib.add_argument("-W", "--tile-width", type=int, default=32)
+    ib.add_argument("-a", "--algorithm", default="1R1W-SKSS-LB")
+    ib.add_argument("--dirty-frac", type=float, default=0.1,
+                    help="edited fraction of the frame area (default 0.1)")
+    ib.add_argument("--edits", type=int, default=8,
+                    help="edits to time, cycling corner/edge/centre patch "
+                         "positions (default 8)")
+    ib.add_argument("--dtype", default="int32",
+                    help="input dtype (integer dtypes use the exact delta "
+                         "path; floats the recompute path)")
+    ib.add_argument("--strategy", default="auto",
+                    choices=["auto", "delta", "recompute"])
+    ib.add_argument("--workers", type=int, default=None)
+    ib.add_argument("--seed", type=int, default=0)
+    ib.add_argument("--json", metavar="PATH", default=None,
+                    help="also write the result record as JSON")
 
     rp = sub.add_parser("report", help="write a full reproduction report")
     rp.add_argument("-o", "--output", default="REPRODUCTION_REPORT.md")
@@ -327,7 +360,7 @@ def _cmd_fuzz(args) -> int:
         print(f"replay: FAIL {error}")
         return 1
     report = fuzz(args.runs, seed=args.seed, time_budget_s=args.time_budget,
-                  sanitize=args.sanitize)
+                  sanitize=args.sanitize, mode=args.mode)
     print(report.summary())
     for config, error in report.failures:
         print(f"  FAIL {error}\n       replay: {config.to_json()}")
@@ -357,7 +390,47 @@ def _cmd_sanitize(args) -> int:
         print(report.summary())
         if not report.ok:
             rc = 1
+    if not args.no_incremental:
+        from repro.hostexec.incremental import sanitize_incremental
+        findings = sanitize_incremental(n=max(args.size, 2 * args.tile_width),
+                                        tile_width=args.tile_width,
+                                        seed=args.seed)
+        print(f"incremental state retention: {len(findings)} finding(s)")
+        for f in findings:
+            print(f"  {f}")
+        if findings:
+            rc = 1
     return rc
+
+
+def _cmd_incremental_bench(args) -> int:
+    import json as _json
+
+    from repro.hostexec.incremental import repair_benchmark
+    result = repair_benchmark(
+        args.size, dirty_frac=args.dirty_frac, edits=args.edits,
+        tile_width=args.tile_width, algorithm=args.algorithm,
+        dtype=args.dtype, strategy=args.strategy, workers=args.workers,
+        seed=args.seed)
+    print(f"n={result['n']} W={result['tile_width']} "
+          f"{result['algorithm']} {result['dtype']} "
+          f"(strategy={result['strategy']}, "
+          f"dirty {100 * result['dirty_frac']:.0f}% = "
+          f"{result['patch_side']}² patch)")
+    print(f"full recompute: {1e3 * result['full_recompute_s']:8.2f} ms")
+    print(f"repair mean:    {1e3 * result['repair_mean_s']:8.2f} ms   "
+          f"({result['speedup_mean']:.1f}x)")
+    print(f"repair worst:   {1e3 * result['repair_worst_s']:8.2f} ms   "
+          f"({result['speedup_worst_case']:.1f}x)")
+    print(f"repaired tiles: {100 * result['repaired_tile_fraction_mean']:.1f}% "
+          f"of grid (mean over {result['edits']} edits)")
+    print(f"bit-identical to from-scratch: {result['bit_identical']}")
+    if args.json:
+        with open(args.json, "w") as fh:
+            _json.dump(result, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    return 0 if result["bit_identical"] else 1
 
 
 def _cmd_report(args) -> int:
@@ -390,6 +463,7 @@ _COMMANDS = {
     "devices": _cmd_devices,
     "fuzz": _cmd_fuzz,
     "sanitize": _cmd_sanitize,
+    "incremental-bench": _cmd_incremental_bench,
     "report": _cmd_report,
     "list": _cmd_list,
 }

@@ -17,9 +17,12 @@ algebra.
 True
 """
 
-from repro.hostexec.engine import (WavefrontEngine, default_workers,
-                                   resolve_engine, shared_engine,
-                                   wavefront_sat)
+from repro.hostexec.engine import (RetainedState, WavefrontEngine,
+                                   default_workers, resolve_engine,
+                                   shared_engine, wavefront_sat)
+from repro.hostexec.incremental import (STRATEGIES, IncrementalSAT,
+                                        RepairStats, repair_benchmark,
+                                        sanitize_incremental, verify_state)
 from repro.hostexec.kernels import KERNELS, CarrySet, KernelSpec, kernel_for
 from repro.hostexec.plan import (DEPS_LEFT_UP, DEPS_LEFT_UP_CORNER,
                                  TILE_DONE, TILE_PENDING, TILE_READY,
@@ -28,7 +31,9 @@ from repro.hostexec.plan import (DEPS_LEFT_UP, DEPS_LEFT_UP_CORNER,
 
 __all__ = [
     "WavefrontEngine", "wavefront_sat", "shared_engine", "resolve_engine",
-    "default_workers",
+    "default_workers", "RetainedState",
+    "IncrementalSAT", "RepairStats", "STRATEGIES", "verify_state",
+    "sanitize_incremental", "repair_benchmark",
     "KERNELS", "KernelSpec", "CarrySet", "kernel_for",
     "WavefrontPlan", "Chunk", "build_plan", "split_diagonal",
     "DEPS_LEFT_UP", "DEPS_LEFT_UP_CORNER",

@@ -37,16 +37,65 @@ from __future__ import annotations
 import os
 import threading
 from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
 from typing import Iterable, Iterator
 
 import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.hostexec.kernels import CarrySet, KernelSpec, kernel_for
-from repro.hostexec.plan import (TILE_DONE, TILE_READY, WavefrontPlan,
-                                 build_plan)
+from repro.hostexec.plan import (DEPS_LEFT_UP, TILE_DONE, TILE_READY,
+                                 WavefrontPlan, build_plan)
 from repro.primitives.tile import TileGrid
 from repro.sat.dtypes import resolve_policy
+
+
+@dataclass
+class RetainedState:
+    """The resident tile-grid state of one ``retain_state=True`` computation.
+
+    Everything the incremental engine (:mod:`repro.hostexec.incremental`)
+    needs to *repair* a SAT instead of recomputing it: the padded working
+    matrix, the committed (padded) SAT, and the inter-tile carry planes — all
+    privately owned (never shared with the engine's cross-call caches), so
+    they stay valid between calls and may be edited in place.
+    """
+
+    spec: KernelSpec
+    grid: TileGrid
+    #: Padded working matrix in the accumulator dtype (the current input).
+    work: np.ndarray
+    #: Padded committed SAT of :attr:`work`.
+    out: np.ndarray
+    #: Private inter-tile carry planes (GRS/GCS/GS family or GRS/GCP).
+    carry: CarrySet
+
+    @property
+    def a4(self) -> np.ndarray:
+        """``(tr, W, tc, W)`` tile view of the working matrix."""
+        g = self.grid
+        return self.work.reshape(g.tile_rows, g.W, g.tile_cols, g.W)
+
+    @property
+    def out4(self) -> np.ndarray:
+        """``(tr, W, tc, W)`` tile view of the committed SAT."""
+        g = self.grid
+        return self.out.reshape(g.tile_rows, g.W, g.tile_cols, g.W)
+
+    def planes(self) -> dict[str, np.ndarray]:
+        """The carry planes keyed by their role for this kernel's dataflow.
+
+        The GRS/GCS/GS family publishes row sums, column sums and the corner
+        scalar; 1R1W-SKSS publishes row sums and the GCP bottom row instead
+        (``2R1W`` additionally carries its column-accumulated scalar chain).
+        """
+        if self.spec.deps == DEPS_LEFT_UP:
+            return {"GRS": self.carry.vec_row, "GCP": self.carry.vec_col}
+        planes = {"GRS": self.carry.vec_row, "GCS": self.carry.vec_col,
+                  "GS": self.carry.scal}
+        if self.spec.name == "2R1W":
+            planes["GS-col"] = self.carry.scal2
+        return planes
 
 
 def default_workers() -> int:
@@ -84,6 +133,7 @@ class WavefrontEngine:
         self._carries: dict[tuple, CarrySet] = {}
         self._lock = threading.Lock()   # one compute at a time per engine
         self._closed = False
+        self._retained: RetainedState | None = None
 
     # -- resource management ---------------------------------------------------
 
@@ -121,6 +171,7 @@ class WavefrontEngine:
             self._pool = None
         self._plans.clear()
         self._carries.clear()
+        self._retained = None
 
     def __enter__(self) -> "WavefrontEngine":
         return self
@@ -132,7 +183,7 @@ class WavefrontEngine:
 
     def compute(self, a: np.ndarray, *, algorithm: str = "1R1W-SKSS-LB",
                 tile_width: int = 32, out: np.ndarray | None = None,
-                dtype_policy=None) -> np.ndarray:
+                dtype_policy=None, retain_state: bool = False) -> np.ndarray:
         """Compute one SAT through the wavefront schedule.
 
         ``a`` may be any 2-D ``rows x cols`` matrix; ragged edges are padded
@@ -144,21 +195,35 @@ class WavefrontEngine:
         ``out`` (optional, ``(rows, cols)`` C-contiguous, accumulator dtype)
         receives the result in place — callers streaming many frames can
         recycle a buffer.
+
+        With ``retain_state=True`` the call keeps the padded working matrix,
+        the committed SAT and a *private* set of carry planes resident after
+        it returns (:meth:`retained_state`) — the raw material of incremental
+        repair (:class:`~repro.hostexec.incremental.IncrementalSAT`).  For an
+        aligned input the returned array aliases the retained SAT.
         """
         spec = kernel_for(algorithm)
         a = np.asarray(a)
         if a.ndim != 2:
             raise ConfigurationError(
                 f"wavefront engine expects a 2-D matrix, got shape {a.shape}")
+        if retain_state and out is not None:
+            raise ConfigurationError(
+                "retain_state=True owns its output buffer; out= is not "
+                "supported")
         rows, cols = a.shape
         acc = resolve_policy(dtype_policy).accumulator(a.dtype)
         grid = TileGrid(rows=rows, cols=cols, W=tile_width)
         tr, tc, W = grid.tile_rows, grid.tile_cols, grid.W
-        if grid.aligned:
-            work = np.ascontiguousarray(a, dtype=acc)
-        else:
+        if not grid.aligned:
             work = np.zeros((grid.padded_rows, grid.padded_cols), dtype=acc)
             work[:rows, :cols] = a
+        elif retain_state:
+            # The retained state owns (and later edits) the working matrix,
+            # so the no-copy aliasing fast path must not be taken.
+            work = np.array(a, dtype=acc, order="C", copy=True)
+        else:
+            work = np.ascontiguousarray(a, dtype=acc)
         if out is not None and (out.shape != (rows, cols) or out.dtype != acc
                                 or not out.flags.c_contiguous):
             raise ConfigurationError(
@@ -170,7 +235,8 @@ class WavefrontEngine:
             else np.empty_like(work)
         with self._lock:
             plan = self.plan(grid, spec.deps)
-            carry = self._carry(grid, work.dtype)
+            carry = CarrySet(tr=tr, tc=tc, W=W, dtype=work.dtype) \
+                if retain_state else self._carry(grid, work.dtype)
             a4 = work.reshape(tr, W, tc, W)
             out4 = res.reshape(tr, W, tc, W)
             if self.workers == 1 or plan.num_chunks == 1:
@@ -178,12 +244,26 @@ class WavefrontEngine:
                     spec.run(a4, out4, carry, chunk, W)
             else:
                 self._run_parallel(plan, spec, a4, out4, carry, W)
+            if retain_state:
+                self._retained = RetainedState(spec=spec, grid=grid,
+                                               work=work, out=res,
+                                               carry=carry)
         if res.shape != (rows, cols):
             if out is not None:
                 out[...] = res[:rows, :cols]
                 return out
             return np.ascontiguousarray(res[:rows, :cols])
         return res
+
+    def retained_state(self) -> RetainedState | None:
+        """The state kept by the most recent ``retain_state=True`` compute.
+
+        Each ``retain_state=True`` call replaces the previous state; callers
+        interleaving retained computations on a shared engine should take the
+        state immediately (or use a private engine, as
+        :class:`~repro.hostexec.incremental.IncrementalSAT` does).
+        """
+        return self._retained
 
     def _run_parallel(self, plan: WavefrontPlan, spec: KernelSpec,
                       a4: np.ndarray, out4: np.ndarray, carry: CarrySet,

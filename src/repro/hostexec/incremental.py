@@ -1,0 +1,643 @@
+"""Incremental SAT maintenance: dirty-tile invalidation and carry repair.
+
+The paper's look-back decomposition makes the summed area table *repairable*:
+every tile publishes a small set of aggregates (LRS/LCS feeding GRS/GCS/GS,
+or the GCP chain), and each published value is a pure function of the tile's
+own elements plus its left/up/up-left producers.  When an edit touches only a
+few tiles, every aggregate outside the edit's influence region is still
+valid, so a service handling video-style or interactive-edit traffic never
+needs to recompute the full table — it repairs the *dirty tiles plus the
+right/down carry frontier they invalidate*.
+
+:class:`IncrementalSAT` keeps one frame's tile-grid state resident between
+calls (via :meth:`WavefrontEngine.compute(..., retain_state=True)
+<repro.hostexec.engine.WavefrontEngine.compute>`): the padded working matrix,
+the committed SAT, and the kernel's carry planes.  Edits arrive as
+rectangle writes (:meth:`IncrementalSAT.update`), tile writes
+(:meth:`IncrementalSAT.update_tiles`), whole-frame additive deltas
+(:meth:`IncrementalSAT.delta`) or successive frames
+(:meth:`IncrementalSAT.advance`), and are repaired by one of two strategies:
+
+``delta`` (integer accumulators)
+    The SAT is linear in its input, so ``SAT(a + d) = SAT(a) + SAT(d)`` —
+    and in a fixed-width integer dtype this identity is *exact* (including
+    wrap-around: addition mod 2^k is a commutative ring, so the repaired
+    table is bit-identical to a from-scratch recomputation).  ``SAT(d)`` of a
+    ``h x w`` dirty rectangle is one small double cumsum plus three
+    broadcast adds over the down-right quadrant, and the carry planes take
+    the matching row/column/corner prefix deltas.  Cost: one pass over the
+    quadrant instead of the full tile algebra over the whole matrix.
+
+``recompute`` (float accumulators, or forced)
+    Floating-point addition does not associate, so delta repair would change
+    low bits.  Instead the engine re-executes the wavefront chunk kernels
+    (:mod:`repro.hostexec.kernels`) over exactly the *closure* of the dirty
+    tiles — the down-right staircase ``Q = {(I, J) : some dirty (I₀, J₀) has
+    I₀ ≤ I, J₀ ≤ J}`` — in anti-diagonal order.  Every recomputed tile reads
+    either retained (still valid) or freshly recomputed producer values, so
+    the repaired table is bit-identical to a full recompute for every dtype,
+    and trivially independent of the worker count.
+
+Both strategies maintain the invariant checked by :func:`verify_state`: after
+every edit the resident carry planes equal the Table II oracles of the
+current working matrix, and the committed SAT equals a from-scratch
+computation.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.hostexec.engine import RetainedState, WavefrontEngine
+from repro.hostexec.kernels import kernel_for
+from repro.hostexec.plan import DEPS_LEFT_UP, Chunk
+from repro.sat.dtypes import resolve_policy
+
+#: Repair strategies accepted by :class:`IncrementalSAT`.
+STRATEGIES = ("auto", "delta", "recompute")
+
+
+@dataclass
+class RepairStats:
+    """What the last repair did (and the running totals).
+
+    ``repaired_tiles`` counts tiles whose committed SAT block was touched —
+    for the ``delta`` strategy that is the whole down-right quadrant (the SAT
+    value itself changes there), for ``recompute`` the dirty-closure
+    staircase.  ``dirty_tiles`` counts tiles whose *input* changed.
+    """
+
+    strategy: str = "none"
+    dirty_tiles: int = 0
+    repaired_tiles: int = 0
+    total_tiles: int = 0
+    edits: int = 0
+    full_rebuilds: int = 0
+    tiles_repaired_total: int = 0
+    tiles_if_recomputed_total: int = 0
+
+    @property
+    def repaired_fraction(self) -> float:
+        """Repaired share of the grid in the last repair (0 for a no-op)."""
+        return self.repaired_tiles / self.total_tiles if self.total_tiles \
+            else 0.0
+
+    @property
+    def savings(self) -> float:
+        """Lifetime fraction of tile work avoided vs full recomputes."""
+        if not self.tiles_if_recomputed_total:
+            return 0.0
+        return 1.0 - (self.tiles_repaired_total
+                      / self.tiles_if_recomputed_total)
+
+
+class IncrementalSAT:
+    """A resident SAT that absorbs edits by repairing only what they dirty.
+
+    Parameters
+    ----------
+    a:
+        The initial 2-D frame (any rectangle; ragged tile edges follow the
+        zero-padding convention).
+    algorithm:
+        Tile-based algorithm whose dataflow maintains the carries (any of the
+        wavefront engine's five; default the paper's 1R1W-SKSS-LB).
+    tile_width, dtype_policy:
+        As in :func:`~repro.sat.registry.compute_sat`.
+    workers:
+        Pool size for the initial full computation (repairs are batched
+        serial NumPy and worker-independent by construction).
+    engine:
+        An existing :class:`~repro.hostexec.engine.WavefrontEngine` to borrow
+        for full computations; by default a private engine is created (and
+        closed with :meth:`close`).
+    strategy:
+        ``"auto"`` (default) picks exact ``delta`` repair for integer
+        accumulator dtypes and bit-faithful ``recompute`` for floats;
+        ``"recompute"`` forces the chunk-kernel path; ``"delta"`` is only
+        accepted for integer accumulators (float delta repair would not be
+        bit-identical to a from-scratch computation).
+    """
+
+    def __init__(self, a: np.ndarray, *, algorithm: str = "1R1W-SKSS-LB",
+                 tile_width: int = 32, dtype_policy=None,
+                 workers: int | None = None,
+                 engine: WavefrontEngine | None = None,
+                 strategy: str = "auto") -> None:
+        if strategy not in STRATEGIES:
+            raise ConfigurationError(
+                f"unknown repair strategy {strategy!r}; known: {STRATEGIES}")
+        self._spec = kernel_for(algorithm)
+        self.algorithm = self._spec.name
+        self.tile_width = tile_width
+        self._policy = resolve_policy(dtype_policy)
+        if engine is not None:
+            self._engine, self._owns_engine = engine, False
+        else:
+            self._engine = WavefrontEngine(workers=workers)
+            self._owns_engine = True
+        self._requested_strategy = strategy
+        self._state: RetainedState | None = None
+        self.stats = RepairStats()
+        self.rebuild(a)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the resident state (and the private engine, if owned)."""
+        self._state = None
+        if self._owns_engine:
+            self._engine.close()
+
+    def __enter__(self) -> "IncrementalSAT":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.rows, self.cols)
+
+    @property
+    def dtype(self) -> np.dtype:
+        """The accumulator dtype the SAT is maintained in."""
+        return self._required_state().work.dtype
+
+    @property
+    def strategy(self) -> str:
+        """The resolved repair strategy (``delta`` or ``recompute``)."""
+        return self._strategy
+
+    @property
+    def grid(self):
+        return self._required_state().grid
+
+    @property
+    def sat(self) -> np.ndarray:
+        """The current SAT (read-only view of the resident table, cropped)."""
+        view = self._required_state().out[:self.rows, :self.cols]
+        view.setflags(write=False)
+        return view
+
+    @property
+    def input(self) -> np.ndarray:
+        """The current input frame in the accumulator dtype (read-only view)."""
+        view = self._required_state().work[:self.rows, :self.cols]
+        view.setflags(write=False)
+        return view
+
+    def carry_planes(self) -> dict[str, np.ndarray]:
+        """The resident carry planes, keyed by role (GRS/GCS/GS or GRS/GCP)."""
+        return self._required_state().planes()
+
+    def _required_state(self) -> RetainedState:
+        if self._state is None:
+            raise ConfigurationError("incremental engine is closed")
+        return self._state
+
+    # -- full (re)builds ---------------------------------------------------------
+
+    def rebuild(self, a: np.ndarray | None = None) -> np.ndarray:
+        """Recompute everything from scratch (a new frame, or ``None`` to
+        rebuild from the current input — useful to re-verify the state)."""
+        if a is None:
+            a = self._required_state().work[:self.rows, :self.cols]
+        a = np.asarray(a)
+        if a.ndim != 2:
+            raise ConfigurationError(
+                f"IncrementalSAT expects a 2-D matrix, got shape {a.shape}")
+        self.rows, self.cols = a.shape
+        acc = self._policy.accumulator(a.dtype)
+        if self._requested_strategy == "delta" \
+                and not np.issubdtype(acc, np.integer):
+            raise ConfigurationError(
+                f"strategy='delta' requires an integer accumulator dtype "
+                f"(got {acc.name}); float repair must recompute to stay "
+                "bit-identical")
+        self._strategy = self._requested_strategy
+        if self._strategy == "auto":
+            self._strategy = "delta" if np.issubdtype(acc, np.integer) \
+                else "recompute"
+        self._engine.compute(a, algorithm=self.algorithm,
+                             tile_width=self.tile_width, dtype_policy=acc,
+                             retain_state=True)
+        self._state = self._engine.retained_state()
+        self.stats.full_rebuilds += 1
+        self.stats.total_tiles = self._state.grid.num_tiles
+        self._record(self._state.grid.num_tiles, self._state.grid.num_tiles,
+                     "rebuild")
+        return self.sat
+
+    def _record(self, dirty: int, repaired: int, strategy: str) -> None:
+        s = self.stats
+        s.strategy = strategy
+        s.dirty_tiles = dirty
+        s.repaired_tiles = repaired
+        s.edits += 1
+        s.tiles_repaired_total += repaired
+        s.tiles_if_recomputed_total += s.total_tiles
+
+    # -- edits -------------------------------------------------------------------
+
+    def update(self, top: int, left: int, values: np.ndarray) -> np.ndarray:
+        """Overwrite the rectangle at ``(top, left)`` and repair the SAT.
+
+        ``values`` may be any 2-D block (cast to the accumulator dtype) that
+        lies inside the frame.  Returns the repaired SAT view.
+        """
+        state = self._required_state()
+        values = np.asarray(values)
+        if values.ndim != 2:
+            raise ConfigurationError(
+                f"update expects a 2-D block, got shape {values.shape}")
+        h, w = values.shape
+        if not (0 <= top and 0 <= left and top + h <= self.rows
+                and left + w <= self.cols):
+            raise ConfigurationError(
+                f"edit block {h}x{w} at ({top}, {left}) exceeds the "
+                f"{self.rows}x{self.cols} frame")
+        if h == 0 or w == 0:
+            return self.sat
+        if self._strategy == "delta":
+            d = values.astype(state.work.dtype, copy=False) \
+                - state.work[top:top + h, left:left + w]
+            self._repair_rect(top, left, d)
+        else:
+            state.work[top:top + h, left:left + w] = \
+                values.astype(state.work.dtype, copy=False)
+            grid = state.grid
+            W = grid.W
+            mask = np.zeros((grid.tile_rows, grid.tile_cols), dtype=bool)
+            mask[top // W:(top + h - 1) // W + 1,
+                 left // W:(left + w - 1) // W + 1] = True
+            self._repair_recompute(mask)
+        return self.sat
+
+    def update_tiles(self, edits: Iterable[tuple[int, int, np.ndarray]]
+                     ) -> np.ndarray:
+        """Overwrite whole tiles and repair once for the combined dirty set.
+
+        ``edits`` yields ``(I, J, values)`` triples; ``values`` covers the
+        tile's *valid* extent (``tile_height(I) x tile_width_at(J)``, which
+        is ``W x W`` away from ragged edges).  Duplicate tiles are allowed —
+        the last write wins.  A k-tile edit costs one combined repair of the
+        union frontier, not k repairs.
+        """
+        state = self._required_state()
+        grid = state.grid
+        W = grid.W
+        dedup: dict[tuple[int, int], np.ndarray] = {}
+        for I, J, values in edits:
+            grid.check_tile(I, J)
+            values = np.asarray(values)
+            want = (grid.tile_height(I), grid.tile_width_at(J))
+            if values.shape != want:
+                raise ConfigurationError(
+                    f"tile ({I}, {J}) edit must have the tile's valid shape "
+                    f"{want}, got {values.shape}")
+            dedup[(int(I), int(J))] = values
+        items = [(I, J, values) for (I, J), values in dedup.items()]
+        if not items:
+            return self.sat
+        # Combine all tile deltas into one bounding-rectangle delta so a
+        # k-tile edit pays one quadrant repair.
+        r0 = min(W * I for I, _, _ in items)
+        c0 = min(W * J for _, J, _ in items)
+        r1 = max(W * I + v.shape[0] for I, _, v in items)
+        c1 = max(W * J + v.shape[1] for _, J, v in items)
+        d = np.zeros((r1 - r0, c1 - c0), dtype=state.work.dtype)
+        dirty = 0
+        for I, J, values in items:
+            rr, cc = W * I - r0, W * J - c0
+            block = d[rr:rr + values.shape[0], cc:cc + values.shape[1]]
+            block += values.astype(state.work.dtype, copy=False)
+            block -= state.work[W * I:W * I + values.shape[0],
+                                W * J:W * J + values.shape[1]]
+            dirty += 1
+        if self._strategy == "delta":
+            self._repair_rect(r0, c0, d, dirty_tiles=dirty)
+        else:
+            mask = np.zeros((grid.tile_rows, grid.tile_cols), dtype=bool)
+            for I, J, _ in items:
+                mask[I, J] = True
+            state.work[r0:r0 + d.shape[0], c0:c0 + d.shape[1]] += d
+            self._repair_recompute(mask)
+        return self.sat
+
+    def delta(self, d: np.ndarray) -> np.ndarray:
+        """Whole-frame additive fast path: apply ``a += d`` and repair.
+
+        The sparsity of ``d`` is exploited: nothing outside its nonzero
+        support is dirtied (``delta`` strategy repairs the bounding
+        rectangle's quadrant; ``recompute`` repairs the exact closure of the
+        nonzero tiles).  An all-zero delta is a no-op.
+        """
+        state = self._required_state()
+        d = np.asarray(d)
+        if d.shape != (self.rows, self.cols):
+            raise ConfigurationError(
+                f"frame delta must have the frame shape {self.shape}, "
+                f"got {d.shape}")
+        d = d.astype(state.work.dtype, copy=False)
+        nz_rows = np.flatnonzero(d.any(axis=1))
+        if nz_rows.size == 0:
+            self._record(0, 0, self._strategy)
+            return self.sat
+        nz_cols = np.flatnonzero(d.any(axis=0))
+        r0, r1 = int(nz_rows[0]), int(nz_rows[-1])
+        c0, c1 = int(nz_cols[0]), int(nz_cols[-1])
+        if self._strategy == "delta":
+            self._repair_rect(r0, c0, d[r0:r1 + 1, c0:c1 + 1])
+        else:
+            grid = state.grid
+            state.work[:self.rows, :self.cols] += d
+            pad = np.zeros((grid.padded_rows, grid.padded_cols), dtype=bool)
+            pad[:self.rows, :self.cols] = d != 0
+            W = grid.W
+            mask = pad.reshape(grid.tile_rows, W, grid.tile_cols, W) \
+                .any(axis=(1, 3))
+            self._repair_recompute(mask)
+        return self.sat
+
+    def advance(self, frame: np.ndarray) -> np.ndarray:
+        """Replace the whole input with ``frame``, repairing only what moved.
+
+        The video entry point: successive frames usually differ on a small
+        support, and the repair cost scales with that support's frontier, not
+        with the frame.
+        """
+        state = self._required_state()
+        frame = np.asarray(frame)
+        if frame.shape != self.shape:
+            raise ConfigurationError(
+                f"frame must have shape {self.shape}, got {frame.shape}")
+        d = frame.astype(state.work.dtype, copy=False) \
+            - state.work[:self.rows, :self.cols]
+        return self.delta(d)
+
+    # -- repair strategies -------------------------------------------------------
+
+    def _repair_rect(self, r0: int, c0: int, d: np.ndarray,
+                     dirty_tiles: int | None = None) -> None:
+        """Exact additive repair (integer accumulators only).
+
+        ``d`` is the not-yet-applied delta of the rectangle at ``(r0, c0)``.
+        ``SAT(a + d) - SAT(a) = SAT(d)`` is constant along rows right of the
+        rectangle and along columns below it, so the committed table takes
+        one small double cumsum plus three broadcast adds, and each carry
+        plane takes the matching prefix deltas on its dirty strips.
+        """
+        state = self._required_state()
+        grid, W = state.grid, state.grid.W
+        work, out, carry = state.work, state.out, state.carry
+        h, w = d.shape
+        r1, c1 = r0 + h - 1, c0 + w - 1
+        work[r0:r1 + 1, c0:c1 + 1] += d
+
+        # Committed SAT: the quadrant update.
+        A = d.cumsum(axis=0).cumsum(axis=1)
+        out[r0:r1 + 1, c0:c1 + 1] += A
+        out[r0:r1 + 1, c1 + 1:] += A[:, -1:]
+        out[r1 + 1:, c0:c1 + 1] += A[-1:, :]
+        out[r1 + 1:, c1 + 1:] += A[-1, -1]
+
+        # Tile-aligned embedding of the delta for the carry-plane prefixes.
+        I0, I1 = r0 // W, r1 // W
+        J0, J1 = c0 // W, c1 // W
+        tI, tJ = I1 - I0 + 1, J1 - J0 + 1
+        P = np.zeros((tI * W, tJ * W), dtype=work.dtype)
+        P[r0 - I0 * W:r0 - I0 * W + h, c0 - J0 * W:c0 - J0 * W + w] = d
+        # Per-row prefixes at each tile's right edge -> GRS deltas.
+        dgrs = P.cumsum(axis=1)[:, W - 1::W].reshape(tI, W, tJ) \
+            .transpose(0, 2, 1)                       # (tI, tJ, W)
+        grs = carry.vec_row
+        grs[I0:I1 + 1, J0:J1 + 1] += dgrs
+        grs[I0:I1 + 1, J1 + 1:] += dgrs[:, -1][:, None, :]
+        # Per-tile delta totals -> GS (and 2R1W column-chain) deltas.
+        ts = P.reshape(tI, W, tJ, W).sum(axis=(1, 3))
+        cs = ts.cumsum(axis=0).cumsum(axis=1)
+        if self._spec.deps == DEPS_LEFT_UP:
+            # 1R1W-SKSS: vec_col holds GCP — the bottom row of each tile's
+            # GSAT, which the quadrant update above just repaired; refresh it
+            # from the committed table.
+            out4 = state.out4
+            carry.vec_col[I0:, J0:] = out4[I0:, W - 1, J0:, :]
+        else:
+            dgcs = P.cumsum(axis=0)[W - 1::W, :].reshape(tI, tJ, W)
+            gcs = carry.vec_col
+            gcs[I0:I1 + 1, J0:J1 + 1] += dgcs
+            gcs[I1 + 1:, J0:J1 + 1] += dgcs[-1][None, :, :]
+            gs = carry.scal
+            gs[I0:I1 + 1, J0:J1 + 1] += cs
+            gs[I0:I1 + 1, J1 + 1:] += cs[:, -1:]
+            gs[I1 + 1:, J0:J1 + 1] += cs[-1:, :]
+            gs[I1 + 1:, J1 + 1:] += cs[-1, -1]
+            if self._spec.name == "2R1W":
+                dcol = ts.cumsum(axis=0)
+                carry.scal2[I0:I1 + 1, J0:J1 + 1] += dcol
+                carry.scal2[I1 + 1:, J0:J1 + 1] += dcol[-1:, :]
+        repaired = (grid.tile_rows - I0) * (grid.tile_cols - J0)
+        self._record(tI * tJ if dirty_tiles is None else dirty_tiles,
+                     repaired, "delta")
+
+    def _repair_recompute(self, dirty_mask: np.ndarray) -> None:
+        """Bit-faithful repair: re-run the chunk kernels on the dirty closure.
+
+        ``dirty_mask`` marks tiles whose input has already been written into
+        the working matrix.  The closure (down-right staircase) is executed
+        in anti-diagonal order — each recomputed tile gathers either retained
+        or just-recomputed producer values, so every published quantity comes
+        out of the exact same floating-point operation sequence as a full
+        recompute.
+        """
+        state = self._required_state()
+        grid, W = state.grid, state.grid.W
+        closure = np.logical_or.accumulate(
+            np.logical_or.accumulate(dirty_mask, axis=0), axis=1)
+        Is, Js = np.nonzero(closure)
+        if Is.size == 0:
+            self._record(0, 0, "recompute")
+            return
+        a4, out4 = state.a4, state.out4
+        diag = Is + Js
+        order = np.argsort(diag, kind="stable")
+        Is, Js, diag = Is[order], Js[order], diag[order]
+        starts = np.flatnonzero(np.r_[True, diag[1:] != diag[:-1]])
+        bounds = np.r_[starts, Is.size]
+        for k in range(starts.size):
+            lo, hi = bounds[k], bounds[k + 1]
+            chunk = Chunk(index=k, diagonal=int(diag[lo]),
+                          Is=Is[lo:hi], Js=Js[lo:hi])
+            self._spec.run(a4, out4, state.carry, chunk, W)
+        self._record(int(dirty_mask.sum()), int(Is.size), "recompute")
+
+
+# -- state verification (used by tests and ``repro sanitize``) -----------------
+
+
+def verify_state(inc: IncrementalSAT, *, check_sat: bool = True) -> list[str]:
+    """Check the resident state against the Table II oracles.
+
+    Returns a list of human-readable findings (empty = clean):
+
+    * every carry plane must equal its region-sum oracle on the *current*
+      working matrix (exact for integer accumulators, ``allclose`` for floats
+      — the oracles sum in a different order);
+    * with ``check_sat=True``, the committed table must be **bit-identical**
+      to a from-scratch wavefront computation of the current input.
+    """
+    from repro.primitives.tile import (global_col_prefixes, global_col_sums,
+                                       global_row_sums, global_sum)
+
+    state = inc._required_state()
+    grid, work = state.grid, state.work
+    exact = np.issubdtype(work.dtype, np.integer)
+
+    def close(got, want) -> bool:
+        return np.array_equal(got, want) if exact \
+            else np.allclose(got, want, rtol=1e-6, atol=1e-6)
+
+    findings: list[str] = []
+    planes = state.planes()
+    for I in range(grid.tile_rows):
+        for J in range(grid.tile_cols):
+            checks = [("GRS", planes["GRS"][I, J],
+                       global_row_sums(work, grid, I, J))]
+            if "GCP" in planes:
+                checks.append(("GCP", planes["GCP"][I, J],
+                               global_col_prefixes(work, grid, I, J)))
+            else:
+                checks.append(("GCS", planes["GCS"][I, J],
+                               global_col_sums(work, grid, I, J)))
+                checks.append(("GS", planes["GS"][I, J],
+                               global_sum(work, grid, I, J)))
+            for name, got, want in checks:
+                if not close(got, want):
+                    findings.append(
+                        f"carry-plane {name} stale at tile ({I}, {J})")
+    if check_sat:
+        with WavefrontEngine(workers=1) as eng:
+            fresh = eng.compute(work, algorithm=inc.algorithm,
+                                tile_width=inc.tile_width,
+                                dtype_policy=work.dtype)
+        if not np.array_equal(state.out, fresh):
+            bad = int(np.argmax(state.out != fresh))
+            findings.append(
+                f"committed SAT diverges from full recompute "
+                f"(first mismatch at flat index {bad})")
+    return findings
+
+
+def sanitize_incremental(*, n: int = 96, tile_width: int = 32,
+                         edits: int = 6, seed: int = 0) -> list[str]:
+    """State-retention smoke for ``repro sanitize``: run a deterministic edit
+    sequence under both repair strategies and both carry families, verifying
+    the plane invariants and full-recompute bit-identity after every edit."""
+    findings: list[str] = []
+    rng = np.random.default_rng(seed)
+    base = rng.integers(0, 100, size=(n, n - tile_width // 2)).astype(np.int64)
+    for algorithm in ("1R1W-SKSS-LB", "1R1W-SKSS"):
+        for strategy in ("delta", "recompute"):
+            with IncrementalSAT(base, algorithm=algorithm, workers=1,
+                                tile_width=tile_width,
+                                strategy=strategy) as inc:
+                for e in range(edits):
+                    h = int(rng.integers(1, n // 2))
+                    w = int(rng.integers(1, n // 2))
+                    top = int(rng.integers(0, inc.rows - h + 1))
+                    left = int(rng.integers(0, inc.cols - w + 1))
+                    inc.update(top, left,
+                               rng.integers(-50, 50, size=(h, w)))
+                    for f in verify_state(inc):
+                        findings.append(
+                            f"{algorithm}/{strategy} edit {e}: {f}")
+    return findings
+
+
+# -- repair benchmark (used by the CLI and ``benchmarks/bench_incremental``) ---
+
+
+def repair_benchmark(n: int = 1024, *, dirty_frac: float = 0.1,
+                     edits: int = 8, tile_width: int = 32,
+                     algorithm: str = "1R1W-SKSS-LB", dtype: str = "int32",
+                     strategy: str = "auto", workers: int | None = None,
+                     seed: int = 0, repeats: int = 3,
+                     positions: Sequence[tuple[float, float]] | None = None,
+                     ) -> dict:
+    """Time incremental repair against full wavefront recompute.
+
+    Each edit overwrites a square patch of ``dirty_frac`` of the frame area
+    at a position cycling through ``positions`` (fractions of the free range;
+    default spans corners, edges and the centre, so the reported mean covers
+    best and worst frontier placements).  Repairs are verified bit-identical
+    to a serial from-scratch recompute on the final state.
+    """
+    if not 0.0 < dirty_frac <= 1.0:
+        raise ConfigurationError("dirty_frac must be in (0, 1]")
+    rng = np.random.default_rng(seed)
+    a = rng.integers(0, 100, size=(n, n)).astype(np.dtype(dtype))
+    side = max(1, int(round(n * np.sqrt(dirty_frac))))
+    if positions is None:
+        positions = ((0.0, 0.0), (1.0, 1.0), (0.5, 0.5), (0.0, 1.0),
+                     (1.0, 0.0), (0.25, 0.75), (0.75, 0.25), (0.5, 0.0))
+    patches = []
+    for e in range(edits):
+        fy, fx = positions[e % len(positions)]
+        top = int(round(fy * (n - side)))
+        left = int(round(fx * (n - side)))
+        patches.append((top, left,
+                        rng.integers(0, 100, size=(side, side))
+                        .astype(a.dtype)))
+
+    inc = IncrementalSAT(a, algorithm=algorithm, tile_width=tile_width,
+                         strategy=strategy, workers=workers)
+    # Warm full-recompute baseline on the same engine (plan + pool are hot).
+    acc = inc.dtype
+    t_full = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        inc._engine.compute(a, algorithm=inc.algorithm, tile_width=tile_width,
+                            dtype_policy=acc)
+        t_full.append(time.perf_counter() - t0)
+    full_s = min(t_full)
+
+    per_edit = []
+    repaired_fracs = []
+    for top, left, values in patches:
+        t0 = time.perf_counter()
+        inc.update(top, left, values)
+        per_edit.append(time.perf_counter() - t0)
+        repaired_fracs.append(inc.stats.repaired_fraction)
+
+    # Differential gate: the final repaired table vs a from-scratch compute.
+    final = a.copy()
+    for top, left, values in patches:
+        final[top:top + side, left:left + side] = values
+    from repro.sat.registry import get_algorithm
+    ok = bool(np.array_equal(
+        inc.sat, get_algorithm(algorithm, tile_width=tile_width)
+        .run_host(final, dtype_policy=acc)))
+    result = {
+        "n": n, "tile_width": tile_width, "algorithm": inc.algorithm,
+        "dtype": str(np.dtype(dtype)), "accumulator": acc.name,
+        "strategy": inc.strategy, "dirty_frac": dirty_frac,
+        "patch_side": side, "edits": edits,
+        "full_recompute_s": full_s,
+        "repair_mean_s": float(np.mean(per_edit)),
+        "repair_worst_s": float(np.max(per_edit)),
+        "repair_best_s": float(np.min(per_edit)),
+        "speedup_mean": full_s / float(np.mean(per_edit)),
+        "speedup_worst_case": full_s / float(np.max(per_edit)),
+        "repaired_tile_fraction_mean": float(np.mean(repaired_fracs)),
+        "bit_identical": ok,
+    }
+    inc.close()
+    return result

@@ -127,6 +127,8 @@ class OutOfCoreSAT:
             raise ConfigurationError(
                 f"band must be 2-D with {self.n_cols} columns, "
                 f"got shape {band.shape}")
+        if band.shape[0] == 0:
+            raise ConfigurationError("band must have at least one row")
         band = band.astype(self.dtype, copy=False)
         band_sat = band.cumsum(axis=0).cumsum(axis=1)
         full = band_sat + np.cumsum(self._carry)[None, :]

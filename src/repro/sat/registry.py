@@ -115,11 +115,35 @@ def host_sat(a: np.ndarray, *, algorithm: str | None = None,
                                           dtype_policy=dtype_policy)
 
 
+def incremental_sat(a: np.ndarray, *, algorithm: str = "1R1W-SKSS-LB",
+                    tile_width: int = 32, dtype_policy=None,
+                    workers: int | None = None, strategy: str = "auto"):
+    """Build a resident :class:`~repro.hostexec.IncrementalSAT` over ``a``.
+
+    The stateful counterpart to :func:`compute_sat` for edit/streaming
+    traffic: the returned engine keeps the tile grid's carry state between
+    calls and repairs only dirty tiles plus their right/down frontier on
+    ``update``/``update_tiles``/``delta``/``advance``.  Use as a context
+    manager (or call ``close()``) to release the resident planes.
+
+    >>> import numpy as np
+    >>> with incremental_sat(np.ones((8, 8), dtype=np.int32)) as inc:
+    ...     sat = inc.update(0, 0, np.full((2, 2), 5, dtype=np.int32))
+    >>> int(sat[7, 7])
+    80
+    """
+    from repro.hostexec.incremental import IncrementalSAT
+    name = get_algorithm(algorithm).name
+    return IncrementalSAT(a, algorithm=name, tile_width=tile_width,
+                          dtype_policy=dtype_policy, workers=workers,
+                          strategy=strategy)
+
+
 def compute_sat(a: np.ndarray, *, algorithm: str = "1R1W-SKSS-LB",
                 tile_width: int = 32, gpu: GPU | None = None,
                 simulate: bool = True, engine=None,
                 workers: int | None = None, dtype_policy=None,
-                **params: Any) -> SATResult:
+                incremental=None, **params: Any) -> SATResult:
     """Compute the summed area table of ``a``.
 
     Parameters
@@ -145,9 +169,36 @@ def compute_sat(a: np.ndarray, *, algorithm: str = "1R1W-SKSS-LB",
         Input-to-accumulator dtype mapping (:mod:`repro.sat.dtypes`): a
         policy, a policy name (``"exact"``, ``"widen-float"``, ``"float64"``)
         or a fixed dtype.  Defaults to the exact policy.
+    incremental:
+        A resident :class:`~repro.hostexec.IncrementalSAT` (from
+        :func:`incremental_sat`): ``a`` is treated as the next frame and the
+        table is *repaired* via :meth:`~repro.hostexec.IncrementalSAT.advance`
+        instead of recomputed — only the changed tiles' right/down frontier
+        pays.  Mutually exclusive with ``gpu``/``engine``; the result is
+        bit-identical to a from-scratch computation.
 
     Returns a :class:`~repro.sat.base.SATResult`.
     """
+    if incremental is not None:
+        from repro.hostexec.incremental import IncrementalSAT
+        if not isinstance(incremental, IncrementalSAT):
+            raise ConfigurationError(
+                "incremental= expects an IncrementalSAT instance "
+                "(see repro.sat.incremental_sat)")
+        if gpu is not None or engine is not None:
+            raise ConfigurationError(
+                "incremental= is mutually exclusive with gpu=/engine=")
+        sat = incremental.advance(np.asarray(a))
+        stats = incremental.stats
+        return SATResult(sat=sat, algorithm=incremental.algorithm,
+                         n=sat.shape[0],
+                         params={"tile_width": incremental.tile_width,
+                                 "engine": "incremental",
+                                 "strategy": stats.strategy,
+                                 "dirty_tiles": stats.dirty_tiles,
+                                 "repaired_tiles": stats.repaired_tiles,
+                                 "total_tiles": stats.total_tiles},
+                         report=None)
     alg = get_algorithm(algorithm, tile_width=tile_width, **params)
     if engine is not None and engine != "serial":
         if gpu is not None:

@@ -1,10 +1,16 @@
 """Differential fuzzer: sampling, replay, clean runs."""
 
+import dataclasses
+import json
+
 import numpy as np
 import pytest
 
-from repro.analysis.fuzzing import (FUZZ_ALGORITHMS, FuzzConfig, fuzz, run_one,
-                                 sample_config)
+from repro.analysis.fuzzing import (FUZZ_ALGORITHMS, INCREMENTAL_ALGORITHMS,
+                                    INCREMENTAL_DTYPES, FuzzConfig, fuzz,
+                                    run_one, sample_config,
+                                    sample_incremental_config)
+from repro.errors import ConfigurationError
 
 
 class TestSampling:
@@ -37,6 +43,7 @@ class TestFuzzing:
         assert report.runs == 12
         assert "OK" in report.summary()
 
+    @pytest.mark.slow
     def test_time_budget_respected(self):
         report = fuzz(10_000, seed=1, time_budget_s=2.0)
         assert report.runs < 10_000
@@ -53,3 +60,79 @@ class TestFuzzing:
         assert not report.ok
         assert len(report.failures) == 3
         assert "FAILURES" in report.summary()
+
+
+class TestIncrementalMode:
+    def test_sampled_configs_are_valid(self):
+        rng = np.random.default_rng(0)
+        saw_float = saw_int = False
+        for _ in range(30):
+            cfg = sample_incremental_config(rng)
+            assert cfg.mode == "incremental"
+            assert cfg.algorithm in INCREMENTAL_ALGORITHMS
+            assert cfg.dtype in INCREMENTAL_DTYPES
+            assert cfg.rows >= cfg.tile_width and cfg.cols >= cfg.tile_width
+            assert cfg.edits >= 1
+            if np.issubdtype(np.dtype(cfg.dtype), np.integer):
+                saw_int = True
+            else:
+                saw_float = True
+                assert cfg.strategy in ("auto", "recompute")
+        assert saw_int and saw_float
+
+    def test_short_session_clean(self):
+        report = fuzz(10, seed=3, mode="incremental")
+        assert report.ok, report.failures
+        assert report.runs == 10
+
+    def test_replay_round_trip(self):
+        cfg = sample_incremental_config(np.random.default_rng(5))
+        again = FuzzConfig.from_json(cfg.to_json())
+        assert again == cfg
+        assert run_one(again) is None
+
+    def test_legacy_json_without_new_fields_still_loads(self):
+        """Pre-incremental replay files must keep working (defaults)."""
+        cfg = FuzzConfig(algorithm="1R1W", n=64, tile_width=32, policy="lifo",
+                         sim_seed=5, data_seed=9, residency=2,
+                         consistency="relaxed", tiny_device=True)
+        legacy = {k: v for k, v in dataclasses.asdict(cfg).items()
+                  if k in ("algorithm", "n", "tile_width", "policy",
+                           "sim_seed", "data_seed", "residency",
+                           "consistency", "tiny_device", "r")}
+        loaded = FuzzConfig.from_json(json.dumps(legacy))
+        assert loaded.mode == "simulate"
+        assert loaded == cfg
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fuzz(1, mode="nope")
+        cfg = dataclasses.replace(
+            sample_incremental_config(np.random.default_rng(1)), mode="bogus")
+        assert "unknown fuzz mode" in run_one(cfg)
+
+    def test_detects_a_planted_repair_bug(self, monkeypatch):
+        """If repair left the table stale, the edit-sequence check fires."""
+        from repro.hostexec.incremental import IncrementalSAT
+
+        real = IncrementalSAT.update
+
+        def broken(self, top, left, values):
+            result = real(self, top, left, values)
+            state = self._required_state()
+            state.out[0, 0] += 1  # corrupt the committed table
+            return result
+        monkeypatch.setattr(IncrementalSAT, "update", broken)
+        rng = np.random.default_rng(0)
+        failed = False
+        for _ in range(20):
+            cfg = sample_incremental_config(rng)
+            if run_one(cfg) is not None:
+                failed = True
+                break
+        assert failed
+
+    @pytest.mark.slow
+    def test_long_session_clean(self):
+        report = fuzz(150, seed=2018, mode="incremental")
+        assert report.ok, report.failures

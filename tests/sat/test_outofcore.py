@@ -107,3 +107,84 @@ class TestStreaming:
     def test_invalid_n_cols(self):
         with pytest.raises(ConfigurationError):
             OutOfCoreSAT(n_cols=0)
+
+
+class TestBandBoundarySpanningQueries:
+    """rect_sum rectangles that straddle one or several band boundaries."""
+
+    def _streamed(self, a, band):
+        oos = OutOfCoreSAT(n_cols=a.shape[1])
+        for lo, hi in band_bounds(a.shape[0], band):
+            oos.push_band(a[lo:hi])
+        return oos
+
+    def test_query_straddles_single_boundary(self, rng):
+        a = rng.integers(0, 9, size=(40, 20)).astype(float)
+        oos = self._streamed(a, band=16)  # boundaries after rows 15, 31
+        for r0, r1 in ((10, 20), (15, 16), (14, 17), (0, 16)):
+            assert oos.rect_sum(r0, 3, r1, 18) == a[r0:r1 + 1, 3:19].sum()
+
+    def test_query_spans_multiple_boundaries(self, rng):
+        a = rng.integers(0, 9, size=(50, 12)).astype(float)
+        oos = self._streamed(a, band=8)  # six boundaries
+        assert oos.rect_sum(2, 0, 47, 11) == a[2:48, :].sum()
+        assert oos.rect_sum(7, 1, 41, 10) == a[7:42, 1:11].sum()
+
+    def test_one_row_queries_on_each_side_of_a_boundary(self, rng):
+        a = rng.integers(0, 9, size=(32, 8)).astype(float)
+        oos = self._streamed(a, band=16)
+        assert oos.rect_sum(15, 0, 15, 7) == a[15, :].sum()  # last of band 0
+        assert oos.rect_sum(16, 0, 16, 7) == a[16, :].sum()  # first of band 1
+
+    def test_every_band_straddling_query_exact(self, rng):
+        """Exhaustive small case: all (r0, r1) pairs across the boundary."""
+        a = rng.integers(-9, 9, size=(20, 6)).astype(float)
+        oos = self._streamed(a, band=10)
+        for r0 in range(10):
+            for r1 in range(10, 20):
+                assert oos.rect_sum(r0, 0, r1, 5) == a[r0:r1 + 1, :].sum()
+
+
+class TestFinalShortBand:
+    """push_band sequences whose last band is shorter than the rest."""
+
+    def test_short_final_band_streaming_matches_reference(self, rng):
+        a = rng.integers(0, 9, size=(37, 14)).astype(float)  # 16+16+5
+        oos = OutOfCoreSAT(n_cols=14)
+        for lo, hi in band_bounds(37, 16):
+            oos.push_band(a[lo:hi])
+        assert band_bounds(37, 16)[-1] == (32, 37)
+        assert np.array_equal(oos.sat(), sat_reference(a))
+        # queries confined to and straddling into the short band
+        assert oos.rect_sum(33, 2, 36, 9) == a[33:37, 2:10].sum()
+        assert oos.rect_sum(30, 0, 36, 13) == a[30:37, :].sum()
+
+    def test_single_row_final_band(self, rng):
+        a = rng.integers(0, 9, size=(9, 5)).astype(float)  # 4+4+1
+        oos = OutOfCoreSAT(n_cols=5)
+        for lo, hi in band_bounds(9, 4):
+            oos.push_band(a[lo:hi])
+        assert np.array_equal(oos.sat(), sat_reference(a))
+        assert oos.rect_sum(8, 0, 8, 4) == a[8, :].sum()
+
+    def test_short_final_band_low_memory_edges(self, rng):
+        """keep_sat=False retains the short band's edge row too."""
+        a = rng.integers(0, 9, size=(26, 7)).astype(float)  # 10+10+6
+        oos = OutOfCoreSAT(n_cols=7, keep_sat=False)
+        for lo, hi in band_bounds(26, 10):
+            oos.push_band(a[lo:hi])
+        # edges at rows 9, 19, 25: band-aligned queries including the short one
+        assert oos.rect_sum(20, 0, 25, 6) == a[20:, :].sum()
+        assert oos.rect_sum(10, 1, 25, 5) == a[10:, 1:6].sum()
+
+    def test_empty_band_rejected(self):
+        oos = OutOfCoreSAT(n_cols=4)
+        with pytest.raises(ConfigurationError):
+            oos.push_band(np.zeros((0, 4)))
+
+    def test_out_of_core_helper_short_band_via_algorithm(self, rng):
+        """Whole-matrix helper with a ragged final band through the host
+        algorithm path (square bands except the last)."""
+        a = rng.integers(0, 9, size=(150, 64)).astype(float)  # 64+64+22
+        got = out_of_core_sat(a, band_rows=64, algorithm="skss-lb")
+        assert np.array_equal(got, sat_reference(a))

@@ -133,6 +133,52 @@ class TestSanitize:
         with pytest.raises(ConfigurationError):
             run_cli(capsys, "fuzz", "--replay", '{"algorithm": "2R2W"}')
 
+    def test_sanitize_includes_incremental_check(self, capsys):
+        code, out = run_cli(capsys, "sanitize", "-n", "32", "-a", "skss-lb")
+        assert code == 0
+        assert "incremental state retention: 0 finding(s)" in out
+
+    def test_sanitize_no_incremental_skips_check(self, capsys):
+        code, out = run_cli(capsys, "sanitize", "-n", "32", "-a", "skss-lb",
+                            "--no-incremental")
+        assert code == 0
+        assert "incremental state retention" not in out
+
+
+class TestIncremental:
+    def test_fuzz_incremental_mode(self, capsys):
+        code, out = run_cli(capsys, "fuzz", "--runs", "5", "--mode",
+                            "incremental")
+        assert code == 0
+        assert "OK" in out
+
+    def test_fuzz_incremental_replay(self, capsys):
+        import numpy as np
+
+        from repro.analysis.fuzzing import sample_incremental_config
+        config = sample_incremental_config(np.random.default_rng(9))
+        code, out = run_cli(capsys, "fuzz", "--replay", config.to_json())
+        assert code == 0
+        assert "replay: OK" in out
+
+    def test_incremental_bench(self, capsys, tmp_path):
+        import json
+        path = tmp_path / "bench.json"
+        code, out = run_cli(capsys, "incremental-bench", "-n", "128",
+                            "--edits", "2", "--json", str(path))
+        assert code == 0
+        assert "bit-identical to from-scratch: True" in out
+        record = json.loads(path.read_text())
+        assert record["bit_identical"] is True
+        assert record["speedup_mean"] > 0
+
+    def test_incremental_bench_recompute_strategy(self, capsys):
+        code, out = run_cli(capsys, "incremental-bench", "-n", "128",
+                            "--edits", "2", "--dtype", "float64",
+                            "--strategy", "recompute")
+        assert code == 0
+        assert "strategy=recompute" in out
+
 
 class TestMisc:
     def test_trace(self, capsys):

@@ -9,14 +9,19 @@ import pytest
 EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[1] / "examples"
 EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
 
+#: Examples that sweep every algorithm on the simulator — slow tier.
+_SLOW_EXAMPLES = {"compare_algorithms.py"}
+
 
 def test_expected_examples_present():
     assert {"quickstart.py", "compare_algorithms.py", "box_filter_demo.py",
             "lookback_trace.py", "performance_table.py",
-            "out_of_core_demo.py"} <= set(EXAMPLES)
+            "out_of_core_demo.py", "video_stream_demo.py"} <= set(EXAMPLES)
 
 
-@pytest.mark.parametrize("name", EXAMPLES)
+@pytest.mark.parametrize(
+    "name", [pytest.param(n, marks=[pytest.mark.slow] * (n in _SLOW_EXAMPLES))
+             for n in EXAMPLES])
 def test_example_runs(name):
     proc = subprocess.run([sys.executable, str(EXAMPLES_DIR / name)],
                           capture_output=True, text=True, timeout=300)

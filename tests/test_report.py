@@ -1,7 +1,12 @@
 """The one-shot reproduction report generator."""
 
+import pytest
+
 from repro.cli import main
 from repro.report import generate_report, write_report
+
+# Report generation runs simulator measurement plus a fuzz session per test.
+pytestmark = pytest.mark.slow
 
 
 class TestReport:
