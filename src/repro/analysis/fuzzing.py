@@ -22,7 +22,9 @@ Two modes share the harness (``repro fuzz --mode``):
     of the current input (same accumulator dtype), with the carry planes
     matching their Table II oracles at the end.  Shapes are rectangular
     (ragged tile edges included) and dtypes span integer and float
-    accumulators, so both repair strategies get adversarial coverage.
+    accumulators, so both repair strategies get adversarial coverage; float
+    data is genuinely fractional at mixed magnitudes so rounding behavior
+    is exercised, not just exact arithmetic.
 
 Both modes replay from the same :class:`FuzzConfig` JSON round-trip; the
 incremental fields default to inert values so pre-existing replay files keep
@@ -59,6 +61,24 @@ INCREMENTAL_ALGORITHMS = ("2R1W", "1R1W", "(1+r)R1W", "1R1W-SKSS",
 INCREMENTAL_DTYPES = ("uint8", "int32", "float32", "float64")
 
 
+def _fuzz_values(rng: np.random.Generator, shape, dtype,
+                 low: int = 0, high: int = 100) -> np.ndarray:
+    """Random data in ``[low, high)`` for one edit or frame.
+
+    Float dtypes get genuinely fractional values at a randomly drawn
+    magnitude: integer-valued float data makes every add/subtract in the
+    suite exact, which would leave float round-trip bugs (e.g. an edit
+    reconstructed as ``work += values - work``) structurally undetectable
+    despite the bit-identity oracle.
+    """
+    dt = np.dtype(dtype)
+    if np.issubdtype(dt, np.floating):
+        scale = float(rng.choice([1e-2, 1.0, 1e6]))
+        return ((low + (high - low) * rng.random(size=shape)) * scale) \
+            .astype(dt)
+    return rng.integers(low, high, size=shape).astype(dt)
+
+
 @dataclass(frozen=True)
 class FuzzConfig:
     """One sampled configuration (sufficient to replay a failure)."""
@@ -92,8 +112,7 @@ class FuzzConfig:
         rng = np.random.default_rng(self.data_seed)
         if self.mode == "incremental":
             shape = (self.rows or self.n, self.cols or self.n)
-            return rng.integers(0, 100, size=shape) \
-                .astype(np.dtype(self.dtype))
+            return _fuzz_values(rng, shape, self.dtype)
         return rng.integers(-50, 50, size=(self.n, self.n)).astype(np.float64)
 
     def to_json(self) -> str:
@@ -231,7 +250,7 @@ def _run_incremental(config: FuzzConfig) -> str | None:
                 w = int(rng.integers(1, cols + 1))
                 top = int(rng.integers(0, rows - h + 1))
                 left = int(rng.integers(0, cols - w + 1))
-                vals = rng.integers(0, 100, size=(h, w)).astype(a.dtype)
+                vals = _fuzz_values(rng, (h, w), a.dtype)
                 inc.update(top, left, vals)
                 current[top:top + h, left:left + w] = vals
             elif kind == "tiles":
@@ -242,8 +261,7 @@ def _run_incremental(config: FuzzConfig) -> str | None:
                     I = int(rng.integers(0, grid.tile_rows))
                     J = int(rng.integers(0, grid.tile_cols))
                     shape = (grid.tile_height(I), grid.tile_width_at(J))
-                    edits.append((I, J, rng.integers(0, 100, size=shape)
-                                  .astype(a.dtype)))
+                    edits.append((I, J, _fuzz_values(rng, shape, a.dtype)))
                 inc.update_tiles(edits)
                 W = config.tile_width
                 for I, J, vals in edits:
@@ -256,7 +274,7 @@ def _run_incremental(config: FuzzConfig) -> str | None:
                 top = int(rng.integers(0, rows - h + 1))
                 left = int(rng.integers(0, cols - w + 1))
                 d[top:top + h, left:left + w] = \
-                    rng.integers(-20, 20, size=(h, w))
+                    _fuzz_values(rng, (h, w), inc.dtype, -20, 20)
                 inc.delta(d)
                 current += d
             else:  # advance
@@ -266,7 +284,7 @@ def _run_incremental(config: FuzzConfig) -> str | None:
                 top = int(rng.integers(0, rows - h + 1))
                 left = int(rng.integers(0, cols - w + 1))
                 frame[top:top + h, left:left + w] += \
-                    rng.integers(1, 20, size=(h, w)).astype(inc.dtype)
+                    _fuzz_values(rng, (h, w), inc.dtype, 1, 20)
                 inc.advance(frame)
                 current = frame
             want = oracle.run_host(current, dtype_policy=inc.dtype)

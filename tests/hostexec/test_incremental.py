@@ -21,6 +21,11 @@ ALGORITHMS = ("2R1W", "1R1W", "(1+r)R1W", "1R1W-SKSS", "1R1W-SKSS-LB")
 
 
 def _data(rng, shape, dtype):
+    if np.issubdtype(np.dtype(dtype), np.floating):
+        # Genuinely fractional: integer-valued float data makes every
+        # add/subtract exact and hides rounding bugs from the bit-identity
+        # oracle.
+        return (rng.random(size=shape) * 100).astype(dtype)
     return rng.integers(0, 100, size=shape).astype(dtype)
 
 
@@ -183,6 +188,39 @@ class TestEditKinds:
                 frame[rng.integers(0, 64):, rng.integers(0, 64):] += 1
                 got = inc.advance(frame)
                 assert np.array_equal(got, _reference(inc, frame))
+
+    def test_advance_float_frame_resident_bit_exact(self, rng):
+        """Regression: advance() must store the supplied float frame
+        bit-exactly, not ``work + (frame - work)`` (which rounds)."""
+        a = _data(rng, (70, 50), np.float64)
+        with IncrementalSAT(a) as inc:
+            frame = a.copy()
+            frame[10:30, 5:25] = rng.random((20, 20)) * 0.1 + 0.1
+            got = inc.advance(frame)
+            assert np.array_equal(inc.input, frame)
+            assert np.array_equal(got, _reference(inc, frame))
+
+    def test_advance_float_cancellation(self, rng):
+        """Regression: with cancellation (work=1e16 -> frame=1.0), the
+        delta round trip would store ~2.0; the frame must survive."""
+        a = np.full((64, 64), 1e16, dtype=np.float64)
+        with IncrementalSAT(a) as inc:
+            frame = np.ones((64, 64), dtype=np.float64)
+            got = inc.advance(frame)
+            assert np.array_equal(inc.input, frame)
+            assert np.array_equal(got, _reference(inc, frame))
+
+    def test_update_tiles_float_overwrite_bit_exact(self, rng):
+        """Regression: the recompute path must write tile values directly,
+        not reconstruct them as ``work += (values - work)``."""
+        a = _data(rng, (64, 64), np.float32)
+        with IncrementalSAT(a, tile_width=32) as inc:
+            vals = (rng.random((32, 32)) * 0.1).astype(np.float32)
+            got = inc.update_tiles([(0, 1, vals)])
+            cur = a.astype(inc.dtype)
+            cur[:32, 32:] = vals
+            assert np.array_equal(inc.input, cur)
+            assert np.array_equal(got, _reference(inc, cur))
 
     def test_empty_update_is_noop(self, rng):
         a = _data(rng, (64, 64), np.int32)
