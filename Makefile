@@ -2,8 +2,9 @@
 
 PY ?= python
 
-.PHONY: install test test-slow lint typecheck sanitize-smoke bench \
-	bench-smoke bench-incremental-smoke tables report fuzz examples all
+.PHONY: install test test-slow lint typecheck sanitize-smoke \
+	modelcheck-smoke modelcheck-sweep bench bench-smoke \
+	bench-incremental-smoke tables report fuzz examples all
 
 install:
 	pip install -e . --no-build-isolation
@@ -15,6 +16,7 @@ test:
 	$(MAKE) bench-smoke
 	$(MAKE) bench-incremental-smoke
 	$(MAKE) sanitize-smoke
+	$(MAKE) modelcheck-smoke
 
 # Tier-2: the @pytest.mark.slow suites (long fuzz sessions, report
 # generation, heavy examples, exhaustive differential sweeps).
@@ -37,6 +39,21 @@ typecheck:
 sanitize-smoke:
 	PYTHONPATH=src $(PY) -m repro sanitize -n 64 --consistency relaxed \
 		--policy lifo
+
+# Exhaustive protocol model checking: all 7 algorithms on a 2x2 tile grid
+# plus the planted-bug corpus, POR on (also a CI job; JSON is the artifact).
+modelcheck-smoke:
+	PYTHONPATH=src $(PY) -m repro modelcheck -t 2 --corpus \
+		--json modelcheck.json
+
+# Larger grids for the slow tier: t=3 for every algorithm, and the two
+# soft-sync algorithms at t=4 (SKSS-LB's 16-program pool-4 graph explodes,
+# so its sweep stops at pool 3).
+modelcheck-sweep:
+	PYTHONPATH=src $(PY) -m repro modelcheck -t 3
+	PYTHONPATH=src $(PY) -m repro modelcheck -t 4 -a 1R1W-SKSS
+	PYTHONPATH=src $(PY) -m repro modelcheck -t 4 -a 1R1W-SKSS-LB \
+		--pool 1 --pool 2 --pool 3
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only

@@ -49,7 +49,11 @@ FUZZ_ALGORITHMS = ("2R2W", "2R2W-optimal", "2R1W", "1R1W", "(1+r)R1W",
                    "1R1W-SKSS", "1R1W-SKSS-LB")
 
 #: Fuzzing modes accepted by :func:`fuzz` / ``repro fuzz --mode``.
-FUZZ_MODES = ("simulate", "incremental")
+#: ``sanitize`` replays a configuration under the concurrency sanitizer with
+#: a bounded spin budget — the dynamic half of the model checker's
+#: counterexamples (:mod:`repro.analysis.modelcheck` emits replay configs in
+#: this mode, including bug-corpus kernels via the ``kernel`` field).
+FUZZ_MODES = ("simulate", "incremental", "sanitize")
 
 #: Tile-based algorithms the incremental engine can maintain (the wavefront
 #: kernel set — 2R2W variants have no tile carry state to repair).
@@ -101,12 +105,17 @@ class FuzzConfig:
     edits: int = 0
     workers: int = 1
     strategy: str = "auto"
+    # Sanitize-mode fields (defaults keep pre-existing replay JSON valid).
+    kernel: str | None = None       # bug-corpus entry instead of an algorithm
+    acquisition: str = "diagonal"   # 1R1W-SKSS-LB tile acquisition order
+    spin_bound: int | None = None   # DeadlockSuspectedError after this many spins
 
     def build_gpu(self) -> GPU:
         return GPU(device=TINY_DEVICE if self.tiny_device else TITAN_V,
                    scheduler_policy=self.policy, seed=self.sim_seed,
                    consistency=self.consistency,
-                   max_resident_blocks=self.residency)
+                   max_resident_blocks=self.residency,
+                   spin_bound=self.spin_bound)
 
     def build_matrix(self) -> np.ndarray:
         rng = np.random.default_rng(self.data_seed)
@@ -299,6 +308,46 @@ def _run_incremental(config: FuzzConfig) -> str | None:
     return None
 
 
+def _run_sanitize(config: FuzzConfig) -> str | None:
+    """Replay one model-checker counterexample under the dynamic sanitizer.
+
+    With ``kernel`` set, the named bug-corpus entry runs over five scheduler
+    seeds; otherwise the configured algorithm runs once with the configured
+    residency/acquisition.  Any sanitizer finding — or a deadlock, which
+    surfaces as an exception through :func:`run_one`'s handler — is the
+    dynamic confirmation of the static counterexample.
+    """
+    from repro.analysis.sanitizer import Sanitizer
+
+    if config.kernel is not None:
+        from repro.analysis.bugcorpus import get_spec, run_spec
+        spec = get_spec(config.kernel)
+        rules: set[str] = set()
+        for seed in range(config.sim_seed, config.sim_seed + 5):
+            s = run_spec(spec, seed=seed, consistency=config.consistency,
+                         policy=config.policy, spin_bound=config.spin_bound)
+            rules |= {f.rule for f in s.findings}
+        if rules:
+            return f"corpus '{spec.name}': sanitizer rules {sorted(rules)}"
+        return None
+    a = config.build_matrix()
+    kwargs: dict = {"tile_width": config.tile_width}
+    if config.algorithm == "(1+r)R1W":
+        kwargs["r"] = config.r
+    if config.algorithm == "1R1W-SKSS-LB":
+        kwargs["acquisition"] = config.acquisition
+    gpu = config.build_gpu()
+    sanitizer = Sanitizer()
+    gpu.attach_sanitizer(sanitizer)
+    result = get_algorithm(config.algorithm, **kwargs).run(a, gpu)
+    if not np.array_equal(result.sat, sat_reference(a)):
+        bad = int(np.argmax(result.sat != sat_reference(a)))
+        return f"wrong SAT (first mismatch at flat index {bad})"
+    if not sanitizer.ok:
+        return f"{sanitizer.summary()}; first: {sanitizer.findings[0]}"
+    return None
+
+
 def run_one(config: FuzzConfig, *, sanitize: bool = False) -> str | None:
     """Run one configuration; returns an error description or ``None``.
 
@@ -313,6 +362,11 @@ def run_one(config: FuzzConfig, *, sanitize: bool = False) -> str | None:
         try:
             return _run_incremental(config)
         except Exception as exc:  # noqa: BLE001 - the fuzzer reports
+            return f"exception: {type(exc).__name__}: {exc}"
+    if config.mode == "sanitize":
+        try:
+            return _run_sanitize(config)
+        except Exception as exc:  # noqa: BLE001 - deadlocks count as findings
             return f"exception: {type(exc).__name__}: {exc}"
     if config.mode != "simulate":
         return f"unknown fuzz mode {config.mode!r}; known: {FUZZ_MODES}"
@@ -358,8 +412,13 @@ def fuzz(num_runs: int = 50, *, seed: int = 0,
         if time_budget_s is not None \
                 and time.perf_counter() - start > time_budget_s:
             break
-        config = sample_config(rng) if mode == "simulate" \
-            else sample_incremental_config(rng)
+        if mode == "incremental":
+            config = sample_incremental_config(rng)
+        else:
+            config = sample_config(rng)
+            if mode == "sanitize":
+                from dataclasses import replace
+                config = replace(config, mode="sanitize", spin_bound=200_000)
         error = run_one(config, sanitize=sanitize)
         report.runs += 1
         if error is not None:

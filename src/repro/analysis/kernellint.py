@@ -20,6 +20,13 @@ checks, per function and in source order:
 ``KL004`` *yielded spin-waits* — a ``ctx.wait_until(...)`` call not wrapped
     in ``yield from``.  ``wait_until`` is a generator; calling it without
     delegation never polls and silently skips the synchronization.
+``KL005`` *bounded spin loops* — a hand-rolled ``while`` loop that polls a
+    status buffer directly instead of going through ``ctx.wait_until``.
+    Hand-rolled spins bypass the simulator's configurable spin bound
+    (:class:`~repro.errors.DeadlockSuspectedError`) and its scheduler-level
+    deadlock detection, so an unsound protocol hangs instead of failing
+    loudly.  Ticket-acquisition loops (``while True`` around ``atomic_add``)
+    are not spins and are exempt.
 
 Buffer roles are inferred from names, matching the repo's conventions: an
 identifier (or attribute) containing ``status`` — or the scratch attributes
@@ -29,8 +36,8 @@ the unfenced-store count (the helper fences internally).
 
 The checks are heuristic in the way all lints are: they approximate program
 order by source order within one function.  They are tuned to be exactly
-clean on this repository's kernels and to catch each seeded bug in
-``tests/analysis/bug_corpus.py``.
+clean on this repository's kernels and to catch each seeded bug in the
+corpus at :mod:`repro.analysis.bugcorpus`.
 """
 
 from __future__ import annotations
@@ -50,6 +57,9 @@ RULES = {
              "(use lookback.publish, which fences and checks monotonicity)",
     "KL004": "ctx.wait_until(...) not wrapped in 'yield from' "
              "(the spin-wait generator is never driven)",
+    "KL005": "hand-rolled spin loop polling a status buffer "
+             "(use ctx.wait_until, which honors the spin bound and "
+             "deadlock detection)",
 }
 
 #: Module basenames allowed to store status bytes directly (the publish
@@ -181,7 +191,37 @@ def lint_source(source: str, path: str = "<string>") -> list[LintFinding]:
                     findings.append(LintFinding(
                         "KL004", path, call.lineno, func.name,
                         RULES["KL004"]))
+        findings.extend(_check_spin_loops(func, path))
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings
+
+
+def _check_spin_loops(func: ast.AST, path: str) -> list[LintFinding]:
+    """KL005: ``while`` loops that poll a status buffer without wait_until.
+
+    A loop is a hand-rolled spin when its test or body loads a status buffer
+    but neither drives ``wait_until`` (the bounded primitive) nor acquires
+    tickets via ``atomic_add`` (a dispatch loop, not a spin).
+    """
+    findings = []
+    for loop in ast.walk(func):
+        if not isinstance(loop, ast.While):
+            continue
+        polls_status = False
+        bounded = False
+        for call in ast.walk(loop):
+            if not isinstance(call, ast.Call):
+                continue
+            method = _method_name(call)
+            if method in ("wait_until", "atomic_add"):
+                bounded = True
+            elif method in _LOAD_METHODS and call.args \
+                    and _is_status_buffer(call.args[0]):
+                polls_status = True
+        if polls_status and not bounded:
+            findings.append(LintFinding(
+                "KL005", path, loop.lineno, func.name,
+                RULES["KL005"]))
     return findings
 
 
@@ -191,10 +231,17 @@ def lint_file(path: str | Path) -> list[LintFinding]:
 
 
 def default_targets() -> list[Path]:
-    """The kernel-bearing source trees: ``repro/primitives`` and ``repro/sat``."""
+    """Every kernel-bearing source location.
+
+    The ``primitives`` and ``sat`` trees hold the algorithm kernels;
+    ``hostexec/kernels.py`` holds the incremental engine's repair kernels and
+    ``gpusim/kernel.py`` documents the kernel authoring idiom — both were
+    historically missed by the lint sweep.
+    """
     import repro
     pkg = Path(repro.__file__).parent
-    return [pkg / "primitives", pkg / "sat"]
+    return [pkg / "primitives", pkg / "sat",
+            pkg / "hostexec" / "kernels.py", pkg / "gpusim" / "kernel.py"]
 
 
 def lint_paths(paths: Iterable[str | Path] | None = None) -> list[LintFinding]:

@@ -13,6 +13,7 @@ Commands
 ``devices``  cross-device model projections (extension)
 ``fuzz``     differential fuzzing of all algorithms (and edit sequences)
 ``sanitize`` race/protocol sanitizer + static kernel lint
+``modelcheck`` exhaustive protocol model checking (deadlock freedom proof)
 ``incremental-bench``  time incremental repair vs full recompute
 ``report``   write the full REPRODUCTION_REPORT.md
 ``list``     list algorithms and aliases
@@ -112,10 +113,13 @@ def _build_parser() -> argparse.ArgumentParser:
     fz.add_argument("--runs", type=int, default=50)
     fz.add_argument("--seed", type=int, default=0)
     fz.add_argument("--mode", default="simulate",
-                    choices=["simulate", "incremental"],
+                    choices=["simulate", "incremental", "sanitize"],
                     help="simulate: algorithms vs the reference on the "
                          "simulator; incremental: random edit sequences "
-                         "through IncrementalSAT vs from-scratch recompute")
+                         "through IncrementalSAT vs from-scratch recompute; "
+                         "sanitize: sampled configs re-run under the "
+                         "concurrency sanitizer (also the harness that "
+                         "replays modelcheck counterexamples)")
     fz.add_argument("--time-budget", type=float, default=None,
                     help="stop after this many seconds")
     fz.add_argument("--sanitize", action="store_true",
@@ -152,6 +156,43 @@ def _build_parser() -> argparse.ArgumentParser:
                     help="skip the incremental state-retention check "
                          "(carry-plane oracles + recompute bit-identity "
                          "after an edit sequence)")
+    sz.add_argument("--json", metavar="PATH", nargs="?", const="-",
+                    default=None,
+                    help="also emit all findings as JSON (stable ordering) "
+                         "to PATH, or to stdout with no argument")
+
+    mc = sub.add_parser("modelcheck",
+                        help="exhaustive protocol model checking: extract "
+                             "each kernel's synchronization protocol and "
+                             "explore every block interleaving on a small "
+                             "tile grid (proves deadlock freedom rather "
+                             "than sampling schedules)")
+    mc.add_argument("-a", "--algorithm", action="append", default=None,
+                    help="algorithm (or bug-corpus kernel) to check "
+                         "(repeatable; default: all 7 algorithms)")
+    mc.add_argument("-t", "--tiles", type=int, default=2,
+                    help="tile-grid side: models a t x t grid (default 2)")
+    mc.add_argument("--pool", type=int, action="append", default=None,
+                    help="resident-block pool size to explore (repeatable; "
+                         "default: sweep 1..min(4, blocks))")
+    mc.add_argument("--acquisition", default="diagonal",
+                    help="tile acquisition order for 1R1W-SKSS-LB "
+                         "(diagonal, rowmajor, reversed, swapped)")
+    mc.add_argument("--no-por", action="store_true",
+                    help="disable partial-order reduction (explores the "
+                         "unreduced state graph; same verdict, many more "
+                         "states — used to cross-check the reduction)")
+    mc.add_argument("--max-states", type=int, default=None,
+                    help="abort a pool exploration beyond this many states "
+                         "(default 500000)")
+    mc.add_argument("--corpus", action="store_true",
+                    help="also check every planted-bug corpus kernel: each "
+                         "must yield a counterexample of its expected kind "
+                         "and the control must verify clean")
+    mc.add_argument("--json", metavar="PATH", nargs="?", const="-",
+                    default=None,
+                    help="also emit all results as JSON (stable ordering) "
+                         "to PATH, or to stdout with no argument")
 
     ib = sub.add_parser("incremental-bench",
                         help="time incremental repair vs full wavefront "
@@ -367,14 +408,30 @@ def _cmd_fuzz(args) -> int:
     return 0 if report.ok else 1
 
 
+def _write_json(payload, dest: str) -> None:
+    """Emit a JSON artifact to a path, or to stdout when ``dest`` is ``-``."""
+    import json as _json
+    text = _json.dumps(payload, indent=2, sort_keys=True)
+    if dest == "-":
+        print(text)
+    else:
+        with open(dest, "w") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {dest}")
+
+
 def _cmd_sanitize(args) -> int:
+    from dataclasses import asdict
+
     from repro.analysis import lint_paths, sanitize_all
     rc = 0
+    record = {"lint": None, "runs": None, "incremental": None}
     if not args.no_lint:
         findings = lint_paths()
         print(f"kernel lint: {len(findings)} finding(s)")
         for f in findings:
             print(f"  {f}")
+        record["lint"] = [asdict(f) for f in findings]  # already line-sorted
         if findings:
             rc = 1
     if not args.no_dynamic:
@@ -388,6 +445,14 @@ def _cmd_sanitize(args) -> int:
             for f in run.findings:
                 print(f"    {f}")
         print(report.summary())
+        record["runs"] = [
+            {**asdict(run),
+             "findings": sorted(
+                 (asdict(f) for f in run.findings),
+                 key=lambda d: (d["rule"], d["kernel"], d["buffer"],
+                                d["index"] if d["index"] is not None else -1,
+                                d["block"]))}
+            for run in report.runs]
         if not report.ok:
             rc = 1
     if not args.no_incremental:
@@ -398,8 +463,51 @@ def _cmd_sanitize(args) -> int:
         print(f"incremental state retention: {len(findings)} finding(s)")
         for f in findings:
             print(f"  {f}")
+        record["incremental"] = sorted(str(f) for f in findings)
         if findings:
             rc = 1
+    if args.json:
+        record["ok"] = rc == 0
+        _write_json(record, args.json)
+    return rc
+
+
+def _cmd_modelcheck(args) -> int:
+    from repro.analysis import MODEL_ALGORITHMS, check
+    from repro.analysis.modelcheck import DEFAULT_MAX_STATES
+    max_states = args.max_states or DEFAULT_MAX_STATES
+    pools = tuple(args.pool) if args.pool else None
+    rc = 0
+    records = []
+    for name in args.algorithm or MODEL_ALGORITHMS:
+        result = check(name, args.tiles, acquisition=args.acquisition,
+                       por=not args.no_por, pools=pools,
+                       max_states=max_states)
+        print(result.report())
+        records.append(result.to_dict())
+        if not result.ok:
+            rc = 1
+    if args.corpus:
+        from repro.analysis.bugcorpus import CONTROL, CORPUS
+        for spec in CORPUS + (CONTROL,):
+            result = check(spec.name, por=not args.no_por,
+                           max_states=max_states)
+            print(result.report())
+            kinds = sorted({v.kind for v in result.violations()})
+            expected = spec.expected_model
+            met = result.ok if not expected else expected in kinds
+            verdict = ("clean as expected" if not expected and met else
+                       f"counterexample '{expected}' found" if met else
+                       f"expected '{expected or 'clean'}', "
+                       f"got {kinds or 'none'}")
+            print(f"  corpus expectation: {verdict}")
+            record = result.to_dict()
+            record["expectation_met"] = met
+            records.append(record)
+            if not met:
+                rc = 1
+    if args.json:
+        _write_json({"ok": rc == 0, "results": records}, args.json)
     return rc
 
 
@@ -463,6 +571,7 @@ _COMMANDS = {
     "devices": _cmd_devices,
     "fuzz": _cmd_fuzz,
     "sanitize": _cmd_sanitize,
+    "modelcheck": _cmd_modelcheck,
     "incremental-bench": _cmd_incremental_bench,
     "report": _cmd_report,
     "list": _cmd_list,

@@ -37,6 +37,28 @@ class DeadlockError(SimulationError):
         self.pending_blocks = pending_blocks
 
 
+class DeadlockSuspectedError(SimulationError):
+    """A single ``wait_until`` spin-wait exceeded its configured iteration
+    bound (``GPU(spin_bound=...)``).
+
+    Unlike :class:`DeadlockError` — the scheduler's global "nobody can make
+    progress" verdict — this is a *local* tripwire: one block polled one flag
+    more times than any plausibly-live protocol should need.  Harnesses that
+    replay suspected-hung protocols (the model checker's counterexamples, the
+    sanitize-mode fuzzer) set a bound so hangs fail fast with the offending
+    buffer and index instead of spinning until the global detector fires.
+    """
+
+    def __init__(self, message: str, *, block_id: int = -1,
+                 buffer_name: str = "", flat_index: int = -1,
+                 spins: int = 0) -> None:
+        super().__init__(message)
+        self.block_id = block_id
+        self.buffer_name = buffer_name
+        self.flat_index = flat_index
+        self.spins = spins
+
+
 class InvalidAccessError(SimulationError):
     """An out-of-bounds or wrongly-typed global/shared memory access."""
 
@@ -58,3 +80,17 @@ class ProtocolError(SimulationError):
     """A publish/look-back protocol invariant was violated in-kernel (e.g. a
     status flag was written with a value that does not strictly increase the
     committed flag — statuses must be monotone for pollers to be sound)."""
+
+
+class ExtractionError(ReproError):
+    """Static protocol extraction failed: a kernel's AST does not match the
+    protocol shape its module declares (see :mod:`repro.analysis.protomodel`).
+
+    Raised when a kernel drifts from its declared publish/wait/walk structure
+    — the extraction cross-check is itself a static gate."""
+
+
+class ModelCheckError(ReproError):
+    """The explicit-state explorer could not complete (e.g. the state budget
+    was exhausted before the frontier emptied; see
+    :mod:`repro.analysis.modelcheck`)."""

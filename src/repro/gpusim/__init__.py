@@ -23,7 +23,7 @@ from repro.gpusim.kernel import GPU
 from repro.gpusim.memory import (GlobalBuffer, GlobalMemory, StoreBuffer,
                                  count_warp_transactions)
 from repro.gpusim.observer import MemoryObserver
-from repro.gpusim.scheduler import POLICIES, Scheduler
+from repro.gpusim.scheduler import POLICIES, DispatchModel, Scheduler
 from repro.gpusim.shared import SharedMemory, bank_conflict_cycles
 from repro.gpusim.timing import DEFAULT_COSTS, CostWeights
 from repro.gpusim.trace import TraceEvent, Tracer, render_timeline
@@ -37,7 +37,7 @@ __all__ = [
     "WARP_SIZE", "NUM_BANKS", "SEGMENT_BYTES",
     "GlobalBuffer", "GlobalMemory", "StoreBuffer", "count_warp_transactions",
     "MemoryObserver",
-    "Scheduler", "POLICIES",
+    "Scheduler", "POLICIES", "DispatchModel",
     "SharedMemory", "bank_conflict_cycles",
     "CostWeights", "DEFAULT_COSTS",
     "Tracer", "TraceEvent", "render_timeline",

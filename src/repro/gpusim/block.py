@@ -22,7 +22,7 @@ from typing import Callable, Iterator
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, DeadlockSuspectedError
 from repro.gpusim import warp as warp_ops
 from repro.gpusim.counters import MemoryTraffic
 from repro.gpusim.device import DeviceProperties
@@ -43,7 +43,8 @@ class BlockContext:
     def __init__(self, *, block_id: int, grid_blocks: int, nthreads: int,
                  device: DeviceProperties, memory: GlobalMemory,
                  store_buffer: StoreBuffer, traffic: MemoryTraffic,
-                 costs: CostWeights = DEFAULT_COSTS) -> None:
+                 costs: CostWeights = DEFAULT_COSTS,
+                 spin_bound: int | None = None) -> None:
         if nthreads % device.warp_size:
             raise ConfigurationError(
                 f"block of {nthreads} threads is not a whole number of warps")
@@ -55,6 +56,7 @@ class BlockContext:
         self.traffic = traffic
         self.costs = costs
         self._store_buffer = store_buffer
+        self.spin_bound = spin_bound
         self.shared = SharedMemory(device, traffic)
         #: Thread-index vector, one entry per thread in the block.
         self.tids = np.arange(nthreads)
@@ -196,10 +198,20 @@ class BlockContext:
             buf.kind = "status"
         if self.memory.observer is not None:
             self.memory.observer.on_spin_poll(self.block_id, buf, flat_index)
+        spins = 0
         while True:
             value = self.gload_scalar(buf, flat_index)
             if predicate(value):
                 return value
+            spins += 1
+            if self.spin_bound is not None and spins > self.spin_bound:
+                raise DeadlockSuspectedError(
+                    f"block {self.block_id} spun {spins} times on "
+                    f"{buf.name}[{flat_index}] (last value {value!r}) without "
+                    f"the wait predicate holding; spin_bound="
+                    f"{self.spin_bound} exceeded",
+                    block_id=self.block_id, buffer_name=buf.name,
+                    flat_index=flat_index, spins=spins)
             self.traffic.spin_iterations += 1
             self._cycles += self.costs.spin_poll
             yield SPIN

@@ -56,6 +56,12 @@ class GPU:
     max_resident_blocks:
         Optional override of the occupancy-derived residency bound; tests use
         tiny values to stress soft synchronization.
+    spin_bound:
+        Optional per-wait spin iteration bound; a single ``wait_until`` that
+        polls more than this many times raises
+        :class:`~repro.errors.DeadlockSuspectedError` instead of relying on
+        the scheduler's global deadlock detector.  ``None`` (default) leaves
+        spins unbounded.
     sanitizer:
         Optional concurrency sanitizer (any
         :class:`~repro.gpusim.observer.MemoryObserver`); it receives every
@@ -71,7 +77,8 @@ class GPU:
                  max_resident_blocks: int | None = None,
                  tracer: Tracer | None = None,
                  detect_uninitialized: bool = False,
-                 sanitizer=None) -> None:
+                 sanitizer=None,
+                 spin_bound: int | None = None) -> None:
         self.device = device
         self.memory = GlobalMemory(device,
                                    detect_uninitialized=detect_uninitialized)
@@ -83,7 +90,7 @@ class GPU:
                                     seed=seed, consistency=consistency,
                                     costs=costs,
                                     max_resident_blocks=max_resident_blocks,
-                                    tracer=tracer)
+                                    tracer=tracer, spin_bound=spin_bound)
 
     def attach_sanitizer(self, sanitizer) -> None:
         """Attach (or replace) the memory-model observer for later launches."""

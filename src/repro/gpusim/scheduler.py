@@ -41,6 +41,31 @@ DEADLOCK_ROUNDS = 3
 POLICIES = ("round_robin", "random", "lifo")
 
 
+@dataclass(frozen=True)
+class DispatchModel:
+    """The dispatcher contract the model checker assumes about this scheduler.
+
+    :mod:`repro.analysis.modelcheck` enumerates interleavings under exactly
+    these rules; if the scheduler's dispatch semantics ever change, this hook
+    changes with it and the checker's assumptions stay honest.
+
+    * ``in_order`` — blocks become resident in launch order (block ``k`` never
+      dispatches before block ``k-1``).
+    * ``bounded_residency`` — at most ``max_resident`` blocks are resident at
+      once; a slot frees only when a resident block retires.
+    * ``eager`` — a free slot is filled immediately (the dispatcher never
+      idles while work is pending and a slot is open).
+    * ``intra_residency_free`` — scheduling *within* the resident set is
+      unconstrained (the checker must explore all interleavings; ``policy`` is
+      not a correctness lever).
+    """
+
+    in_order: bool = True
+    bounded_residency: bool = True
+    eager: bool = True
+    intra_residency_free: bool = True
+
+
 @dataclass
 class _ResidentBlock:
     block_id: int
@@ -66,6 +91,9 @@ class Scheduler:
     deadlock_rounds: int = DEADLOCK_ROUNDS
     #: Optional event tracer (see :mod:`repro.gpusim.trace`).
     tracer: "trace_mod.Tracer | None" = None
+    #: Per-wait spin iteration bound (None = unbounded; see
+    #: :class:`~repro.errors.DeadlockSuspectedError`).
+    spin_bound: int | None = None
 
     def __post_init__(self) -> None:
         if self.policy not in POLICIES:
@@ -77,6 +105,16 @@ class Scheduler:
         self._rng = np.random.default_rng(self.seed)
 
     # -- public API -------------------------------------------------------------
+
+    def dispatch_model(self) -> DispatchModel:
+        """Return the dispatch contract :meth:`run` implements.
+
+        The ``dispatch()`` closure in :meth:`run` dispatches in launch order,
+        caps residency at the occupancy limit, and refills slots in the same
+        round a block retires — matching the defaults of
+        :class:`DispatchModel` for every policy.
+        """
+        return DispatchModel()
 
     def run(self, kernel_fn: Callable, *, grid_blocks: int, threads_per_block: int,
             args: Sequence, memory: GlobalMemory, stats: KernelStats,
@@ -108,7 +146,8 @@ class Scheduler:
                 ctx = BlockContext(block_id=next_block, grid_blocks=grid_blocks,
                                    nthreads=threads_per_block, device=self.device,
                                    memory=memory, store_buffer=sb,
-                                   traffic=stats.traffic, costs=self.costs)
+                                   traffic=stats.traffic, costs=self.costs,
+                                   spin_bound=self.spin_bound)
                 if memory.observer is not None:
                     memory.observer.on_dispatch(next_block, sb)
                 gen = self._start(kernel_fn, ctx, args)

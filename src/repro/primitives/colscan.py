@@ -222,3 +222,20 @@ def run_col_scan(gpu: GPU, src: GlobalBuffer, dst: GlobalBuffer, *,
         for suffix in ("_counter", "_status", "_agg", "_pref"):
             gpu.free(tag + suffix)
     return stats
+
+
+#: Declared protocol shape, cross-checked against the kernel AST by
+#: :func:`repro.analysis.protomodel.extract_kernel` — update BOTH when the
+#: synchronization structure changes, or model checking refuses to run.
+MODEL_HINTS = {
+    "col_scan_kernel": {
+        "ticket": True,
+        "publishes": (("aggregates", "status", STATUS_AGGREGATE),
+                      ("prefixes", "status", STATUS_PREFIX)),
+        "walks": (("status", STATUS_AGGREGATE, STATUS_PREFIX,
+                   "aggregates", "prefixes"),),
+        "waits": (),
+        "stores": ("dst",),
+        "loads": ("src",),
+    },
+}

@@ -24,8 +24,9 @@ def generate_report(*, measure_size: int = 128, fuzz_runs: int = 25,
     simulator pays ~10³x wall-clock); ``fuzz_runs`` bounds the differential
     fuzzing pass.
     """
-    from repro.analysis import (check_counts, fuzz, precision_report,
-                                render_profile, render_table1)
+    from repro.analysis import (MODEL_ALGORITHMS, check, check_counts, fuzz,
+                                precision_report, render_profile,
+                                render_table1)
     from repro.analysis.waves import PROFILES
     from repro.gpusim import GPU
     from repro.perfmodel import TitanVModel, render_table3
@@ -81,6 +82,19 @@ def generate_report(*, measure_size: int = 128, fuzz_runs: int = 25,
     out.write(report.summary() + "\n")
     for config, error in report.failures:
         out.write(f"FAIL {error}: {config}\n")
+    out.write("```\n\n")
+
+    # -- protocol model checking ----------------------------------------------
+    out.write("## Protocol model checking (exhaustive, 2x2 tile grid)\n\n")
+    out.write("Every block interleaving of each algorithm's extracted "
+              "synchronization protocol, over resident-block pools 1-4 "
+              "(deadlock freedom is proved, not sampled; see "
+              "`python -m repro modelcheck`):\n\n```\n")
+    for name in MODEL_ALGORITHMS:
+        res = check(name, 2)
+        verdict = "VERIFIED" if res.ok else "VIOLATIONS FOUND"
+        out.write(f"{name:<14} {verdict:<16} {res.states:>6} states, "
+                  f"{res.transitions:>6} transitions\n")
     out.write("```\n\n")
 
     # -- precision ---------------------------------------------------------------

@@ -265,3 +265,17 @@ class Hybrid1R1W(SATAlgorithm):
                 gs[I, J] = gsat[-1, -1]
                 out[grid.tile_slice(I, J)] = gsat
         return out
+
+
+#: Declared protocol shape, cross-checked against the kernel AST by
+#: :func:`repro.analysis.protomodel.extract_kernel` — update BOTH when the
+#: memory-access structure changes, or model checking refuses to run.
+MODEL_HINTS = {
+    "band_local_sums_kernel": {"stores": ("lcs", "lrs", "ls"),
+                               "loads": ("a",)},
+    "band_global_sums_kernel": {"stores": ("gcs", "grs", "gs"),
+                                "loads": ("gcs", "grs", "gs",
+                                          "lcs", "lrs", "ls")},
+    "band_gsat_kernel": {"stores": ("b",),
+                         "loads": ("a", "gcs", "grs", "gs")},
+}

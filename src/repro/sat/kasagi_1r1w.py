@@ -118,3 +118,12 @@ class Kasagi1R1W(SATAlgorithm):
                 gs[I, J] = gsat[-1, -1]
                 out[grid.tile_slice(I, J)] = gsat
         return out
+
+
+#: Declared protocol shape, cross-checked against the kernel AST by
+#: :func:`repro.analysis.protomodel.extract_kernel` — update BOTH when the
+#: memory-access structure changes, or model checking refuses to run.
+MODEL_HINTS = {
+    "wavefront_kernel": {"stores": ("b", "gcs", "grs", "gs"),
+                         "loads": ("a", "gcs", "grs", "gs")},
+}

@@ -74,3 +74,12 @@ class Naive2R2W(SATAlgorithm):
 
     def _run_host(self, a: np.ndarray) -> np.ndarray:
         return a.cumsum(axis=0).cumsum(axis=1)
+
+
+#: Declared protocol shape, cross-checked against the kernel AST by
+#: :func:`repro.analysis.protomodel.extract_kernel` — update BOTH when the
+#: memory-access structure changes, or model checking refuses to run.
+MODEL_HINTS = {
+    "column_scan_kernel": {"stores": ("dst",), "loads": ("src",)},
+    "row_scan_kernel": {"stores": ("buf",), "loads": ("buf",)},
+}

@@ -174,3 +174,14 @@ class Nehab2R1W(SATAlgorithm):
                     gcs[I - 1, J] if I > 0 else zeros,
                     gs[I - 1, J - 1] if I > 0 and J > 0 else a.dtype.type(0))
         return out
+
+
+#: Declared protocol shape, cross-checked against the kernel AST by
+#: :func:`repro.analysis.protomodel.extract_kernel` — update BOTH when the
+#: memory-access structure changes, or model checking refuses to run.
+MODEL_HINTS = {
+    "local_sums_kernel": {"stores": ("lcs", "lrs", "ls"), "loads": ("a",)},
+    "global_sums_kernel": {"stores": ("gcs", "grs", "gs"),
+                           "loads": ("lcs", "lrs", "ls")},
+    "gsat_kernel": {"stores": ("b",), "loads": ("a", "gcs", "grs", "gs")},
+}

@@ -117,3 +117,18 @@ class SKSS1R1W(SATAlgorithm):
                 out[grid.tile_slice(I, J)] = gsat
                 gcp = gsat[-1, :]
         return out
+
+
+#: Declared protocol shape, cross-checked against the kernel AST by
+#: :func:`repro.analysis.protomodel.extract_kernel` — update BOTH when the
+#: synchronization structure changes, or model checking refuses to run.
+MODEL_HINTS = {
+    "skss_kernel": {
+        "ticket": True,
+        "publishes": (("grs", "R", GRS_READY),),
+        "walks": (),
+        "waits": (("R", GRS_READY),),
+        "stores": ("b",),
+        "loads": ("a", "grs"),
+    },
+}

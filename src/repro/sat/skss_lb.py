@@ -66,8 +66,11 @@ def lane_vector_sum(ctx: BlockContext, values: np.ndarray) -> float:
 #: ``rowmajor`` is also deadlock-free (its dependencies still point to
 #: smaller serials) but pipelines the wavefront worse; ``reversed`` violates
 #: the invariant and deadlocks once residency is bounded — kept for the
-#: ablation/tests.
-ACQUISITION_ORDERS = ("diagonal", "rowmajor", "reversed")
+#: ablation/tests.  ``swapped`` is the subtle planted bug: diagonal order
+#: with serials 1 and 3 exchanged, which only deadlocks when residency is
+#: exactly one block — random schedules at full residency never hit it, but
+#: exhaustive model checking does (see :mod:`repro.analysis.modelcheck`).
+ACQUISITION_ORDERS = ("diagonal", "rowmajor", "reversed", "swapped")
 
 
 def acquisition_tile(serial: int, t: int, order: str,
@@ -83,6 +86,15 @@ def acquisition_tile(serial: int, t: int, order: str,
         return divmod(serial, tc)
     if order == "reversed":
         return serial_to_tile(t * tc - 1 - serial, t, tc)
+    if order == "swapped":
+        # Looks like a harmless scheduling tweak: acquire the second and
+        # fourth tiles in the opposite order.  With >= 2 resident blocks the
+        # look-back always finds a peer making progress, so every sampled
+        # schedule succeeds; with exactly one resident block the walk from
+        # the swapped-forward tile spins on a serial that will never run.
+        if t * tc >= 4:
+            serial = {1: 3, 3: 1}.get(serial, serial)
+        return serial_to_tile(serial, t, tc)
     raise ConfigurationError(f"unknown acquisition order '{order}'")
 
 
@@ -202,6 +214,24 @@ class SKSSLB1R1W(SATAlgorithm):
         return out
 
 
+#: Declared protocol shape, cross-checked against the kernel AST by
+#: :func:`repro.analysis.protomodel.extract_kernel` — update BOTH when the
+#: synchronization structure changes, or model checking refuses to run.
+MODEL_HINTS = {
+    "skss_lb_kernel": {
+        "ticket": True,
+        "publishes": (("lrs", "R", R_LRS), ("lcs", "C", C_LCS),
+                      ("grs", "R", R_GRS), ("gcs", "C", C_GCS),
+                      ("gls", "R", R_GLS), ("gs", "R", R_GS)),
+        "walks": (("R", R_LRS, R_GRS, "lrs", "grs"),
+                  ("C", C_LCS, C_GCS, "lcs", "gcs"),
+                  ("R", R_GLS, R_GS, "gls", "gs")),
+        "waits": (),
+        "stores": ("b",),
+        "loads": ("a",),
+    },
+}
+
 __all__ = ["SKSSLB1R1W", "skss_lb_kernel", "tile_serial_number",
            "serial_to_tile", "lane_vector_sum", "ACQUISITION_ORDERS",
-           "acquisition_tile"]
+           "acquisition_tile", "MODEL_HINTS"]

@@ -1,124 +1,11 @@
-"""Deliberately buggy look-back kernels: the sanitizer's ground truth.
+"""Historical import path for the bug corpus.
 
-Each kernel seeds one classic concurrency bug from the paper's protocol
-domain; the corpus is the acceptance test for both detection layers:
-
-* **dynamically** — running a kernel under :class:`repro.analysis.Sanitizer`
-  must produce the spec's ``expected_dynamic`` finding rules;
-* **statically** — :func:`repro.analysis.lint_source` over this very file
-  must flag the kernel with the spec's ``expected_lint`` rules.
-
-``correct_kernel`` is the control: the same communication pattern written
-with :func:`repro.primitives.lookback.publish` must be clean both ways.
+The corpus moved to :mod:`repro.analysis.bugcorpus` so the model checker and
+the sanitize-mode fuzzer can replay entries by name without importing test
+code; this shim keeps ``tests.analysis.bug_corpus`` working.
 """
 
-from __future__ import annotations
+from repro.analysis.bugcorpus import (BugSpec, CONTROL, CORPUS, get_spec,
+                                      run_spec)
 
-from dataclasses import dataclass
-from typing import Callable
-
-import numpy as np
-
-from repro.analysis import Sanitizer
-from repro.gpusim import GPU, TINY_DEVICE
-from repro.primitives.lookback import publish
-
-
-def correct_kernel(ctx, data, status, out):
-    """Control: data -> fence -> flag via the publish helper (no bug)."""
-    if ctx.block_id == 0:
-        publish(ctx, [(data, np.asarray([0]), np.asarray([42.0]))],
-                status, 0, 1)
-        yield ctx.syncthreads()
-    else:
-        yield from ctx.wait_until(status, 0, lambda v: v >= 1)
-        ctx.gstore_scalar(out, 0, ctx.gload_scalar(data, 0))
-
-
-def dropped_fence_kernel(ctx, data, status, out):
-    """BUG: the __threadfence() between data store and flag store is missing,
-    so the flag may become visible while the data is still store-buffered."""
-    if ctx.block_id == 0:
-        ctx.gstore_scalar(data, 0, 42.0)
-        ctx.gstore_scalar(status, 0, 1)
-        yield ctx.syncthreads()
-    else:
-        yield from ctx.wait_until(status, 0, lambda v: v >= 1)
-        ctx.gstore_scalar(out, 0, ctx.gload_scalar(data, 0))
-
-
-def premature_flag_kernel(ctx, data, status, out):
-    """BUG: the flag is raised before the data is even written; the fence
-    afterwards is too late — a reader may consume the pre-publish value."""
-    if ctx.block_id == 0:
-        ctx.gstore_scalar(status, 0, 1)
-        yield ctx.syncthreads()
-        ctx.gstore_scalar(data, 0, 42.0)
-        ctx.threadfence()
-        yield ctx.syncthreads()
-    else:
-        yield from ctx.wait_until(status, 0, lambda v: v >= 1)
-        ctx.gstore_scalar(out, 0, ctx.gload_scalar(data, 0))
-
-
-def nonatomic_counter_kernel(ctx, counter, out):
-    """BUG: the tile ticket is taken with a plain read-modify-write instead
-    of atomicAdd, so two blocks can acquire the same ticket."""
-    ticket = ctx.gload_scalar(counter, 0)
-    ctx.gstore_scalar(counter, 0, ticket + 1)
-    yield ctx.syncthreads()
-    ctx.gstore_scalar(out, ctx.block_id, ticket)
-
-
-def _flag_buffers(gpu: GPU):
-    data = gpu.alloc("data", (1,), np.float64, fill=0.0)
-    status = gpu.alloc("status", (1,), np.int64, fill=0, kind="status",
-                       status_values=(0, 1))
-    out = gpu.alloc("out", (2,), np.float64, fill=0.0)
-    return (data, status, out)
-
-
-def _counter_buffers(gpu: GPU):
-    counter = gpu.alloc("counter", (1,), np.int64, fill=0, kind="counter")
-    out = gpu.alloc("out", (2,), np.float64, fill=0.0)
-    return (counter, out)
-
-
-@dataclass(frozen=True)
-class BugSpec:
-    """One corpus entry: the kernel, its harness, and what must be caught."""
-
-    name: str
-    kernel: Callable
-    buffers: Callable[[GPU], tuple]
-    expected_dynamic: tuple[str, ...]  # >=1 of these rules must fire
-    expected_lint: tuple[str, ...]     # each of these rules must fire
-
-
-CORPUS = (
-    BugSpec("dropped-fence", dropped_fence_kernel, _flag_buffers,
-            expected_dynamic=("missing-fence",),
-            expected_lint=("KL001", "KL003")),
-    BugSpec("premature-flag", premature_flag_kernel, _flag_buffers,
-            expected_dynamic=("unordered-write", "unordered-read",
-                              "stale-read"),
-            expected_lint=("KL003",)),
-    BugSpec("nonatomic-counter", nonatomic_counter_kernel, _counter_buffers,
-            expected_dynamic=("plain-counter-store",),
-            expected_lint=("KL002",)),
-)
-
-CONTROL = BugSpec("correct", correct_kernel, _flag_buffers,
-                  expected_dynamic=(), expected_lint=())
-
-
-def run_spec(spec: BugSpec, *, seed: int = 0, consistency: str = "relaxed",
-             policy: str = "random") -> Sanitizer:
-    """Run one corpus kernel under the sanitizer; returns it for inspection."""
-    sanitizer = Sanitizer()
-    gpu = GPU(device=TINY_DEVICE, scheduler_policy=policy, seed=seed,
-              consistency=consistency, max_resident_blocks=2,
-              sanitizer=sanitizer)
-    args = spec.buffers(gpu)
-    gpu.launch(spec.kernel, grid_blocks=2, threads_per_block=32, args=args)
-    return sanitizer
+__all__ = ["BugSpec", "CONTROL", "CORPUS", "get_spec", "run_spec"]

@@ -4,12 +4,13 @@ from pathlib import Path
 
 import pytest
 
+import repro.analysis.bugcorpus as bugcorpus_module
 from repro.analysis import RACE_RULES, lint_file
 from repro.analysis.sanitizer import PROTOCOL_RULES
 
 from .bug_corpus import CONTROL, CORPUS, run_spec
 
-CORPUS_PATH = Path(__file__).parent / "bug_corpus.py"
+CORPUS_PATH = Path(bugcorpus_module.__file__)
 
 
 @pytest.mark.parametrize("spec", CORPUS, ids=lambda s: s.name)

@@ -77,3 +77,37 @@ class TestRendering:
         text = render_table1(1024)
         assert "[2]" in text       # kernel calls
         assert "[1024]" in text    # 2R2W thread count
+
+
+class TestSymbolicStrings:
+    """The symbolic Table I entries, pinned row by row as the paper prints
+    them (these strings are rendered verbatim in reports and docs)."""
+
+    EXPECTED = {
+        "2R2W": ("2", "n", "2n^2", "2n^2"),
+        "2R2W-optimal": ("2", "n^2/m", "2n^2 + O(n^2)", "2n^2 + O(n^2)"),
+        "2R1W": ("3", "n^2/m", "2n^2 + O(n^2/W)", "n^2 + O(n^2/W)"),
+        "1R1W": ("2n/W - 1", "nW/m", "n^2 + O(n^2/W)", "n^2 + O(n^2/W)"),
+        "(1+r)R1W": ("2(1-sqrt(r))n/W + 5", "max(rn^2/2m, nW/m)",
+                     "(1+r)n^2 + O(n^2/W)", "n^2 + O(n^2/W)"),
+        "1R1W-SKSS": ("1", "nW/m", "n^2 + O(n^2/W)", "n^2 + O(n^2/W)"),
+        "1R1W-SKSS-LB": ("1", "n^2/m", "n^2 + O(n^2/W)", "n^2 + O(n^2/W)"),
+    }
+
+    @pytest.mark.parametrize("name", TABLE1_ORDER)
+    def test_row_symbols(self, name):
+        row = table1_row(name, 1024)
+        calls, threads, reads, writes = self.EXPECTED[name]
+        assert row.kernel_calls_sym == calls
+        assert row.threads_sym == threads
+        assert row.reads_sym == reads
+        assert row.writes_sym == writes
+
+    def test_every_row_covered(self):
+        assert set(self.EXPECTED) == set(TABLE1_ORDER)
+
+    def test_symbols_render_in_table(self):
+        text = render_table1()
+        for calls, threads, reads, writes in self.EXPECTED.values():
+            for sym in (calls, threads, reads, writes):
+                assert sym in text

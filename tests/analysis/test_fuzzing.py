@@ -136,3 +136,62 @@ class TestIncrementalMode:
     def test_long_session_clean(self):
         report = fuzz(150, seed=2018, mode="incremental")
         assert report.ok, report.failures
+
+
+class TestSanitizeMode:
+    """mode="sanitize": the replay harness for modelcheck counterexamples."""
+
+    def test_clean_config_passes(self):
+        cfg = FuzzConfig(algorithm="1R1W-SKSS-LB", n=64, tile_width=32,
+                         policy="round_robin", sim_seed=0, data_seed=0,
+                         residency=2, consistency="relaxed", tiny_device=False,
+                         mode="sanitize", spin_bound=20_000)
+        assert run_one(cfg) is None
+
+    def test_swapped_acquisition_deadlocks_at_residency_one(self):
+        """The modelcheck counterexample replay: pool-1 deadlock."""
+        cfg = FuzzConfig(algorithm="1R1W-SKSS-LB", n=64, tile_width=32,
+                         policy="round_robin", sim_seed=0, data_seed=0,
+                         residency=1, consistency="relaxed", tiny_device=False,
+                         mode="sanitize", acquisition="swapped",
+                         spin_bound=20_000)
+        error = run_one(cfg)
+        assert error is not None and "Deadlock" in error
+
+    def test_corpus_kernel_replay_finds_the_bug(self):
+        cfg = FuzzConfig(algorithm="corpus", kernel="dropped-fence", n=32,
+                         tile_width=32, policy="random", sim_seed=0,
+                         data_seed=0, residency=2, consistency="relaxed",
+                         tiny_device=True, mode="sanitize", spin_bound=20_000)
+        error = run_one(cfg)
+        assert error is not None and "dropped-fence" in error
+
+    def test_corpus_control_is_clean(self):
+        cfg = FuzzConfig(algorithm="corpus", kernel="correct", n=32,
+                         tile_width=32, policy="random", sim_seed=0,
+                         data_seed=0, residency=2, consistency="relaxed",
+                         tiny_device=True, mode="sanitize", spin_bound=20_000)
+        assert run_one(cfg) is None
+
+    def test_round_trip_preserves_new_fields(self):
+        cfg = FuzzConfig(algorithm="1R1W-SKSS-LB", n=64, tile_width=32,
+                         policy="lifo", sim_seed=1, data_seed=2, residency=1,
+                         consistency="relaxed", tiny_device=False,
+                         mode="sanitize", acquisition="swapped",
+                         spin_bound=12_345)
+        again = FuzzConfig.from_json(cfg.to_json())
+        assert again == cfg
+
+    def test_legacy_json_defaults_are_inert(self):
+        loaded = FuzzConfig.from_json(json.dumps(
+            {"algorithm": "1R1W", "n": 64, "tile_width": 32,
+             "policy": "lifo", "sim_seed": 5, "data_seed": 9,
+             "residency": 2, "consistency": "relaxed", "tiny_device": True}))
+        assert loaded.kernel is None
+        assert loaded.acquisition == "diagonal"
+        assert loaded.spin_bound is None
+
+    def test_short_sanitize_session_clean(self):
+        report = fuzz(3, seed=11, mode="sanitize")
+        assert report.ok, report.failures
+        assert report.runs == 3

@@ -16,10 +16,15 @@ def _rules(findings):
 
 
 class TestRealTreeIsClean:
-    def test_default_targets_exist(self):
+    def test_default_targets_pin(self):
+        """The lint sweep covers every kernel-bearing location; extending
+        the set is deliberate (this pin makes silent shrinkage fail)."""
         targets = default_targets()
-        assert [t.name for t in targets] == ["primitives", "sat"]
-        assert all(t.is_dir() for t in targets)
+        assert [t.name for t in targets] == [
+            "primitives", "sat", "kernels.py", "kernel.py"]
+        assert targets[2].parent.name == "hostexec"
+        assert targets[3].parent.name == "gpusim"
+        assert all(t.exists() for t in targets)
 
     def test_no_findings_in_kernel_sources(self):
         findings = lint_paths()
@@ -132,9 +137,59 @@ class TestKL004YieldedSpinWaits:
         assert "KL004" in _rules(findings)
 
 
+class TestKL005BoundedSpinLoops:
+    def test_hand_rolled_spin_loop(self):
+        findings = _lint("""
+            def kern(ctx, status):
+                while ctx.gload_scalar(status, 0) < 1:
+                    pass
+        """)
+        assert "KL005" in _rules(findings)
+
+    def test_spin_in_loop_body(self):
+        findings = _lint("""
+            def kern(ctx, status):
+                while True:
+                    v = ctx.gload_scalar(status, 0)
+                    if v >= 1:
+                        break
+        """)
+        assert "KL005" in _rules(findings)
+
+    def test_wait_until_loop_is_fine(self):
+        findings = _lint("""
+            def kern(ctx, status):
+                while not done:
+                    value = yield from ctx.wait_until(
+                        status, 0, lambda v: v >= 1)
+                    done = value >= 1
+        """)
+        assert "KL005" not in _rules(findings)
+
+    def test_ticket_acquisition_loop_is_exempt(self):
+        findings = _lint("""
+            def kern(ctx, counter, status_R):
+                while True:
+                    serial = ctx.atomic_add(counter, 0, 1)
+                    if serial >= total:
+                        return
+                    peek = ctx.gload_scalar(status_R, serial)
+        """)
+        assert "KL005" not in _rules(findings)
+
+    def test_loop_without_status_polls_is_fine(self):
+        findings = _lint("""
+            def kern(ctx, data):
+                while i < 4:
+                    x = ctx.gload_scalar(data, i)
+                    i = i + 1
+        """)
+        assert "KL005" not in _rules(findings)
+
+
 class TestLintPlumbing:
     def test_every_rule_has_a_description(self):
-        assert set(RULES) == {"KL001", "KL002", "KL003", "KL004"}
+        assert set(RULES) == {"KL001", "KL002", "KL003", "KL004", "KL005"}
 
     def test_findings_are_ordered_and_printable(self):
         findings = _lint("""

@@ -1,0 +1,232 @@
+"""Protocol extraction: AST skeletons, hint cross-checks, model builders.
+
+The model checker is only as honest as its models; these tests pin the two
+guarantees that keep the models tied to the kernels: (1) extraction recovers
+the declared ``MODEL_HINTS`` shape for every kernel, and refuses on drift;
+(2) the builders' walk geometry is re-derived from the kernels' own
+``status_index`` lambdas, not re-invented.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.protomodel import (MODEL_ALGORITHMS, build_corpus_model,
+                                       build_model, col_mass, extract_kernel,
+                                       rect_mass, row_mass, unit,
+                                       validate_hints, walker_status_indexer)
+from repro.errors import ConfigurationError, ExtractionError
+
+
+class TestMassHelpers:
+    """Each input cell carries a distinct power of two, so any partial sum
+    identifies exactly which cells it covers."""
+
+    def test_units_are_distinct_bits(self):
+        t = 3
+        masses = {unit(i, j, t) for i in range(t) for j in range(t)}
+        assert len(masses) == t * t
+        for m in masses:
+            assert m & (m - 1) == 0  # a single bit
+
+    def test_rect_mass_is_the_region_sum(self):
+        t = 3
+        for i in range(t):
+            for j in range(t):
+                expected = sum(unit(a, b, t)
+                               for a in range(i + 1) for b in range(j + 1))
+                assert rect_mass(i, j, t) == expected
+
+    def test_row_and_col_masses(self):
+        t = 4
+        assert row_mass(1, 0, 2, t) == sum(unit(1, j, t) for j in range(3))
+        assert col_mass(0, 2, 3, t) == sum(unit(i, 3, t) for i in range(3))
+
+    def test_full_mass_is_all_ones(self):
+        t = 2
+        assert rect_mass(t - 1, t - 1, t) == (1 << (t * t)) - 1
+
+
+class TestExtraction:
+    def test_skss_lb_skeleton(self):
+        from repro.sat import skss_lb
+        from repro.sat.tilecommon import (C_GCS, C_LCS, R_GLS, R_GRS, R_GS,
+                                          R_LRS)
+        proto = extract_kernel(skss_lb.skss_lb_kernel)
+        assert proto.ticket and proto.counter == "counter"
+        assert proto.publishes == (
+            ("lrs", "R", R_LRS), ("lcs", "C", C_LCS), ("grs", "R", R_GRS),
+            ("gcs", "C", C_GCS), ("gls", "R", R_GLS), ("gs", "R", R_GS))
+        assert [w[4] for w in proto.walks] == ["grs", "gcs", "gs"]
+        assert proto.waits == ()
+        assert proto.stores == ("b",) and proto.loads == ("a",)
+        assert proto.flag_stores == 0
+
+    def test_skss_wait_threshold_is_resolved(self):
+        from repro.sat import skss
+        proto = extract_kernel(skss.skss_kernel)
+        assert proto.ticket
+        assert proto.waits == (("R", skss.GRS_READY),)
+        assert proto.publishes == (("grs", "R", skss.GRS_READY),)
+
+    def test_scan1d_walk_event(self):
+        from repro.primitives import scan1d
+        proto = extract_kernel(scan1d.row_scan_kernel)
+        assert proto.ticket
+        (walk,) = proto.walks
+        assert walk == ("status", scan1d.STATUS_AGGREGATE,
+                        scan1d.STATUS_PREFIX, "aggregates", "prefixes")
+
+    def test_every_hinted_kernel_validates(self):
+        """The full 13-kernel sweep: extraction matches each module's
+        MODEL_HINTS (this is what build_model runs before any exploration)."""
+        import repro.primitives.colscan
+        import repro.primitives.scan1d
+        import repro.sat.hybrid_1r1w
+        import repro.sat.kasagi_1r1w
+        import repro.sat.naive_2r2w
+        import repro.sat.nehab_2r1w
+        import repro.sat.skss
+        import repro.sat.skss_lb
+        modules = [repro.primitives.scan1d, repro.primitives.colscan,
+                   repro.sat.naive_2r2w, repro.sat.nehab_2r1w,
+                   repro.sat.kasagi_1r1w, repro.sat.hybrid_1r1w,
+                   repro.sat.skss, repro.sat.skss_lb]
+        checked = 0
+        for module in modules:
+            for name, hints in module.MODEL_HINTS.items():
+                proto = extract_kernel(getattr(module, name))
+                validate_hints(proto, hints)  # raises on drift
+                checked += 1
+        assert checked == 13
+
+
+class TestHintDrift:
+    """A kernel edit that changes synchronization structure without updating
+    MODEL_HINTS must refuse to build a model, loudly."""
+
+    def _proto(self):
+        from repro.sat import skss_lb
+        return (extract_kernel(skss_lb.skss_lb_kernel),
+                dict(skss_lb.MODEL_HINTS["skss_lb_kernel"]))
+
+    def test_matching_hints_pass(self):
+        proto, hints = self._proto()
+        assert validate_hints(proto, hints) is proto
+
+    def test_missing_publish_is_drift(self):
+        proto, hints = self._proto()
+        hints["publishes"] = hints["publishes"][:-1]
+        with pytest.raises(ExtractionError, match="drifted"):
+            validate_hints(proto, hints)
+
+    def test_wrong_ticket_is_drift(self):
+        proto, hints = self._proto()
+        hints["ticket"] = False
+        with pytest.raises(ExtractionError, match="drifted"):
+            validate_hints(proto, hints)
+
+    def test_wrong_stores_are_drift(self):
+        proto, hints = self._proto()
+        hints["stores"] = ("b", "extra")
+        with pytest.raises(ExtractionError, match="drifted"):
+            validate_hints(proto, hints)
+
+    def test_undeclared_flag_store_refuses(self):
+        proto, hints = self._proto()
+        tampered = dataclasses.replace(
+            proto, events=proto.events + (("flag-store", "R"),))
+        with pytest.raises(ExtractionError, match="flag store"):
+            validate_hints(tampered, hints)
+
+    def test_unhinted_kernel_refuses(self):
+        from repro.analysis.protomodel import _extract_validated
+
+        def rogue_kernel(ctx, a):
+            pass
+        with pytest.raises(ExtractionError, match="MODEL_HINTS"):
+            _extract_validated(rogue_kernel)
+
+
+class TestWalkerGeometry:
+    """The builders' step lists are checked against the status_index lambdas
+    compiled from the kernels' own walker helpers."""
+
+    def test_row_walk_indexes_columns(self):
+        from repro.sat import tilecommon as tc
+        idx = walker_status_indexer(tc.row_lookback)
+        t, I, J = 3, 2, 2
+        assert [idx(t, I, J, j) for j in range(3)] == [I * t + j
+                                                       for j in range(3)]
+
+    def test_col_walk_indexes_rows(self):
+        from repro.sat import tilecommon as tc
+        idx = walker_status_indexer(tc.col_lookback)
+        t, I, J = 3, 2, 2
+        assert [idx(t, I, J, i) for i in range(3)] == [i * t + J
+                                                       for i in range(3)]
+
+    def test_diag_walk_steps_up_left(self):
+        from repro.sat import tilecommon as tc
+        idx = walker_status_indexer(tc.diag_lookback)
+        t = 3
+        assert [idx(t, 2, 2, s) for s in range(3)] == [8, 4, 0]
+
+
+class TestCorpusModels:
+    def test_flag_kernels_compile_to_producer_consumer(self):
+        for name in ("dropped-fence", "premature-flag", "correct"):
+            model = build_corpus_model(name)
+            assert model.algorithm == f"corpus:{name}"
+            (launch,) = model.launches
+            assert len(launch.programs) == 2
+            assert launch.out_spec == {("out", 0): 42}
+
+    def test_counter_kernel_has_no_out_spec(self):
+        model = build_corpus_model("nonatomic-counter")
+        (launch,) = model.launches
+        assert launch.out_spec == {}  # duplicate-ticket check covers it
+
+
+class TestBuildModel:
+    @pytest.mark.parametrize("name", MODEL_ALGORITHMS)
+    def test_all_algorithms_build(self, name):
+        model = build_model(name, 2)
+        assert model.algorithm == name
+        assert model.t == 2
+        assert model.launches
+        for launch in model.launches:
+            assert launch.programs
+
+    def test_algorithms_match_table1_order(self):
+        from repro.analysis.complexity import TABLE1_ORDER
+        assert MODEL_ALGORITHMS == TABLE1_ORDER
+
+    def test_aliases_resolve(self):
+        assert build_model("skss-lb", 2).algorithm == "1R1W-SKSS-LB"
+
+    def test_grid_size_bounds(self):
+        with pytest.raises(ConfigurationError):
+            build_model("1R1W-SKSS", 0)
+        with pytest.raises(ConfigurationError):
+            build_model("1R1W-SKSS", 7)
+
+    def test_unknown_acquisition_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_model("1R1W-SKSS-LB", 2, acquisition="spiral")
+
+    def test_swapped_acquisition_reorders_dispatch(self):
+        base = build_model("1R1W-SKSS-LB", 2)
+        swapped = build_model("1R1W-SKSS-LB", 2, acquisition="swapped")
+        (launch,) = base.launches
+        (launch_s,) = swapped.launches
+        labels = [p.label for p in launch.programs]
+        labels_s = [p.label for p in launch_s.programs]
+        assert sorted(labels) == sorted(labels_s)
+        assert labels != labels_s
+
+    def test_final_launch_covers_full_mass(self):
+        for name in MODEL_ALGORITHMS:
+            model = build_model(name, 2)
+            spec = model.launches[-1].out_spec
+            assert spec[("b", 1, 1)] == rect_mass(1, 1, 2)

@@ -133,3 +133,61 @@ class TestDeterminism:
                                args=(flags, counter, out, 6))
             return stats.scheduler_steps, stats.traffic.spin_iterations
         assert run() == run()
+
+
+class TestSpinBound:
+    """GPU(spin_bound=...): per-wait poll budget raising
+    DeadlockSuspectedError — catches livelocks the all-blocks-spinning
+    detector cannot prove."""
+
+    def test_lone_spinner_trips_the_bound(self):
+        from repro.errors import DeadlockSuspectedError
+
+        gpu = GPU(spin_bound=1)
+        flags = gpu.alloc("flags", (1,), np.int64)
+
+        def k(ctx, flags):
+            yield from ctx.wait_until(flags, 0, lambda v: v >= 1)
+        with pytest.raises(DeadlockSuspectedError) as exc:
+            gpu.launch(k, grid_blocks=1, threads_per_block=32, args=(flags,))
+        assert exc.value.buffer_name == "flags"
+        assert exc.value.spins > 1
+
+    def test_livelock_beyond_scheduler_detection(self):
+        """Block 1 keeps committing stores, so the scheduler's no-progress
+        detector never fires; only the spin bound stops block 0."""
+        from repro.errors import DeadlockSuspectedError
+
+        gpu = GPU(spin_bound=25, max_resident_blocks=2)
+        flags = gpu.alloc("flags", (1,), np.int64)
+        data = gpu.alloc("data", (1,), np.float64)
+
+        def k(ctx, flags, data):
+            if ctx.block_id == 0:
+                yield from ctx.wait_until(flags, 0, lambda v: v >= 1)
+            else:
+                i = 0
+                while True:
+                    ctx.gstore_scalar(data, 0, float(i))
+                    ctx.threadfence()
+                    i += 1
+                    yield ctx.syncthreads()
+        with pytest.raises(DeadlockSuspectedError):
+            gpu.launch(k, grid_blocks=2, threads_per_block=32,
+                       args=(flags, data))
+
+    def test_unbounded_default_still_detects_true_deadlock(self):
+        gpu = GPU(device=TINY_DEVICE, max_resident_blocks=2)
+        flags = gpu.alloc("flags", (4,), np.int64)
+        with pytest.raises(DeadlockError):
+            gpu.launch(backward_chain_kernel, grid_blocks=4,
+                       threads_per_block=32, args=(flags, 4))
+
+    def test_generous_bound_does_not_misfire(self):
+        gpu = GPU(spin_bound=200_000, max_resident_blocks=2)
+        flags = gpu.alloc("flags", (4,), np.int64)
+        counter = gpu.alloc("counter", (1,), np.int64)
+        out = gpu.alloc("out", (4,), np.float64)
+        stats = gpu.launch(chain_kernel, grid_blocks=4, threads_per_block=32,
+                           args=(flags, counter, out, 4))
+        assert stats.blocks_executed == 4

@@ -78,4 +78,37 @@ class TestExecution:
         assert np.array_equal(outs[0], outs[1])
 
     def test_orders_tuple(self):
-        assert ACQUISITION_ORDERS == ("diagonal", "rowmajor", "reversed")
+        assert ACQUISITION_ORDERS == ("diagonal", "rowmajor", "reversed",
+                                      "swapped")
+
+
+class TestSwappedOrder:
+    """The subtle planted bug: deadlocks only at residency one, so random
+    schedule sampling at any higher residency can never find it (the
+    exhaustive model checker does — see tests/analysis/test_modelcheck.py)."""
+
+    def test_swap_only_exchanges_serials_1_and_3(self):
+        for s in range(9):
+            expected = acquisition_tile({1: 3, 3: 1}.get(s, s), 3, "diagonal")
+            assert acquisition_tile(s, 3, "swapped") == expected
+
+    def test_tiny_grids_are_untouched(self):
+        # Fewer than 4 tiles: nothing to swap, identical to diagonal.
+        assert acquisition_tile(0, 1, "swapped") == (0, 0)
+        for s in range(2):
+            assert acquisition_tile(s, 1, "swapped", 2) == \
+                acquisition_tile(s, 1, "diagonal", 2)
+
+    def test_swapped_deadlocks_at_residency_one(self, small_matrix):
+        gpu = GPU(device=TINY_DEVICE, seed=2, max_resident_blocks=1)
+        with pytest.raises(DeadlockError):
+            SKSSLB1R1W(acquisition="swapped").run(small_matrix, gpu)
+
+    def test_swapped_survives_residency_two_and_up(self, small_matrix):
+        """One extra resident block is enough: the look-back always finds a
+        peer making progress, so every sampled schedule succeeds."""
+        for residency in (2, 3):
+            gpu = GPU(device=TINY_DEVICE, seed=2, scheduler_policy="lifo",
+                      max_resident_blocks=residency)
+            res = SKSSLB1R1W(acquisition="swapped").run(small_matrix, gpu)
+            assert np.array_equal(res.sat, sat_reference(small_matrix))
