@@ -4,7 +4,8 @@ PY ?= python
 
 .PHONY: install test test-slow lint typecheck sanitize-smoke \
 	modelcheck-smoke modelcheck-sweep bench bench-smoke \
-	bench-incremental-smoke tables report fuzz examples all
+	bench-incremental-smoke bench-compiled-smoke tables report fuzz \
+	examples all
 
 install:
 	pip install -e . --no-build-isolation
@@ -15,6 +16,7 @@ test:
 	$(PY) -m pytest tests/
 	$(MAKE) bench-smoke
 	$(MAKE) bench-incremental-smoke
+	$(MAKE) bench-compiled-smoke
 	$(MAKE) sanitize-smoke
 	$(MAKE) modelcheck-smoke
 
@@ -63,6 +65,11 @@ bench-smoke:
 
 bench-incremental-smoke:
 	PYTHONPATH=src $(PY) benchmarks/bench_incremental.py --smoke
+
+# Compiled-engine gate: fallback + pure-Python bit-identity everywhere;
+# the jitted perf check only runs where numba is installed.
+bench-compiled-smoke:
+	PYTHONPATH=src $(PY) benchmarks/bench_compiled.py --smoke
 
 tables:
 	$(PY) -m repro table1 --measure

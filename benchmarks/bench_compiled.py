@@ -1,0 +1,250 @@
+#!/usr/bin/env python3
+"""Benchmark the compiled (Numba flat-kernel) engine against the others.
+
+Times the compiled engine's single-worker flat kernels against the serial
+per-algorithm tile loop and the warm wavefront engine across a size sweep,
+plus the fused flat double scan against the plain NumPy reference.  Emits
+``BENCH_compiled.json``.
+
+Run modes:
+
+    python benchmarks/bench_compiled.py            # full sweep, writes
+                                                   # BENCH_compiled.json
+    python benchmarks/bench_compiled.py --smoke    # fast correctness +
+                                                   # sanity gate (CI)
+
+The acceptance gate — compiled >= 5x over the warm single-worker wavefront
+engine at n=4096 — is asserted only where Numba is importable.  On
+Numba-free hosts both modes still verify the degradation contract (the
+``engine="compiled"`` string falls back to wavefront bit-identically, and
+the pure-Python ``jit=False`` kernels match the serial loops) and exit 0,
+recording ``numba_available: false`` in the JSON so the artefact says which
+machine produced which numbers.  Like ``bench_host_engine.py`` this is a
+plain script, not a pytest-benchmark module, so it can emit committed JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+import warnings
+from pathlib import Path
+
+import numpy as np
+
+REPO = Path(__file__).resolve().parent.parent
+if str(REPO / "src") not in sys.path:  # allow running without install
+    sys.path.insert(0, str(REPO / "src"))
+
+from repro.hostexec import WavefrontEngine  # noqa: E402
+from repro.hostexec.compiled import (CompiledEngine,  # noqa: E402
+                                     numba_available)
+from repro.sat.registry import get_algorithm, host_sat  # noqa: E402
+
+ALGORITHM = "1R1W-SKSS-LB"
+TILE_WIDTH = 32
+
+
+def _matrix(n: int, seed: int = 2018) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 100, size=(n, n)).astype(np.float64)
+
+
+def _best(fn, repeats: int) -> float:
+    """Best-of-``repeats`` wall time (seconds) of ``fn()``."""
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return min(times)
+
+
+def bench_size(n: int, repeats: int, engine: CompiledEngine,
+               serial_cutoff: int) -> dict:
+    """Compiled vs warm wavefront (both single-worker) at one matrix size.
+
+    The serial per-tile loop is only timed up to ``serial_cutoff`` (it is
+    minutes at n=4096); above that the row records ``serial_s: null``.
+    """
+    a = _matrix(n)
+    alg = get_algorithm(ALGORITHM, tile_width=TILE_WIDTH)
+    row = {"n": n, "tile_width": TILE_WIDTH, "algorithm": ALGORITHM,
+           "serial_s": None, "wavefront_s": None, "compiled_s": None,
+           "compiled_scan_s": None, "reference_scan_s": None,
+           "speedup_vs_wavefront": None, "speedup_vs_serial": None}
+
+    with WavefrontEngine(workers=1) as wf:
+        wf_sat = wf.compute(a, algorithm=ALGORITHM, tile_width=TILE_WIDTH)
+        row["wavefront_s"] = _best(
+            lambda: wf.compute(a, algorithm=ALGORITHM,
+                               tile_width=TILE_WIDTH), repeats)
+
+    got = engine.compute(a, algorithm=ALGORITHM,
+                         tile_width=TILE_WIDTH)  # warms the jit cache
+    if not np.array_equal(got, wf_sat):
+        raise AssertionError(f"compiled not bit-identical at n={n}")
+    row["compiled_s"] = _best(
+        lambda: engine.compute(a, algorithm=ALGORITHM,
+                               tile_width=TILE_WIDTH), repeats)
+    row["speedup_vs_wavefront"] = row["wavefront_s"] / row["compiled_s"]
+
+    if n <= serial_cutoff:
+        row["serial_s"] = _best(lambda: alg.run_host(a), repeats)
+        row["speedup_vs_serial"] = row["serial_s"] / row["compiled_s"]
+
+    # The fused flat double scan vs NumPy's two cumsum passes.
+    ref = a.cumsum(axis=0).cumsum(axis=1)
+    scan = engine.compute(a, algorithm="2R2W")
+    if not np.array_equal(scan, ref):
+        raise AssertionError(f"flat double scan diverged at n={n}")
+    row["compiled_scan_s"] = _best(
+        lambda: engine.compute(a, algorithm="2R2W"), repeats)
+    row["reference_scan_s"] = _best(
+        lambda: a.cumsum(axis=0).cumsum(axis=1), repeats)
+    return row
+
+
+def _check_fallback(n: int = 256) -> bool:
+    """``engine="compiled"`` must equal the serial host path, with or
+    without Numba (without, it degrades to the wavefront engine)."""
+    a = _matrix(n)
+    want = get_algorithm(ALGORITHM, tile_width=TILE_WIDTH).run_host(a)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        got = host_sat(a, algorithm=ALGORITHM, tile_width=TILE_WIDTH,
+                       engine="compiled")
+    return bool(np.array_equal(got, want))
+
+
+def _check_pure_python(n: int = 96, tile_width: int = 16) -> bool:
+    """The jit=False kernels (same source Numba compiles) vs serial."""
+    a = _matrix(n)
+    want = get_algorithm(ALGORITHM, tile_width=tile_width).run_host(a)
+    with CompiledEngine(jit=False) as engine:
+        got = engine.compute(a, algorithm=ALGORITHM, tile_width=tile_width)
+    return bool(np.array_equal(got, want))
+
+
+def run_full(args) -> int:
+    results = {
+        "benchmark": "compiled",
+        "algorithm": ALGORITHM,
+        "tile_width": TILE_WIDTH,
+        "cpu_count": os.cpu_count(),
+        "numba_available": numba_available(),
+        "repeats": args.repeats,
+        "sizes": [],
+        "fallback_bit_identical": None,
+        "pure_python_bit_identical": None,
+        "acceptance": None,
+    }
+    results["fallback_bit_identical"] = _check_fallback()
+    results["pure_python_bit_identical"] = _check_pure_python()
+
+    gate = None
+    if numba_available():
+        with CompiledEngine(workers=1) as engine:
+            for n in args.sizes:
+                print(f"n={n} ...", flush=True)
+                row = bench_size(n, args.repeats, engine, args.serial_cutoff)
+                results["sizes"].append(row)
+                print(f"  wavefront {row['wavefront_s']:.3f}s | compiled "
+                      f"{row['compiled_s']:.3f}s "
+                      f"({row['speedup_vs_wavefront']:.2f}x)")
+                if n == args.gate_n:
+                    gate = row["speedup_vs_wavefront"]
+    else:
+        print("numba is not importable: skipping the timing sweep "
+              "(fallback + pure-Python bit-identity checked instead)")
+
+    results["acceptance"] = {
+        "compiled_5x_vs_wavefront_at_4096":
+            None if gate is None else gate >= 5.0,
+        "speedup_at_gate_size": gate,
+        "gate_n": args.gate_n,
+        "fallback_bit_identical": results["fallback_bit_identical"],
+        "pure_python_bit_identical": results["pure_python_bit_identical"],
+    }
+    out = Path(args.out)
+    out.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {out}")
+    if not results["fallback_bit_identical"]:
+        print("ACCEPTANCE FAIL: engine='compiled' fallback diverged",
+              file=sys.stderr)
+        return 1
+    if not results["pure_python_bit_identical"]:
+        print("ACCEPTANCE FAIL: jit=False kernels diverged", file=sys.stderr)
+        return 1
+    if gate is not None and gate < 5.0:
+        print(f"ACCEPTANCE FAIL: compiled speedup over wavefront at "
+              f"n={args.gate_n} is {gate:.2f}x (< 5x)", file=sys.stderr)
+        return 1
+    return 0
+
+
+def run_smoke(args) -> int:
+    """Fast gate for ``make test``: correctness everywhere, perf sanity
+    only where Numba exists."""
+    ok_fallback = _check_fallback()
+    ok_pure = _check_pure_python()
+    print(f"smoke: fallback-bit-identical={ok_fallback}, "
+          f"pure-python-bit-identical={ok_pure}, "
+          f"numba={numba_available()}")
+    if not ok_fallback:
+        print("SMOKE FAIL: engine='compiled' fallback diverged",
+              file=sys.stderr)
+        return 1
+    if not ok_pure:
+        print("SMOKE FAIL: jit=False kernels diverged from serial",
+              file=sys.stderr)
+        return 1
+    if not numba_available():
+        print("smoke ok (numba absent: perf gate skipped)")
+        return 0
+
+    n = 512
+    a = _matrix(n)
+    with CompiledEngine(workers=1) as engine:
+        got = engine.compute(a, algorithm=ALGORITHM, tile_width=TILE_WIDTH)
+        warm = _best(lambda: engine.compute(a, algorithm=ALGORITHM,
+                                            tile_width=TILE_WIDTH), 3)
+    with WavefrontEngine(workers=1) as wf:
+        want = wf.compute(a, algorithm=ALGORITHM, tile_width=TILE_WIDTH)
+        wf_warm = _best(lambda: wf.compute(a, algorithm=ALGORITHM,
+                                           tile_width=TILE_WIDTH), 3)
+    if not np.array_equal(got, want):
+        print("SMOKE FAIL: jitted compiled result differs", file=sys.stderr)
+        return 1
+    print(f"smoke n={n}: wavefront {wf_warm * 1e3:.1f}ms, compiled "
+          f"{warm * 1e3:.1f}ms ({wf_warm / warm:.2f}x)")
+    if warm > wf_warm:
+        print(f"SMOKE FAIL: warm compiled {warm:.3f}s slower than "
+              f"wavefront {wf_warm:.3f}s", file=sys.stderr)
+        return 1
+    print("smoke ok")
+    return 0
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="fast correctness/sanity gate; writes no JSON")
+    ap.add_argument("--sizes", type=int, nargs="+",
+                    default=[512, 1024, 2048, 4096])
+    ap.add_argument("--repeats", type=int, default=5)
+    ap.add_argument("--gate-n", type=int, default=4096,
+                    help="matrix size the >=5x acceptance gate applies at")
+    ap.add_argument("--serial-cutoff", type=int, default=1024,
+                    help="largest n at which the serial per-tile loop is "
+                         "also timed (it is minutes beyond this)")
+    ap.add_argument("--out", default=str(REPO / "BENCH_compiled.json"))
+    args = ap.parse_args(argv)
+    return run_smoke(args) if args.smoke else run_full(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

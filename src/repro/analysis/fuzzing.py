@@ -26,9 +26,20 @@ Two modes share the harness (``repro fuzz --mode``):
     data is genuinely fractional at mixed magnitudes so rounding behavior
     is exercised, not just exact arithmetic.
 
-Both modes replay from the same :class:`FuzzConfig` JSON round-trip; the
-incremental fields default to inert values so pre-existing replay files keep
-working.
+``engine``
+    Host-engine differential fuzzing: a random (algorithm, dtype, ragged
+    shape, workers) configuration runs through a randomly chosen non-serial
+    host engine (wavefront / parallel / compiled) and is compared against
+    the serial oracle.  Engines whose registry entry declares
+    ``bit_identical=True`` are held to ``np.array_equal``; the banded
+    ``parallel`` engine is held to exact equality on integer accumulators
+    and ``allclose`` on floats (its banding reorders float reductions).
+    This is how compiled-vs-serial divergence is fuzzed the same way
+    wavefront already was.
+
+All modes replay from the same :class:`FuzzConfig` JSON round-trip; the
+mode-specific fields default to inert values so pre-existing replay files
+keep working.
 """
 
 from __future__ import annotations
@@ -53,7 +64,14 @@ FUZZ_ALGORITHMS = ("2R2W", "2R2W-optimal", "2R1W", "1R1W", "(1+r)R1W",
 #: a bounded spin budget — the dynamic half of the model checker's
 #: counterexamples (:mod:`repro.analysis.modelcheck` emits replay configs in
 #: this mode, including bug-corpus kernels via the ``kernel`` field).
-FUZZ_MODES = ("simulate", "incremental", "sanitize")
+FUZZ_MODES = ("simulate", "incremental", "sanitize", "engine")
+
+#: Engines exercised by engine-mode fuzzing (everything registered except
+#: the serial oracle itself; resolved lazily so sampling reflects the
+#: registry, not a second hand-maintained list).
+def _engine_fuzz_engines() -> tuple[str, ...]:
+    from repro.hostexec.registry import known_engines
+    return tuple(e for e in known_engines() if e != "serial")
 
 #: Tile-based algorithms the incremental engine can maintain (the wavefront
 #: kernel set — 2R2W variants have no tile carry state to repair).
@@ -109,6 +127,8 @@ class FuzzConfig:
     kernel: str | None = None       # bug-corpus entry instead of an algorithm
     acquisition: str = "diagonal"   # 1R1W-SKSS-LB tile acquisition order
     spin_bound: int | None = None   # DeadlockSuspectedError after this many spins
+    # Engine-mode field (default keeps pre-existing replay JSON valid).
+    engine: str = "wavefront"       # host engine differenced vs the serial oracle
 
     def build_gpu(self) -> GPU:
         return GPU(device=TINY_DEVICE if self.tiny_device else TITAN_V,
@@ -119,7 +139,7 @@ class FuzzConfig:
 
     def build_matrix(self) -> np.ndarray:
         rng = np.random.default_rng(self.data_seed)
-        if self.mode == "incremental":
+        if self.mode in ("incremental", "engine"):
             shape = (self.rows or self.n, self.cols or self.n)
             return _fuzz_values(rng, shape, self.dtype)
         return rng.integers(-50, 50, size=(self.n, self.n)).astype(np.float64)
@@ -233,6 +253,77 @@ def sample_incremental_config(rng: np.random.Generator) -> FuzzConfig:
         workers=int(rng.choice([1, 4])),
         strategy=str(rng.choice(strategies)),
     )
+
+
+def sample_engine_config(rng: np.random.Generator) -> FuzzConfig:
+    """Draw one random host-engine differential configuration.
+
+    Ragged rectangular shapes, all four differential dtypes, 1 or 4 workers,
+    and an engine drawn from the registry (everything but the serial oracle).
+    Wavefront only executes the five tile algorithms, so its algorithm pool
+    is restricted; parallel and compiled cover all seven.
+    """
+    tile_width = int(rng.choice([16, 32]))
+    rows = int(rng.integers(1, 5)) * tile_width + int(rng.integers(0, tile_width))
+    cols = int(rng.integers(1, 5)) * tile_width + int(rng.integers(0, tile_width))
+    engine = str(rng.choice(_engine_fuzz_engines()))
+    pool = INCREMENTAL_ALGORITHMS if engine == "wavefront" else FUZZ_ALGORITHMS
+    return FuzzConfig(
+        algorithm=str(rng.choice(pool)),
+        n=max(rows, cols),
+        tile_width=tile_width,
+        policy="round_robin",       # unused off-simulator; kept for replay
+        sim_seed=int(rng.integers(0, 2**31)),
+        data_seed=int(rng.integers(0, 2**31)),
+        residency=None,
+        consistency="strong",
+        tiny_device=False,
+        mode="engine",
+        dtype=str(rng.choice(INCREMENTAL_DTYPES)),
+        rows=rows,
+        cols=cols,
+        workers=int(rng.choice([1, 4])),
+        engine=engine,
+    )
+
+
+def _run_engine(config: FuzzConfig) -> str | None:
+    """Difference one host engine against the serial oracle.
+
+    Bit-identical engines (``bit_identical=True`` in the registry — wavefront
+    and compiled, including compiled's no-Numba fallback) must satisfy
+    ``np.array_equal``; the banded parallel engine reorders float reductions,
+    so floats are held to ``allclose`` and integers to exact equality.
+    """
+    from repro.hostexec.registry import get_engine_spec
+    from repro.sat.registry import host_sat
+
+    spec = get_engine_spec(config.engine)
+    a = config.build_matrix()
+    got = host_sat(a, algorithm=config.algorithm,
+                   tile_width=config.tile_width, engine=config.engine,
+                   workers=config.workers)
+    if config.engine == "parallel":
+        # The parallel engine computes the 2R2W dataflow regardless of the
+        # configured algorithm; its oracle is the banding-free reference.
+        want = a.astype(got.dtype, copy=False).cumsum(axis=0).cumsum(axis=1)
+    else:
+        want = get_algorithm(config.algorithm,
+                             tile_width=config.tile_width).run_host(a)
+    exact = spec.bit_identical or np.issubdtype(got.dtype, np.integer)
+    if exact:
+        ok = np.array_equal(got, want)
+    else:
+        ok = got.shape == want.shape and np.allclose(got, want)
+    if not ok:
+        bad = int(np.argmax(got != want)) if got.shape == want.shape else -1
+        kind = "exact" if exact else "allclose"
+        return (f"engine {config.engine!r} diverged from the serial oracle "
+                f"({kind} comparison, first mismatch at flat index {bad})")
+    if got.dtype != want.dtype:
+        return (f"engine {config.engine!r} accumulator dtype {got.dtype} "
+                f"!= oracle {want.dtype}")
+    return None
 
 
 def _run_incremental(config: FuzzConfig) -> str | None:
@@ -354,13 +445,19 @@ def run_one(config: FuzzConfig, *, sanitize: bool = False) -> str | None:
     With ``sanitize=True`` the run executes under the concurrency sanitizer
     (:mod:`repro.analysis.sanitizer`) and any race or protocol finding counts
     as a failure even when the numeric result happens to be right.
-    ``mode="incremental"`` configs replay an edit sequence instead (the
-    sanitizer flag does not apply — repair runs on the host, not the
-    simulator).
+    ``mode="incremental"`` configs replay an edit sequence instead, and
+    ``mode="engine"`` configs difference a host engine against the serial
+    oracle (the sanitizer flag does not apply to either — both run on the
+    host, not the simulator).
     """
     if config.mode == "incremental":
         try:
             return _run_incremental(config)
+        except Exception as exc:  # noqa: BLE001 - the fuzzer reports
+            return f"exception: {type(exc).__name__}: {exc}"
+    if config.mode == "engine":
+        try:
+            return _run_engine(config)
         except Exception as exc:  # noqa: BLE001 - the fuzzer reports
             return f"exception: {type(exc).__name__}: {exc}"
     if config.mode == "sanitize":
@@ -399,8 +496,10 @@ def fuzz(num_runs: int = 50, *, seed: int = 0,
     """Run ``num_runs`` random configurations (or until the time budget).
 
     ``mode`` selects the harness: ``"simulate"`` (algorithms vs the NumPy
-    reference on the simulator) or ``"incremental"`` (edit sequences vs
-    from-scratch recompute; see :func:`sample_incremental_config`).
+    reference on the simulator), ``"incremental"`` (edit sequences vs
+    from-scratch recompute; see :func:`sample_incremental_config`),
+    ``"sanitize"``, or ``"engine"`` (host engines vs the serial oracle; see
+    :func:`sample_engine_config`).
     """
     if mode not in FUZZ_MODES:
         raise ConfigurationError(
@@ -414,6 +513,8 @@ def fuzz(num_runs: int = 50, *, seed: int = 0,
             break
         if mode == "incremental":
             config = sample_incremental_config(rng)
+        elif mode == "engine":
+            config = sample_engine_config(rng)
         else:
             config = sample_config(rng)
             if mode == "sanitize":

@@ -32,6 +32,13 @@ import numpy as np
 from repro._version import __version__
 
 
+def _host_engines() -> list[str]:
+    """CLI ``--engine`` choices, straight from the host-engine registry so
+    they can never drift from what the routing actually accepts."""
+    from repro.hostexec.registry import known_engines
+    return list(known_engines())
+
+
 def _build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro",
@@ -56,13 +63,16 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--host", action="store_true",
                      help="use the pure-NumPy host path (no simulation)")
     run.add_argument("--engine", default="serial",
-                     choices=["serial", "wavefront", "parallel"],
+                     choices=_host_engines(),
                      help="host execution engine (implies --host when not "
                           "'serial'): serial tile loop, multi-core wavefront "
-                          "tile engine, or fork/join banded 2R2W scan")
+                          "tile engine, fork/join banded 2R2W scan, or "
+                          "Numba-compiled flat tile kernels (falls back to "
+                          "wavefront when numba is not installed)")
     run.add_argument("--workers", type=int, default=None,
-                     help="worker threads for the wavefront/parallel engines "
-                          "(default: REPRO_WORKERS or all cores)")
+                     help="worker threads for the wavefront/parallel/"
+                          "compiled engines (default: REPRO_WORKERS or all "
+                          "cores; 1 for compiled)")
     run.add_argument("--policy", default="random",
                      choices=["round_robin", "random", "lifo"])
     run.add_argument("--seed", type=int, default=0)
@@ -113,13 +123,17 @@ def _build_parser() -> argparse.ArgumentParser:
     fz.add_argument("--runs", type=int, default=50)
     fz.add_argument("--seed", type=int, default=0)
     fz.add_argument("--mode", default="simulate",
-                    choices=["simulate", "incremental", "sanitize"],
+                    choices=["simulate", "incremental", "sanitize",
+                             "engine"],
                     help="simulate: algorithms vs the reference on the "
                          "simulator; incremental: random edit sequences "
                          "through IncrementalSAT vs from-scratch recompute; "
                          "sanitize: sampled configs re-run under the "
                          "concurrency sanitizer (also the harness that "
-                         "replays modelcheck counterexamples)")
+                         "replays modelcheck counterexamples); engine: "
+                         "host engines (wavefront/parallel/compiled) vs the "
+                         "serial oracle over random algorithm/dtype/shape/"
+                         "worker configurations")
     fz.add_argument("--time-budget", type=float, default=None,
                     help="stop after this many seconds")
     fz.add_argument("--sanitize", action="store_true",
@@ -550,12 +564,26 @@ def _cmd_report(args) -> int:
 
 
 def _cmd_list(_args) -> int:
+    from repro.hostexec.registry import ENGINES
     from repro.sat import ALGORITHMS
     from repro.sat.registry import _ALIASES
     print("algorithms:")
     for name, cls in ALGORITHMS.items():
         aliases = sorted(k for k, v in _ALIASES.items() if v == name)
         print(f"  {name:<14} ({cls.__name__}; aliases: {', '.join(aliases)})")
+    print("\nhost engines:")
+    for name, spec in ENGINES.items():
+        notes = []
+        if spec.bit_identical:
+            notes.append("bit-identical")
+        if spec.algorithms is not None:
+            notes.append(f"{len(spec.algorithms)} tile algorithms")
+        if spec.requires:
+            notes.append(
+                f"requires {spec.requires} "
+                f"({'installed' if spec.available() else 'missing'}; "
+                f"falls back to {spec.fallback})")
+        print(f"  {name:<10} {spec.summary} [{'; '.join(notes)}]")
     return 0
 
 

@@ -381,9 +381,8 @@ def resolve_engine(engine) -> WavefrontEngine:
         return engine
     if engine == "wavefront":
         return shared_engine()
-    raise ConfigurationError(
-        f"unknown host engine {engine!r}; expected 'wavefront' or a "
-        "WavefrontEngine instance")
+    from repro.hostexec.registry import unknown_engine_error
+    raise unknown_engine_error(engine)
 
 
 def wavefront_sat(a: np.ndarray, *, algorithm: str = "1R1W-SKSS-LB",

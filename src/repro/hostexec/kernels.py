@@ -87,6 +87,28 @@ def _gather_scal(plane: np.ndarray, Is: np.ndarray,
     return out
 
 
+def gather_left_up_corner(carry: CarrySet, Is: np.ndarray, Js: np.ndarray,
+                          W: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Stacked carry inputs of the GRS/GCS/GS dataflow family for one chunk:
+    ``(grs_left, gcs_above, gs_corner)``, zeros synthesised at the borders.
+
+    Shared by the batched NumPy chunk kernels below and the compiled flat
+    kernels (:mod:`repro.hostexec.compiled`) — the gather stage is identical
+    for both executors; only the tile algebra differs in form.
+    """
+    return (_gather_vec(carry.vec_row, Is, Js - 1, W),
+            _gather_vec(carry.vec_col, Is - 1, Js, W),
+            _gather_scal(carry.scal, Is - 1, Js - 1))
+
+
+def gather_left_up(carry: CarrySet, Is: np.ndarray, Js: np.ndarray,
+                   W: int) -> tuple[np.ndarray, np.ndarray]:
+    """Stacked carry inputs of the 1R1W-SKSS (GRS + GCP) dataflow for one
+    chunk: ``(grs_left, gcp_above)``, zeros synthesised at the borders."""
+    return (_gather_vec(carry.vec_row, Is, Js - 1, W),
+            _gather_vec(carry.vec_col, Is - 1, Js, W))
+
+
 def _assemble_stack(stack: np.ndarray, grs_left: np.ndarray,
                     gcs_above: np.ndarray, gs_corner: np.ndarray) -> None:
     """In-place stacked :func:`~repro.primitives.tile.assemble_gsat_tile`."""

@@ -213,12 +213,26 @@ class SATAlgorithm(ABC):
         dependency-free); ``"wavefront"`` or a
         :class:`~repro.hostexec.WavefrontEngine` instance routes the same
         dataflow through the multi-core wavefront engine (tile-based
-        algorithms only; results are bit-identical to the serial path for
-        every shape and dtype).
+        algorithms only); ``"compiled"`` or a
+        :class:`~repro.hostexec.CompiledEngine` instance through the
+        Numba-jitted flat kernels (any algorithm; degrades to wavefront /
+        serial with a warning when Numba is missing).  Both engines are
+        bit-identical to the serial path for every shape and dtype.
         """
         prep = self._validate(a, dtype_policy)
         if engine is None or engine == "serial":
             return prep.crop(self._run_host(prep.array))
+        from repro.hostexec.compiled import compiled_engine_for, \
+            is_compiled_engine
+        if is_compiled_engine(engine):
+            eng = engine if not isinstance(engine, str) \
+                else compiled_engine_for(self.name)
+            if eng is None:  # no Numba, no tile dataflow: serial host path
+                return prep.crop(self._run_host(prep.array))
+            sat = eng.compute(prep.array, algorithm=self.name,
+                              tile_width=self.tile_width,
+                              dtype_policy=prep.acc_dtype)
+            return prep.crop(sat)
         if not self.tile_based:
             raise ConfigurationError(
                 f"{self.name} has no tile dataflow; only tile-based "

@@ -51,7 +51,10 @@ def out_of_core_sat(a: np.ndarray, *, band_rows: int,
 
     ``engine`` selects the *host* executor for the per-band computation
     (``"serial"``, ``"wavefront"``/a
-    :class:`~repro.hostexec.WavefrontEngine`, or ``"parallel"``); it is
+    :class:`~repro.hostexec.WavefrontEngine`, ``"parallel"``, or
+    ``"compiled"``/a :class:`~repro.hostexec.CompiledEngine` — with
+    ``algorithm=None`` the compiled engine runs each band as its fused flat
+    double scan, bit-identical to the NumPy reference); it is
     mutually exclusive with ``gpu_factory``.  ``dtype_policy`` resolves the
     accumulator dtype (:mod:`repro.sat.dtypes`; exact by default) — the carry
     vectors accumulate in that dtype too, so integer inputs stitch exactly.
@@ -80,6 +83,13 @@ def _band_engine(band: np.ndarray, algorithm: str | None, tile_width: int,
     if engine == "parallel":
         from repro.sat.parallel_host import parallel_sat
         return parallel_sat(band, dtype_policy=acc)
+    if engine is not None and engine != "serial":
+        from repro.hostexec.compiled import (host_compiled_sat,
+                                             is_compiled_engine)
+        if is_compiled_engine(engine):
+            return host_compiled_sat(band, algorithm=algorithm,
+                                     tile_width=tile_width, dtype_policy=acc,
+                                     engine=engine)
     if algorithm is None:
         return band.astype(acc, copy=False).cumsum(axis=0).cumsum(axis=1)
     alg = get_algorithm(algorithm, tile_width=tile_width)

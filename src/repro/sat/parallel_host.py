@@ -22,6 +22,13 @@ makes exactly one copy — the defensive copy of the input.
 The worker count defaults to the ``REPRO_WORKERS`` environment variable,
 falling back to the full ``os.cpu_count()`` (shared with the wavefront
 engine's :func:`repro.hostexec.default_workers`).
+
+This engine is registered as ``"parallel"`` in the host-engine registry
+(:mod:`repro.hostexec.registry`) with ``bit_identical=False``: banding the
+column scan changes the float reduction order, so float results match the
+serial reference only to within rounding (integer inputs are exact).  The
+differential layer compares it with ``allclose`` accordingly, where the
+serial/wavefront/compiled engines are held to exact equality.
 """
 
 from __future__ import annotations

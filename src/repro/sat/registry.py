@@ -8,6 +8,8 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.gpusim.kernel import GPU
+from repro.hostexec.registry import known_engines as _known_engines
+from repro.hostexec.registry import unknown_engine_error as _unknown_engine
 from repro.sat.base import SATAlgorithm, SATResult
 from repro.sat.dtypes import resolve_policy
 from repro.sat.hybrid_1r1w import Hybrid1R1W
@@ -74,8 +76,12 @@ def get_algorithm(name: str, **params: Any) -> SATAlgorithm:
 #: dependency-driven multi-core engine (:mod:`repro.hostexec`; tile-based
 #: algorithms only, bit-identical results), ``parallel`` the fork/join banded
 #: 2R2W scan (:func:`repro.sat.parallel_host.parallel_sat`; any algorithm —
-#: it computes the same SAT by plain double prefix sums).
-HOST_ENGINES = ("serial", "wavefront", "parallel")
+#: it computes the same SAT by plain double prefix sums), ``compiled`` the
+#: Numba-jitted flat tile kernels (:mod:`repro.hostexec.compiled`; any
+#: algorithm, bit-identical, degrades to wavefront/serial without Numba).
+#: Derived from the engine registry (:mod:`repro.hostexec.registry`) so the
+#: CLI choices and error messages can never drift from the registered set.
+HOST_ENGINES = _known_engines()
 
 
 def host_sat(a: np.ndarray, *, algorithm: str | None = None,
@@ -86,9 +92,12 @@ def host_sat(a: np.ndarray, *, algorithm: str | None = None,
     The single entry point the applications layer uses: ``engine`` is
     ``None``/``"serial"`` (the algorithm's serial host loop, or the NumPy
     reference when ``algorithm`` is ``None``), ``"wavefront"`` (or a
-    :class:`~repro.hostexec.WavefrontEngine` instance), or ``"parallel"``.
-    ``a`` may be any 2-D rectangle; ``dtype_policy`` resolves the accumulator
-    dtype (:mod:`repro.sat.dtypes`; exact by default).
+    :class:`~repro.hostexec.WavefrontEngine` instance), ``"parallel"``, or
+    ``"compiled"`` (or a :class:`~repro.hostexec.CompiledEngine` instance —
+    Numba-jitted flat kernels, bit-identical, wavefront/serial fallback
+    without Numba).  ``a`` may be any 2-D rectangle; ``dtype_policy``
+    resolves the accumulator dtype (:mod:`repro.sat.dtypes`; exact by
+    default).
     """
     a = np.asarray(a)
     if engine == "parallel":
@@ -100,11 +109,15 @@ def host_sat(a: np.ndarray, *, algorithm: str | None = None,
             return a.astype(acc, copy=False).cumsum(axis=0).cumsum(axis=1)
         return get_algorithm(algorithm, tile_width=tile_width).run_host(
             a, dtype_policy=dtype_policy)
+    from repro.hostexec.compiled import host_compiled_sat, is_compiled_engine
+    if is_compiled_engine(engine):
+        return host_compiled_sat(a, algorithm=algorithm,
+                                 tile_width=tile_width, workers=workers,
+                                 dtype_policy=dtype_policy, engine=engine)
     # Wavefront (by name or instance): default to the paper's algorithm.
     from repro.hostexec import WavefrontEngine, resolve_engine
     if not (isinstance(engine, WavefrontEngine) or engine == "wavefront"):
-        raise ConfigurationError(
-            f"unknown host engine {engine!r}; known: {HOST_ENGINES}")
+        raise _unknown_engine(engine)
     name = get_algorithm(algorithm or "1R1W-SKSS-LB").name
     if workers is not None and not isinstance(engine, WavefrontEngine):
         with WavefrontEngine(workers=workers) as eng:
@@ -162,9 +175,10 @@ def compute_sat(a: np.ndarray, *, algorithm: str = "1R1W-SKSS-LB",
     engine:
         Host executor for the non-simulated path (implies ``simulate=False``):
         one of :data:`HOST_ENGINES` or a
-        :class:`~repro.hostexec.WavefrontEngine` instance.
+        :class:`~repro.hostexec.WavefrontEngine` /
+        :class:`~repro.hostexec.CompiledEngine` instance.
     workers:
-        Worker count for the ``wavefront``/``parallel`` engines.
+        Worker count for the ``wavefront``/``parallel``/``compiled`` engines.
     dtype_policy:
         Input-to-accumulator dtype mapping (:mod:`repro.sat.dtypes`): a
         policy, a policy name (``"exact"``, ``"widen-float"``, ``"float64"``)
@@ -213,14 +227,34 @@ def compute_sat(a: np.ndarray, *, algorithm: str = "1R1W-SKSS-LB",
         from repro.sat.parallel_host import parallel_sat
         sat = parallel_sat(a, workers=workers, dtype_policy=dtype_policy)
     else:
-        from repro.hostexec import WavefrontEngine
-        if workers is not None and not isinstance(engine, WavefrontEngine):
-            with WavefrontEngine(workers=workers) as eng:
-                sat = alg.run_host(a, engine=eng, dtype_policy=dtype_policy)
-        else:
+        from repro.hostexec.compiled import (CompiledEngine,
+                                             is_compiled_engine,
+                                             numba_available)
+        if is_compiled_engine(engine):
+            if engine == "compiled" and workers is not None and workers > 1 \
+                    and numba_available():
+                engine = CompiledEngine(workers=workers)
             sat = alg.run_host(a, engine=engine, dtype_policy=dtype_policy)
+        else:
+            from repro.hostexec import WavefrontEngine
+            if not (isinstance(engine, WavefrontEngine)
+                    or engine == "wavefront"):
+                raise _unknown_engine(engine)
+            if workers is not None \
+                    and not isinstance(engine, WavefrontEngine):
+                with WavefrontEngine(workers=workers) as eng:
+                    sat = alg.run_host(a, engine=eng,
+                                       dtype_policy=dtype_policy)
+            else:
+                sat = alg.run_host(a, engine=engine,
+                                   dtype_policy=dtype_policy)
     p = alg.params()
     if engine is not None:
-        p["engine"] = engine if isinstance(engine, str) else "wavefront"
+        if isinstance(engine, str):
+            p["engine"] = engine
+        else:
+            from repro.hostexec.compiled import CompiledEngine
+            p["engine"] = "compiled" \
+                if isinstance(engine, CompiledEngine) else "wavefront"
     return SATResult(sat=sat, algorithm=alg.name, n=sat.shape[0],
                      params=p, report=None)

@@ -9,6 +9,7 @@ import pytest
 from repro.analysis.fuzzing import (FUZZ_ALGORITHMS, INCREMENTAL_ALGORITHMS,
                                     INCREMENTAL_DTYPES, FuzzConfig, fuzz,
                                     run_one, sample_config,
+                                    sample_engine_config,
                                     sample_incremental_config)
 from repro.errors import ConfigurationError
 
@@ -195,3 +196,77 @@ class TestSanitizeMode:
         report = fuzz(3, seed=11, mode="sanitize")
         assert report.ok, report.failures
         assert report.runs == 3
+
+
+class TestEngineMode:
+    """mode="engine": host engines differenced against the serial oracle."""
+
+    def test_sampled_configs_are_valid(self):
+        from repro.hostexec.registry import known_engines
+        rng = np.random.default_rng(0)
+        seen = set()
+        for _ in range(40):
+            cfg = sample_engine_config(rng)
+            assert cfg.mode == "engine"
+            assert cfg.engine in known_engines() and cfg.engine != "serial"
+            assert cfg.dtype in INCREMENTAL_DTYPES
+            assert cfg.rows >= cfg.tile_width and cfg.cols >= cfg.tile_width
+            if cfg.engine == "wavefront":
+                assert cfg.algorithm in INCREMENTAL_ALGORITHMS
+            else:
+                assert cfg.algorithm in FUZZ_ALGORITHMS
+            seen.add(cfg.engine)
+        assert seen == {"wavefront", "parallel", "compiled"}
+
+    def test_short_session_clean(self):
+        import warnings
+        with warnings.catch_warnings():
+            # compiled degrades to wavefront without numba — still must pass
+            warnings.simplefilter("ignore", RuntimeWarning)
+            report = fuzz(15, seed=6, mode="engine")
+        assert report.ok, report.failures
+        assert report.runs == 15
+
+    def test_replay_round_trip(self):
+        import warnings
+        cfg = sample_engine_config(np.random.default_rng(8))
+        again = FuzzConfig.from_json(cfg.to_json())
+        assert again == cfg
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            assert run_one(again) is None
+
+    def test_legacy_json_defaults_to_wavefront(self):
+        loaded = FuzzConfig.from_json(json.dumps(
+            {"algorithm": "1R1W", "n": 64, "tile_width": 32,
+             "policy": "lifo", "sim_seed": 5, "data_seed": 9,
+             "residency": 2, "consistency": "relaxed", "tiny_device": True}))
+        assert loaded.engine == "wavefront"
+
+    def test_detects_a_planted_engine_bug(self, monkeypatch):
+        """If an engine returned a wrong table, the differencer must fire."""
+        import warnings
+
+        import repro.sat.registry as sat_registry
+
+        real = sat_registry.host_sat
+
+        def broken(a, **kwargs):
+            out = real(a, **kwargs)
+            out[0, 0] += 1
+            return out
+        # _run_engine imports host_sat locally, so patch it at the source.
+        monkeypatch.setattr(sat_registry, "host_sat", broken)
+        rng = np.random.default_rng(0)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            errors = [run_one(sample_engine_config(rng)) for _ in range(5)]
+        assert any(e is not None and "diverged" in e for e in errors)
+
+    @pytest.mark.slow
+    def test_long_session_clean(self):
+        import warnings
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            report = fuzz(100, seed=2018, mode="engine")
+        assert report.ok, report.failures

@@ -1,0 +1,111 @@
+"""Host-engine registry: capability flags, dynamic lists, error messages."""
+
+import sys
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hostexec.registry import (ENGINES, EngineSpec,
+                                     engines_for_algorithm, get_engine_spec,
+                                     known_engines, unknown_engine_error)
+
+
+class TestRegistryContents:
+    def test_all_four_engines_registered(self):
+        assert known_engines() == ("serial", "wavefront", "parallel",
+                                   "compiled")
+
+    def test_specs_are_self_named(self):
+        for name, spec in ENGINES.items():
+            assert spec.name == name
+
+    def test_bit_identity_flags(self):
+        assert ENGINES["serial"].bit_identical
+        assert ENGINES["wavefront"].bit_identical
+        assert ENGINES["compiled"].bit_identical
+        assert not ENGINES["parallel"].bit_identical
+
+    def test_wavefront_runs_only_tile_algorithms(self):
+        from repro.hostexec.kernels import KERNELS
+        spec = ENGINES["wavefront"]
+        assert spec.algorithms == tuple(KERNELS)
+        assert spec.supports_algorithm("1R1W-SKSS-LB")
+        assert not spec.supports_algorithm("2R2W")
+
+    def test_universal_engines_support_everything(self):
+        from repro import ALGORITHMS
+        for name in ("serial", "parallel", "compiled"):
+            for alg in ALGORITHMS:
+                assert ENGINES[name].supports_algorithm(alg)
+
+    def test_compiled_declares_dependency_and_fallback(self):
+        spec = ENGINES["compiled"]
+        assert spec.requires == "numba"
+        assert spec.fallback == "wavefront"
+        for name in ("serial", "wavefront", "parallel"):
+            assert ENGINES[name].requires is None
+            assert ENGINES[name].available()
+
+    def test_engines_for_algorithm(self):
+        assert engines_for_algorithm("2R2W") == ("serial", "parallel",
+                                                 "compiled")
+        assert engines_for_algorithm("1R1W") == ("serial", "wavefront",
+                                                 "parallel", "compiled")
+
+
+class TestCapabilityQueries:
+    def test_dtypes_none_means_any(self):
+        for spec in ENGINES.values():
+            assert spec.dtypes is None
+            assert spec.supports_dtype(np.float32)
+            assert spec.supports_dtype("int64")
+
+    def test_restricted_dtypes_respected(self):
+        spec = EngineSpec(name="x", summary="", algorithms=None,
+                          dtypes=("float32", "float64"), bit_identical=False)
+        assert spec.supports_dtype(np.float64)
+        assert not spec.supports_dtype(np.int32)
+
+    def test_availability_tracks_import(self, monkeypatch):
+        spec = ENGINES["compiled"]
+        monkeypatch.setitem(sys.modules, "numba", None)
+        assert not spec.available()
+
+    def test_missing_module_is_unavailable(self):
+        spec = EngineSpec(name="x", summary="", algorithms=None, dtypes=None,
+                          bit_identical=True,
+                          requires="definitely_not_a_module")
+        assert not spec.available()
+
+
+class TestErrors:
+    def test_get_engine_spec_known(self):
+        assert get_engine_spec("compiled") is ENGINES["compiled"]
+
+    def test_get_engine_spec_unknown_lists_all(self):
+        with pytest.raises(ConfigurationError) as exc:
+            get_engine_spec("turbo")
+        msg = str(exc.value)
+        for name in known_engines():
+            assert name in msg
+
+    def test_unknown_engine_error_is_configuration_error(self):
+        err = unknown_engine_error("nope")
+        assert isinstance(err, ConfigurationError)
+        assert "'nope'" in str(err)
+
+    def test_routing_uses_the_registry_message(self):
+        from repro.sat.registry import host_sat
+        with pytest.raises(ConfigurationError, match="compiled"):
+            host_sat(np.zeros((4, 4)), algorithm="1R1W", engine="turbo")
+
+    def test_cli_choices_match_registry(self):
+        from repro.cli import _build_parser
+        parser = _build_parser()
+        subparsers = next(a for a in parser._actions
+                          if isinstance(a, type(a)) and hasattr(a, "choices")
+                          and "run" in (a.choices or {}))
+        run = subparsers.choices["run"]
+        engine_action = next(a for a in run._actions if a.dest == "engine")
+        assert tuple(engine_action.choices) == known_engines()
