@@ -34,7 +34,7 @@ lint:
 typecheck:
 	@$(PY) -m mypy --version >/dev/null 2>&1 || \
 		{ echo "mypy is not installed (pip install mypy)"; exit 1; }
-	$(PY) -m mypy src/repro/gpusim src/repro/analysis
+	$(PY) -m mypy src/repro/gpusim src/repro/analysis src/repro/backend
 
 # Race/protocol sanitizer + static kernel lint over all 7 algorithms under
 # relaxed consistency with the adversarial scheduler (also a CI job).

@@ -27,15 +27,18 @@ Two modes share the harness (``repro fuzz --mode``):
     is exercised, not just exact arithmetic.
 
 ``engine``
-    Host-engine differential fuzzing: a random (algorithm, dtype, ragged
+    Backend differential fuzzing: a random (algorithm, dtype, ragged
     shape, workers) configuration runs through a randomly chosen non-serial
-    host engine (wavefront / parallel / compiled) and is compared against
-    the serial oracle.  Engines whose registry entry declares
-    ``bit_identical=True`` are held to ``np.array_equal``; the banded
-    ``parallel`` engine is held to exact equality on integer accumulators
-    and ``allclose`` on floats (its banding reorders float reductions).
-    This is how compiled-vs-serial divergence is fuzzed the same way
-    wavefront already was.
+    backend from the unified registry (:mod:`repro.backend.registry` —
+    wavefront / parallel / compiled, plus the gpusim simulator at small
+    warp-aligned shapes and the banded outofcore streamer) and is compared
+    against the serial oracle.  Backends whose spec declares
+    ``bit_identical=True`` are held to ``np.array_equal``; every backend is
+    held to exact equality on integer accumulators; the rest (banded
+    reductions, simulator-side float64 accumulation) are held to
+    ``allclose`` with a tolerance scaled to the accumulation depth.  The
+    pool is resolved from the registry at sampling time, so registering a
+    new backend automatically puts it under differential fire.
 
 All modes replay from the same :class:`FuzzConfig` JSON round-trip; the
 mode-specific fields default to inert values so pre-existing replay files
@@ -66,12 +69,12 @@ FUZZ_ALGORITHMS = ("2R2W", "2R2W-optimal", "2R1W", "1R1W", "(1+r)R1W",
 #: this mode, including bug-corpus kernels via the ``kernel`` field).
 FUZZ_MODES = ("simulate", "incremental", "sanitize", "engine")
 
-#: Engines exercised by engine-mode fuzzing (everything registered except
+#: Backends exercised by engine-mode fuzzing (everything registered except
 #: the serial oracle itself; resolved lazily so sampling reflects the
-#: registry, not a second hand-maintained list).
+#: unified backend registry, not a second hand-maintained list).
 def _engine_fuzz_engines() -> tuple[str, ...]:
-    from repro.hostexec.registry import known_engines
-    return tuple(e for e in known_engines() if e != "serial")
+    from repro.backend.registry import known_backends
+    return tuple(b for b in known_backends() if b != "serial")
 
 #: Tile-based algorithms the incremental engine can maintain (the wavefront
 #: kernel set — 2R2W variants have no tile carry state to repair).
@@ -127,8 +130,9 @@ class FuzzConfig:
     kernel: str | None = None       # bug-corpus entry instead of an algorithm
     acquisition: str = "diagonal"   # 1R1W-SKSS-LB tile acquisition order
     spin_bound: int | None = None   # DeadlockSuspectedError after this many spins
-    # Engine-mode field (default keeps pre-existing replay JSON valid).
-    engine: str = "wavefront"       # host engine differenced vs the serial oracle
+    # Engine-mode fields (defaults keep pre-existing replay JSON valid).
+    engine: str = "wavefront"       # backend differenced vs the serial oracle
+    band_rows: int | None = None    # outofcore backend's band height
 
     def build_gpu(self) -> GPU:
         return GPU(device=TINY_DEVICE if self.tiny_device else TITAN_V,
@@ -256,18 +260,36 @@ def sample_incremental_config(rng: np.random.Generator) -> FuzzConfig:
 
 
 def sample_engine_config(rng: np.random.Generator) -> FuzzConfig:
-    """Draw one random host-engine differential configuration.
+    """Draw one random backend differential configuration.
 
     Ragged rectangular shapes, all four differential dtypes, 1 or 4 workers,
-    and an engine drawn from the registry (everything but the serial oracle).
-    Wavefront only executes the five tile algorithms, so its algorithm pool
-    is restricted; parallel and compiled cover all seven.
+    and a backend drawn from the unified registry (everything but the serial
+    oracle).  Each backend's algorithm pool comes from its spec — wavefront
+    only executes the five tile algorithms; parallel, compiled, gpusim and
+    outofcore cover all seven.  The gpusim backend gets small warp-aligned
+    shapes (its collectives need ``tile_width`` to be a whole number of
+    32-lane warps, and the simulator pays per instruction); the outofcore
+    backend gets a random band height.
     """
-    tile_width = int(rng.choice([16, 32]))
-    rows = int(rng.integers(1, 5)) * tile_width + int(rng.integers(0, tile_width))
-    cols = int(rng.integers(1, 5)) * tile_width + int(rng.integers(0, tile_width))
+    from repro.backend.registry import get_spec
+
     engine = str(rng.choice(_engine_fuzz_engines()))
-    pool = INCREMENTAL_ALGORITHMS if engine == "wavefront" else FUZZ_ALGORITHMS
+    spec = get_spec(engine)
+    if spec.kind == "device":
+        tile_width = 32             # warp-width multiple; see GpusimBackend
+        rows = tile_width + int(rng.integers(0, tile_width + 1))
+        cols = tile_width + int(rng.integers(0, tile_width + 1))
+        workers = 1                 # the simulator has no host worker pool
+    else:
+        tile_width = int(rng.choice([16, 32]))
+        rows = int(rng.integers(1, 5)) * tile_width \
+            + int(rng.integers(0, tile_width))
+        cols = int(rng.integers(1, 5)) * tile_width \
+            + int(rng.integers(0, tile_width))
+        workers = int(rng.choice([1, 4]))
+    pool = spec.algorithms if spec.algorithms is not None else FUZZ_ALGORITHMS
+    band_rows = int(rng.integers(1, rows + 1)) \
+        if spec.kind == "streaming" else None
     return FuzzConfig(
         algorithm=str(rng.choice(pool)),
         n=max(rows, cols),
@@ -282,29 +304,37 @@ def sample_engine_config(rng: np.random.Generator) -> FuzzConfig:
         dtype=str(rng.choice(INCREMENTAL_DTYPES)),
         rows=rows,
         cols=cols,
-        workers=int(rng.choice([1, 4])),
+        workers=workers,
         engine=engine,
+        band_rows=band_rows,
     )
 
 
 def _run_engine(config: FuzzConfig) -> str | None:
-    """Difference one host engine against the serial oracle.
+    """Difference one registered backend against the serial oracle.
 
-    Bit-identical engines (``bit_identical=True`` in the registry — wavefront
-    and compiled, including compiled's no-Numba fallback) must satisfy
-    ``np.array_equal``; the banded parallel engine reorders float reductions,
-    so floats are held to ``allclose`` and integers to exact equality.
+    Bit-identical backends (``bit_identical=True`` in the registry —
+    wavefront and compiled, including compiled's no-Numba fallback) must
+    satisfy ``np.array_equal``, as must every backend on integer
+    accumulators.  Float results from the rest (parallel's banding, gpusim's
+    simulator-side float64 accumulation, outofcore's band stitching) reorder
+    reductions, so they are held to ``allclose`` with a tolerance scaled to
+    the accumulation depth (``eps * 4 * (rows + cols)``).
     """
-    from repro.hostexec.registry import get_engine_spec
-    from repro.sat.registry import host_sat
+    from repro.backend.registry import get_backend
 
-    spec = get_engine_spec(config.engine)
+    backend = get_backend(config.engine)
+    spec = backend.spec
     a = config.build_matrix()
-    got = host_sat(a, algorithm=config.algorithm,
-                   tile_width=config.tile_width, engine=config.engine,
-                   workers=config.workers)
-    if config.engine == "parallel":
-        # The parallel engine computes the 2R2W dataflow regardless of the
+    kwargs: dict = {"algorithm": config.algorithm,
+                    "tile_width": config.tile_width}
+    if spec.kind == "host":
+        kwargs["workers"] = config.workers
+    if spec.kind == "streaming":
+        kwargs["band_rows"] = config.band_rows
+    got = backend.compute(a, **kwargs)
+    if spec.algorithm_agnostic:
+        # The parallel backend computes the 2R2W dataflow regardless of the
         # configured algorithm; its oracle is the banding-free reference.
         want = a.astype(got.dtype, copy=False).cumsum(axis=0).cumsum(axis=1)
     else:
@@ -313,15 +343,20 @@ def _run_engine(config: FuzzConfig) -> str | None:
     exact = spec.bit_identical or np.issubdtype(got.dtype, np.integer)
     if exact:
         ok = np.array_equal(got, want)
+    elif got.shape != want.shape:
+        ok = False
     else:
-        ok = got.shape == want.shape and np.allclose(got, want)
+        rtol = float(np.finfo(got.dtype).eps) * 4 * (got.shape[0]
+                                                     + got.shape[1])
+        atol = rtol * max(1.0, float(np.abs(want).max()))
+        ok = np.allclose(got, want, rtol=rtol, atol=atol)
     if not ok:
         bad = int(np.argmax(got != want)) if got.shape == want.shape else -1
         kind = "exact" if exact else "allclose"
-        return (f"engine {config.engine!r} diverged from the serial oracle "
+        return (f"backend {config.engine!r} diverged from the serial oracle "
                 f"({kind} comparison, first mismatch at flat index {bad})")
     if got.dtype != want.dtype:
-        return (f"engine {config.engine!r} accumulator dtype {got.dtype} "
+        return (f"backend {config.engine!r} accumulator dtype {got.dtype} "
                 f"!= oracle {want.dtype}")
     return None
 
@@ -446,9 +481,8 @@ def run_one(config: FuzzConfig, *, sanitize: bool = False) -> str | None:
     (:mod:`repro.analysis.sanitizer`) and any race or protocol finding counts
     as a failure even when the numeric result happens to be right.
     ``mode="incremental"`` configs replay an edit sequence instead, and
-    ``mode="engine"`` configs difference a host engine against the serial
-    oracle (the sanitizer flag does not apply to either — both run on the
-    host, not the simulator).
+    ``mode="engine"`` configs difference a registered backend against the
+    serial oracle (the sanitizer flag does not apply to either mode).
     """
     if config.mode == "incremental":
         try:
@@ -498,8 +532,8 @@ def fuzz(num_runs: int = 50, *, seed: int = 0,
     ``mode`` selects the harness: ``"simulate"`` (algorithms vs the NumPy
     reference on the simulator), ``"incremental"`` (edit sequences vs
     from-scratch recompute; see :func:`sample_incremental_config`),
-    ``"sanitize"``, or ``"engine"`` (host engines vs the serial oracle; see
-    :func:`sample_engine_config`).
+    ``"sanitize"``, or ``"engine"`` (registered backends vs the serial
+    oracle; see :func:`sample_engine_config`).
     """
     if mode not in FUZZ_MODES:
         raise ConfigurationError(

@@ -1,0 +1,84 @@
+"""Typed carry-state interface: the LRS/LCS/GLS algebra as data.
+
+Every parallel decomposition in the paper communicates through the same kind
+of state: aggregated sums flowing right/down between execution units.  At
+tile granularity these are the Table II quantities (GRS row sums, GCS column
+sums, GS corner scalars, or the GCP bottom row for the SKSS dataflow); at
+band granularity (out-of-core) it is one vector of accumulated column sums —
+the identical algebra one level up.
+
+:class:`CarrySet` gives that state one typed surface: a mapping from *role*
+(the Table II name) to the plane holding it, plus the dtype the carries
+accumulate in.  Backends that retain state
+(``BackendSpec.retains_state=True``) return one from
+``execute_with_carries``; the conformance suite checks every exposed plane
+against the oracle definitions in :mod:`repro.primitives.tile`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class CarrySet(ABC):
+    """Inter-unit carry state exposed by a backend after execution."""
+
+    @property
+    @abstractmethod
+    def dtype(self) -> np.dtype:
+        """The accumulator dtype the carries are held in."""
+
+    @abstractmethod
+    def planes(self) -> dict[str, np.ndarray]:
+        """The carry planes keyed by their algebraic role (Table II names)."""
+
+    def roles(self) -> tuple[str, ...]:
+        """The role names this carry set publishes, in a stable order."""
+        return tuple(self.planes())
+
+
+@dataclass
+class TileCarrySet(CarrySet):
+    """Tile-grid carries: the Table II planes of one retained computation.
+
+    ``_planes`` maps role names (``GRS``/``GCS``/``GS`` for the look-back
+    family, ``GRS``/``GCP`` for SKSS, plus ``GS-col`` for 2R1W) to arrays of
+    shape ``(tile_rows, tile_cols, W)`` for vector roles and
+    ``(tile_rows, tile_cols)`` for scalar roles.
+    """
+
+    tile_rows: int
+    tile_cols: int
+    tile_width: int
+    _planes: dict[str, np.ndarray] = field(default_factory=dict)
+
+    @property
+    def dtype(self) -> np.dtype:
+        plane = next(iter(self._planes.values()))
+        return plane.dtype
+
+    def planes(self) -> dict[str, np.ndarray]:
+        return dict(self._planes)
+
+
+@dataclass
+class BandCarrySet(CarrySet):
+    """Band-streaming carries: accumulated column sums above the read frontier.
+
+    After a full out-of-core pass, ``BCS`` (band column sums) equals the
+    total per-column sum of the matrix — the quantity whose prefix scan
+    stitches each band's local SAT into the global one (the GCP identity at
+    band granularity).
+    """
+
+    column_sums: np.ndarray
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.column_sums.dtype
+
+    def planes(self) -> dict[str, np.ndarray]:
+        return {"BCS": self.column_sums}

@@ -235,7 +235,11 @@ def _build_parser() -> argparse.ArgumentParser:
     rp.add_argument("--measure-size", type=int, default=128)
     rp.add_argument("--fuzz-runs", type=int, default=25)
 
-    sub.add_parser("list", help="list algorithms and aliases")
+    lp = sub.add_parser("list",
+                        help="list algorithms, aliases and backends")
+    lp.add_argument("--json", metavar="PATH", default=None,
+                    help="write the backend capability table as JSON "
+                         "('-' for stdout)")
     return p
 
 
@@ -563,19 +567,32 @@ def _cmd_report(args) -> int:
     return 0
 
 
-def _cmd_list(_args) -> int:
-    from repro.hostexec.registry import ENGINES
+def _cmd_list(args) -> int:
+    from repro.backend.registry import backend_specs, backend_table
     from repro.sat import ALGORITHMS
     from repro.sat.registry import _ALIASES
+    if args.json == "-":
+        # JSON-to-stdout must stay pipeable: emit only the artifact.
+        from repro._version import __version__ as version
+        _write_json({"version": version,
+                     "algorithms": {name: sorted(
+                         k for k, v in _ALIASES.items() if v == name)
+                         for name in ALGORITHMS},
+                     "backends": backend_table()}, args.json)
+        return 0
     print("algorithms:")
     for name, cls in ALGORITHMS.items():
         aliases = sorted(k for k, v in _ALIASES.items() if v == name)
         print(f"  {name:<14} ({cls.__name__}; aliases: {', '.join(aliases)})")
-    print("\nhost engines:")
-    for name, spec in ENGINES.items():
-        notes = []
+    print("\nbackends:")
+    for name, spec in backend_specs().items():
+        notes = [spec.kind]
+        if spec.engine:
+            notes.append("--engine")
         if spec.bit_identical:
             notes.append("bit-identical")
+        if spec.retains_state:
+            notes.append("carries")
         if spec.algorithms is not None:
             notes.append(f"{len(spec.algorithms)} tile algorithms")
         if spec.requires:
@@ -584,6 +601,13 @@ def _cmd_list(_args) -> int:
                 f"({'installed' if spec.available() else 'missing'}; "
                 f"falls back to {spec.fallback})")
         print(f"  {name:<10} {spec.summary} [{'; '.join(notes)}]")
+    if args.json is not None:
+        from repro._version import __version__ as version
+        _write_json({"version": version,
+                     "algorithms": {name: sorted(
+                         k for k, v in _ALIASES.items() if v == name)
+                         for name in ALGORITHMS},
+                     "backends": backend_table()}, args.json)
     return 0
 
 

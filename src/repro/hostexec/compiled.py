@@ -50,6 +50,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.backend.plan import check_out, finalize_output, prepare_input
 from repro.errors import ConfigurationError
 from repro.hostexec.kernels import (KERNELS, CarrySet, _gather_scal,
                                     gather_left_up, gather_left_up_corner)
@@ -544,13 +545,9 @@ class CompiledEngine:
         name = _canonical_algorithm(algorithm)
         rows, cols = a.shape
         acc = resolve_policy(dtype_policy).accumulator(a.dtype)
-        if out is not None and (out.shape != (rows, cols) or out.dtype != acc
-                                or not out.flags.c_contiguous):
-            raise ConfigurationError(
-                "out must be a C-contiguous array of the input shape in the "
-                f"accumulator dtype {acc.name}")
+        check_out(out, rows, cols, acc)
         if name in NON_TILE_ALGORITHMS:
-            work = np.ascontiguousarray(a, dtype=acc)
+            work, _ = prepare_input(a, acc_dtype=acc)
             res = out if out is not None else np.empty_like(work)
             kern = _get_kernel("double-scan", _flat_double_scan,
                                parallel=False, jit=self.jit)
@@ -559,11 +556,7 @@ class CompiledEngine:
         spec = flat_kernel_for(name)
         grid = TileGrid(rows=rows, cols=cols, W=tile_width)
         W = grid.W
-        if not grid.aligned:
-            work = np.zeros((grid.padded_rows, grid.padded_cols), dtype=acc)
-            work[:rows, :cols] = a
-        else:
-            work = np.ascontiguousarray(a, dtype=acc)
+        work, _ = prepare_input(a, acc_dtype=acc, grid=grid)
         res = out if (out is not None and grid.aligned) \
             else np.empty_like(work)
         kern = _get_kernel(spec.name, spec.kernel,
@@ -573,12 +566,7 @@ class CompiledEngine:
             carry = self._carry(grid, work.dtype)
             for Is, Js in self._diagonals(grid):
                 spec.run(kern, work, res, carry, Is, Js, W)
-        if res.shape != (rows, cols):
-            if out is not None:
-                out[...] = res[:rows, :cols]
-                return out
-            return np.ascontiguousarray(res[:rows, :cols])
-        return res
+        return finalize_output(res, rows, cols, out)
 
 
 #: Lazily-created process-wide engine used by ``engine="compiled"`` call

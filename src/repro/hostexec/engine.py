@@ -42,6 +42,7 @@ from typing import Iterable, Iterator
 
 import numpy as np
 
+from repro.backend.plan import check_out, finalize_output, prepare_input
 from repro.errors import ConfigurationError
 from repro.hostexec.kernels import CarrySet, KernelSpec, kernel_for
 from repro.hostexec.plan import (DEPS_LEFT_UP, TILE_DONE, TILE_READY,
@@ -215,20 +216,11 @@ class WavefrontEngine:
         acc = resolve_policy(dtype_policy).accumulator(a.dtype)
         grid = TileGrid(rows=rows, cols=cols, W=tile_width)
         tr, tc, W = grid.tile_rows, grid.tile_cols, grid.W
-        if not grid.aligned:
-            work = np.zeros((grid.padded_rows, grid.padded_cols), dtype=acc)
-            work[:rows, :cols] = a
-        elif retain_state:
-            # The retained state owns (and later edits) the working matrix,
-            # so the no-copy aliasing fast path must not be taken.
-            work = np.array(a, dtype=acc, order="C", copy=True)
-        else:
-            work = np.ascontiguousarray(a, dtype=acc)
-        if out is not None and (out.shape != (rows, cols) or out.dtype != acc
-                                or not out.flags.c_contiguous):
-            raise ConfigurationError(
-                "out must be a C-contiguous array of the input shape in the "
-                f"accumulator dtype {acc.name}")
+        # The retained state owns (and later edits) the working matrix, so
+        # the no-copy aliasing fast path must not be taken for it.
+        work, _ = prepare_input(a, acc_dtype=acc, grid=grid,
+                                force_copy=retain_state)
+        check_out(out, rows, cols, acc)
         # The kernels run over the padded geometry; reuse ``out`` directly
         # when no padding is involved, otherwise crop afterwards.
         res = out if (out is not None and grid.aligned) \
@@ -248,12 +240,7 @@ class WavefrontEngine:
                 self._retained = RetainedState(spec=spec, grid=grid,
                                                work=work, out=res,
                                                carry=carry)
-        if res.shape != (rows, cols):
-            if out is not None:
-                out[...] = res[:rows, :cols]
-                return out
-            return np.ascontiguousarray(res[:rows, :cols])
-        return res
+        return finalize_output(res, rows, cols, out)
 
     def retained_state(self) -> RetainedState | None:
         """The state kept by the most recent ``retain_state=True`` compute.

@@ -1,115 +1,31 @@
-"""Host-engine registry: every executor the host path can route through.
+"""Host-engine registry view: the classic ``engine=`` routing surface.
 
-Before this module existed the engine names lived in a hand-maintained tuple
-(``repro.sat.registry.HOST_ENGINES``) that the CLI ``--engine`` choices and
-the "unknown engine" error message could silently drift from.  Now each
-executor registers one :class:`EngineSpec` here, and every consumer — routing
-(:func:`repro.sat.registry.host_sat` / ``compute_sat``), the CLI, the fuzzer
-and the error paths — derives its engine list from the same table.
-
-An :class:`EngineSpec` is *capability metadata*, not an executor: it records
-which algorithms an engine can run, whether its results are bit-identical to
-the serial reference loops, which accumulator dtypes it supports, and which
-optional dependency (if any) it needs plus the engine it degrades to when
-that dependency is absent.  The executors themselves live in their own
-modules (:mod:`repro.hostexec.engine`, :mod:`repro.hostexec.compiled`,
-:mod:`repro.sat.parallel_host`); keeping the registry import-light means the
-CLI can build ``--engine`` choices without touching Numba.
+This module used to own the ad-hoc ``EngineSpec`` table.  The capability
+specs now live in the unified backend registry
+(:mod:`repro.backend.registry` — which also registers the gpusim and
+out-of-core backends the ``engine=`` routing does not expose); everything
+here *derives* from that one table, so the CLI ``--engine`` choices, the
+fuzzer and the "unknown engine" error messages can never drift from the
+registered set.  ``EngineSpec`` is an alias of
+:class:`repro.backend.core.BackendSpec` for backward compatibility.
 """
 
 from __future__ import annotations
 
-import importlib.util
-from dataclasses import dataclass
+from repro.backend.core import BackendSpec as EngineSpec
+from repro.backend.core import _module_available  # noqa: F401  (re-export)
+from repro.backend.registry import backend_specs as _backend_specs
+from repro.backend.registry import unknown_engine_error  # noqa: F401
 
-from repro.errors import ConfigurationError
-
-
-def _module_available(name: str) -> bool:
-    """Whether optional dependency ``name`` is importable (without importing
-    it — ``find_spec`` is enough and keeps registry queries cheap)."""
-    try:
-        return importlib.util.find_spec(name) is not None
-    except (ImportError, ValueError):
-        return False
-
-
-@dataclass(frozen=True)
-class EngineSpec:
-    """Capability flags of one host execution engine.
-
-    ``algorithms`` is ``None`` when the engine runs every registered
-    algorithm, else the tuple of canonical names it supports.  ``dtypes`` is
-    ``None`` when any accumulator dtype works (all current engines — the flag
-    exists so a future engine with, say, float-only kernels can declare it).
-    ``requires`` names the optional import the engine needs; ``fallback``
-    names the engine it degrades to (with a warning) when that import is
-    missing — ``None`` means the engine is always available.
-    """
-
-    name: str
-    summary: str
-    #: Canonical algorithm names supported (``None`` = all algorithms).
-    algorithms: tuple[str, ...] | None
-    #: Accumulator dtype names supported (``None`` = any numeric dtype).
-    dtypes: tuple[str, ...] | None
-    #: Results are ``np.array_equal``-identical to the serial host loops.
-    bit_identical: bool
-    #: Optional dependency (import name) the engine needs, if any.
-    requires: str | None = None
-    #: Engine to degrade to when ``requires`` is missing (tile-based
-    #: algorithms; non-tile algorithms always degrade to ``serial``).
-    fallback: str | None = None
-
-    def available(self) -> bool:
-        """Whether the engine can run natively (its dependency importable)."""
-        return self.requires is None or _module_available(self.requires)
-
-    def supports_algorithm(self, name: str) -> bool:
-        return self.algorithms is None or name in self.algorithms
-
-    def supports_dtype(self, dtype) -> bool:
-        import numpy as np
-        return self.dtypes is None or np.dtype(dtype).name in self.dtypes
-
-
-def _tile_algorithms() -> tuple[str, ...]:
-    # Late import: kernels.py imports plan/tile machinery the registry's
-    # consumers (argparse construction) should not pay for eagerly.
-    from repro.hostexec.kernels import KERNELS
-    return tuple(KERNELS)
-
-
-def _make_engines() -> dict[str, EngineSpec]:
-    tile = _tile_algorithms()
-    return {
-        "serial": EngineSpec(
-            name="serial",
-            summary="each algorithm's own per-tile host loop (the oracle)",
-            algorithms=None, dtypes=None, bit_identical=True),
-        "wavefront": EngineSpec(
-            name="wavefront",
-            summary="dependency-driven tile chunks on a thread pool",
-            algorithms=tile, dtypes=None, bit_identical=True),
-        "parallel": EngineSpec(
-            name="parallel",
-            summary="fork/join banded 2R2W scan (plain cumsums)",
-            algorithms=None, dtypes=None, bit_identical=False),
-        "compiled": EngineSpec(
-            name="compiled",
-            summary="Numba-jitted flat tile kernels (whole diagonals per "
-                    "compiled pass)",
-            algorithms=None, dtypes=None, bit_identical=True,
-            requires="numba", fallback="wavefront"),
-    }
-
-
-#: All registered host engines, keyed by the ``engine=`` string.
-ENGINES: dict[str, EngineSpec] = _make_engines()
+#: The engine-routable backends, keyed by the ``engine=`` string.  Each value
+#: *is* the spec object registered in :mod:`repro.backend.registry` (pinned
+#: by the conformance suite).
+ENGINES: dict[str, EngineSpec] = {
+    name: spec for name, spec in _backend_specs().items() if spec.engine}
 
 
 def known_engines() -> tuple[str, ...]:
-    """Names of every registered engine (CLI choices, error messages)."""
+    """Names of every engine-routable backend (CLI choices, error messages)."""
     return tuple(ENGINES)
 
 
@@ -120,15 +36,6 @@ def get_engine_spec(name: str) -> EngineSpec:
     if spec is None:
         raise unknown_engine_error(name)
     return spec
-
-
-def unknown_engine_error(engine) -> ConfigurationError:
-    """The canonical "unknown engine" error, listing every registered engine
-    (kept in one place so the message can never drift from the registry)."""
-    return ConfigurationError(
-        f"unknown host engine {engine!r}; known engines: "
-        f"{', '.join(known_engines())} (or a WavefrontEngine/CompiledEngine "
-        "instance)")
 
 
 def engines_for_algorithm(name: str) -> tuple[str, ...]:

@@ -31,6 +31,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.backend.plan import prepare_input
 from repro.errors import ConfigurationError
 from repro.gpusim.counters import LaunchSummary
 from repro.gpusim.kernel import GPU
@@ -156,17 +157,10 @@ class SATAlgorithm(ABC):
         rows, cols = a.shape
         acc = resolve_policy(dtype_policy).accumulator(a.dtype)
         grid = TileGrid(rows=rows, cols=cols, W=self.tile_width)
-        pad = self.tile_based and not grid.aligned
-        if not pad and a.dtype == acc and a.flags.c_contiguous:
-            return PreparedInput(array=a, grid=grid, rows=rows, cols=cols,
-                                 acc_dtype=acc, copied=False)
-        if pad:
-            buf = np.zeros((grid.padded_rows, grid.padded_cols), dtype=acc)
-            buf[:rows, :cols] = a
-        else:
-            buf = np.ascontiguousarray(a, dtype=acc)
+        buf, copied = prepare_input(
+            a, acc_dtype=acc, grid=grid if self.tile_based else None)
         return PreparedInput(array=buf, grid=grid, rows=rows, cols=cols,
-                             acc_dtype=acc, copied=True)
+                             acc_dtype=acc, copied=copied)
 
     def grid(self, n: int) -> TileGrid:
         return TileGrid(n=n, W=self.tile_width)
@@ -210,38 +204,23 @@ class SATAlgorithm(ABC):
 
         ``engine`` selects the host executor: ``None``/``"serial"`` runs the
         algorithm's own serial tile loop (the default — deterministic and
-        dependency-free); ``"wavefront"`` or a
-        :class:`~repro.hostexec.WavefrontEngine` instance routes the same
-        dataflow through the multi-core wavefront engine (tile-based
+        dependency-free); any other value resolves through the unified
+        backend registry (:mod:`repro.backend.registry`) — ``"wavefront"``
+        or a :class:`~repro.hostexec.WavefrontEngine` instance routes the
+        same dataflow through the multi-core wavefront engine (tile-based
         algorithms only); ``"compiled"`` or a
         :class:`~repro.hostexec.CompiledEngine` instance through the
         Numba-jitted flat kernels (any algorithm; degrades to wavefront /
         serial with a warning when Numba is missing).  Both engines are
         bit-identical to the serial path for every shape and dtype.
         """
-        prep = self._validate(a, dtype_policy)
         if engine is None or engine == "serial":
+            prep = self._validate(a, dtype_policy)
             return prep.crop(self._run_host(prep.array))
-        from repro.hostexec.compiled import compiled_engine_for, \
-            is_compiled_engine
-        if is_compiled_engine(engine):
-            eng = engine if not isinstance(engine, str) \
-                else compiled_engine_for(self.name)
-            if eng is None:  # no Numba, no tile dataflow: serial host path
-                return prep.crop(self._run_host(prep.array))
-            sat = eng.compute(prep.array, algorithm=self.name,
-                              tile_width=self.tile_width,
-                              dtype_policy=prep.acc_dtype)
-            return prep.crop(sat)
-        if not self.tile_based:
-            raise ConfigurationError(
-                f"{self.name} has no tile dataflow; only tile-based "
-                "algorithms support engine='wavefront'")
-        from repro.hostexec import resolve_engine
-        sat = resolve_engine(engine).compute(
-            prep.array, algorithm=self.name, tile_width=self.tile_width,
-            dtype_policy=prep.acc_dtype)
-        return prep.crop(sat)
+        from repro.backend.registry import resolve_backend
+        return resolve_backend(engine).compute(
+            np.asarray(a), algorithm=self.name, tile_width=self.tile_width,
+            dtype_policy=dtype_policy)
 
     # -- subclass hooks ------------------------------------------------------------
 

@@ -80,22 +80,15 @@ def out_of_core_sat(a: np.ndarray, *, band_rows: int,
 
 def _band_engine(band: np.ndarray, algorithm: str | None, tile_width: int,
                  gpu_factory, engine, acc: np.dtype) -> np.ndarray:
-    if engine == "parallel":
-        from repro.sat.parallel_host import parallel_sat
-        return parallel_sat(band, dtype_policy=acc)
-    if engine is not None and engine != "serial":
-        from repro.hostexec.compiled import (host_compiled_sat,
-                                             is_compiled_engine)
-        if is_compiled_engine(engine):
-            return host_compiled_sat(band, algorithm=algorithm,
-                                     tile_width=tile_width, dtype_policy=acc,
-                                     engine=engine)
-    if algorithm is None:
-        return band.astype(acc, copy=False).cumsum(axis=0).cumsum(axis=1)
-    alg = get_algorithm(algorithm, tile_width=tile_width)
     if gpu_factory is not None:
+        if algorithm is None:
+            return band.astype(acc, copy=False).cumsum(axis=0).cumsum(axis=1)
+        alg = get_algorithm(algorithm, tile_width=tile_width)
         return alg.run(band, gpu_factory(), dtype_policy=acc).sat
-    return alg.run_host(band, engine=engine, dtype_policy=acc)
+    from repro.backend.registry import resolve_backend
+    return resolve_backend(engine).compute(band, algorithm=algorithm,
+                                           tile_width=tile_width,
+                                           dtype_policy=acc)
 
 
 @dataclass

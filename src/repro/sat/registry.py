@@ -9,9 +9,7 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.gpusim.kernel import GPU
 from repro.hostexec.registry import known_engines as _known_engines
-from repro.hostexec.registry import unknown_engine_error as _unknown_engine
 from repro.sat.base import SATAlgorithm, SATResult
-from repro.sat.dtypes import resolve_policy
 from repro.sat.hybrid_1r1w import Hybrid1R1W
 from repro.sat.kasagi_1r1w import Kasagi1R1W
 from repro.sat.naive_2r2w import Naive2R2W
@@ -79,8 +77,9 @@ def get_algorithm(name: str, **params: Any) -> SATAlgorithm:
 #: it computes the same SAT by plain double prefix sums), ``compiled`` the
 #: Numba-jitted flat tile kernels (:mod:`repro.hostexec.compiled`; any
 #: algorithm, bit-identical, degrades to wavefront/serial without Numba).
-#: Derived from the engine registry (:mod:`repro.hostexec.registry`) so the
-#: CLI choices and error messages can never drift from the registered set.
+#: Derived from the unified backend registry (:mod:`repro.backend.registry`
+#: via :mod:`repro.hostexec.registry`) so the CLI choices and error messages
+#: can never drift from the registered set.
 HOST_ENGINES = _known_engines()
 
 
@@ -99,33 +98,10 @@ def host_sat(a: np.ndarray, *, algorithm: str | None = None,
     resolves the accumulator dtype (:mod:`repro.sat.dtypes`; exact by
     default).
     """
-    a = np.asarray(a)
-    if engine == "parallel":
-        from repro.sat.parallel_host import parallel_sat
-        return parallel_sat(a, workers=workers, dtype_policy=dtype_policy)
-    if engine is None or engine == "serial":
-        if algorithm is None:
-            acc = resolve_policy(dtype_policy).accumulator(a.dtype)
-            return a.astype(acc, copy=False).cumsum(axis=0).cumsum(axis=1)
-        return get_algorithm(algorithm, tile_width=tile_width).run_host(
-            a, dtype_policy=dtype_policy)
-    from repro.hostexec.compiled import host_compiled_sat, is_compiled_engine
-    if is_compiled_engine(engine):
-        return host_compiled_sat(a, algorithm=algorithm,
-                                 tile_width=tile_width, workers=workers,
-                                 dtype_policy=dtype_policy, engine=engine)
-    # Wavefront (by name or instance): default to the paper's algorithm.
-    from repro.hostexec import WavefrontEngine, resolve_engine
-    if not (isinstance(engine, WavefrontEngine) or engine == "wavefront"):
-        raise _unknown_engine(engine)
-    name = get_algorithm(algorithm or "1R1W-SKSS-LB").name
-    if workers is not None and not isinstance(engine, WavefrontEngine):
-        with WavefrontEngine(workers=workers) as eng:
-            return eng.compute(a, algorithm=name, tile_width=tile_width,
-                               dtype_policy=dtype_policy)
-    return resolve_engine(engine).compute(a, algorithm=name,
-                                          tile_width=tile_width,
-                                          dtype_policy=dtype_policy)
+    from repro.backend.registry import resolve_backend
+    return resolve_backend(engine).compute(
+        np.asarray(a), algorithm=algorithm, tile_width=tile_width,
+        workers=workers, dtype_policy=dtype_policy)
 
 
 def incremental_sat(a: np.ndarray, *, algorithm: str = "1R1W-SKSS-LB",
@@ -221,40 +197,19 @@ def compute_sat(a: np.ndarray, *, algorithm: str = "1R1W-SKSS-LB",
         simulate = False
     if simulate:
         return alg.run(a, gpu, dtype_policy=dtype_policy)
+    engine_name = engine if isinstance(engine, str) or engine is None \
+        else None
     if engine is None or engine == "serial":
         sat = alg.run_host(a, dtype_policy=dtype_policy)
-    elif engine == "parallel":
-        from repro.sat.parallel_host import parallel_sat
-        sat = parallel_sat(a, workers=workers, dtype_policy=dtype_policy)
     else:
-        from repro.hostexec.compiled import (CompiledEngine,
-                                             is_compiled_engine,
-                                             numba_available)
-        if is_compiled_engine(engine):
-            if engine == "compiled" and workers is not None and workers > 1 \
-                    and numba_available():
-                engine = CompiledEngine(workers=workers)
-            sat = alg.run_host(a, engine=engine, dtype_policy=dtype_policy)
-        else:
-            from repro.hostexec import WavefrontEngine
-            if not (isinstance(engine, WavefrontEngine)
-                    or engine == "wavefront"):
-                raise _unknown_engine(engine)
-            if workers is not None \
-                    and not isinstance(engine, WavefrontEngine):
-                with WavefrontEngine(workers=workers) as eng:
-                    sat = alg.run_host(a, engine=eng,
-                                       dtype_policy=dtype_policy)
-            else:
-                sat = alg.run_host(a, engine=engine,
-                                   dtype_policy=dtype_policy)
+        from repro.backend.registry import resolve_backend
+        backend = resolve_backend(engine)
+        engine_name = backend.spec.name
+        sat = backend.compute(np.asarray(a), algorithm=alg.name,
+                              tile_width=tile_width, workers=workers,
+                              dtype_policy=dtype_policy)
     p = alg.params()
     if engine is not None:
-        if isinstance(engine, str):
-            p["engine"] = engine
-        else:
-            from repro.hostexec.compiled import CompiledEngine
-            p["engine"] = "compiled" \
-                if isinstance(engine, CompiledEngine) else "wavefront"
+        p["engine"] = engine_name
     return SATResult(sat=sat, algorithm=alg.name, n=sat.shape[0],
                      params=p, report=None)

@@ -199,24 +199,36 @@ class TestSanitizeMode:
 
 
 class TestEngineMode:
-    """mode="engine": host engines differenced against the serial oracle."""
+    """mode="engine": registered backends differenced vs the serial oracle."""
 
     def test_sampled_configs_are_valid(self):
-        from repro.hostexec.registry import known_engines
+        from repro.backend.registry import get_spec, known_backends
         rng = np.random.default_rng(0)
         seen = set()
-        for _ in range(40):
+        for _ in range(60):
             cfg = sample_engine_config(rng)
             assert cfg.mode == "engine"
-            assert cfg.engine in known_engines() and cfg.engine != "serial"
+            assert cfg.engine in known_backends() and cfg.engine != "serial"
             assert cfg.dtype in INCREMENTAL_DTYPES
             assert cfg.rows >= cfg.tile_width and cfg.cols >= cfg.tile_width
-            if cfg.engine == "wavefront":
-                assert cfg.algorithm in INCREMENTAL_ALGORITHMS
+            spec = get_spec(cfg.engine)
+            if spec.algorithms is not None:
+                assert cfg.algorithm in spec.algorithms
             else:
                 assert cfg.algorithm in FUZZ_ALGORITHMS
+            if spec.kind == "device":
+                # Simulator collectives need warp-aligned tiles; shapes stay
+                # small because the simulator pays per instruction.
+                assert cfg.tile_width == 32
+                assert cfg.rows <= 2 * cfg.tile_width
+            if spec.kind == "streaming":
+                assert cfg.band_rows is not None
+                assert 1 <= cfg.band_rows <= cfg.rows
+            else:
+                assert cfg.band_rows is None
             seen.add(cfg.engine)
-        assert seen == {"wavefront", "parallel", "compiled"}
+        assert seen == set(known_backends()) - {"serial"}
+        assert {"gpusim", "outofcore"} <= seen
 
     def test_short_session_clean(self):
         import warnings
@@ -244,19 +256,21 @@ class TestEngineMode:
         assert loaded.engine == "wavefront"
 
     def test_detects_a_planted_engine_bug(self, monkeypatch):
-        """If an engine returned a wrong table, the differencer must fire."""
+        """If a backend returned a wrong table, the differencer must fire."""
         import warnings
 
-        import repro.sat.registry as sat_registry
+        from repro.backend.core import Backend
 
-        real = sat_registry.host_sat
+        real = Backend.execute
 
-        def broken(a, **kwargs):
-            out = real(a, **kwargs)
-            out[0, 0] += 1
-            return out
-        # _run_engine imports host_sat locally, so patch it at the source.
-        monkeypatch.setattr(sat_registry, "host_sat", broken)
+        def broken(self, plan, a, out=None):
+            res = real(self, plan, a, out)
+            res[0, 0] += 1
+            return res
+        # Every backend routes through Backend.execute; the serial oracle in
+        # _run_engine does not (run_host / plain cumsum), so only the
+        # backend-side result is corrupted.
+        monkeypatch.setattr(Backend, "execute", broken)
         rng = np.random.default_rng(0)
         with warnings.catch_warnings():
             warnings.simplefilter("ignore", RuntimeWarning)

@@ -1,0 +1,119 @@
+"""Registry drift pins: one table, every consumer derives from it.
+
+These tests fail if an executor is ever registered (or routed) outside the
+unified backend registry: the executor-class table, the legacy hostexec
+engine registry, the sat-layer routing surface, the CLI ``--engine``
+choices, the fuzzer's sampling pool and every unknown-name error message
+must all be derivations of ``repro.backend.registry`` — not second lists.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.backend.registry import (backend_specs, backend_table,
+                                    engine_backends, get_backend, get_spec,
+                                    known_backends, resolve_backend)
+from repro.errors import ConfigurationError
+
+
+def test_known_backends_exactly():
+    assert known_backends() == ("serial", "wavefront", "parallel",
+                                "compiled", "gpusim", "outofcore")
+    assert engine_backends() == ("serial", "wavefront", "parallel",
+                                 "compiled")
+
+
+def test_every_executor_class_is_registered():
+    """The pin: no executor exists outside the registry, and the registry
+    names nothing without an executor."""
+    from repro.backend.executors import BACKEND_CLASSES
+    assert set(BACKEND_CLASSES) == set(known_backends())
+    for name in known_backends():
+        assert get_backend(name).spec is get_spec(name)
+
+
+def test_hostexec_engine_registry_is_a_derivation():
+    from repro.hostexec.registry import ENGINES, known_engines
+    assert known_engines() == engine_backends()
+    for name in known_engines():
+        assert ENGINES[name] is get_spec(name)
+
+
+def test_sat_layer_engine_surface_is_a_derivation():
+    from repro.sat.registry import HOST_ENGINES
+    assert HOST_ENGINES == engine_backends()
+
+
+def test_cli_engine_choices_are_a_derivation():
+    from repro.cli import _build_parser
+    parser = _build_parser()
+    subparsers = next(a for a in parser._actions
+                      if hasattr(a, "choices") and "run" in (a.choices or {}))
+    run = subparsers.choices["run"]
+    engine_action = next(a for a in run._actions if a.dest == "engine")
+    assert tuple(engine_action.choices) == engine_backends()
+
+
+def test_fuzz_pool_is_a_derivation():
+    from repro.analysis.fuzzing import _engine_fuzz_engines
+    assert _engine_fuzz_engines() \
+        == tuple(b for b in known_backends() if b != "serial")
+
+
+def test_unknown_engine_error_lists_the_registry():
+    with pytest.raises(ConfigurationError) as exc:
+        resolve_backend("turbo")
+    message = str(exc.value)
+    for name in engine_backends():
+        assert name in message
+    # non-engine backends are not reachable through engine= routing
+    with pytest.raises(ConfigurationError, match="unknown host engine"):
+        resolve_backend("gpusim")
+
+
+def test_unknown_backend_error_lists_the_registry():
+    with pytest.raises(ConfigurationError) as exc:
+        get_backend("turbo")
+    message = str(exc.value)
+    for name in known_backends():
+        assert name in message
+
+
+def test_resolve_backend_contract():
+    assert resolve_backend(None).spec.name == "serial"
+    assert resolve_backend("wavefront").spec.name == "wavefront"
+    from repro.hostexec import WavefrontEngine
+    with WavefrontEngine(workers=1) as eng:
+        adapter = resolve_backend(eng)
+        assert adapter.spec is get_spec("wavefront")
+        a = np.arange(12, dtype=np.int32).reshape(3, 4)
+        np.testing.assert_array_equal(
+            adapter.compute(a),
+            a.astype(np.int64).cumsum(axis=0).cumsum(axis=1))
+
+
+def test_backend_table_is_stable_json():
+    rows = backend_table()
+    assert [r["name"] for r in rows] == list(known_backends())
+    keys = {"name", "kind", "summary", "algorithms", "dtypes",
+            "bit_identical", "requires", "fallback", "available", "engine",
+            "retains_state", "algorithm_agnostic", "default_algorithm"}
+    for row in rows:
+        assert set(row) == keys
+    json.dumps(rows)   # must be JSON-able as-is
+
+
+def test_capability_flags_pinned():
+    specs = backend_specs()
+    assert [s.kind for s in specs.values()] \
+        == ["host", "host", "host", "host", "device", "streaming"]
+    assert {n for n, s in specs.items() if s.bit_identical} \
+        == {"serial", "wavefront", "compiled"}
+    assert {n for n, s in specs.items() if s.retains_state} \
+        == {"wavefront", "outofcore"}
+    assert {n for n, s in specs.items() if s.algorithm_agnostic} \
+        == {"parallel"}
+    assert specs["compiled"].requires == "numba"
+    assert specs["compiled"].fallback == "wavefront"

@@ -68,7 +68,8 @@ def test_run_host_engine_parameter():
 
 def test_run_host_rejects_non_tile_algorithm():
     a = matrix(96)
-    with pytest.raises(ConfigurationError, match="tile"):
+    with pytest.raises(ConfigurationError,
+                       match="does not support algorithm '2R2W'"):
         get_algorithm("2R2W").run_host(a, engine="wavefront")
 
 
