@@ -3,7 +3,7 @@
 PY ?= python
 
 .PHONY: install test test-slow lint typecheck sanitize-smoke \
-	modelcheck-smoke modelcheck-sweep bench bench-smoke \
+	modelcheck-smoke modelcheck-sweep costcheck-smoke bench bench-smoke \
 	bench-incremental-smoke bench-compiled-smoke tables report fuzz \
 	examples all
 
@@ -19,6 +19,7 @@ test:
 	$(MAKE) bench-compiled-smoke
 	$(MAKE) sanitize-smoke
 	$(MAKE) modelcheck-smoke
+	$(MAKE) costcheck-smoke
 
 # Tier-2: the @pytest.mark.slow suites (long fuzz sessions, report
 # generation, heavy examples, exhaustive differential sweeps).
@@ -47,6 +48,13 @@ sanitize-smoke:
 modelcheck-smoke:
 	PYTHONPATH=src $(PY) -m repro modelcheck -t 2 --corpus \
 		--json modelcheck.json
+
+# Static memory-traffic verification: prove every Table I row from the
+# kernel ASTs, cross-validate transaction predictions on the simulator,
+# prove exact-int accumulators overflow-free, and reject the planted cost
+# regressions (also a CI job; JSON is the artifact).
+costcheck-smoke:
+	PYTHONPATH=src $(PY) -m repro costcheck --json costcheck.json
 
 # Larger grids for the slow tier: t=3 for every algorithm, and the two
 # soft-sync algorithms at t=4 (SKSS-LB's 16-program pool-4 graph explodes,

@@ -2,6 +2,10 @@
 
 from repro.analysis.complexity import (HIGH, LOW, MEDIUM, TABLE1_ORDER,
                                        Table1Row, render_table1, table1_row)
+from repro.analysis.costcheck import (Poly, check_overflow, crossval_algorithm,
+                                      find_cost_bugs, prove_table1,
+                                      run_costcheck)
+from repro.analysis.table1 import TABLE1, Table1Sym, leading_traffic, table1_sym
 from repro.analysis.precision import (PrecisionRow, max_relative_error,
                                       precision_report, sat_float32,
                                       sat_kahan, ulps_needed)
@@ -27,7 +31,10 @@ from repro.analysis.waves import (ParallelismProfile, lookback_profile,
 
 __all__ = [
     "LOW", "MEDIUM", "HIGH", "TABLE1_ORDER", "Table1Row", "render_table1",
-    "table1_row", "CountCheck", "check_counts", "check_result",
+    "table1_row", "TABLE1", "Table1Sym", "table1_sym", "leading_traffic",
+    "Poly", "run_costcheck", "prove_table1", "crossval_algorithm",
+    "check_overflow", "find_cost_bugs",
+    "CountCheck", "check_counts", "check_result",
     "PrecisionRow", "max_relative_error", "precision_report", "sat_float32",
     "sat_kahan", "ulps_needed",
     "FuzzConfig", "FuzzReport", "fuzz", "run_one", "load_replay_config",

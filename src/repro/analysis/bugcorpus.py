@@ -78,6 +78,41 @@ def nonatomic_counter_kernel(ctx, counter, out):
     ctx.gstore_scalar(out, ctx.block_id, ticket)
 
 
+def store_in_spin_kernel(ctx, data, status, out):
+    """BUG: a progress marker is stored inside a hand-rolled spin loop, so
+    the write is re-issued on every poll iteration — its global traffic is
+    schedule-unbounded (and invisible to leading-term accounting)."""
+    if ctx.block_id == 0:
+        publish(ctx, [(data, np.asarray([0]), np.asarray([42.0]))],
+                status, 0, 1)
+        yield ctx.syncthreads()
+    else:
+        while ctx.gload_scalar(status, 0) < 1:
+            ctx.gstore_scalar(out, 1, 1.0)  # re-written every poll
+            yield ctx.syncthreads()
+        ctx.gstore_scalar(out, 0, ctx.gload_scalar(data, 0))
+
+
+def double_fence_kernel(ctx, data, status, out):
+    """BUG: two back-to-back __threadfence() calls; the second has nothing
+    to commit and is pure added latency on every block."""
+    ctx.gstore_scalar(data, 0, 42.0)
+    ctx.threadfence()
+    ctx.threadfence()
+    ctx.gstore_scalar(out, ctx.block_id, 1.0)
+    yield ctx.syncthreads()
+
+
+def redundant_read_kernel(ctx, data, status, out):
+    """BUG: the same global element is loaded twice with the lexically
+    identical access — the second read is pure excess traffic (a register
+    or shared-memory copy serves it for free)."""
+    first = ctx.gload_scalar(data, 0)
+    second = ctx.gload_scalar(data, 0)
+    ctx.gstore_scalar(out, ctx.block_id, first + second)
+    yield ctx.syncthreads()
+
+
 def _flag_buffers(gpu: GPU):
     data = gpu.alloc("data", (1,), np.float64, fill=0.0)
     status = gpu.alloc("status", (1,), np.int64, fill=0, kind="status",
@@ -102,6 +137,7 @@ class BugSpec:
     expected_dynamic: tuple[str, ...]  # >=1 of these rules must fire
     expected_lint: tuple[str, ...]     # each of these rules must fire
     expected_model: str = ""           # modelcheck violation kind ("" = clean)
+    expected_cost: str = ""            # costcheck finding kind ("" = clean)
 
 
 CORPUS = (
@@ -123,13 +159,30 @@ CORPUS = (
 CONTROL = BugSpec("correct", correct_kernel, _flag_buffers,
                   expected_dynamic=(), expected_lint=(), expected_model="")
 
+#: Planted memory-traffic regressions: each must be rejected statically by
+#: :func:`repro.analysis.costcheck.find_cost_bugs` with the spec's
+#: ``expected_cost`` kind, and (where a lint rule exists for the shape) by
+#: lint rule KL006.  Kept out of :data:`CORPUS` so the protocol layers'
+#: clean/dirty pins are unchanged.
+COST_CORPUS = (
+    BugSpec("store-in-spin", store_in_spin_kernel, _flag_buffers,
+            expected_dynamic=(), expected_lint=("KL005", "KL006"),
+            expected_cost="store-in-spin"),
+    BugSpec("double-fence", double_fence_kernel, _flag_buffers,
+            expected_dynamic=(), expected_lint=("KL006",),
+            expected_cost="redundant-fence"),
+    BugSpec("redundant-read", redundant_read_kernel, _flag_buffers,
+            expected_dynamic=(), expected_lint=(),
+            expected_cost="excess-read"),
+)
+
 
 def get_spec(name: str) -> BugSpec:
     """Look a corpus entry (or the control) up by name."""
-    for spec in CORPUS + (CONTROL,):
+    for spec in CORPUS + COST_CORPUS + (CONTROL,):
         if spec.name == name:
             return spec
-    known = tuple(s.name for s in CORPUS + (CONTROL,))
+    known = tuple(s.name for s in CORPUS + COST_CORPUS + (CONTROL,))
     raise ConfigurationError(
         f"unknown bug-corpus entry '{name}'; choose from {known}")
 

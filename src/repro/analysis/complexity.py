@@ -19,10 +19,12 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from repro.analysis.table1 import (HIGH, LOW, MEDIUM, TABLE1_ORDER,
+                                   table1_sym)
 from repro.errors import ConfigurationError
 
-#: Parallelism classes from Table I.
-LOW, MEDIUM, HIGH = "low", "medium", "high"
+__all__ = ["LOW", "MEDIUM", "HIGH", "TABLE1_ORDER", "Table1Row",
+           "table1_row", "render_table1"]
 
 
 @dataclass(frozen=True)
@@ -62,37 +64,37 @@ def table1_row(algorithm: str, n: int, *, W: int = 32,
     """
     t, m = _tile_params(n, W, threads_per_block)
     n2 = float(n) * n
+    sym = table1_sym(algorithm)  # raises ConfigurationError on unknown names
+
+    def row(kernel_calls: int, max_threads: int, reads: float,
+            writes: float) -> Table1Row:
+        """Symbolic columns come verbatim from the shared table."""
+        return Table1Row(
+            algorithm, sym.kernel_calls, sym.threads, sym.parallelism,
+            sym.reads, sym.writes, kernel_calls=kernel_calls,
+            max_threads=max_threads, reads=reads, writes=writes)
 
     # Numeric reads/writes are the paper's *leading* terms (guaranteed lower
     # bounds); tests allow measured counts to exceed them by the O(n^2/W)
     # boundary/status/look-back allowance.
     if algorithm == "2R2W":
-        return Table1Row(
-            algorithm, "2", "n", LOW, "2n^2", "2n^2",
-            kernel_calls=2, max_threads=n, reads=2 * n2, writes=2 * n2)
+        return row(kernel_calls=2, max_threads=n, reads=2 * n2, writes=2 * n2)
     if algorithm == "2R2W-optimal":
         # Our row phase assigns one element per thread (m = 1), so the peak
         # thread count is n^2.
-        return Table1Row(
-            algorithm, "2", "n^2/m", HIGH, "2n^2 + O(n^2)", "2n^2 + O(n^2)",
-            kernel_calls=2, max_threads=int(n2),
-            reads=2 * n2, writes=2 * n2)
+        return row(kernel_calls=2, max_threads=int(n2),
+                   reads=2 * n2, writes=2 * n2)
     if algorithm == "2R1W":
         # The global-sums kernel launches 2*lane_blocks+1 blocks, which can
         # exceed the t² tile blocks on tiny grids.
         tpb = min(threads_per_block, W * W)
         lane_blocks = (t * W + tpb - 1) // tpb
         widest = max(t * t, 2 * lane_blocks + 1) * tpb
-        return Table1Row(
-            algorithm, "3", "n^2/m", HIGH, "2n^2 + O(n^2/W)", "n^2 + O(n^2/W)",
-            kernel_calls=3, max_threads=max(int(n2 / m), widest),
-            reads=2 * n2, writes=n2)
+        return row(kernel_calls=3, max_threads=max(int(n2 / m), widest),
+                   reads=2 * n2, writes=n2)
     if algorithm == "1R1W":
-        return Table1Row(
-            algorithm, "2n/W - 1", "nW/m", MEDIUM,
-            "n^2 + O(n^2/W)", "n^2 + O(n^2/W)",
-            kernel_calls=2 * t - 1, max_threads=int(t * W * W / m),
-            reads=n2, writes=n2)
+        return row(kernel_calls=2 * t - 1, max_threads=int(t * W * W / m),
+                   reads=n2, writes=n2)
     if algorithm == "(1+r)R1W":
         ka = min(t, round(math.sqrt(r) * t))
         kc = max(t - 1, round((2 - math.sqrt(r)) * t) - 1)
@@ -105,27 +107,15 @@ def table1_row(algorithm: str, n: int, *, W: int = 32,
         lane_blocks = (t * W + tpb - 1) // tpb
         widest = max(band_a, band_c, t,
                      (2 * lane_blocks + 1) if (band_a or band_c) else 0) * tpb
-        return Table1Row(
-            algorithm, "2(1-sqrt(r))n/W + 5", "max(rn^2/2m, nW/m)", MEDIUM,
-            "(1+r)n^2 + O(n^2/W)", "n^2 + O(n^2/W)",
-            kernel_calls=kernels, max_threads=int(widest),
-            reads=n2 + extra, writes=n2)
+        return row(kernel_calls=kernels, max_threads=int(widest),
+                   reads=n2 + extra, writes=n2)
     if algorithm == "1R1W-SKSS":
-        return Table1Row(
-            algorithm, "1", "nW/m", MEDIUM, "n^2 + O(n^2/W)", "n^2 + O(n^2/W)",
-            kernel_calls=1, max_threads=int(t * W * W / m),
-            reads=n2, writes=n2)
+        return row(kernel_calls=1, max_threads=int(t * W * W / m),
+                   reads=n2, writes=n2)
     if algorithm == "1R1W-SKSS-LB":
-        return Table1Row(
-            algorithm, "1", "n^2/m", HIGH, "n^2 + O(n^2/W)", "n^2 + O(n^2/W)",
-            kernel_calls=1, max_threads=int(n2 / m),
-            reads=n2, writes=n2)
+        return row(kernel_calls=1, max_threads=int(n2 / m),
+                   reads=n2, writes=n2)
     raise ConfigurationError(f"no Table I row for algorithm '{algorithm}'")
-
-
-#: Table I rows in the paper's order.
-TABLE1_ORDER = ("2R2W", "2R2W-optimal", "2R1W", "1R1W", "(1+r)R1W",
-                "1R1W-SKSS", "1R1W-SKSS-LB")
 
 
 def render_table1(n: int | None = None, *, W: int = 32,

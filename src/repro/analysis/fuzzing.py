@@ -40,6 +40,16 @@ Two modes share the harness (``repro fuzz --mode``):
     pool is resolved from the registry at sampling time, so registering a
     new backend automatically puts it under differential fire.
 
+``cost``
+    Planted traffic-regression replay: each :data:`~repro.analysis.bugcorpus
+    .COST_CORPUS` kernel (a store re-issued inside a spin loop, back-to-back
+    fences, a duplicated global read) runs through the *static* cost checker
+    (:func:`repro.analysis.costcheck.find_cost_bugs`) and the KL006 lint and
+    must be rejected with exactly its declared finding kinds — while the
+    control kernel stays clean.  This is the regression harness for the
+    Table I verifier: a checker change that stops catching a planted cost
+    bug fails here even though every tier-1 numeric test still passes.
+
 All modes replay from the same :class:`FuzzConfig` JSON round-trip; the
 mode-specific fields default to inert values so pre-existing replay files
 keep working.
@@ -67,7 +77,7 @@ FUZZ_ALGORITHMS = ("2R2W", "2R2W-optimal", "2R1W", "1R1W", "(1+r)R1W",
 #: a bounded spin budget — the dynamic half of the model checker's
 #: counterexamples (:mod:`repro.analysis.modelcheck` emits replay configs in
 #: this mode, including bug-corpus kernels via the ``kernel`` field).
-FUZZ_MODES = ("simulate", "incremental", "sanitize", "engine")
+FUZZ_MODES = ("simulate", "incremental", "sanitize", "engine", "cost")
 
 #: Backends exercised by engine-mode fuzzing (everything registered except
 #: the serial oracle itself; resolved lazily so sampling reflects the
@@ -310,6 +320,26 @@ def sample_engine_config(rng: np.random.Generator) -> FuzzConfig:
     )
 
 
+def sample_cost_config(rng: np.random.Generator) -> FuzzConfig:
+    """Draw one planted traffic regression (or the clean control) to replay.
+
+    The check is static, so the only sampled dimension is *which* corpus
+    kernel to replay; the numeric fields are inert but keep the replay JSON
+    round-trip uniform with every other mode.
+    """
+    from repro.analysis.bugcorpus import CONTROL, COST_CORPUS
+
+    names = tuple(s.name for s in COST_CORPUS) + (CONTROL.name,)
+    return FuzzConfig(
+        algorithm="1R1W-SKSS-LB",   # unused; kept for replay uniformity
+        n=32, tile_width=32, policy="round_robin",
+        sim_seed=int(rng.integers(0, 2**31)),
+        data_seed=int(rng.integers(0, 2**31)),
+        residency=None, consistency="relaxed", tiny_device=False,
+        mode="cost", kernel=str(rng.choice(names)),
+    )
+
+
 def _run_engine(config: FuzzConfig) -> str | None:
     """Difference one registered backend against the serial oracle.
 
@@ -474,6 +504,41 @@ def _run_sanitize(config: FuzzConfig) -> str | None:
     return None
 
 
+def _run_cost(config: FuzzConfig) -> str | None:
+    """Replay one planted traffic regression through the static cost layer.
+
+    ``config.kernel`` names a :data:`~repro.analysis.bugcorpus.COST_CORPUS`
+    entry (or the clean control).  The kernel must be rejected by
+    :func:`repro.analysis.costcheck.find_cost_bugs` with its declared
+    ``expected_cost`` kind at a concrete source location, and the KL006-era
+    lint must produce exactly the spec's ``expected_lint`` rules; the
+    control must survive both untouched.
+    """
+    import repro.analysis.bugcorpus as bugcorpus
+    from repro.analysis.costcheck import find_cost_bugs
+    from repro.analysis.kernellint import lint_file
+
+    spec = bugcorpus.get_spec(config.kernel or "store-in-spin")
+    findings = find_cost_bugs(spec.kernel)
+    kinds = sorted({f["kind"] for f in findings})
+    if spec.expected_cost:
+        if spec.expected_cost not in kinds:
+            return (f"corpus '{spec.name}': costcheck expected "
+                    f"'{spec.expected_cost}', found {kinds or 'nothing'}")
+        if any(not f.get("line") for f in findings):
+            return f"corpus '{spec.name}': finding without a source line"
+    elif findings:
+        return (f"corpus '{spec.name}': costcheck flagged a clean kernel: "
+                f"{kinds}")
+    lint_rules = {f.rule for f in lint_file(bugcorpus.__file__)
+                  if f.function == spec.kernel.__name__}
+    missing = set(spec.expected_lint) - lint_rules
+    if missing:
+        return (f"corpus '{spec.name}': lint missed expected rule(s) "
+                f"{sorted(missing)} (got {sorted(lint_rules) or 'none'})")
+    return None
+
+
 def run_one(config: FuzzConfig, *, sanitize: bool = False) -> str | None:
     """Run one configuration; returns an error description or ``None``.
 
@@ -498,6 +563,11 @@ def run_one(config: FuzzConfig, *, sanitize: bool = False) -> str | None:
         try:
             return _run_sanitize(config)
         except Exception as exc:  # noqa: BLE001 - deadlocks count as findings
+            return f"exception: {type(exc).__name__}: {exc}"
+    if config.mode == "cost":
+        try:
+            return _run_cost(config)
+        except Exception as exc:  # noqa: BLE001 - the fuzzer reports
             return f"exception: {type(exc).__name__}: {exc}"
     if config.mode != "simulate":
         return f"unknown fuzz mode {config.mode!r}; known: {FUZZ_MODES}"
@@ -549,6 +619,8 @@ def fuzz(num_runs: int = 50, *, seed: int = 0,
             config = sample_incremental_config(rng)
         elif mode == "engine":
             config = sample_engine_config(rng)
+        elif mode == "cost":
+            config = sample_cost_config(rng)
         else:
             config = sample_config(rng)
             if mode == "sanitize":

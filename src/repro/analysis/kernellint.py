@@ -60,6 +60,9 @@ RULES = {
     "KL005": "hand-rolled spin loop polling a status buffer "
              "(use ctx.wait_until, which honors the spin bound and "
              "deadlock detection)",
+    "KL006": "redundant global-memory traffic: a store re-issued inside a "
+             "spin loop, or a __threadfence with no store since the "
+             "previous fence",
 }
 
 #: Module basenames allowed to store status bytes directly (the publish
@@ -192,6 +195,7 @@ def lint_source(source: str, path: str = "<string>") -> list[LintFinding]:
                         "KL004", path, call.lineno, func.name,
                         RULES["KL004"]))
         findings.extend(_check_spin_loops(func, path))
+        findings.extend(_check_redundant_traffic(func, path))
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
     return findings
 
@@ -222,6 +226,55 @@ def _check_spin_loops(func: ast.AST, path: str) -> list[LintFinding]:
             findings.append(LintFinding(
                 "KL005", path, loop.lineno, func.name,
                 RULES["KL005"]))
+    return findings
+
+
+def _check_redundant_traffic(func: ast.AST, path: str) -> list[LintFinding]:
+    """KL006: traffic a correct kernel never needs to issue.
+
+    Two shapes, both also caught quantitatively by
+    :mod:`repro.analysis.costcheck`:
+
+    * a global store inside a hand-rolled spin loop (one that polls global
+      memory without ``wait_until``/``atomic_add``) — re-issued on *every*
+      poll iteration, so its traffic is schedule-unbounded;
+    * a ``threadfence`` with no global store since the previous fence —
+      back-to-back fences commit nothing new (``publish`` counts as a store:
+      its flag store follows its internal fence).
+    """
+    findings = []
+    name = getattr(func, "name", "<lambda>")
+    for loop in ast.walk(func):
+        if not isinstance(loop, ast.While):
+            continue
+        methods = {_method_name(c) for c in ast.walk(loop)
+                   if isinstance(c, ast.Call)}
+        if not methods & set(_LOAD_METHODS):
+            continue
+        if methods & {"wait_until", "atomic_add"}:
+            continue
+        for call in ast.walk(loop):
+            if isinstance(call, ast.Call) \
+                    and _method_name(call) in _STORE_METHODS:
+                findings.append(LintFinding(
+                    "KL006", path, call.lineno, name,
+                    f"global store re-issued on every iteration of a spin "
+                    f"loop — {RULES['KL006']}"))
+    stores_since_fence: int | None = None
+    for call in _function_calls(func):
+        method = _method_name(call)
+        if method == "threadfence":
+            if stores_since_fence == 0:
+                findings.append(LintFinding(
+                    "KL006", path, call.lineno, name,
+                    f"no global store since the previous fence — "
+                    f"{RULES['KL006']}"))
+            stores_since_fence = 0
+        elif method in _PUBLISH_HELPERS:
+            stores_since_fence = 1
+        elif method in _STORE_METHODS + ("store_tile", "atomic_add"):
+            if stores_since_fence is not None:
+                stores_since_fence += 1
     return findings
 
 

@@ -1,0 +1,110 @@
+"""Table I as data: the single source of truth for the symbolic cost rows.
+
+The paper's Table I characterises each of the seven algorithms by its kernel
+calls, thread count, parallelism class and global-memory reads/writes.  Those
+entries used to be spelled out independently in ``analysis/complexity.py``,
+``perfmodel/costs.py`` and the test-suite; this module deduplicates them into
+one exported table that everything else derives from:
+
+* :data:`TABLE1` — the symbolic strings exactly as the paper prints them
+  (rendered by ``repro table1`` and the REPRODUCTION_REPORT);
+* the *traffic classes*: ``read_class``/``write_class`` are the exact leading
+  coefficients of the ``n²`` term (``5/4`` for the hybrid at ``r = 1/4``), and
+  ``remainder`` names the big-O class of everything below the leading term.
+
+:mod:`repro.analysis.costcheck` proves, from the kernel ASTs, that each
+algorithm's statically-derived traffic polynomial has exactly these leading
+coefficients and a remainder inside the declared class — so editing a kernel
+in a way that changes its Table I row fails ``repro costcheck`` before any
+benchmark runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.errors import ConfigurationError
+
+#: Parallelism classes from Table I.
+LOW, MEDIUM, HIGH = "low", "medium", "high"
+
+#: Table I rows in the paper's order.
+TABLE1_ORDER = ("2R2W", "2R2W-optimal", "2R1W", "1R1W", "(1+r)R1W",
+                "1R1W-SKSS", "1R1W-SKSS-LB")
+
+
+@dataclass(frozen=True)
+class Table1Sym:
+    """One algorithm's symbolic Table I row plus its exact traffic classes.
+
+    ``read_class``/``write_class`` are the coefficients of ``n²`` in the
+    per-run global read/write request counts (requests, not transactions;
+    the hybrid row assumes the default ``r = 1/4``).  ``remainder`` is the
+    asymptotic class of the lower-order terms: ``"n^2/W"`` for every row
+    except 2R2W-optimal, whose look-back/aggregate metadata scales with
+    ``n²`` at fixed strip/panel geometry (hence the paper's ``O(n^2)``),
+    and 2R2W, whose counts are exact with no remainder at all (``""``).
+    """
+
+    algorithm: str
+    kernel_calls: str
+    threads: str
+    parallelism: str
+    reads: str
+    writes: str
+    read_class: Fraction
+    write_class: Fraction
+    remainder: str
+
+
+def _row(algorithm: str, kernel_calls: str, threads: str, parallelism: str,
+         reads: str, writes: str, read_class, write_class,
+         remainder: str) -> Table1Sym:
+    return Table1Sym(algorithm, kernel_calls, threads, parallelism, reads,
+                     writes, Fraction(read_class), Fraction(write_class),
+                     remainder)
+
+
+#: The deduplicated Table I, keyed by algorithm name.
+TABLE1: dict[str, Table1Sym] = {row.algorithm: row for row in (
+    _row("2R2W", "2", "n", LOW,
+         "2n^2", "2n^2", 2, 2, ""),
+    _row("2R2W-optimal", "2", "n^2/m", HIGH,
+         "2n^2 + O(n^2)", "2n^2 + O(n^2)", 2, 2, "n^2"),
+    _row("2R1W", "3", "n^2/m", HIGH,
+         "2n^2 + O(n^2/W)", "n^2 + O(n^2/W)", 2, 1, "n^2/W"),
+    _row("1R1W", "2n/W - 1", "nW/m", MEDIUM,
+         "n^2 + O(n^2/W)", "n^2 + O(n^2/W)", 1, 1, "n^2/W"),
+    _row("(1+r)R1W", "2(1-sqrt(r))n/W + 5", "max(rn^2/2m, nW/m)", MEDIUM,
+         "(1+r)n^2 + O(n^2/W)", "n^2 + O(n^2/W)",
+         Fraction(5, 4), 1, "n^2/W"),
+    _row("1R1W-SKSS", "1", "nW/m", MEDIUM,
+         "n^2 + O(n^2/W)", "n^2 + O(n^2/W)", 1, 1, "n^2/W"),
+    _row("1R1W-SKSS-LB", "1", "n^2/m", HIGH,
+         "n^2 + O(n^2/W)", "n^2 + O(n^2/W)", 1, 1, "n^2/W"),
+)}
+
+
+def table1_sym(algorithm: str) -> Table1Sym:
+    """The symbolic Table I row for ``algorithm`` (raises on unknown names)."""
+    try:
+        return TABLE1[algorithm]
+    except KeyError:
+        raise ConfigurationError(
+            f"no Table I row for algorithm '{algorithm}'") from None
+
+
+def leading_traffic(algorithm: str, n: int) -> tuple[float, float]:
+    """Leading-term global (reads, writes) in *requests* for an ``n x n`` run.
+
+    This is the quantity ``repro.perfmodel`` prices: ``read_class * n²``
+    reads and ``write_class * n²`` writes, exact up to the row's declared
+    remainder class.
+    """
+    row = table1_sym(algorithm)
+    return float(row.read_class) * n * n, float(row.write_class) * n * n
+
+
+__all__ = ["LOW", "MEDIUM", "HIGH", "TABLE1", "TABLE1_ORDER", "Table1Sym",
+           "table1_sym", "leading_traffic"]

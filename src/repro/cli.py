@@ -14,6 +14,7 @@ Commands
 ``fuzz``     differential fuzzing of all algorithms (and edit sequences)
 ``sanitize`` race/protocol sanitizer + static kernel lint
 ``modelcheck`` exhaustive protocol model checking (deadlock freedom proof)
+``costcheck`` static memory-traffic verification (Table I proof + overflow)
 ``incremental-bench``  time incremental repair vs full recompute
 ``report``   write the full REPRODUCTION_REPORT.md
 ``list``     list algorithms and aliases
@@ -124,7 +125,7 @@ def _build_parser() -> argparse.ArgumentParser:
     fz.add_argument("--seed", type=int, default=0)
     fz.add_argument("--mode", default="simulate",
                     choices=["simulate", "incremental", "sanitize",
-                             "engine"],
+                             "engine", "cost"],
                     help="simulate: algorithms vs the reference on the "
                          "simulator; incremental: random edit sequences "
                          "through IncrementalSAT vs from-scratch recompute; "
@@ -133,7 +134,10 @@ def _build_parser() -> argparse.ArgumentParser:
                          "replays modelcheck counterexamples); engine: "
                          "host engines (wavefront/parallel/compiled) vs the "
                          "serial oracle over random algorithm/dtype/shape/"
-                         "worker configurations")
+                         "worker configurations; cost: replay the planted "
+                         "traffic regressions through the static cost "
+                         "checker (each must be rejected with its expected "
+                         "finding kind)")
     fz.add_argument("--time-budget", type=float, default=None,
                     help="stop after this many seconds")
     fz.add_argument("--sanitize", action="store_true",
@@ -207,6 +211,34 @@ def _build_parser() -> argparse.ArgumentParser:
                     default=None,
                     help="also emit all results as JSON (stable ordering) "
                          "to PATH, or to stdout with no argument")
+
+    cc = sub.add_parser("costcheck",
+                        help="static memory-traffic verification: derive "
+                             "each kernel's global reads/writes/atomics/"
+                             "fences from its AST, prove the Table I "
+                             "classes symbolically, cross-validate "
+                             "transaction predictions against the "
+                             "simulator's counters, and prove the exact-int "
+                             "accumulators overflow-free")
+    cc.add_argument("-a", "--algorithm", action="append", default=None,
+                    help="algorithm to verify (repeatable; default: all 7 "
+                         "Table I rows)")
+    cc.add_argument("-n", "--size", type=int, default=128,
+                    help="matrix side for the simulator cross-validation "
+                         "(default 128)")
+    cc.add_argument("-W", "--tile-width", type=int, default=32)
+    cc.add_argument("--seed", type=int, default=0)
+    cc.add_argument("--no-crossval", action="store_true",
+                    help="skip the simulator cross-validation (symbolic "
+                         "proof, overflow and corpus only — much faster)")
+    cc.add_argument("--no-corpus", action="store_true",
+                    help="skip the planted-bug corpus check")
+    cc.add_argument("--no-overflow", action="store_true",
+                    help="skip the accumulator overflow analysis")
+    cc.add_argument("--json", metavar="PATH", nargs="?", const="-",
+                    default=None,
+                    help="also emit the full result as JSON (stable "
+                         "ordering) to PATH, or to stdout with no argument")
 
     ib = sub.add_parser("incremental-bench",
                         help="time incremental repair vs full wavefront "
@@ -529,6 +561,18 @@ def _cmd_modelcheck(args) -> int:
     return rc
 
 
+def _cmd_costcheck(args) -> int:
+    from repro.analysis.costcheck import render_report, run_costcheck
+    result = run_costcheck(args.algorithm, crossval=not args.no_crossval,
+                           corpus=not args.no_corpus,
+                           overflow=not args.no_overflow,
+                           n=args.size, W=args.tile_width, seed=args.seed)
+    print(render_report(result))
+    if args.json:
+        _write_json(result, args.json)
+    return 0 if result["ok"] else 1
+
+
 def _cmd_incremental_bench(args) -> int:
     import json as _json
 
@@ -624,6 +668,7 @@ _COMMANDS = {
     "fuzz": _cmd_fuzz,
     "sanitize": _cmd_sanitize,
     "modelcheck": _cmd_modelcheck,
+    "costcheck": _cmd_costcheck,
     "incremental-bench": _cmd_incremental_bench,
     "report": _cmd_report,
     "list": _cmd_list,

@@ -90,6 +90,14 @@ class ExtractionError(ReproError):
     — the extraction cross-check is itself a static gate."""
 
 
+class CostModelError(ReproError):
+    """Static cost verification failed: a kernel's AST-derived global-memory
+    traffic disagrees with its declared ``COST_HINTS``, with Table I, or with
+    the dynamic counters it is cross-validated against (see
+    :mod:`repro.analysis.costcheck`).  Carries the offending source location
+    in the message when one exists."""
+
+
 class ModelCheckError(ReproError):
     """The explicit-state explorer could not complete (e.g. the state budget
     was exhausted before the frontier emptied; see

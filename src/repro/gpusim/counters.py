@@ -19,6 +19,7 @@ Counting conventions
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field, fields
 
 
@@ -91,6 +92,22 @@ class KernelStats:
 
 
 @dataclass
+class KernelBreakdown:
+    """Merged statistics of every launch sharing one (normalized) kernel name.
+
+    Wavefront algorithms launch the same kernel once per anti-diagonal with
+    names like ``1r1w_wave_0``, ``1r1w_wave_1``, ...; the breakdown strips
+    the trailing ``_<digits>`` so static per-kernel traffic predictions (see
+    :mod:`repro.analysis.costcheck`) can be cross-validated against one
+    aggregate per kernel."""
+
+    name: str
+    launches: int = 0
+    grid_blocks: int = 0
+    traffic: MemoryTraffic = field(default_factory=MemoryTraffic)
+
+
+@dataclass
 class LaunchSummary:
     """Aggregate statistics over a sequence of kernel launches (one algorithm run)."""
 
@@ -122,6 +139,22 @@ class LaunchSummary:
     @property
     def global_write_requests(self) -> int:
         return self.traffic.global_write_requests
+
+    def per_kernel(self) -> dict[str, KernelBreakdown]:
+        """Traffic per *kernel* rather than per launch.
+
+        Launch names are normalized by stripping a trailing ``_<digits>``
+        suffix (per-diagonal wavefront launches, per-band hybrid launches
+        keep their band letter), and all launches mapping to the same name
+        are merged."""
+        out: dict[str, KernelBreakdown] = {}
+        for k in self.kernels:
+            name = re.sub(r"_\d+$", "", k.name)
+            entry = out.setdefault(name, KernelBreakdown(name=name))
+            entry.launches += 1
+            entry.grid_blocks += k.grid_blocks
+            entry.traffic.merge(k.traffic)
+        return out
 
     def reset(self) -> None:
         self.kernels.clear()

@@ -135,6 +135,20 @@ class TitanVModel:
 # -- per-algorithm kernel cost specifications -----------------------------------
 
 
+def leading_bytes(algorithm: str, n: int) -> tuple[float, float]:
+    """Leading-term global (read, write) bytes for one ``n x n`` run.
+
+    Straight from the deduplicated Table I
+    (:func:`repro.analysis.table1.leading_traffic`), so the cost model can
+    never drift from the row the static verifier proves.  Imported lazily:
+    ``analysis`` imports ``perfmodel`` for Table III rendering, so a
+    module-level import here would be circular.
+    """
+    from repro.analysis.table1 import leading_traffic
+    reads, writes = leading_traffic(algorithm, n)
+    return reads * ELEMENT_BYTES, writes * ELEMENT_BYTES
+
+
 def _tile_geometry(n: int, W: int, threads_per_block: int) -> tuple[int, int, float, float]:
     if n % W:
         raise ConfigurationError(f"n={n} is not a multiple of W={W}")
@@ -148,14 +162,24 @@ def _tile_geometry(n: int, W: int, threads_per_block: int) -> tuple[int, int, fl
 def kernel_costs(algorithm: str, n: int, *, W: int = 32,
                  threads_per_block: int = 1024, r: float = 0.25,
                  constants: ModelConstants = DEFAULT_CONSTANTS) -> list[KernelCost]:
-    """Closed-form kernel cost records for one algorithm run."""
+    """Closed-form kernel cost records for one algorithm run.
+
+    The ``n²``-term byte volumes derive from :func:`leading_bytes` (the
+    shared Table I); only the lower-order metadata terms (boundary vectors,
+    flags, look-back) are spelled out here.
+    """
     n2b = float(n) * n * ELEMENT_BYTES
+    read_b, write_b = leading_bytes(algorithm, n)
 
     if algorithm == "2R2W":
+        # Each pass reads and writes the full matrix once: half the Table I
+        # traffic per kernel.
         blocks = max(1, n // 256)
         return [
-            KernelCost("column_scan", blocks, 256, coalesced_bytes=2 * n2b),
-            KernelCost("row_scan", blocks, 256, strided_bytes=2 * n2b,
+            KernelCost("column_scan", blocks, 256,
+                       coalesced_bytes=(read_b + write_b) / 2),
+            KernelCost("row_scan", blocks, 256,
+                       strided_bytes=(read_b + write_b) / 2,
                        footprint_bytes=n2b),
         ]
 
@@ -167,34 +191,40 @@ def kernel_costs(algorithm: str, n: int, *, W: int = 32,
         row_meta = 3 * row_blocks * ELEMENT_BYTES
         return [
             KernelCost("tokura_col_scan", col_blocks, threads_per_block,
-                       coalesced_bytes=2 * n2b + 2 * strip_meta),
+                       coalesced_bytes=(read_b + write_b) / 2
+                       + 2 * strip_meta),
             KernelCost("mg_row_scan", row_blocks, threads_per_block,
-                       coalesced_bytes=2 * n2b + 2 * row_meta),
+                       coalesced_bytes=(read_b + write_b) / 2 + 2 * row_meta),
         ]
 
     t, tpb, vec, sca = _tile_geometry(n, W, threads_per_block)
 
     if algorithm == "2R1W":
+        # Reads split evenly: the input read in local_sums, the LSAT re-read
+        # in gsat (which also carries the single n² write).
         lane_blocks = max(1, (t * W) // tpb)
         return [
             KernelCost("local_sums", t * t, tpb,
-                       coalesced_bytes=n2b + 2 * vec + sca),
+                       coalesced_bytes=read_b / 2 + 2 * vec + sca),
             KernelCost("global_sums", 2 * lane_blocks + 1, tpb,
                        coalesced_bytes=2 * (2 * vec) + 4 * sca),
             KernelCost("gsat", t * t, tpb,
-                       coalesced_bytes=2 * n2b + 2 * vec + sca),
+                       coalesced_bytes=read_b / 2 + write_b + 2 * vec + sca),
         ]
 
     if algorithm == "1R1W":
         out = []
+        per_tile = (read_b + write_b) / (t * t) + 9 * W * ELEMENT_BYTES
         for K in range(2 * t - 1):
             d = t - abs(K - (t - 1))
-            per_tile = 2 * W * W * ELEMENT_BYTES + 9 * W * ELEMENT_BYTES
             out.append(KernelCost(f"wave_{K}", d, tpb,
                                   coalesced_bytes=d * per_tile))
         return out
 
     if algorithm == "(1+r)R1W":
+        # Structural per-band accounting: the model supports arbitrary r
+        # while Table I's hybrid row is pinned at r = 1/4; the drift-pin test
+        # checks the r = 1/4 leading term against leading_bytes.
         Ka, Kc = band_limits(r, t)
         band_a = sum(min(k + 1, t) for k in range(Ka))
         band_c = sum(t - abs(k - (t - 1)) for k in range(Kc + 1, 2 * t - 1))
@@ -222,7 +252,7 @@ def kernel_costs(algorithm: str, n: int, *, W: int = 32,
         handoff_us = W * constants.skss_handoff_ns_per_width * 1e-3
         return [KernelCost(
             "skss", t, tpb,
-            coalesced_bytes=2 * n2b + 2 * vec + 2 * sca,
+            coalesced_bytes=read_b + write_b + 2 * vec + 2 * sca,
             atomics=t,
             chain_us=(2 * t - 1) * handoff_us)]
 
@@ -232,7 +262,7 @@ def kernel_costs(algorithm: str, n: int, *, W: int = 32,
         # one GRS and one GCS vector per tile plus flag polls.
         return [KernelCost(
             "skss_lb", t * t, tpb,
-            coalesced_bytes=2 * n2b + 6 * vec + 12 * sca,
+            coalesced_bytes=read_b + write_b + 6 * vec + 12 * sca,
             atomics=t * t,
             chain_us=(2 * t - 1) * constants.lb_chain_step_us)]
 

@@ -239,3 +239,40 @@ MODEL_HINTS = {
         "loads": ("src",),
     },
 }
+
+#: Per-site traffic annotations for :mod:`repro.analysis.costcheck` (see
+#: repro/sat/naive_2r2w.py for the convention).  ``cs_tiles`` (strip, panel)
+#: pairs of ``cs_tile_elems = cs_panel_rows x cs_C`` elements each; the
+#: panel copy is modelled as one whole-tile access (its per-pass row
+#: segments are 32-byte aligned, so requests and transactions agree), the
+#: output walk stores one ``cs_C``-wide row per panel row.  The look-back
+#: executes at least ``cs_tiles - cs_strips`` steps (every non-first panel
+#: terminates at its immediate predecessor).
+COST_HINTS = {
+    "col_scan_kernel": {
+        "ctx.atomic_add(counter, 0, 1)": {
+            "count": lambda g: g.cs_atomics},
+        "ctx.gload(src, gidx)": {
+            "count": lambda g: g.cs_tiles, "width": lambda g: g.cs_tile_elems,
+            "pattern": "coalesced"},
+        "publish(ctx, [(aggregates, vec_idx, col_sums)], status, sidx, "
+        "STATUS_AGGREGATE)": {
+            "count": lambda g: g.cs_tiles, "width": lambda g: g.cs_C,
+            "pattern": "coalesced"},
+        "lookback_walk(ctx, steps=range(panel - 1, -1, -1), "
+        "status_buf=status, status_index=lambda p: "
+        "layout.status_index(strip, p), local_threshold=STATUS_AGGREGATE, "
+        "global_threshold=STATUS_PREFIX, read_local=_vec(aggregates), "
+        "read_global=_vec(prefixes), zero=np.zeros(C))": {
+            "steps_lo": lambda g: g.cs_walk_lo,
+            "steps_hi": lambda g: g.cs_walk_hi,
+            "width": lambda g: g.cs_C, "pattern": "coalesced"},
+        "publish(ctx, [(prefixes, vec_idx, exclusive + col_sums)], status, "
+        "sidx, STATUS_PREFIX)": {
+            "count": lambda g: g.cs_tiles, "width": lambda g: g.cs_C,
+            "pattern": "coalesced"},
+        "ctx.gstore(dst, gidx, running)": {
+            "count": lambda g: g.cs_tiles * g.cs_panel_rows,
+            "width": lambda g: g.cs_C, "pattern": "coalesced"},
+    },
+}

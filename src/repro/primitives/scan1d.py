@@ -164,3 +164,37 @@ MODEL_HINTS = {
         "loads": ("src",),
     },
 }
+
+#: Per-site traffic annotations for :mod:`repro.analysis.costcheck` (see
+#: repro/sat/naive_2r2w.py for the convention).  ``rs_parts`` partitions of
+#: ``rs_P`` contiguous elements each; aggregates/prefixes are per-partition
+#: scalars.  The walk executes at least ``rs_parts - rs_rows`` steps (one
+#: per non-first partition) and its payload reads are scalar.
+COST_HINTS = {
+    "row_scan_kernel": {
+        "ctx.atomic_add(counter, 0, 1)": {
+            "count": lambda g: g.rs_atomics},
+        "ctx.gload(src, idx)": {
+            "count": lambda g: g.rs_parts, "width": lambda g: g.rs_P,
+            "pattern": "coalesced"},
+        "publish(ctx, [(aggregates, np.asarray([sidx]), "
+        "np.asarray([aggregate]))], status, sidx, STATUS_AGGREGATE)": {
+            "count": lambda g: g.rs_parts},
+        "lookback_walk(ctx, steps=range(part - 1, -1, -1), "
+        "status_buf=status, status_index=lambda p: "
+        "layout.status_index(row, p), local_threshold=STATUS_AGGREGATE, "
+        "global_threshold=STATUS_PREFIX, read_local=lambda p: "
+        "ctx.gload_scalar(aggregates, layout.status_index(row, p)), "
+        "read_global=lambda p: ctx.gload_scalar(prefixes, "
+        "layout.status_index(row, p)), zero=0.0)": {
+            "steps_lo": lambda g: g.rs_walk_lo,
+            "steps_hi": lambda g: g.rs_walk_hi,
+            "width": 1, "pattern": "scalar"},
+        "publish(ctx, [(prefixes, np.asarray([sidx]), np.asarray([exclusive "
+        "+ aggregate]))], status, sidx, STATUS_PREFIX)": {
+            "count": lambda g: g.rs_parts},
+        "ctx.gstore(dst, idx, scanned[:width] + exclusive)": {
+            "count": lambda g: g.rs_parts, "width": lambda g: g.rs_P,
+            "pattern": "coalesced"},
+    },
+}

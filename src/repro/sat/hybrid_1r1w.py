@@ -279,3 +279,75 @@ MODEL_HINTS = {
     "band_gsat_kernel": {"stores": ("b",),
                          "loads": ("a", "gcs", "grs", "gs")},
 }
+
+#: Per-site traffic annotations for :mod:`repro.analysis.costcheck` (see
+#: naive_2r2w.py for the convention).  Counts are totals over BOTH band
+#: launches (A and C): ``band`` tiles overall, ``band_left``/``band_up``/
+#: ``band_corner`` of them with a left/up/corner neighbour, and
+#: ``band_seed_row``/``band_seed_col`` rows/columns whose band-C segment is
+#: seeded from an already-committed prefix.  The middle-band wavefront's
+#: hints live with the shared kernel in kasagi_1r1w.py.
+COST_HINTS = {
+    "band_local_sums_kernel": {
+        "smem.load_tile_with_col_sums(ctx, a, stride, W, I, J, 'tile', "
+        "layout)": {
+            "count": lambda g: g.band, "width": lambda g: g.W2,
+            "pattern": "coalesced"},
+        "ctx.gstore(sb.lrs, sb.vec_idx(I, J), lrs)": {
+            "count": lambda g: g.band, "width": lambda g: g.W,
+            "pattern": "coalesced"},
+        "ctx.gstore(sb.lcs, sb.vec_idx(I, J), lcs)": {
+            "count": lambda g: g.band, "width": lambda g: g.W,
+            "pattern": "coalesced"},
+        "ctx.gstore_scalar(sb.ls, sb.scalar_idx(I, J), lane_vector_sum(ctx, "
+        "lcs))": {
+            "count": lambda g: g.band},
+    },
+    "band_global_sums_kernel": {
+        "ctx.gload(sb.grs, (I * tc + (Js.start - 1)) * W + i)": {
+            "count": lambda g: g.band_seed_row, "width": lambda g: g.W,
+            "pattern": "coalesced"},
+        "ctx.gload(sb.lrs, idx)": {
+            "count": lambda g: g.band, "width": lambda g: g.W,
+            "pattern": "coalesced"},
+        "ctx.gstore(sb.grs, idx, acc)": {
+            "count": lambda g: g.band, "width": lambda g: g.W,
+            "pattern": "coalesced"},
+        "ctx.gload(sb.gcs, ((Is.start - 1) * tc + J) * W + j)": {
+            "count": lambda g: g.band_seed_col, "width": lambda g: g.W,
+            "pattern": "coalesced"},
+        "ctx.gload(sb.lcs, idx)": {
+            "count": lambda g: g.band, "width": lambda g: g.W,
+            "pattern": "coalesced"},
+        "ctx.gstore(sb.gcs, idx, acc)": {
+            "count": lambda g: g.band, "width": lambda g: g.W,
+            "pattern": "coalesced"},
+        "ctx.gload_scalar(sb.gs, sb.scalar_idx(I - 1, J))": {
+            "count": lambda g: g.band_up},
+        "ctx.gload_scalar(sb.gs, sb.scalar_idx(I, J - 1))": {
+            "count": lambda g: g.band_left},
+        "ctx.gload_scalar(sb.gs, sb.scalar_idx(I - 1, J - 1))": {
+            "count": lambda g: g.band_corner},
+        "ctx.gload_scalar(sb.ls, sb.scalar_idx(I, J))": {
+            "count": lambda g: g.band},
+        "ctx.gstore_scalar(sb.gs, sb.scalar_idx(I, J), up + left - corner + "
+        "ls)": {
+            "count": lambda g: g.band},
+    },
+    "band_gsat_kernel": {
+        "smem.load_tile(ctx, a, stride, W, I, J, 'tile', layout)": {
+            "count": lambda g: g.band, "width": lambda g: g.W2,
+            "pattern": "coalesced"},
+        "ctx.gload(sb.grs, sb.vec_idx(I, J - 1))": {
+            "count": lambda g: g.band_left, "width": lambda g: g.W,
+            "pattern": "coalesced"},
+        "ctx.gload(sb.gcs, sb.vec_idx(I - 1, J))": {
+            "count": lambda g: g.band_up, "width": lambda g: g.W,
+            "pattern": "coalesced"},
+        "ctx.gload_scalar(sb.gs, sb.scalar_idx(I - 1, J - 1))": {
+            "count": lambda g: g.band_corner},
+        "smem.store_tile(ctx, b, stride, W, I, J, 'tile', layout)": {
+            "count": lambda g: g.band, "width": lambda g: g.W2,
+            "pattern": "coalesced"},
+    },
+}

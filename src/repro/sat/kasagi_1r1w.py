@@ -127,3 +127,36 @@ MODEL_HINTS = {
     "wavefront_kernel": {"stores": ("b", "gcs", "grs", "gs"),
                          "loads": ("a", "gcs", "grs", "gs")},
 }
+
+#: Per-site traffic annotations for :mod:`repro.analysis.costcheck` (see
+#: naive_2r2w.py for the convention).  The wavefront kernel is shared with
+#: the hybrid's middle band, so its counts are phrased in the ``wave_*``
+#: geometry: over the full grid (this algorithm) ``wave = t²`` and
+#: ``wave_left = wave_above = t² - t``; over the hybrid's middle diagonals
+#: they count only the tiles the wavefront actually visits.
+COST_HINTS = {
+    "wavefront_kernel": {
+        "smem.load_tile(ctx, a, stride, W, I, J, 'tile', layout)": {
+            "count": lambda g: g.wave, "width": lambda g: g.W2,
+            "pattern": "coalesced"},
+        "ctx.gload(sb.grs, sb.vec_idx(I, J - 1))": {
+            "count": lambda g: g.wave_left, "width": lambda g: g.W,
+            "pattern": "coalesced"},
+        "ctx.gload(sb.gcs, sb.vec_idx(I - 1, J))": {
+            "count": lambda g: g.wave_above, "width": lambda g: g.W,
+            "pattern": "coalesced"},
+        "ctx.gload_scalar(sb.gs, sb.scalar_idx(I - 1, J - 1))": {
+            "count": lambda g: g.wave_corner},
+        "ctx.gstore(sb.grs, sb.vec_idx(I, J), grs_left + lrs)": {
+            "count": lambda g: g.wave, "width": lambda g: g.W,
+            "pattern": "coalesced"},
+        "ctx.gstore(sb.gcs, sb.vec_idx(I, J), gcs_above + lcs)": {
+            "count": lambda g: g.wave, "width": lambda g: g.W,
+            "pattern": "coalesced"},
+        "ctx.gstore_scalar(sb.gs, sb.scalar_idx(I, J), gs_now)": {
+            "count": lambda g: g.wave},
+        "smem.store_tile(ctx, b, stride, W, I, J, 'tile', layout)": {
+            "count": lambda g: g.wave, "width": lambda g: g.W2,
+            "pattern": "coalesced"},
+    },
+}

@@ -83,3 +83,30 @@ MODEL_HINTS = {
     "column_scan_kernel": {"stores": ("dst",), "loads": ("src",)},
     "row_scan_kernel": {"stores": ("buf",), "loads": ("buf",)},
 }
+
+#: Per-site traffic annotations for :mod:`repro.analysis.costcheck`: each
+#: counted global access, keyed by its exact source expression, with its
+#: per-run execution count, access width and coalescing pattern as functions
+#: of the counting geometry.  ``repro costcheck`` re-extracts the sites from
+#: the AST and fails on any drift between this table and the code.
+COST_HINTS = {
+    # n rows x an n-wide thread front, touching one row at a time: coalesced.
+    "column_scan_kernel": {
+        "ctx.gload(src, i * n_cols + cols)": {
+            "count": lambda g: g.n, "width": lambda g: g.n,
+            "pattern": "coalesced"},
+        "ctx.gstore(dst, i * n_cols + cols, running)": {
+            "count": lambda g: g.n, "width": lambda g: g.n,
+            "pattern": "coalesced"},
+    },
+    # n cols x an n-tall thread front, touching one column at a time: every
+    # element is its own 32-byte transaction.
+    "row_scan_kernel": {
+        "ctx.gload(buf, rows * n_cols + j)": {
+            "count": lambda g: g.n, "width": lambda g: g.n,
+            "pattern": "strided"},
+        "ctx.gstore(buf, rows * n_cols + j, running)": {
+            "count": lambda g: g.n, "width": lambda g: g.n,
+            "pattern": "strided"},
+    },
+}

@@ -185,3 +185,61 @@ MODEL_HINTS = {
                            "loads": ("lcs", "lrs", "ls")},
     "gsat_kernel": {"stores": ("b",), "loads": ("a", "gcs", "grs", "gs")},
 }
+
+#: Per-site traffic annotations for :mod:`repro.analysis.costcheck` (see
+#: naive_2r2w.py for the convention).  Geometry: ``t`` tiles per side,
+#: ``tiles = t²``, tile width ``W``, ``W2 = W²``, ``n = tW``.
+COST_HINTS = {
+    "local_sums_kernel": {
+        "smem.load_tile_with_col_sums(ctx, a, stride, W, I, J, 'tile', "
+        "layout)": {
+            "count": lambda g: g.tiles, "width": lambda g: g.W2,
+            "pattern": "coalesced"},
+        "ctx.gstore(sb.lrs, sb.vec_idx(I, J), lrs)": {
+            "count": lambda g: g.tiles, "width": lambda g: g.W,
+            "pattern": "coalesced"},
+        "ctx.gstore(sb.lcs, sb.vec_idx(I, J), lcs)": {
+            "count": lambda g: g.tiles, "width": lambda g: g.W,
+            "pattern": "coalesced"},
+        "ctx.gstore_scalar(sb.ls, sb.scalar_idx(I, J), ls)": {
+            "count": lambda g: g.tiles},
+    },
+    # Row/column lane fronts: tc (resp. tr) sequential steps over a full
+    # n-lane front; the GS block reads/writes the t x t tile-sum array once.
+    "global_sums_kernel": {
+        "ctx.gload(sb.lrs, idx)": {
+            "count": lambda g: g.t, "width": lambda g: g.n,
+            "pattern": "coalesced"},
+        "ctx.gstore(sb.grs, idx, acc)": {
+            "count": lambda g: g.t, "width": lambda g: g.n,
+            "pattern": "coalesced"},
+        "ctx.gload(sb.lcs, idx)": {
+            "count": lambda g: g.t, "width": lambda g: g.n,
+            "pattern": "coalesced"},
+        "ctx.gstore(sb.gcs, idx, acc)": {
+            "count": lambda g: g.t, "width": lambda g: g.n,
+            "pattern": "coalesced"},
+        "ctx.gload(sb.ls, np.arange(tr * tc))": {
+            "count": 1, "width": lambda g: g.tiles, "pattern": "coalesced"},
+        "ctx.gstore(sb.gs, np.arange(tr * tc), gs.ravel())": {
+            "count": 1, "width": lambda g: g.tiles, "pattern": "coalesced"},
+    },
+    # Boundary reads are guarded (J > 0 / I > 0 / both), hence the
+    # tiles - t and (t-1)^2 execution counts.
+    "gsat_kernel": {
+        "smem.load_tile(ctx, a, stride, W, I, J, 'tile', layout)": {
+            "count": lambda g: g.tiles, "width": lambda g: g.W2,
+            "pattern": "coalesced"},
+        "ctx.gload(sb.grs, sb.vec_idx(I, J - 1))": {
+            "count": lambda g: g.tiles - g.t, "width": lambda g: g.W,
+            "pattern": "coalesced"},
+        "ctx.gload(sb.gcs, sb.vec_idx(I - 1, J))": {
+            "count": lambda g: g.tiles - g.t, "width": lambda g: g.W,
+            "pattern": "coalesced"},
+        "ctx.gload_scalar(sb.gs, sb.scalar_idx(I - 1, J - 1))": {
+            "count": lambda g: (g.t - 1) * (g.t - 1)},
+        "smem.store_tile(ctx, b, stride, W, I, J, 'tile', layout)": {
+            "count": lambda g: g.tiles, "width": lambda g: g.W2,
+            "pattern": "coalesced"},
+    },
+}

@@ -132,3 +132,31 @@ MODEL_HINTS = {
         "loads": ("a", "grs"),
     },
 }
+
+#: Per-site traffic annotations for :mod:`repro.analysis.costcheck` (see
+#: naive_2r2w.py for the convention).  Every wait/GRS read is guarded by
+#: ``J > 0``, hence the ``tiles - t`` counts; the ticket counter absorbs one
+#: successful ``atomic_add`` per column plus one failing one per block
+#: (``2t`` total at the default one-block-per-column launch).
+COST_HINTS = {
+    "skss_kernel": {
+        "ctx.atomic_add(sb.counter, 0, 1)": {
+            "count": lambda g: g.skss_atomics},
+        "smem.load_tile(ctx, a, stride, W, I, J, 'tile', layout)": {
+            "count": lambda g: g.tiles, "width": lambda g: g.W2,
+            "pattern": "coalesced"},
+        "ctx.wait_until(sb.R, sb.scalar_idx(I, J - 1), lambda v: v >= "
+        "GRS_READY)": {
+            "count": lambda g: g.skss_waits},
+        "ctx.gload(sb.grs, sb.vec_idx(I, J - 1))": {
+            "count": lambda g: g.tiles - g.t, "width": lambda g: g.W,
+            "pattern": "coalesced"},
+        "publish(ctx, [(sb.grs, sb.vec_idx(I, J), grs_now)], sb.R, "
+        "sb.scalar_idx(I, J), GRS_READY)": {
+            "count": lambda g: g.tiles, "width": lambda g: g.W,
+            "pattern": "coalesced"},
+        "smem.store_tile(ctx, b, stride, W, I, J, 'tile', layout)": {
+            "count": lambda g: g.tiles, "width": lambda g: g.W2,
+            "pattern": "coalesced"},
+    },
+}

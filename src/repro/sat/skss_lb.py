@@ -232,6 +232,57 @@ MODEL_HINTS = {
     },
 }
 
+#: Per-site traffic annotations for :mod:`repro.analysis.costcheck` (see
+#: naive_2r2w.py for the convention).  The look-back walks are the only
+#: schedule-dependent traffic in the whole suite: each walk executes at
+#: least one step per tile with a non-trivial predecessor (every walk
+#: terminates at its immediate neighbour) and at most the full distance back
+#: to the matrix edge, hence the ``[lo, hi]`` step windows.
+COST_HINTS = {
+    "skss_lb_kernel": {
+        "ctx.atomic_add(sb.counter, 0, 1)": {
+            "count": lambda g: g.lb_atomics},
+        "smem.load_tile_with_col_sums(ctx, a, stride, W, I, J, 'tile', "
+        "layout)": {
+            "count": lambda g: g.tiles, "width": lambda g: g.W2,
+            "pattern": "coalesced"},
+        "publish_vector(ctx, sb.lrs, vec, lrs, sb.R, flag, R_LRS)": {
+            "count": lambda g: g.tiles, "width": lambda g: g.W,
+            "pattern": "coalesced"},
+        "publish_vector(ctx, sb.lcs, vec, lcs, sb.C, flag, C_LCS)": {
+            "count": lambda g: g.tiles, "width": lambda g: g.W,
+            "pattern": "coalesced"},
+        "row_lookback(ctx, sb, I, J)": {
+            "steps_lo": lambda g: g.lb_row_lo,
+            "steps_hi": lambda g: g.lb_row_hi,
+            "width": lambda g: g.W, "pattern": "coalesced"},
+        "publish_vector(ctx, sb.grs, vec, grs_left + lrs, sb.R, flag, "
+        "R_GRS)": {
+            "count": lambda g: g.tiles, "width": lambda g: g.W,
+            "pattern": "coalesced"},
+        "col_lookback(ctx, sb, I, J)": {
+            "steps_lo": lambda g: g.lb_col_lo,
+            "steps_hi": lambda g: g.lb_col_hi,
+            "width": lambda g: g.W, "pattern": "coalesced"},
+        "publish_vector(ctx, sb.gcs, vec, gcs_above + lcs, sb.C, flag, "
+        "C_GCS)": {
+            "count": lambda g: g.tiles, "width": lambda g: g.W,
+            "pattern": "coalesced"},
+        "publish_scalar(ctx, sb.gls, flag, gls, sb.R, flag, R_GLS)": {
+            "count": lambda g: g.tiles},
+        "diag_lookback(ctx, sb, I, J)": {
+            "steps_lo": lambda g: g.lb_diag_lo,
+            "steps_hi": lambda g: g.lb_diag_hi,
+            "width": 1, "pattern": "scalar"},
+        "publish_scalar(ctx, sb.gs, flag, gs_corner + gls, sb.R, flag, "
+        "R_GS)": {
+            "count": lambda g: g.tiles},
+        "smem.store_tile(ctx, b, stride, W, I, J, 'tile', layout)": {
+            "count": lambda g: g.tiles, "width": lambda g: g.W2,
+            "pattern": "coalesced"},
+    },
+}
+
 __all__ = ["SKSSLB1R1W", "skss_lb_kernel", "tile_serial_number",
            "serial_to_tile", "lane_vector_sum", "ACQUISITION_ORDERS",
-           "acquisition_tile", "MODEL_HINTS"]
+           "acquisition_tile", "MODEL_HINTS", "COST_HINTS"]

@@ -198,6 +198,60 @@ class TestSanitizeMode:
         assert report.runs == 3
 
 
+class TestCostMode:
+    """mode="cost": replay the planted traffic-regression corpus."""
+
+    def test_sampled_configs_are_valid(self):
+        from repro.analysis.bugcorpus import CONTROL, COST_CORPUS
+        from repro.analysis.fuzzing import sample_cost_config
+        names = {s.name for s in COST_CORPUS} | {CONTROL.name}
+        rng = np.random.default_rng(0)
+        seen = set()
+        for _ in range(30):
+            cfg = sample_cost_config(rng)
+            assert cfg.mode == "cost"
+            assert cfg.kernel in names
+            seen.add(cfg.kernel)
+        assert seen == names  # every corpus entry gets sampled
+
+    def test_short_session_clean(self):
+        report = fuzz(8, seed=5, mode="cost")
+        assert report.ok, report.failures
+        assert report.runs == 8
+
+    def test_replay_round_trip(self):
+        from repro.analysis.fuzzing import sample_cost_config
+        cfg = sample_cost_config(np.random.default_rng(4))
+        again = FuzzConfig.from_json(cfg.to_json())
+        assert again == cfg
+        assert run_one(again) is None
+
+    def test_detects_a_broken_checker(self, monkeypatch):
+        """If find_cost_bugs went blind, replaying the corpus must fail."""
+        import repro.analysis.costcheck as costcheck
+        monkeypatch.setattr(costcheck, "find_cost_bugs", lambda fn: [])
+        cfg = FuzzConfig(algorithm="1R1W-SKSS-LB", n=32, tile_width=32,
+                         policy="round_robin", sim_seed=0, data_seed=0,
+                         residency=None, consistency="relaxed",
+                         tiny_device=False, mode="cost",
+                         kernel="store-in-spin")
+        error = run_one(cfg)
+        assert error is not None and "store-in-spin" in error
+
+    def test_flagging_the_control_is_a_failure(self, monkeypatch):
+        import repro.analysis.costcheck as costcheck
+        monkeypatch.setattr(
+            costcheck, "find_cost_bugs",
+            lambda fn: [{"kind": "excess-read", "kernel": fn.__name__,
+                         "file": "x.py", "line": 1, "detail": "bogus"}])
+        cfg = FuzzConfig(algorithm="1R1W-SKSS-LB", n=32, tile_width=32,
+                         policy="round_robin", sim_seed=0, data_seed=0,
+                         residency=None, consistency="relaxed",
+                         tiny_device=False, mode="cost", kernel="correct")
+        error = run_one(cfg)
+        assert error is not None and "clean" in error
+
+
 class TestEngineMode:
     """mode="engine": registered backends differenced vs the serial oracle."""
 

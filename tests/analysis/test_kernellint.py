@@ -187,9 +187,96 @@ class TestKL005BoundedSpinLoops:
         assert "KL005" not in _rules(findings)
 
 
+class TestKL006RedundantTraffic:
+    def test_store_in_spin_loop_flagged(self):
+        findings = _lint("""
+            def kern(ctx, data, status, out):
+                while ctx.gload_scalar(status, 0) < 1:
+                    ctx.gstore_scalar(out, 1, 1.0)
+        """)
+        assert "KL006" in _rules(findings)
+
+    def test_back_to_back_fences_flagged(self):
+        findings = _lint("""
+            def kern(ctx, data):
+                ctx.gstore_scalar(data, 0, 1.0)
+                ctx.threadfence()
+                ctx.threadfence()
+        """)
+        kl006 = [f for f in findings if f.rule == "KL006"]
+        assert len(kl006) == 1
+        assert "no global store" in kl006[0].message
+
+    def test_first_fence_is_never_flagged(self):
+        findings = _lint("""
+            def kern(ctx, data):
+                ctx.threadfence()
+        """)
+        assert "KL006" not in _rules(findings)
+
+    def test_fenced_stores_are_fine(self):
+        findings = _lint("""
+            def kern(ctx, data):
+                ctx.gstore_scalar(data, 0, 1.0)
+                ctx.threadfence()
+                ctx.gstore_scalar(data, 1, 2.0)
+                ctx.threadfence()
+        """)
+        assert "KL006" not in _rules(findings)
+
+    def test_publish_counts_as_a_store(self):
+        """publish's flag store follows its internal fence, so a fence after
+        a publish has something to commit."""
+        findings = _lint("""
+            def kern(ctx, data, status_buf):
+                ctx.gstore_scalar(data, 0, 1.0)
+                ctx.threadfence()
+                publish(ctx, [], status_buf, 0, 1)
+                ctx.threadfence()
+        """)
+        assert "KL006" not in _rules(findings)
+
+    def test_wait_until_loops_are_not_spins(self):
+        findings = _lint("""
+            def kern(ctx, data, status):
+                while not done:
+                    value = yield from ctx.wait_until(
+                        status, 0, lambda v: v >= 1)
+                    ctx.gstore_scalar(data, 0, value)
+                    done = value >= 1
+        """)
+        assert "KL006" not in _rules(findings)
+
+    def test_ticket_loops_may_store(self):
+        findings = _lint("""
+            def kern(ctx, counter_free, data):
+                while True:
+                    serial = ctx.atomic_add(counter_free, 0, 1)
+                    if serial >= total:
+                        return
+                    ctx.gstore_scalar(data, serial, 1.0)
+        """)
+        assert "KL006" not in _rules(findings)
+
+    def test_cost_corpus_entries_flagged(self):
+        """The planted traffic bugs with a KL006-shaped defect are caught by
+        the lint as well as by costcheck (the corpus's acceptance pin)."""
+        import repro.analysis.bugcorpus as bugcorpus
+        from repro.analysis import lint_file
+        findings = lint_file(bugcorpus.__file__)
+        by_function = {}
+        for f in findings:
+            by_function.setdefault(f.function, set()).add(f.rule)
+        from repro.analysis.bugcorpus import COST_CORPUS
+        for spec in COST_CORPUS:
+            got = by_function.get(spec.kernel.__name__, set())
+            assert set(spec.expected_lint) <= got, spec.name
+
+
 class TestLintPlumbing:
     def test_every_rule_has_a_description(self):
-        assert set(RULES) == {"KL001", "KL002", "KL003", "KL004", "KL005"}
+        assert set(RULES) == {"KL001", "KL002", "KL003", "KL004", "KL005",
+                              "KL006"}
 
     def test_findings_are_ordered_and_printable(self):
         findings = _lint("""

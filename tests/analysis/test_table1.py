@@ -1,0 +1,103 @@
+"""Table I as data: the deduplicated symbolic rows and their consumers."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.complexity import TABLE1_ORDER, render_table1, table1_row
+from repro.analysis.table1 import (TABLE1, Table1Sym, leading_traffic,
+                                   table1_sym)
+from repro.errors import ConfigurationError
+
+
+class TestTable:
+    def test_covers_every_algorithm_in_order(self):
+        assert tuple(TABLE1) == TABLE1_ORDER
+
+    def test_rows_are_frozen(self):
+        row = table1_sym("2R2W")
+        assert isinstance(row, Table1Sym)
+        with pytest.raises(AttributeError):
+            row.reads = "changed"
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ConfigurationError):
+            table1_sym("4R0W")
+
+    def test_traffic_classes(self):
+        assert table1_sym("2R2W").read_class == 2
+        assert table1_sym("2R1W").read_class == 2
+        assert table1_sym("2R1W").write_class == 1
+        assert table1_sym("(1+r)R1W").read_class == Fraction(5, 4)
+        for name in ("1R1W", "1R1W-SKSS", "1R1W-SKSS-LB"):
+            assert table1_sym(name).read_class == 1
+            assert table1_sym(name).write_class == 1
+
+    def test_remainder_classes(self):
+        assert table1_sym("2R2W").remainder == ""
+        assert table1_sym("2R2W-optimal").remainder == "n^2"
+        for name in ("2R1W", "1R1W", "(1+r)R1W", "1R1W-SKSS",
+                     "1R1W-SKSS-LB"):
+            assert table1_sym(name).remainder == "n^2/W"
+
+
+class TestLeadingTraffic:
+    def test_values(self):
+        n = 512
+        assert leading_traffic("2R2W", n) == (2 * n * n, 2 * n * n)
+        assert leading_traffic("1R1W-SKSS", n) == (n * n, n * n)
+        reads, writes = leading_traffic("(1+r)R1W", n)
+        assert reads == 1.25 * n * n
+        assert writes == n * n
+
+
+class TestSingleSourceOfTruth:
+    """Every consumer derives from TABLE1 — these pins catch drift."""
+
+    def test_complexity_rows_use_table1_strings(self):
+        for name in TABLE1_ORDER:
+            sym = table1_sym(name)
+            row = table1_row(name, 1024)
+            assert row.kernel_calls_sym == sym.kernel_calls
+            assert row.threads_sym == sym.threads
+            assert row.reads_sym == sym.reads
+            assert row.writes_sym == sym.writes
+            assert row.parallelism == sym.parallelism
+
+    def test_render_table1_prints_table1_verbatim(self):
+        text = render_table1()
+        for sym in TABLE1.values():
+            for field in (sym.kernel_calls, sym.threads, sym.reads,
+                          sym.writes):
+                assert field in text
+
+    def test_perfmodel_leading_bytes_derive_from_table1(self):
+        from repro.perfmodel.costs import ELEMENT_BYTES, leading_bytes
+        n = 4096
+        for name in TABLE1_ORDER:
+            reads, writes = table1_sym(name).read_class, \
+                table1_sym(name).write_class
+            read_b, write_b = leading_bytes(name, n)
+            assert read_b == float(reads) * n * n * ELEMENT_BYTES
+            assert write_b == float(writes) * n * n * ELEMENT_BYTES
+
+    def test_kernel_costs_leading_bytes_match_table1(self):
+        """At large n the priced per-kernel traffic must sum to the Table I
+        leading term plus only lower-order metadata: never below the lead,
+        never more than ~15% above it (the O(n²/W) boundary terms)."""
+        from repro.perfmodel.costs import kernel_costs, leading_bytes
+        n = 8192
+        for name in TABLE1_ORDER:
+            costs = kernel_costs(name, n, W=32, r=0.25)
+            priced = sum(k.coalesced_bytes + k.strided_bytes for k in costs)
+            lead = sum(leading_bytes(name, n))
+            assert lead <= priced <= 1.15 * lead, \
+                f"{name}: priced {priced} vs lead {lead}"
+
+    def test_costcheck_proves_each_row(self):
+        """The full loop: the static verifier accepts exactly this table."""
+        from repro.analysis.costcheck import prove_table1
+        for name in TABLE1_ORDER:
+            proof = prove_table1(name)
+            assert proof["read_class"] == str(table1_sym(name).read_class)
+            assert proof["ok"], proof["problems"]

@@ -2,7 +2,8 @@
 
 import numpy as np
 
-from repro.gpusim import GPU, KernelStats, LaunchSummary, MemoryTraffic
+from repro.gpusim import (GPU, KernelStats, LaunchSummary, MemoryTraffic,
+                          bank_conflict_cycles, count_warp_transactions)
 
 
 class TestMemoryTraffic:
@@ -77,3 +78,89 @@ class TestLaunchSummary:
         s = LaunchSummary()
         assert s.kernel_calls == 0
         assert s.max_threads == 0
+
+    def test_per_kernel_merges_suffixed_launches(self):
+        """Per-diagonal launches 'wave_0', 'wave_1', ... merge into 'wave';
+        unsuffixed names pass through unchanged."""
+        s = LaunchSummary()
+        for i, reads in enumerate((3, 5)):
+            k = KernelStats(name=f"wave_{i}", grid_blocks=i + 1,
+                            threads_per_block=32)
+            k.traffic.global_read_requests = reads
+            s.add(k)
+        other = KernelStats(name="gsat", grid_blocks=4, threads_per_block=64)
+        s.add(other)
+        merged = s.per_kernel()
+        assert set(merged) == {"wave", "gsat"}
+        assert merged["wave"].launches == 2
+        assert merged["wave"].grid_blocks == 3
+        assert merged["wave"].traffic.global_read_requests == 8
+        assert merged["gsat"].launches == 1
+
+    def test_per_kernel_keeps_band_letters(self):
+        s = LaunchSummary()
+        s.add(KernelStats(name="hybrid_A_local", grid_blocks=1,
+                          threads_per_block=32))
+        s.add(KernelStats(name="hybrid_C_local", grid_blocks=2,
+                          threads_per_block=32))
+        assert set(s.per_kernel()) == {"hybrid_A_local", "hybrid_C_local"}
+
+
+class TestWarpTransactions:
+    """32-byte-segment accounting — the quantity costcheck predicts."""
+
+    def test_unit_stride_float64_is_width_over_four(self):
+        # 32 contiguous float64 accesses span 8 segments: fully coalesced.
+        addrs = np.arange(32) * 8
+        assert count_warp_transactions(addrs) == 8
+
+    def test_large_stride_is_one_per_thread(self):
+        # A W-stride column walk (W=32 float64s = 256 bytes apart) puts
+        # every thread in its own segment.
+        addrs = np.arange(32) * 256
+        assert count_warp_transactions(addrs) == 32
+
+    def test_broadcast_is_one_transaction(self):
+        addrs = np.zeros(32, dtype=np.int64)
+        assert count_warp_transactions(addrs) == 1
+
+    def test_partial_warp_counts(self):
+        addrs = np.arange(4) * 8  # 4 threads, one shared segment
+        assert count_warp_transactions(addrs) == 1
+
+    def test_warps_account_independently(self):
+        # Two warps each touching the same 8 segments: 16 total, not 8.
+        addrs = np.concatenate([np.arange(32) * 8, np.arange(32) * 8])
+        assert count_warp_transactions(addrs) == 16
+
+    def test_empty_access_is_free(self):
+        assert count_warp_transactions(np.array([], dtype=np.int64)) == 0
+
+    def test_misaligned_straddle_pays_an_extra_segment(self):
+        # 32 contiguous float64s starting 8 bytes into a segment touch 9.
+        addrs = 8 + np.arange(32) * 8
+        assert count_warp_transactions(addrs) == 9
+
+
+class TestBankConflicts:
+    def test_unit_stride_is_conflict_free(self):
+        assert bank_conflict_cycles(np.arange(32)) == 0
+
+    def test_same_bank_stride_serializes(self):
+        # Stride 32 with 32 banks: all threads hit bank 0 at distinct
+        # addresses -> 31 replays.
+        assert bank_conflict_cycles(np.arange(32) * 32) == 31
+
+    def test_broadcast_does_not_conflict(self):
+        assert bank_conflict_cycles(np.zeros(32, dtype=np.int64)) == 0
+
+    def test_two_way_conflict(self):
+        # Stride 16 with 32 banks: pairs of threads share a bank.
+        assert bank_conflict_cycles(np.arange(32) * 16) == 15
+
+    def test_warps_account_independently(self):
+        offs = np.concatenate([np.arange(32) * 32, np.arange(32) * 32])
+        assert bank_conflict_cycles(offs) == 62
+
+    def test_empty_access_is_free(self):
+        assert bank_conflict_cycles(np.array([], dtype=np.int64)) == 0

@@ -180,6 +180,36 @@ class TestIncremental:
         assert "strategy=recompute" in out
 
 
+class TestCostcheck:
+    def test_static_only_passes(self, capsys):
+        code, out = run_cli(capsys, "costcheck", "--no-crossval")
+        assert code == 0
+        assert "PASS" in out
+        assert "planted-bug corpus" in out
+        assert "1R1W-SKSS-LB" in out
+
+    def test_crossval_single_algorithm(self, capsys):
+        code, out = run_cli(capsys, "costcheck", "-a", "2R2W", "-n", "64",
+                            "--no-corpus", "--no-overflow")
+        assert code == 0
+        assert "column_scan_kernel: ok (exact)" in out
+
+    def test_json_export(self, capsys, tmp_path):
+        import json
+        path = tmp_path / "costcheck.json"
+        code, out = run_cli(capsys, "costcheck", "--no-crossval",
+                            "--json", str(path))
+        assert code == 0
+        payload = json.loads(path.read_text())
+        assert payload["ok"] is True
+        assert len(payload["algorithms"]) == 7
+
+    def test_fuzz_cost_mode(self, capsys):
+        code, out = run_cli(capsys, "fuzz", "--runs", "4", "--mode", "cost")
+        assert code == 0
+        assert "OK" in out
+
+
 class TestMisc:
     def test_trace(self, capsys):
         code, out = run_cli(capsys, "trace", "-n", "64")
