@@ -4,8 +4,8 @@ PY ?= python
 
 .PHONY: install test test-slow lint typecheck sanitize-smoke \
 	modelcheck-smoke modelcheck-sweep costcheck-smoke bench bench-smoke \
-	bench-incremental-smoke bench-compiled-smoke tables report fuzz \
-	examples all
+	bench-incremental-smoke bench-compiled-smoke distsat-smoke \
+	distsat-gigapixel tables report fuzz examples all
 
 install:
 	pip install -e . --no-build-isolation
@@ -17,6 +17,7 @@ test:
 	$(MAKE) bench-smoke
 	$(MAKE) bench-incremental-smoke
 	$(MAKE) bench-compiled-smoke
+	$(MAKE) distsat-smoke
 	$(MAKE) sanitize-smoke
 	$(MAKE) modelcheck-smoke
 	$(MAKE) costcheck-smoke
@@ -78,6 +79,16 @@ bench-incremental-smoke:
 # the jitted perf check only runs where numba is installed.
 bench-compiled-smoke:
 	PYTHONPATH=src $(PY) benchmarks/bench_compiled.py --smoke
+
+# Distributed-executor gate: sharded runs bit-identical to the reference,
+# an injected kill + a corrupted payload recovered with an exact attempt
+# ledger (also a CI job; distsat_smoke.json is the artifact).
+distsat-smoke:
+	PYTHONPATH=src $(PY) benchmarks/bench_distsat.py --smoke
+
+# The 4-gigapixel demo (65536^2 uint8 on a memory-capped worker): slow tier.
+distsat-gigapixel:
+	PYTHONPATH=src $(PY) benchmarks/bench_distsat.py --gigapixel
 
 tables:
 	$(PY) -m repro table1 --measure

@@ -40,6 +40,19 @@ Two modes share the harness (``repro fuzz --mode``):
     pool is resolved from the registry at sampling time, so registering a
     new backend automatically puts it under differential fire.
 
+``distsat``
+    Differential fuzzing of the sharded distributed executor
+    (:func:`repro.distsat.distributed_sat`): random shard counts, worker
+    chunk heights, dtypes and ragged shapes run through the inline
+    work-queue transport — more than half the runs under a deterministic
+    fault plan (worker kills, corrupted carry payloads, delays) — and the
+    stitched result must match the serial oracle under the same
+    exact/allclose contract as ``engine`` mode.  Recovery must be
+    invisible in the output *and* exact in the books: every shard's
+    per-phase attempt counter must equal
+    :meth:`~repro.distsat.FaultPlan.expected_attempts`, so a silently
+    swallowed fault or a spurious retry fails even when the numbers agree.
+
 ``cost``
     Planted traffic-regression replay: each :data:`~repro.analysis.bugcorpus
     .COST_CORPUS` kernel (a store re-issued inside a spin loop, back-to-back
@@ -77,7 +90,8 @@ FUZZ_ALGORITHMS = ("2R2W", "2R2W-optimal", "2R1W", "1R1W", "(1+r)R1W",
 #: a bounded spin budget — the dynamic half of the model checker's
 #: counterexamples (:mod:`repro.analysis.modelcheck` emits replay configs in
 #: this mode, including bug-corpus kernels via the ``kernel`` field).
-FUZZ_MODES = ("simulate", "incremental", "sanitize", "engine", "cost")
+FUZZ_MODES = ("simulate", "incremental", "sanitize", "engine", "cost",
+              "distsat")
 
 #: Backends exercised by engine-mode fuzzing (everything registered except
 #: the serial oracle itself; resolved lazily so sampling reflects the
@@ -143,6 +157,9 @@ class FuzzConfig:
     # Engine-mode fields (defaults keep pre-existing replay JSON valid).
     engine: str = "wavefront"       # backend differenced vs the serial oracle
     band_rows: int | None = None    # outofcore backend's band height
+    # Distsat-mode fields (defaults keep pre-existing replay JSON valid).
+    shards: int | None = None       # distributed executor's band-shard count
+    fault: dict | None = None       # FaultPlan.to_dict() payload to inject
 
     def build_gpu(self) -> GPU:
         return GPU(device=TINY_DEVICE if self.tiny_device else TITAN_V,
@@ -153,7 +170,7 @@ class FuzzConfig:
 
     def build_matrix(self) -> np.ndarray:
         rng = np.random.default_rng(self.data_seed)
-        if self.mode in ("incremental", "engine"):
+        if self.mode in ("incremental", "engine", "distsat"):
             shape = (self.rows or self.n, self.cols or self.n)
             return _fuzz_values(rng, shape, self.dtype)
         return rng.integers(-50, 50, size=(self.n, self.n)).astype(np.float64)
@@ -320,6 +337,57 @@ def sample_engine_config(rng: np.random.Generator) -> FuzzConfig:
     )
 
 
+def sample_distsat_config(rng: np.random.Generator) -> FuzzConfig:
+    """Draw one random sharded-executor configuration.
+
+    Ragged rectangular shapes, all four differential dtypes, 1-5 band
+    shards, a random worker chunk height about half the time, and — with
+    probability 0.6 — a deterministic fault plan of one or two
+    kill/corrupt/delay actions aimed at random (shard, attempt, phase)
+    coordinates.  At most two lossy actions are sampled, so the
+    coordinator's retry budget of four in :func:`_run_distsat` always
+    suffices; what is under test is that recovery is silent in the output
+    and exact in the attempt ledger.
+    """
+    from repro.distsat import FaultAction, FaultPlan
+
+    tile_width = int(rng.choice([16, 32]))
+    rows = int(rng.integers(1, 4)) * tile_width + int(rng.integers(0, tile_width))
+    cols = int(rng.integers(1, 4)) * tile_width + int(rng.integers(0, tile_width))
+    shards = int(rng.integers(1, 6))
+    fault = None
+    if rng.random() < 0.6:
+        actions = []
+        for _ in range(int(rng.integers(1, 3))):
+            kind = str(rng.choice(["kill", "corrupt", "delay"]))
+            actions.append(FaultAction(
+                kind=kind,
+                shard=int(rng.integers(0, shards)),
+                attempt=1 if rng.random() < 0.8 else 2,
+                phase=str(rng.choice(["reduce", "apply"])),
+                seconds=0.002 if kind == "delay" else 0.0))
+        fault = FaultPlan(actions=tuple(actions)).to_dict()
+    return FuzzConfig(
+        algorithm=str(rng.choice(FUZZ_ALGORITHMS)),
+        n=max(rows, cols),
+        tile_width=tile_width,
+        policy="round_robin",       # unused off-simulator; kept for replay
+        sim_seed=int(rng.integers(0, 2**31)),
+        data_seed=int(rng.integers(0, 2**31)),
+        residency=None,
+        consistency="strong",
+        tiny_device=False,
+        mode="distsat",
+        dtype=str(rng.choice(INCREMENTAL_DTYPES)),
+        rows=rows,
+        cols=cols,
+        band_rows=int(rng.integers(1, rows + 1))
+        if rng.random() < 0.5 else None,
+        shards=shards,
+        fault=fault,
+    )
+
+
 def sample_cost_config(rng: np.random.Generator) -> FuzzConfig:
     """Draw one planted traffic regression (or the clean control) to replay.
 
@@ -388,6 +456,56 @@ def _run_engine(config: FuzzConfig) -> str | None:
     if got.dtype != want.dtype:
         return (f"backend {config.engine!r} accumulator dtype {got.dtype} "
                 f"!= oracle {want.dtype}")
+    return None
+
+
+def _run_distsat(config: FuzzConfig) -> str | None:
+    """Difference the sharded distributed executor against the serial oracle.
+
+    The executor runs through the inline transport (deaths are precise, so
+    attempt accounting is exact) with the configured shard count, chunk
+    height and fault plan.  The stitched SAT must match the serial oracle —
+    exactly on integer accumulators, ``allclose`` scaled to the accumulation
+    depth on floats (band stitching reorders float additions) — and every
+    shard's per-phase attempt counter must equal
+    :meth:`~repro.distsat.FaultPlan.expected_attempts`: recovery invisible
+    in the output, exact in the books.
+    """
+    from repro.distsat import FaultPlan, distributed_sat
+
+    a = config.build_matrix()
+    plan = FaultPlan.from_dict(config.fault) if config.fault else FaultPlan()
+    result = distributed_sat(
+        a, shards=config.shards or 2, algorithm=config.algorithm,
+        tile_width=config.tile_width, chunk_rows=config.band_rows,
+        fault_plan=plan, max_attempts=4)
+    got = result.sat
+    want = get_algorithm(config.algorithm,
+                         tile_width=config.tile_width).run_host(a)
+    exact = np.issubdtype(got.dtype, np.integer)
+    if exact:
+        ok = np.array_equal(got, want)
+    elif got.shape != want.shape:
+        ok = False
+    else:
+        rtol = float(np.finfo(got.dtype).eps) * 4 * (got.shape[0]
+                                                     + got.shape[1])
+        atol = rtol * max(1.0, float(np.abs(want).max()))
+        ok = np.allclose(got, want, rtol=rtol, atol=atol)
+    if not ok:
+        bad = int(np.argmax(got != want)) if got.shape == want.shape else -1
+        kind = "exact" if exact else "allclose"
+        return (f"distributed executor diverged from the serial oracle "
+                f"({kind} comparison, first mismatch at flat index {bad})")
+    if got.dtype != want.dtype:
+        return (f"distributed accumulator dtype {got.dtype} "
+                f"!= oracle {want.dtype}")
+    for phase, counters in result.stats["attempts"].items():
+        for shard, n in counters.items():
+            expect = plan.expected_attempts(shard, phase)
+            if n != expect:
+                return (f"shard {shard} {phase} took {n} attempt(s), fault "
+                        f"plan predicts {expect} (recovery bookkeeping drift)")
     return None
 
 
@@ -569,6 +687,11 @@ def run_one(config: FuzzConfig, *, sanitize: bool = False) -> str | None:
             return _run_cost(config)
         except Exception as exc:  # noqa: BLE001 - the fuzzer reports
             return f"exception: {type(exc).__name__}: {exc}"
+    if config.mode == "distsat":
+        try:
+            return _run_distsat(config)
+        except Exception as exc:  # noqa: BLE001 - the fuzzer reports
+            return f"exception: {type(exc).__name__}: {exc}"
     if config.mode != "simulate":
         return f"unknown fuzz mode {config.mode!r}; known: {FUZZ_MODES}"
     a = config.build_matrix()
@@ -602,8 +725,10 @@ def fuzz(num_runs: int = 50, *, seed: int = 0,
     ``mode`` selects the harness: ``"simulate"`` (algorithms vs the NumPy
     reference on the simulator), ``"incremental"`` (edit sequences vs
     from-scratch recompute; see :func:`sample_incremental_config`),
-    ``"sanitize"``, or ``"engine"`` (registered backends vs the serial
-    oracle; see :func:`sample_engine_config`).
+    ``"sanitize"``, ``"engine"`` (registered backends vs the serial
+    oracle; see :func:`sample_engine_config`), or ``"distsat"`` (the
+    sharded distributed executor under random fault plans; see
+    :func:`sample_distsat_config`).
     """
     if mode not in FUZZ_MODES:
         raise ConfigurationError(
@@ -621,6 +746,8 @@ def fuzz(num_runs: int = 50, *, seed: int = 0,
             config = sample_engine_config(rng)
         elif mode == "cost":
             config = sample_cost_config(rng)
+        elif mode == "distsat":
+            config = sample_distsat_config(rng)
         else:
             config = sample_config(rng)
             if mode == "sanitize":

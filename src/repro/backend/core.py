@@ -154,7 +154,8 @@ class Backend(ABC):
     def plan(self, shape, dtype, *, algorithm: str | None = None,
              tile_width: int = 32, dtype_policy=None,
              workers: int | None = None,
-             band_rows: int | None = None) -> ExecutionPlan:
+             band_rows: int | None = None,
+             shards: int | None = None) -> ExecutionPlan:
         """Validate a configuration and freeze it into an ExecutionPlan.
 
         Raises :class:`~repro.errors.ConfigurationError` on *any* invalid
@@ -179,6 +180,7 @@ class Backend(ABC):
                 raise ConfigurationError("workers must be positive")
             workers = int(workers)
         band_rows = self._check_band_rows(band_rows, rows, tile_width)
+        shards = self._check_shards(shards, rows)
         try:
             input_dtype = np.dtype(dtype)
         except TypeError as exc:
@@ -206,7 +208,8 @@ class Backend(ABC):
         plan = ExecutionPlan(backend=spec.name, algorithm=name, rows=rows,
                              cols=cols, input_dtype=input_dtype,
                              acc_dtype=acc_dtype, tile_width=tile_width,
-                             grid=grid, workers=workers, band_rows=band_rows)
+                             grid=grid, workers=workers, band_rows=band_rows,
+                             shards=shards)
         self._validate_plan(plan)
         return plan
 
@@ -233,6 +236,14 @@ class Backend(ABC):
             raise ConfigurationError(
                 f"band_rows is not meaningful for the {self.spec.name} "
                 "backend (use the outofcore backend)")
+        return None
+
+    def _check_shards(self, shards: int | None, rows: int) -> int | None:
+        """Hook: only the distributed backend accepts/derives ``shards``."""
+        if shards is not None:
+            raise ConfigurationError(
+                f"shards is not meaningful for the {self.spec.name} "
+                "backend (use the distributed backend)")
         return None
 
     # -- stage 2: execute ------------------------------------------------------

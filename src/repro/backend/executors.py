@@ -218,6 +218,62 @@ class OutOfCoreBackend(Backend):
         return sat, BandCarrySet(column_sums=carry_cols)
 
 
+class DistributedBackend(Backend):
+    """Sharded band workers behind the work-queue protocol.
+
+    The image is split into ``shards`` contiguous band shards, fanned out
+    to a pool (in-process by default; real worker processes when the plan
+    asks for ``workers > 1``) and stitched with persisted
+    :class:`~repro.backend.carries.BandCarrySet` column sums — see
+    :mod:`repro.distsat`.  ``band_rows`` bounds each worker's chunk size
+    within its shard.
+    """
+
+    def __init__(self) -> None:
+        from repro.backend.registry import get_spec
+        self.spec = get_spec("distributed")
+
+    def _check_band_rows(self, band_rows: int | None, rows: int,
+                         tile_width: int) -> int | None:
+        if band_rows is None:
+            return min(rows, tile_width)
+        if not isinstance(band_rows, (int, np.integer)) \
+                or isinstance(band_rows, bool) or band_rows <= 0:
+            from repro.errors import ConfigurationError
+            raise ConfigurationError("band_rows must be positive")
+        return int(band_rows)
+
+    def _check_shards(self, shards: int | None, rows: int) -> int | None:
+        if shards is None:
+            return min(rows, 2)
+        if not isinstance(shards, (int, np.integer)) \
+                or isinstance(shards, bool) or shards <= 0:
+            from repro.errors import ConfigurationError
+            raise ConfigurationError(
+                f"shards must be a positive integer, got {shards!r}")
+        return int(shards)
+
+    def _run(self, plan: ExecutionPlan, a: np.ndarray):
+        from repro.distsat import distributed_sat
+        transport = "process" if plan.workers is not None \
+            and plan.workers > 1 else "inline"
+        return distributed_sat(a, shards=plan.shards or 2,
+                               algorithm=plan.algorithm,
+                               tile_width=plan.tile_width,
+                               dtype_policy=plan.acc_dtype,
+                               chunk_rows=plan.band_rows,
+                               transport=transport, workers=plan.workers)
+
+    def _execute(self, plan: ExecutionPlan, a: np.ndarray,
+                 out: np.ndarray | None) -> np.ndarray:
+        return self._run(plan, a).sat
+
+    def _execute_with_carries(self, plan: ExecutionPlan,
+                              a: np.ndarray) -> tuple[np.ndarray, CarrySet]:
+        result = self._run(plan, a)
+        return result.sat, result.carries
+
+
 #: Concrete class behind each registered backend name.
 BACKEND_CLASSES: dict[str, type[Backend]] = {
     "serial": SerialBackend,
@@ -226,6 +282,7 @@ BACKEND_CLASSES: dict[str, type[Backend]] = {
     "compiled": CompiledBackend,
     "gpusim": GpusimBackend,
     "outofcore": OutOfCoreBackend,
+    "distributed": DistributedBackend,
 }
 
 

@@ -54,6 +54,7 @@ class ExecutionPlan:
     grid: TileGrid | None = None
     workers: int | None = None
     band_rows: int | None = None
+    shards: int | None = None
 
     @property
     def shape(self) -> tuple[int, int]:
@@ -97,6 +98,7 @@ class ExecutionPlan:
             "num_tiles": self.num_tiles,
             "workers": self.workers,
             "band_rows": self.band_rows,
+            "shards": self.shards,
         }
 
 

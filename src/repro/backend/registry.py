@@ -68,6 +68,12 @@ def _make_specs() -> dict[str, BackendSpec]:
                     "algebra one level up)",
             algorithms=None, dtypes=None, bit_identical=False,
             kind="streaming", retains_state=True),
+        "distributed": BackendSpec(
+            name="distributed",
+            summary="sharded out-of-core bands on a worker pool (persisted "
+                    "carries, fault-tolerant work-queue protocol)",
+            algorithms=None, dtypes=None, bit_identical=False,
+            kind="streaming", engine=True, retains_state=True),
     }
 
 

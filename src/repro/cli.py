@@ -67,13 +67,19 @@ def _build_parser() -> argparse.ArgumentParser:
                      choices=_host_engines(),
                      help="host execution engine (implies --host when not "
                           "'serial'): serial tile loop, multi-core wavefront "
-                          "tile engine, fork/join banded 2R2W scan, or "
+                          "tile engine, fork/join banded 2R2W scan, "
                           "Numba-compiled flat tile kernels (falls back to "
-                          "wavefront when numba is not installed)")
+                          "wavefront when numba is not installed), or the "
+                          "sharded distributed executor (band shards on a "
+                          "worker pool with persisted carries)")
     run.add_argument("--workers", type=int, default=None,
                      help="worker threads for the wavefront/parallel/"
                           "compiled engines (default: REPRO_WORKERS or all "
-                          "cores; 1 for compiled)")
+                          "cores; 1 for compiled); for the distributed "
+                          "engine, >1 uses real worker processes")
+    run.add_argument("--shards", type=int, default=None,
+                     help="band-shard count for --engine distributed "
+                          "(default 2; rejected by other engines)")
     run.add_argument("--policy", default="random",
                      choices=["round_robin", "random", "lifo"])
     run.add_argument("--seed", type=int, default=0)
@@ -125,7 +131,7 @@ def _build_parser() -> argparse.ArgumentParser:
     fz.add_argument("--seed", type=int, default=0)
     fz.add_argument("--mode", default="simulate",
                     choices=["simulate", "incremental", "sanitize",
-                             "engine", "cost"],
+                             "engine", "cost", "distsat"],
                     help="simulate: algorithms vs the reference on the "
                          "simulator; incremental: random edit sequences "
                          "through IncrementalSAT vs from-scratch recompute; "
@@ -137,7 +143,10 @@ def _build_parser() -> argparse.ArgumentParser:
                          "worker configurations; cost: replay the planted "
                          "traffic regressions through the static cost "
                          "checker (each must be rejected with its expected "
-                         "finding kind)")
+                         "finding kind); distsat: random shard counts, chunk "
+                         "sizes and fault plans through the distributed "
+                         "executor vs the reference scan (recovery must be "
+                         "invisible in the output)")
     fz.add_argument("--time-budget", type=float, default=None,
                     help="stop after this many seconds")
     fz.add_argument("--sanitize", action="store_true",
@@ -295,11 +304,15 @@ def _cmd_run(args) -> int:
         a = rng.integers(0, 2, size=shape).astype(bool)
     else:
         a = rng.integers(0, 100, size=shape).astype(dtype)
+    if args.shards is not None and args.engine != "distributed":
+        raise ConfigurationError(
+            "--shards is only meaningful with --engine distributed")
     if args.host or args.engine != "serial":
         result = compute_sat(a, algorithm=args.algorithm,
                              tile_width=args.tile_width, simulate=False,
                              engine=args.engine if args.engine != "serial"
-                             else None, workers=args.workers)
+                             else None, workers=args.workers,
+                             shards=args.shards)
     else:
         gpu = GPU(seed=args.seed, scheduler_policy=args.policy,
                   consistency=args.consistency,

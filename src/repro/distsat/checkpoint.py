@@ -1,0 +1,225 @@
+"""Checkpointed carry persistence for distributed runs.
+
+After each shard's *reduce* commits, its column-sum carry vector is written
+to the checkpoint directory (``carry_<k>.npy``) and the run manifest
+(``manifest.json``) is atomically replaced (write-to-temp + ``os.replace``)
+with the shard marked committed, its carry's CRC32, and the attempt
+counters.  This gives two recovery properties the test suite pins:
+
+* a **killed worker's** shard is retried from the task queue, and its
+  *apply* re-reads the carry-in from disk (:meth:`load_carry_before`) —
+  recomputation starts from the last persisted carry, not from the top of
+  the image;
+* a **killed coordinator** (simulated via ``FaultPlan.abort_after_shard``)
+  can be replaced by a new one pointed at the same directory:
+  :meth:`open_run` recognises the manifest, already-committed shards skip
+  their reduce entirely, and the persisted attempt counters carry across
+  the restart so the recovery tests can pin "resumed, not recomputed".
+
+With ``directory=None`` the store keeps everything in memory — same API,
+no files — which is what conformance tests and the fuzzer use.
+
+Layout of a checkpoint directory::
+
+    manifest.json     # run config + committed/applied shards + attempts + CRCs
+    carry_0.npy       # shard 0's column sums (acc dtype, length = n_cols)
+    carry_1.npy
+    ...
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+
+import numpy as np
+
+from repro.distsat.protocol import checksum
+from repro.errors import CarryChecksumError, ConfigurationError
+
+_MANIFEST = "manifest.json"
+_FORMAT = 1
+
+
+class CheckpointStore:
+    """Persists per-shard carries and attempt counters for one run."""
+
+    def __init__(self, directory: str | os.PathLike | None = None) -> None:
+        self.directory = os.fspath(directory) if directory is not None else None
+        self._config: dict | None = None
+        self._carries: dict[int, np.ndarray] = {}
+        self._checksums: dict[int, int] = {}
+        self._applied: set[int] = set()
+        self._attempts: dict[str, int] = {}
+        #: shards whose reduce was skipped on resume (restart accounting)
+        self.resumed_shards: tuple[int, ...] = ()
+
+    # -- run lifecycle ---------------------------------------------------------
+
+    def open_run(self, *, rows: int, cols: int, shards: int, acc_dtype: str,
+                 algorithm: str, tile_width: int) -> None:
+        """Start or resume a run with this configuration.
+
+        A persisted manifest with a *matching* configuration is resumed
+        (committed carries are loaded and checksum-verified); a manifest
+        for a different configuration raises :class:`ConfigurationError`
+        rather than silently mixing two runs' carries.
+        """
+        config = {"rows": int(rows), "cols": int(cols), "shards": int(shards),
+                  "acc_dtype": str(acc_dtype), "algorithm": str(algorithm),
+                  "tile_width": int(tile_width)}
+        manifest = self._read_manifest()
+        if manifest is not None:
+            if manifest["config"] != config:
+                raise ConfigurationError(
+                    "checkpoint directory holds a different run "
+                    f"({manifest['config']}) than requested ({config}); "
+                    "point each run at its own directory")
+            self._config = config
+            self._checksums = {int(k): v
+                               for k, v in manifest["checksums"].items()}
+            self._applied = set(manifest.get("applied", []))
+            self._attempts = dict(manifest.get("attempts", {}))
+            self._carries = {k: self._load_carry(k) for k in self._checksums}
+            self.resumed_shards = tuple(sorted(self._carries))
+        else:
+            self._config = config
+            self._carries, self._checksums = {}, {}
+            self._applied, self._attempts = set(), {}
+            self.resumed_shards = ()
+            self._write_manifest()
+
+    @property
+    def committed(self) -> tuple[int, ...]:
+        """Shards whose reduce carry is committed, in shard order."""
+        return tuple(sorted(self._carries))
+
+    @property
+    def applied(self) -> tuple[int, ...]:
+        return tuple(sorted(self._applied))
+
+    # -- attempts --------------------------------------------------------------
+
+    def record_attempt(self, phase: str, shard: int) -> int:
+        """Count one more attempt of (phase, shard); returns the 1-based total.
+
+        Persisted with the manifest so a restarted coordinator continues the
+        numbering — the fault plan's ``(shard, attempt)`` keys stay stable
+        across a coordinator crash, and the recovery tests can pin counters
+        that span a restart.
+        """
+        key = f"{phase}:{shard}"
+        self._attempts[key] = self._attempts.get(key, 0) + 1
+        self._write_manifest()
+        return self._attempts[key]
+
+    def attempts(self, phase: str, shard: int) -> int:
+        return self._attempts.get(f"{phase}:{shard}", 0)
+
+    # -- carries ---------------------------------------------------------------
+
+    def commit_carry(self, shard: int, carry: np.ndarray) -> None:
+        """Persist shard ``shard``'s column-sum carry (idempotent re-commit
+        of identical data is allowed; conflicting data is an error)."""
+        carry = np.ascontiguousarray(carry)
+        crc = checksum(carry)
+        if shard in self._checksums and self._checksums[shard] != crc:
+            raise ConfigurationError(
+                f"shard {shard} already committed a different carry")
+        self._carries[shard] = carry
+        self._checksums[shard] = crc
+        if self.directory is not None:
+            np.save(self._carry_path(shard), carry, allow_pickle=False)
+        self._write_manifest()
+
+    def mark_applied(self, shard: int) -> None:
+        self._applied.add(shard)
+        self._write_manifest()
+
+    def carry_before(self, shard: int) -> np.ndarray:
+        """Carry-in for shard ``shard``: the sum of every committed carry
+        above it (in memory; the hot path during a healthy run)."""
+        return self._sum_before(shard, self._carries)
+
+    def load_carry_before(self, shard: int) -> np.ndarray:
+        """Carry-in for shard ``shard`` re-read from the checkpoint files.
+
+        This is the recovery seam: a retried *apply* uses this — not any
+        in-memory state the dead worker might have held — so recomputation
+        provably starts from what was persisted.  Each file is re-verified
+        against its manifest CRC; a damaged file raises
+        :class:`CarryChecksumError`.
+        """
+        if self.directory is None:
+            return self.carry_before(shard)
+        loaded = {k: self._load_carry(k)
+                  for k in self._checksums if k < shard}
+        return self._sum_before(shard, loaded)
+
+    def _sum_before(self, shard: int, carries: dict[int, np.ndarray]) \
+            -> np.ndarray:
+        if self._config is None:
+            raise ConfigurationError("open_run() has not been called")
+        missing = [k for k in range(shard) if k not in carries]
+        if missing:
+            raise ConfigurationError(
+                f"carry-in for shard {shard} needs shards {missing} "
+                "committed first")
+        acc = np.dtype(self._config["acc_dtype"])
+        total = np.zeros(self._config["cols"], dtype=acc)
+        for k in range(shard):
+            total += carries[k].astype(acc, copy=False)
+        return total
+
+    # -- files -----------------------------------------------------------------
+
+    def _carry_path(self, shard: int) -> str:
+        assert self.directory is not None
+        return os.path.join(self.directory, f"carry_{shard}.npy")
+
+    def _load_carry(self, shard: int) -> np.ndarray:
+        if self.directory is None:
+            return self._carries[shard]
+        try:
+            carry = np.load(self._carry_path(shard), allow_pickle=False)
+        except OSError as exc:
+            raise CarryChecksumError(
+                f"carry file for shard {shard} is unreadable: {exc}") from None
+        if checksum(carry) != self._checksums[shard]:
+            raise CarryChecksumError(
+                f"carry file for shard {shard} fails its manifest checksum; "
+                "the checkpoint directory is damaged")
+        return carry
+
+    def _read_manifest(self) -> dict | None:
+        if self.directory is None:
+            return None
+        path = os.path.join(self.directory, _MANIFEST)
+        if not os.path.exists(path):
+            return None
+        with open(path, encoding="utf-8") as fh:
+            manifest = json.load(fh)
+        if manifest.get("format") != _FORMAT:
+            raise ConfigurationError(
+                f"unsupported checkpoint format {manifest.get('format')!r}")
+        return manifest
+
+    def _write_manifest(self) -> None:
+        if self.directory is None or self._config is None:
+            return
+        manifest = {"format": _FORMAT, "config": self._config,
+                    "checksums": {str(k): v
+                                  for k, v in sorted(self._checksums.items())},
+                    "applied": sorted(self._applied),
+                    "attempts": dict(sorted(self._attempts.items()))}
+        os.makedirs(self.directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(manifest, fh, indent=1)
+            os.replace(tmp, os.path.join(self.directory, _MANIFEST))
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise

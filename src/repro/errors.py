@@ -102,3 +102,43 @@ class ModelCheckError(ReproError):
     """The explicit-state explorer could not complete (e.g. the state budget
     was exhausted before the frontier emptied; see
     :mod:`repro.analysis.modelcheck`)."""
+
+
+class DistributedError(ReproError):
+    """Base class for runtime failures of the sharded out-of-core executor
+    (:mod:`repro.distsat`).  Configuration mistakes still raise
+    :class:`ConfigurationError`; these subclasses cover things that go wrong
+    *during* a distributed run — worker crashes, corrupted carries, an
+    aborted coordinator."""
+
+
+class ShardFailedError(DistributedError):
+    """One shard exhausted its retry budget: every attempt was lost to a
+    worker death or a rejected (corrupt) result."""
+
+    def __init__(self, message: str, *, shard: int = -1,
+                 attempts: int = 0) -> None:
+        super().__init__(message)
+        self.shard = shard
+        self.attempts = attempts
+
+
+class CarryChecksumError(DistributedError):
+    """A carry vector — persisted in the checkpoint directory or carried in
+    a protocol message — failed its checksum.  Raised when corruption is
+    detected somewhere it cannot be retried (a damaged checkpoint file);
+    in-flight corruption is retried and only surfaces as
+    :class:`ShardFailedError` once the budget is gone."""
+
+
+class CoordinatorAborted(DistributedError):
+    """The fault plan stopped the coordinator mid-run (a simulated crash).
+
+    Everything committed so far is already persisted in the checkpoint
+    directory, so a new coordinator pointed at the same directory resumes
+    from the last persisted carry instead of starting over — the property
+    the crash-recovery suite pins."""
+
+    def __init__(self, message: str, *, committed_shards: int = 0) -> None:
+        super().__init__(message)
+        self.committed_shards = committed_shards

@@ -123,8 +123,18 @@ class OutOfCoreSAT:
     def rows_done(self) -> int:
         return self._rows_done
 
-    def push_band(self, band: np.ndarray) -> np.ndarray:
-        """Consume the next band of rows; returns that band's SAT rows."""
+    def push_band(self, band: np.ndarray, *,
+                  row_start: int | None = None) -> np.ndarray:
+        """Consume the next band of rows; returns that band's SAT rows.
+
+        Bands must arrive top to bottom with no gap and no overlap — the
+        carry vector is a running column sum, so any other order silently
+        corrupts every later stitch.  Callers that track absolute row
+        positions should pass ``row_start`` (the band's first image row):
+        a band that does not continue exactly at ``rows_done`` is rejected
+        with a :class:`~repro.errors.ConfigurationError` naming the overlap
+        or the gap instead of producing wrong sums.
+        """
         band = np.asarray(band)
         if band.ndim != 2 or band.shape[1] != self.n_cols:
             raise ConfigurationError(
@@ -132,6 +142,16 @@ class OutOfCoreSAT:
                 f"got shape {band.shape}")
         if band.shape[0] == 0:
             raise ConfigurationError("band must have at least one row")
+        if row_start is not None and row_start != self._rows_done:
+            if row_start < self._rows_done:
+                raise ConfigurationError(
+                    f"band starting at row {row_start} overlaps rows already "
+                    f"pushed (next expected row is {self._rows_done}); bands "
+                    "must be pushed top to bottom exactly once")
+            raise ConfigurationError(
+                f"band starting at row {row_start} leaves a gap: rows "
+                f"{self._rows_done}..{row_start - 1} have not been pushed "
+                "yet; bands must be pushed top to bottom with no gap")
         band = band.astype(self.dtype, copy=False)
         band_sat = band.cumsum(axis=0).cumsum(axis=1)
         full = band_sat + np.cumsum(self._carry)[None, :]
@@ -164,9 +184,14 @@ class OutOfCoreSAT:
 
     def rect_sum(self, top: int, left: int, bottom: int, right: int) -> float:
         """Four-corner rectangle sum over pushed rows."""
-        if not (0 <= top <= bottom < self._rows_done
-                and 0 <= left <= right < self.n_cols):
-            raise ConfigurationError("rectangle out of pushed range")
+        if not (0 <= top <= bottom and 0 <= left <= right < self.n_cols):
+            raise ConfigurationError(
+                f"invalid rectangle ({top},{left})..({bottom},{right}): "
+                f"corners must be ordered and within {self.n_cols} columns")
+        if bottom >= self._rows_done:
+            raise ConfigurationError(
+                f"rectangle bottom row {bottom} has not been pushed yet "
+                f"(rows pushed so far: {self._rows_done})")
         total = self._sat_row(bottom)[right]
         if left > 0:
             total -= self._sat_row(bottom)[left - 1]

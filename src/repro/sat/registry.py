@@ -132,7 +132,8 @@ def compute_sat(a: np.ndarray, *, algorithm: str = "1R1W-SKSS-LB",
                 tile_width: int = 32, gpu: GPU | None = None,
                 simulate: bool = True, engine=None,
                 workers: int | None = None, dtype_policy=None,
-                incremental=None, **params: Any) -> SATResult:
+                incremental=None, shards: int | None = None,
+                **params: Any) -> SATResult:
     """Compute the summed area table of ``a``.
 
     Parameters
@@ -154,7 +155,12 @@ def compute_sat(a: np.ndarray, *, algorithm: str = "1R1W-SKSS-LB",
         :class:`~repro.hostexec.WavefrontEngine` /
         :class:`~repro.hostexec.CompiledEngine` instance.
     workers:
-        Worker count for the ``wavefront``/``parallel``/``compiled`` engines.
+        Worker count for the ``wavefront``/``parallel``/``compiled``/
+        ``distributed`` engines (for ``distributed``, ``workers > 1``
+        switches from the in-process transport to real worker processes).
+    shards:
+        Band-shard count for the ``distributed`` engine; rejected by every
+        other engine.
     dtype_policy:
         Input-to-accumulator dtype mapping (:mod:`repro.sat.dtypes`): a
         policy, a policy name (``"exact"``, ``"widen-float"``, ``"float64"``)
@@ -189,6 +195,10 @@ def compute_sat(a: np.ndarray, *, algorithm: str = "1R1W-SKSS-LB",
                                  "repaired_tiles": stats.repaired_tiles,
                                  "total_tiles": stats.total_tiles},
                          report=None)
+    if shards is not None and (engine is None or engine == "serial"):
+        raise ConfigurationError(
+            "shards is only meaningful for the distributed engine "
+            "(pass engine='distributed')")
     alg = get_algorithm(algorithm, tile_width=tile_width, **params)
     if engine is not None and engine != "serial":
         if gpu is not None:
@@ -207,7 +217,7 @@ def compute_sat(a: np.ndarray, *, algorithm: str = "1R1W-SKSS-LB",
         engine_name = backend.spec.name
         sat = backend.compute(np.asarray(a), algorithm=alg.name,
                               tile_width=tile_width, workers=workers,
-                              dtype_policy=dtype_policy)
+                              dtype_policy=dtype_policy, shards=shards)
     p = alg.params()
     if engine is not None:
         p["engine"] = engine_name

@@ -9,6 +9,7 @@ import pytest
 from repro.analysis.fuzzing import (FUZZ_ALGORITHMS, INCREMENTAL_ALGORITHMS,
                                     INCREMENTAL_DTYPES, FuzzConfig, fuzz,
                                     run_one, sample_config,
+                                    sample_distsat_config,
                                     sample_engine_config,
                                     sample_incremental_config)
 from repro.errors import ConfigurationError
@@ -337,4 +338,105 @@ class TestEngineMode:
         with warnings.catch_warnings():
             warnings.simplefilter("ignore", RuntimeWarning)
             report = fuzz(100, seed=2018, mode="engine")
+        assert report.ok, report.failures
+
+
+class TestDistsatMode:
+    """mode="distsat": the sharded executor under random fault plans."""
+
+    def test_sampled_configs_are_valid(self):
+        from repro.distsat import FaultPlan
+        rng = np.random.default_rng(0)
+        saw_fault = saw_clean = saw_chunk = False
+        for _ in range(60):
+            cfg = sample_distsat_config(rng)
+            assert cfg.mode == "distsat"
+            assert cfg.algorithm in FUZZ_ALGORITHMS
+            assert cfg.dtype in INCREMENTAL_DTYPES
+            assert 1 <= cfg.shards <= 5
+            assert cfg.rows >= cfg.tile_width and cfg.cols >= cfg.tile_width
+            if cfg.band_rows is not None:
+                saw_chunk = True
+                assert 1 <= cfg.band_rows <= cfg.rows
+            if cfg.fault is None:
+                saw_clean = True
+            else:
+                saw_fault = True
+                plan = FaultPlan.from_dict(cfg.fault)
+                for action in plan.actions:
+                    assert action.shard < cfg.shards
+                    # sampled plans stay within _run_distsat's retry budget
+                    assert plan.expected_attempts(action.shard,
+                                                  action.phase) <= 4
+        assert saw_fault and saw_clean and saw_chunk
+
+    def test_short_session_clean(self):
+        report = fuzz(20, seed=3, mode="distsat")
+        assert report.ok, report.failures
+        assert report.runs == 20
+
+    def test_replay_round_trip(self):
+        cfg = sample_distsat_config(np.random.default_rng(4))
+        again = FuzzConfig.from_json(cfg.to_json())
+        assert again == cfg
+        assert run_one(again) is None
+
+    def test_legacy_json_has_no_shards_or_fault(self):
+        loaded = FuzzConfig.from_json(json.dumps(
+            {"algorithm": "1R1W", "n": 64, "tile_width": 32,
+             "policy": "lifo", "sim_seed": 5, "data_seed": 9,
+             "residency": 2, "consistency": "relaxed", "tiny_device": True}))
+        assert loaded.shards is None and loaded.fault is None
+
+    def test_detects_a_planted_stale_carry_bug(self, monkeypatch):
+        """The canonical distributed-systems bug: recovery resumes from a
+        stale carry instead of the persisted one.  A config whose fault
+        plan kills an apply attempt forces the recovery seam
+        (CheckpointStore.load_carry_before); with that seam returning a
+        stale vector the stitched rows are wrong, and the differential
+        check must say so."""
+        from repro.distsat import FaultAction, FaultPlan
+        from repro.distsat.checkpoint import CheckpointStore
+
+        real = CheckpointStore.load_carry_before
+
+        def stale(self, shard):
+            carry = real(self, shard)
+            return carry // 2        # a carry from "an earlier frame"
+        monkeypatch.setattr(CheckpointStore, "load_carry_before", stale)
+        plan = FaultPlan(actions=(
+            FaultAction(kind="kill", shard=1, attempt=1, phase="apply"),))
+        cfg = FuzzConfig(
+            algorithm="1R1W-SKSS-LB", n=48, tile_width=16,
+            policy="round_robin", sim_seed=1, data_seed=2, residency=None,
+            consistency="strong", tiny_device=False, mode="distsat",
+            dtype="int32", rows=48, cols=33, shards=3, fault=plan.to_dict())
+        error = run_one(cfg)
+        assert error is not None and "diverged" in error
+
+    def test_detects_bookkeeping_drift(self, monkeypatch):
+        """A retry the fault plan did not predict must fail the attempt
+        ledger check even though the output is still correct."""
+        import repro.distsat.coordinator as coordinator
+
+        real = coordinator.CheckpointStore.record_attempt
+
+        def double_counting(self, phase, shard):
+            n = real(self, phase, shard)
+            if phase == "apply" and shard == 0:
+                n = real(self, phase, shard)
+            return n
+        monkeypatch.setattr(coordinator.CheckpointStore, "record_attempt",
+                            double_counting)
+        cfg = FuzzConfig(
+            algorithm="1R1W", n=32, tile_width=16, policy="round_robin",
+            sim_seed=1, data_seed=2, residency=None, consistency="strong",
+            tiny_device=False, mode="distsat", dtype="int32",
+            rows=32, cols=20, shards=2)
+        error = run_one(cfg)
+        assert error is not None and "bookkeeping drift" in error
+
+    @pytest.mark.slow
+    def test_long_session_clean(self):
+        report = fuzz(120, seed=2018, mode="distsat")
         assert report.ok, report.failures

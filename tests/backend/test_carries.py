@@ -100,6 +100,24 @@ class TestBandCarries:
                                       a.sum(axis=0, dtype=plan.acc_dtype))
 
 
+class TestDistributedCarries:
+    def test_column_sums_after_sharded_pass(self):
+        """The distributed backend speaks the same band-carry algebra as the
+        outofcore one: after a full sharded pass the BandCarrySet holds the
+        total per-column sums."""
+        backend = get_backend("distributed")
+        a = matrix((53, 38), seed=5)
+        plan = backend.plan(a.shape, a.dtype, algorithm="1R1W-SKSS-LB",
+                            tile_width=16, shards=3)
+        sat, carries = backend.execute_with_carries(plan, a)
+        np.testing.assert_array_equal(sat, backend.execute(plan, a))
+        assert isinstance(carries, BandCarrySet)
+        assert carries.dtype == plan.acc_dtype
+        assert carries.roles() == ("BCS",)
+        np.testing.assert_array_equal(
+            carries.planes()["BCS"], a.sum(axis=0, dtype=plan.acc_dtype))
+
+
 @pytest.mark.parametrize("name", [n for n in known_backends()
                                   if not get_spec(n).retains_state])
 def test_non_retaining_backends_refuse(name):

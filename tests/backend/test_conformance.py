@@ -27,6 +27,16 @@ ALGORITHMS = ("2R2W", "2R2W-optimal", "2R1W", "1R1W", "(1+r)R1W",
 DTYPES = ("int32", "float64")
 
 
+def test_parametrization_covers_registry(request):
+    """Drift pin: the ``backend_name`` fixture that parameterizes this whole
+    suite must enumerate exactly ``known_backends()`` — a future backend
+    cannot be registered without landing under conformance."""
+    from repro.backend.registry import known_backends
+    fixturedef = request.session._fixturemanager.getfixturedefs(
+        "backend_name", request.node)[-1]
+    assert tuple(fixturedef.params) == known_backends()
+
+
 @pytest.mark.parametrize("dtype", DTYPES)
 @pytest.mark.parametrize("algorithm", ALGORITHMS)
 def test_matches_serial_oracle(backend, spec, W, shape, make_matrix,

@@ -20,9 +20,10 @@ from repro.errors import ConfigurationError
 
 def test_known_backends_exactly():
     assert known_backends() == ("serial", "wavefront", "parallel",
-                                "compiled", "gpusim", "outofcore")
+                                "compiled", "gpusim", "outofcore",
+                                "distributed")
     assert engine_backends() == ("serial", "wavefront", "parallel",
-                                 "compiled")
+                                 "compiled", "distributed")
 
 
 def test_every_executor_class_is_registered():
@@ -108,11 +109,12 @@ def test_backend_table_is_stable_json():
 def test_capability_flags_pinned():
     specs = backend_specs()
     assert [s.kind for s in specs.values()] \
-        == ["host", "host", "host", "host", "device", "streaming"]
+        == ["host", "host", "host", "host", "device", "streaming",
+            "streaming"]
     assert {n for n, s in specs.items() if s.bit_identical} \
         == {"serial", "wavefront", "compiled"}
     assert {n for n, s in specs.items() if s.retains_state} \
-        == {"wavefront", "outofcore"}
+        == {"wavefront", "outofcore", "distributed"}
     assert {n for n, s in specs.items() if s.algorithm_agnostic} \
         == {"parallel"}
     assert specs["compiled"].requires == "numba"

@@ -1,0 +1,138 @@
+"""CheckpointStore: persisted carries, attempt ledgers, resume semantics."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.distsat import CheckpointStore
+from repro.errors import CarryChecksumError, ConfigurationError
+
+CONFIG = dict(rows=40, cols=6, shards=4, acc_dtype="int64",
+              algorithm="plain", tile_width=32)
+
+
+def carry(k):
+    return (np.arange(6, dtype=np.int64) + 10 * k)
+
+
+class TestInMemory:
+    def test_requires_open_run(self):
+        store = CheckpointStore()
+        with pytest.raises(ConfigurationError, match="open_run"):
+            store.carry_before(0)
+
+    def test_attempt_counters(self):
+        store = CheckpointStore()
+        store.open_run(**CONFIG)
+        assert store.attempts("reduce", 0) == 0
+        assert store.record_attempt("reduce", 0) == 1
+        assert store.record_attempt("reduce", 0) == 2
+        assert store.record_attempt("apply", 0) == 1
+        assert store.attempts("reduce", 0) == 2
+
+    def test_carry_before_is_prefix_sum(self):
+        store = CheckpointStore()
+        store.open_run(**CONFIG)
+        for k in range(3):
+            store.commit_carry(k, carry(k))
+        np.testing.assert_array_equal(store.carry_before(0),
+                                      np.zeros(6, dtype=np.int64))
+        np.testing.assert_array_equal(store.carry_before(2),
+                                      carry(0) + carry(1))
+        assert store.committed == (0, 1, 2)
+
+    def test_carry_before_refuses_gaps(self):
+        store = CheckpointStore()
+        store.open_run(**CONFIG)
+        store.commit_carry(0, carry(0))
+        store.commit_carry(2, carry(2))
+        with pytest.raises(ConfigurationError, match=r"shards \[1\]"):
+            store.carry_before(3)
+
+    def test_recommit_identical_is_idempotent(self):
+        store = CheckpointStore()
+        store.open_run(**CONFIG)
+        store.commit_carry(1, carry(1))
+        store.commit_carry(1, carry(1).copy())    # duplicate result: fine
+        with pytest.raises(ConfigurationError, match="different carry"):
+            store.commit_carry(1, carry(1) + 1)
+
+    def test_load_carry_before_falls_back_in_memory(self):
+        store = CheckpointStore()
+        store.open_run(**CONFIG)
+        store.commit_carry(0, carry(0))
+        np.testing.assert_array_equal(store.load_carry_before(1), carry(0))
+
+
+class TestOnDisk:
+    def test_files_and_manifest(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.open_run(**CONFIG)
+        store.commit_carry(0, carry(0))
+        store.mark_applied(0)
+        assert (tmp_path / "carry_0.npy").exists()
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        assert manifest["format"] == 1
+        assert manifest["applied"] == [0]
+        assert "0" in manifest["checksums"]
+        # no stray temp files from the atomic replace
+        assert not [p for p in os.listdir(tmp_path) if p.endswith(".tmp")]
+
+    def test_resume_loads_committed_carries(self, tmp_path):
+        first = CheckpointStore(tmp_path)
+        first.open_run(**CONFIG)
+        first.record_attempt("reduce", 0)
+        first.record_attempt("reduce", 0)
+        first.commit_carry(0, carry(0))
+        first.commit_carry(1, carry(1))
+
+        second = CheckpointStore(tmp_path)
+        second.open_run(**CONFIG)
+        assert second.resumed_shards == (0, 1)
+        assert second.committed == (0, 1)
+        # the attempt ledger survives the restart
+        assert second.attempts("reduce", 0) == 2
+        np.testing.assert_array_equal(second.carry_before(2),
+                                      carry(0) + carry(1))
+
+    def test_resume_rejects_different_config(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.open_run(**CONFIG)
+        other = CheckpointStore(tmp_path)
+        with pytest.raises(ConfigurationError, match="different run"):
+            other.open_run(**{**CONFIG, "shards": 5})
+
+    def test_damaged_carry_file_detected(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.open_run(**CONFIG)
+        store.commit_carry(0, carry(0))
+        np.save(tmp_path / "carry_0.npy", carry(0) + 99)
+        with pytest.raises(CarryChecksumError, match="manifest checksum"):
+            store.load_carry_before(1)
+        fresh = CheckpointStore(tmp_path)
+        with pytest.raises(CarryChecksumError):
+            fresh.open_run(**CONFIG)
+
+    def test_missing_carry_file_detected(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.open_run(**CONFIG)
+        store.commit_carry(0, carry(0))
+        os.unlink(tmp_path / "carry_0.npy")
+        with pytest.raises(CarryChecksumError, match="unreadable"):
+            store.load_carry_before(1)
+
+    def test_load_carry_before_rereads_disk(self, tmp_path):
+        """The recovery seam: disk, not in-memory state, is authoritative."""
+        store = CheckpointStore(tmp_path)
+        store.open_run(**CONFIG)
+        store.commit_carry(0, carry(0))
+        # poison the in-memory copy; the disk copy must win on recovery
+        store._carries[0][:] = -1
+        np.testing.assert_array_equal(store.load_carry_before(1), carry(0))
+
+    def test_unsupported_format_rejected(self, tmp_path):
+        (tmp_path / "manifest.json").write_text(json.dumps({"format": 99}))
+        with pytest.raises(ConfigurationError, match="unsupported checkpoint"):
+            CheckpointStore(tmp_path).open_run(**CONFIG)

@@ -12,9 +12,9 @@ from repro.hostexec.registry import (ENGINES, EngineSpec,
 
 
 class TestRegistryContents:
-    def test_all_four_engines_registered(self):
+    def test_all_five_engines_registered(self):
         assert known_engines() == ("serial", "wavefront", "parallel",
-                                   "compiled")
+                                   "compiled", "distributed")
 
     def test_specs_are_self_named(self):
         for name, spec in ENGINES.items():
@@ -25,6 +25,7 @@ class TestRegistryContents:
         assert ENGINES["wavefront"].bit_identical
         assert ENGINES["compiled"].bit_identical
         assert not ENGINES["parallel"].bit_identical
+        assert not ENGINES["distributed"].bit_identical  # band float reorder
 
     def test_wavefront_runs_only_tile_algorithms(self):
         from repro.hostexec.kernels import KERNELS
@@ -35,7 +36,7 @@ class TestRegistryContents:
 
     def test_universal_engines_support_everything(self):
         from repro import ALGORITHMS
-        for name in ("serial", "parallel", "compiled"):
+        for name in ("serial", "parallel", "compiled", "distributed"):
             for alg in ALGORITHMS:
                 assert ENGINES[name].supports_algorithm(alg)
 
@@ -43,15 +44,16 @@ class TestRegistryContents:
         spec = ENGINES["compiled"]
         assert spec.requires == "numba"
         assert spec.fallback == "wavefront"
-        for name in ("serial", "wavefront", "parallel"):
+        for name in ("serial", "wavefront", "parallel", "distributed"):
             assert ENGINES[name].requires is None
             assert ENGINES[name].available()
 
     def test_engines_for_algorithm(self):
         assert engines_for_algorithm("2R2W") == ("serial", "parallel",
-                                                 "compiled")
+                                                 "compiled", "distributed")
         assert engines_for_algorithm("1R1W") == ("serial", "wavefront",
-                                                 "parallel", "compiled")
+                                                 "parallel", "compiled",
+                                                 "distributed")
 
 
 class TestCapabilityQueries:

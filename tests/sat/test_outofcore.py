@@ -188,3 +188,52 @@ class TestFinalShortBand:
         a = rng.integers(0, 9, size=(150, 64)).astype(float)  # 64+64+22
         got = out_of_core_sat(a, band_rows=64, algorithm="skss-lb")
         assert np.array_equal(got, sat_reference(a))
+
+
+class TestPushOrdering:
+    """Out-of-order pushes must be rejected, not silently mis-stitched."""
+
+    def test_overlapping_push_rejected(self, rng):
+        a = rng.integers(0, 9, size=(24, 8)).astype(float)
+        oos = OutOfCoreSAT(n_cols=8)
+        oos.push_band(a[:12], row_start=0)
+        with pytest.raises(ConfigurationError,
+                           match="overlaps rows already pushed"):
+            oos.push_band(a[6:18], row_start=6)
+        with pytest.raises(ConfigurationError, match="next expected row"):
+            oos.push_band(a[:12], row_start=0)  # exact duplicate band
+
+    def test_gap_rejected(self, rng):
+        a = rng.integers(0, 9, size=(24, 8)).astype(float)
+        oos = OutOfCoreSAT(n_cols=8)
+        oos.push_band(a[:8], row_start=0)
+        with pytest.raises(ConfigurationError, match=r"rows 8\.\.15"):
+            oos.push_band(a[16:], row_start=16)
+
+    def test_rejected_push_leaves_state_intact(self, rng):
+        """A refused band must not advance the carry: the correct band can
+        still be pushed afterwards and the assembly stays exact."""
+        a = rng.integers(0, 9, size=(20, 6)).astype(float)
+        oos = OutOfCoreSAT(n_cols=6)
+        oos.push_band(a[:10], row_start=0)
+        with pytest.raises(ConfigurationError):
+            oos.push_band(a[5:15], row_start=5)
+        oos.push_band(a[10:], row_start=10)
+        assert np.array_equal(oos.sat(), sat_reference(a))
+
+    def test_correct_row_start_accepted(self, rng):
+        a = rng.integers(0, 9, size=(30, 5)).astype(float)
+        oos = OutOfCoreSAT(n_cols=5)
+        for lo, hi in band_bounds(30, 7):
+            oos.push_band(a[lo:hi], row_start=lo)
+        assert np.array_equal(oos.sat(), sat_reference(a))
+
+    def test_rect_sum_error_messages_distinguish_causes(self, rng):
+        a = rng.integers(0, 9, size=(10, 6)).astype(float)
+        oos = OutOfCoreSAT(n_cols=6)
+        oos.push_band(a[:5])
+        with pytest.raises(ConfigurationError, match="invalid rectangle"):
+            oos.rect_sum(3, 0, 1, 2)            # malformed corners
+        with pytest.raises(ConfigurationError,
+                           match="has not been pushed yet"):
+            oos.rect_sum(0, 0, 7, 2)            # well-formed, too early

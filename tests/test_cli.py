@@ -180,6 +180,41 @@ class TestIncremental:
         assert "strategy=recompute" in out
 
 
+class TestDistributed:
+    def test_run_engine_distributed(self, capsys):
+        code, out = run_cli(capsys, "run", "-n", "48", "--engine",
+                            "distributed", "--shards", "3")
+        assert code == 0
+        assert "correct vs reference: True" in out
+
+    def test_run_shards_without_distributed_rejected(self, capsys):
+        from repro.errors import ConfigurationError
+        with pytest.raises(ConfigurationError,
+                           match="--engine distributed"):
+            run_cli(capsys, "run", "-n", "48", "--shards", "3")
+        with pytest.raises(ConfigurationError,
+                           match="--engine distributed"):
+            run_cli(capsys, "run", "-n", "48", "--engine", "wavefront",
+                    "--shards", "3")
+
+    def test_fuzz_distsat_mode(self, capsys):
+        code, out = run_cli(capsys, "fuzz", "--mode", "distsat",
+                            "--runs", "6", "--seed", "1")
+        assert code == 0
+        assert "OK" in out
+
+    def test_fuzz_distsat_replay(self, capsys, tmp_path):
+        import numpy as np
+
+        from repro.analysis.fuzzing import sample_distsat_config
+        config = sample_distsat_config(np.random.default_rng(2))
+        path = tmp_path / "distsat.json"
+        path.write_text(config.to_json())
+        code, out = run_cli(capsys, "fuzz", "--replay", str(path))
+        assert code == 0
+        assert "replay: OK" in out
+
+
 class TestCostcheck:
     def test_static_only_passes(self, capsys):
         code, out = run_cli(capsys, "costcheck", "--no-crossval")
