@@ -3,7 +3,8 @@
 PY ?= python
 
 .PHONY: install test test-slow lint typecheck sanitize-smoke \
-	modelcheck-smoke modelcheck-sweep costcheck-smoke bench bench-smoke \
+	modelcheck-smoke modelcheck-sweep costcheck-smoke numcheck-smoke \
+	bench bench-smoke \
 	bench-incremental-smoke bench-compiled-smoke distsat-smoke \
 	distsat-gigapixel tables report fuzz examples all
 
@@ -21,6 +22,7 @@ test:
 	$(MAKE) sanitize-smoke
 	$(MAKE) modelcheck-smoke
 	$(MAKE) costcheck-smoke
+	$(MAKE) numcheck-smoke
 
 # Tier-2: the @pytest.mark.slow suites (long fuzz sessions, report
 # generation, heavy examples, exhaustive differential sweeps).
@@ -56,6 +58,13 @@ modelcheck-smoke:
 # regressions (also a CI job; JSON is the artifact).
 costcheck-smoke:
 	PYTHONPATH=src $(PY) -m repro costcheck --json costcheck.json
+
+# Static numerical-accuracy verification: prove closed-form rounding-error
+# bounds for every algorithm x dtype from the kernel ASTs, validate them
+# against measured errors on adversarial inputs up to n=4096, and reject
+# the planted rounding-bug corpus (also a CI job; JSON is the artifact).
+numcheck-smoke:
+	PYTHONPATH=src $(PY) -m repro numcheck --json numcheck.json
 
 # Larger grids for the slow tier: t=3 for every algorithm, and the two
 # soft-sync algorithms at t=4 (SKSS-LB's 16-program pool-4 graph explodes,

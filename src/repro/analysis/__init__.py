@@ -6,6 +6,11 @@ from repro.analysis.costcheck import (Poly, check_overflow, crossval_algorithm,
                                       find_cost_bugs, prove_table1,
                                       run_costcheck)
 from repro.analysis.table1 import TABLE1, Table1Sym, leading_traffic, table1_sym
+from repro.analysis.numcheck import (error_bound_strings, find_numeric_bugs,
+                                     run_numcheck, symbolic_depth,
+                                     validate_bounds)
+from repro.analysis.tolerances import (Tolerance, assert_sat_close,
+                                       derived_tolerance, sat_close)
 from repro.analysis.precision import (PrecisionRow, max_relative_error,
                                       precision_report, sat_float32,
                                       sat_kahan, ulps_needed)
@@ -34,6 +39,9 @@ __all__ = [
     "table1_row", "TABLE1", "Table1Sym", "table1_sym", "leading_traffic",
     "Poly", "run_costcheck", "prove_table1", "crossval_algorithm",
     "check_overflow", "find_cost_bugs",
+    "run_numcheck", "symbolic_depth", "validate_bounds", "find_numeric_bugs",
+    "error_bound_strings",
+    "Tolerance", "derived_tolerance", "sat_close", "assert_sat_close",
     "CountCheck", "check_counts", "check_result",
     "PrecisionRow", "max_relative_error", "precision_report", "sat_float32",
     "sat_kahan", "ulps_needed",

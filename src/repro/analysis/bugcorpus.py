@@ -113,6 +113,20 @@ def redundant_read_kernel(ctx, data, status, out):
     yield ctx.syncthreads()
 
 
+def rounding_roundtrip_kernel(ctx, data, status, out):
+    """BUG: the accumulator is updated as ``work += new - work`` — the exact
+    shape that caused the PR 4 carry-application rounding regression.  The
+    subtraction against the current accumulator re-rounds it and cancels low
+    bits, so the update is *not* equivalent to ``work = new`` in float
+    arithmetic once ``work`` carries rounding from earlier steps."""
+    work = ctx.gload_scalar(data, 0)
+    for _ in range(3):
+        new = work + ctx.gload_scalar(data, 0)
+        work += new - work   # roundtrip update: drops low-order bits
+    ctx.gstore_scalar(out, ctx.block_id, work)
+    yield ctx.syncthreads()
+
+
 def _flag_buffers(gpu: GPU):
     data = gpu.alloc("data", (1,), np.float64, fill=0.0)
     status = gpu.alloc("status", (1,), np.int64, fill=0, kind="status",
@@ -138,6 +152,7 @@ class BugSpec:
     expected_lint: tuple[str, ...]     # each of these rules must fire
     expected_model: str = ""           # modelcheck violation kind ("" = clean)
     expected_cost: str = ""            # costcheck finding kind ("" = clean)
+    expected_numeric: str = ""         # numcheck finding kind ("" = clean)
 
 
 CORPUS = (
@@ -176,13 +191,25 @@ COST_CORPUS = (
             expected_cost="excess-read"),
 )
 
+#: Planted numerical-accuracy regressions: each must be rejected statically
+#: both by :func:`repro.analysis.numcheck.find_numeric_bugs` with the spec's
+#: ``expected_numeric`` kind and by lint rule KL007, while every real Table I
+#: kernel stays clean (numcheck's control sweep pins that).  Kept out of
+#: :data:`CORPUS` so the protocol layers' clean/dirty pins are unchanged.
+NUMERIC_CORPUS = (
+    BugSpec("rounding-roundtrip", rounding_roundtrip_kernel, _flag_buffers,
+            expected_dynamic=(), expected_lint=("KL007",),
+            expected_numeric="rounding-roundtrip"),
+)
+
 
 def get_spec(name: str) -> BugSpec:
     """Look a corpus entry (or the control) up by name."""
-    for spec in CORPUS + COST_CORPUS + (CONTROL,):
+    for spec in CORPUS + COST_CORPUS + NUMERIC_CORPUS + (CONTROL,):
         if spec.name == name:
             return spec
-    known = tuple(s.name for s in CORPUS + COST_CORPUS + (CONTROL,))
+    known = tuple(s.name for s in CORPUS + COST_CORPUS + NUMERIC_CORPUS
+                  + (CONTROL,))
     raise ConfigurationError(
         f"unknown bug-corpus entry '{name}'; choose from {known}")
 

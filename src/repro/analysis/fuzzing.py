@@ -35,10 +35,10 @@ Two modes share the harness (``repro fuzz --mode``):
     against the serial oracle.  Backends whose spec declares
     ``bit_identical=True`` are held to ``np.array_equal``; every backend is
     held to exact equality on integer accumulators; the rest (banded
-    reductions, simulator-side float64 accumulation) are held to
-    ``allclose`` with a tolerance scaled to the accumulation depth.  The
-    pool is resolved from the registry at sampling time, so registering a
-    new backend automatically puts it under differential fire.
+    reductions, simulator-side float64 accumulation) are held to the proven
+    rounding budget from :mod:`repro.analysis.tolerances`.  The pool is
+    resolved from the registry at sampling time, so registering a new
+    backend automatically puts it under differential fire.
 
 ``distsat``
     Differential fuzzing of the sharded distributed executor
@@ -47,7 +47,7 @@ Two modes share the harness (``repro fuzz --mode``):
     work-queue transport — more than half the runs under a deterministic
     fault plan (worker kills, corrupted carry payloads, delays) — and the
     stitched result must match the serial oracle under the same
-    exact/allclose contract as ``engine`` mode.  Recovery must be
+    exact/derived-tolerance contract as ``engine`` mode.  Recovery must be
     invisible in the output *and* exact in the books: every shard's
     per-phase attempt counter must equal
     :meth:`~repro.distsat.FaultPlan.expected_attempts`, so a silently
@@ -63,6 +63,16 @@ Two modes share the harness (``repro fuzz --mode``):
     Table I verifier: a checker change that stops catching a planted cost
     bug fails here even though every tier-1 numeric test still passes.
 
+``numeric``
+    The accuracy analogue of ``cost``: roughly half the runs replay a
+    :data:`~repro.analysis.bugcorpus.NUMERIC_CORPUS` kernel (or the clean
+    control) through the static rounding-bug detector
+    (:func:`repro.analysis.numcheck.find_numeric_bugs`) and the KL007 lint;
+    the other half spot-check a sampled (algorithm, size, dtype) point of
+    the proven error bounds empirically via
+    :func:`repro.analysis.numcheck.validate_bounds` — a regression in
+    either the error model or an algorithm's actual accuracy fails here.
+
 All modes replay from the same :class:`FuzzConfig` JSON round-trip; the
 mode-specific fields default to inert values so pre-existing replay files
 keep working.
@@ -77,6 +87,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.analysis.tolerances import derived_tolerance, sat_close
 from repro.errors import ConfigurationError
 from repro.gpusim import GPU, TINY_DEVICE, TITAN_V
 from repro.sat import get_algorithm, sat_reference
@@ -91,7 +102,7 @@ FUZZ_ALGORITHMS = ("2R2W", "2R2W-optimal", "2R1W", "1R1W", "(1+r)R1W",
 #: counterexamples (:mod:`repro.analysis.modelcheck` emits replay configs in
 #: this mode, including bug-corpus kernels via the ``kernel`` field).
 FUZZ_MODES = ("simulate", "incremental", "sanitize", "engine", "cost",
-              "distsat")
+              "distsat", "numeric")
 
 #: Backends exercised by engine-mode fuzzing (everything registered except
 #: the serial oracle itself; resolved lazily so sampling reflects the
@@ -408,6 +419,30 @@ def sample_cost_config(rng: np.random.Generator) -> FuzzConfig:
     )
 
 
+def sample_numeric_config(rng: np.random.Generator) -> FuzzConfig:
+    """Draw one numeric-layer check: a planted rounding bug to replay (or
+    the clean control), or an empirical spot-check of one proven error
+    bound at a sampled (algorithm, size, dtype) point."""
+    from repro.analysis.bugcorpus import CONTROL, NUMERIC_CORPUS
+
+    if rng.random() < 0.5:
+        names = tuple(s.name for s in NUMERIC_CORPUS) + (CONTROL.name,)
+        kernel, algorithm, n = str(rng.choice(names)), "1R1W-SKSS-LB", 32
+        dtype = "float64"
+    else:
+        kernel = None
+        algorithm = str(rng.choice(FUZZ_ALGORITHMS))
+        n = int(rng.choice([64, 96, 128]))
+        dtype = str(rng.choice(["float32", "float64"]))
+    return FuzzConfig(
+        algorithm=algorithm, n=n, tile_width=32, policy="round_robin",
+        sim_seed=int(rng.integers(0, 2**31)),
+        data_seed=int(rng.integers(0, 2**31)),
+        residency=None, consistency="relaxed", tiny_device=False,
+        mode="numeric", dtype=dtype, kernel=kernel,
+    )
+
+
 def _run_engine(config: FuzzConfig) -> str | None:
     """Difference one registered backend against the serial oracle.
 
@@ -416,8 +451,9 @@ def _run_engine(config: FuzzConfig) -> str | None:
     satisfy ``np.array_equal``, as must every backend on integer
     accumulators.  Float results from the rest (parallel's banding, gpusim's
     simulator-side float64 accumulation, outofcore's band stitching) reorder
-    reductions, so they are held to ``allclose`` with a tolerance scaled to
-    the accumulation depth (``eps * 4 * (rows + cols)``).
+    reductions, so they are held to the proven mass-relative budget of
+    :func:`repro.analysis.tolerances.derived_tolerance` (oracle ``"host"``:
+    both legs round).
     """
     from repro.backend.registry import get_backend
 
@@ -444,13 +480,18 @@ def _run_engine(config: FuzzConfig) -> str | None:
     elif got.shape != want.shape:
         ok = False
     else:
-        rtol = float(np.finfo(got.dtype).eps) * 4 * (got.shape[0]
-                                                     + got.shape[1])
-        atol = rtol * max(1.0, float(np.abs(want).max()))
-        ok = np.allclose(got, want, rtol=rtol, atol=atol)
+        # Proven rounding budget for this algorithm/size/dtype; the host
+        # oracle is as deep as the subject, hence oracle="host".  Worst-case
+        # over Table I for the algorithm-agnostic parallel backend (its
+        # banded dataflow is shallower than any tiled algorithm).
+        tol = derived_tolerance(
+            None if spec.algorithm_agnostic else config.algorithm,
+            got.shape, got.dtype, tile_width=config.tile_width,
+            oracle="host")
+        ok = sat_close(got, want, tol, abs_input=a)
     if not ok:
         bad = int(np.argmax(got != want)) if got.shape == want.shape else -1
-        kind = "exact" if exact else "allclose"
+        kind = "exact" if exact else "derived-tolerance"
         return (f"backend {config.engine!r} diverged from the serial oracle "
                 f"({kind} comparison, first mismatch at flat index {bad})")
     if got.dtype != want.dtype:
@@ -465,8 +506,9 @@ def _run_distsat(config: FuzzConfig) -> str | None:
     The executor runs through the inline transport (deaths are precise, so
     attempt accounting is exact) with the configured shard count, chunk
     height and fault plan.  The stitched SAT must match the serial oracle —
-    exactly on integer accumulators, ``allclose`` scaled to the accumulation
-    depth on floats (band stitching reorders float additions) — and every
+    exactly on integer accumulators, within the derived rounding budget on
+    floats (band stitching adds one carry fold per chunk, charged as
+    ``extra_depth``) — and every
     shard's per-phase attempt counter must equal
     :meth:`~repro.distsat.FaultPlan.expected_attempts`: recovery invisible
     in the output, exact in the books.
@@ -488,13 +530,18 @@ def _run_distsat(config: FuzzConfig) -> str | None:
     elif got.shape != want.shape:
         ok = False
     else:
-        rtol = float(np.finfo(got.dtype).eps) * 4 * (got.shape[0]
-                                                     + got.shape[1])
-        atol = rtol * max(1.0, float(np.abs(want).max()))
-        ok = np.allclose(got, want, rtol=rtol, atol=atol)
+        # Band stitching accumulates a carry add per chunk (<= rows) and a
+        # cols-length cumsum of the carry vector on top of the algorithm's
+        # proven depth — extra_depth covers what the static model cannot
+        # see.  The host oracle runs the same algorithm, so its depth is
+        # charged too.
+        tol = derived_tolerance(config.algorithm, got.shape, got.dtype,
+                                tile_width=config.tile_width, oracle="host",
+                                extra_depth=sum(got.shape))
+        ok = sat_close(got, want, tol, abs_input=a)
     if not ok:
         bad = int(np.argmax(got != want)) if got.shape == want.shape else -1
-        kind = "exact" if exact else "allclose"
+        kind = "exact" if exact else "derived-tolerance"
         return (f"distributed executor diverged from the serial oracle "
                 f"({kind} comparison, first mismatch at flat index {bad})")
     if got.dtype != want.dtype:
@@ -657,6 +704,55 @@ def _run_cost(config: FuzzConfig) -> str | None:
     return None
 
 
+def _run_numeric(config: FuzzConfig) -> str | None:
+    """Replay one numeric-layer check (see ``numeric`` in the module doc).
+
+    With ``config.kernel`` set, the named
+    :data:`~repro.analysis.bugcorpus.NUMERIC_CORPUS` entry must be rejected
+    by :func:`repro.analysis.numcheck.find_numeric_bugs` with its declared
+    ``expected_numeric`` kind at a concrete source location, and the lint
+    must produce the spec's expected rules (KL007) — while the control
+    stays clean both ways.  Without it, the sampled (algorithm, n, dtype)
+    point's measured worst-case error on adversarial inputs must sit under
+    the statically proven bound.
+    """
+    import repro.analysis.bugcorpus as bugcorpus
+    from repro.analysis.kernellint import lint_file
+    from repro.analysis.numcheck import find_numeric_bugs, validate_bounds
+
+    if config.kernel is not None:
+        spec = bugcorpus.get_spec(config.kernel)
+        findings = find_numeric_bugs(spec.kernel)
+        kinds = sorted({f["kind"] for f in findings})
+        if spec.expected_numeric:
+            if spec.expected_numeric not in kinds:
+                return (f"corpus '{spec.name}': numcheck expected "
+                        f"'{spec.expected_numeric}', found "
+                        f"{kinds or 'nothing'}")
+            if any(not f.get("line") for f in findings):
+                return f"corpus '{spec.name}': finding without a source line"
+        elif findings:
+            return (f"corpus '{spec.name}': numcheck flagged a clean "
+                    f"kernel: {kinds}")
+        lint_rules = {f.rule for f in lint_file(bugcorpus.__file__)
+                      if f.function == spec.kernel.__name__}
+        missing = set(spec.expected_lint) - lint_rules
+        if missing:
+            return (f"corpus '{spec.name}': lint missed expected rule(s) "
+                    f"{sorted(missing)} (got {sorted(lint_rules) or 'none'})")
+        return None
+    rows = validate_bounds([config.algorithm], sizes=(config.n,),
+                           dtypes=(config.dtype,), device=False,
+                           seed=config.data_seed)
+    bad = [r for r in rows if not r["ok"]]
+    if bad:
+        r = bad[0]
+        return (f"{r['algorithm']} {r['dtype']} n={r['n']}: measured depth "
+                f"{r['measured_depth']:.1f} vs proven {r['proven_depth']} "
+                f"(tightness {r['tightness']:.1f})")
+    return None
+
+
 def run_one(config: FuzzConfig, *, sanitize: bool = False) -> str | None:
     """Run one configuration; returns an error description or ``None``.
 
@@ -690,6 +786,11 @@ def run_one(config: FuzzConfig, *, sanitize: bool = False) -> str | None:
     if config.mode == "distsat":
         try:
             return _run_distsat(config)
+        except Exception as exc:  # noqa: BLE001 - the fuzzer reports
+            return f"exception: {type(exc).__name__}: {exc}"
+    if config.mode == "numeric":
+        try:
+            return _run_numeric(config)
         except Exception as exc:  # noqa: BLE001 - the fuzzer reports
             return f"exception: {type(exc).__name__}: {exc}"
     if config.mode != "simulate":
@@ -748,6 +849,8 @@ def fuzz(num_runs: int = 50, *, seed: int = 0,
             config = sample_cost_config(rng)
         elif mode == "distsat":
             config = sample_distsat_config(rng)
+        elif mode == "numeric":
+            config = sample_numeric_config(rng)
         else:
             config = sample_config(rng)
             if mode == "sanitize":

@@ -63,6 +63,10 @@ RULES = {
     "KL006": "redundant global-memory traffic: a store re-issued inside a "
              "spin loop, or a __threadfence with no store since the "
              "previous fence",
+    "KL007": "cancellation-prone read-modify-write update "
+             "('x += y - x' / 'x = x + (y - x)'): the subtraction against "
+             "the accumulator re-rounds it and drops low bits — assign "
+             "the new value directly",
 }
 
 #: Module basenames allowed to store status bytes directly (the publish
@@ -196,6 +200,7 @@ def lint_source(source: str, path: str = "<string>") -> list[LintFinding]:
                         RULES["KL004"]))
         findings.extend(_check_spin_loops(func, path))
         findings.extend(_check_redundant_traffic(func, path))
+        findings.extend(_check_roundtrip_updates(func, path))
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
     return findings
 
@@ -278,6 +283,50 @@ def _check_redundant_traffic(func: ast.AST, path: str) -> list[LintFinding]:
     return findings
 
 
+def roundtrip_update_stmts(func: ast.AST) -> list[ast.stmt]:
+    """Statements of the ``x += y - x`` / ``x = x + (y - x)`` shape.
+
+    The PR 4 regression class: updating an accumulator through a
+    subtraction against itself re-rounds the accumulator and silently
+    drops low bits under cancellation.  Kahan compensation
+    (``comp = (t - total) - y``) does *not* match: its outer operation is
+    a subtraction and its target never appears on the right-hand side.
+    Shared with :func:`repro.analysis.numcheck.find_numeric_bugs` so the
+    lint (KL007) and the numeric verifier can never disagree on the shape.
+    """
+    out: list[ast.stmt] = []
+    for stmt in ast.walk(func):
+        if isinstance(stmt, ast.AugAssign) and isinstance(stmt.op, ast.Add):
+            value = stmt.value
+            if isinstance(value, ast.BinOp) \
+                    and isinstance(value.op, ast.Sub) \
+                    and ast.unparse(value.right) == ast.unparse(stmt.target):
+                out.append(stmt)
+        elif isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target = ast.unparse(stmt.targets[0])
+            value = stmt.value
+            if not (isinstance(value, ast.BinOp)
+                    and isinstance(value.op, ast.Add)):
+                continue
+            for own, rest in ((value.left, value.right),
+                              (value.right, value.left)):
+                if ast.unparse(own) == target \
+                        and isinstance(rest, ast.BinOp) \
+                        and isinstance(rest.op, ast.Sub) \
+                        and ast.unparse(rest.right) == target:
+                    out.append(stmt)
+                    break
+    return out
+
+
+def _check_roundtrip_updates(func: ast.AST, path: str) -> list[LintFinding]:
+    """KL007: cancellation-prone read-modify-write accumulator updates."""
+    name = getattr(func, "name", "<lambda>")
+    return [LintFinding("KL007", path, stmt.lineno, name,
+                        f"update `{ast.unparse(stmt)}` — {RULES['KL007']}")
+            for stmt in roundtrip_update_stmts(func)]
+
+
 def lint_file(path: str | Path) -> list[LintFinding]:
     path = Path(path)
     return lint_source(path.read_text(), str(path))
@@ -289,12 +338,16 @@ def default_targets() -> list[Path]:
     The ``primitives`` and ``sat`` trees hold the algorithm kernels;
     ``hostexec/kernels.py`` holds the incremental engine's repair kernels and
     ``gpusim/kernel.py`` documents the kernel authoring idiom — both were
-    historically missed by the lint sweep.
+    historically missed by the lint sweep.  ``hostexec/incremental.py``
+    reconstructs accumulator state from edits, exactly the code KL007's
+    cancellation-prone update pattern bites hardest.
     """
     import repro
     pkg = Path(repro.__file__).parent
     return [pkg / "primitives", pkg / "sat",
-            pkg / "hostexec" / "kernels.py", pkg / "gpusim" / "kernel.py"]
+            pkg / "hostexec" / "kernels.py",
+            pkg / "hostexec" / "incremental.py",
+            pkg / "gpusim" / "kernel.py"]
 
 
 def lint_paths(paths: Iterable[str | Path] | None = None) -> list[LintFinding]:

@@ -31,12 +31,14 @@ def sat_float32(a: np.ndarray) -> np.ndarray:
                                                        dtype=np.float32)
 
 
-def _kahan_cumsum(a: np.ndarray, axis: int) -> np.ndarray:
-    """Compensated running sum along an axis, in float32."""
-    a = np.moveaxis(np.asarray(a, dtype=np.float32), axis, 0)
+def _kahan_cumsum(a: np.ndarray, axis: int,
+                  dtype: np.dtype | type = np.float32) -> np.ndarray:
+    """Compensated running sum along an axis (float32 by default; numcheck's
+    empirical leg uses the float64 variant as its near-exact reference)."""
+    a = np.moveaxis(np.asarray(a, dtype=dtype), axis, 0)
     out = np.empty_like(a)
-    total = np.zeros(a.shape[1:], dtype=np.float32)
-    comp = np.zeros(a.shape[1:], dtype=np.float32)
+    total = np.zeros(a.shape[1:], dtype=dtype)
+    comp = np.zeros(a.shape[1:], dtype=dtype)
     for k in range(a.shape[0]):
         y = a[k] - comp
         t = total + y
@@ -46,12 +48,13 @@ def _kahan_cumsum(a: np.ndarray, axis: int) -> np.ndarray:
     return np.moveaxis(out, 0, axis)
 
 
-def sat_kahan(a: np.ndarray) -> np.ndarray:
-    """Float32 SAT with Kahan-compensated scans on both axes."""
+def sat_kahan(a: np.ndarray,
+              dtype: np.dtype | type = np.float32) -> np.ndarray:
+    """SAT with Kahan-compensated scans on both axes (float32 by default)."""
     a = np.asarray(a)
     if a.ndim != 2:
         raise ConfigurationError("expected a 2-D matrix")
-    return _kahan_cumsum(_kahan_cumsum(a, 0), 1)
+    return _kahan_cumsum(_kahan_cumsum(a, 0, dtype), 1, dtype)
 
 
 def max_relative_error(computed: np.ndarray, a: np.ndarray) -> float:

@@ -35,11 +35,24 @@ class CountCheck:
                 f"writes {self.writes_measured}/{self.writes_predicted:.0f}")
 
 
-def check_result(result: SATResult, a: np.ndarray, *,
-                 rtol: float = 1e-9, atol: float = 1e-6) -> bool:
-    """Does ``result.sat`` equal the reference SAT of ``a``?"""
-    return np.allclose(result.sat, sat_reference(np.asarray(a, dtype=np.float64)),
-                       rtol=rtol, atol=atol)
+def check_result(result: SATResult, a: np.ndarray) -> bool:
+    """Does ``result.sat`` equal the reference SAT of ``a``?
+
+    The comparison budget is not a hand-picked constant: it is the proven
+    worst-case rounding bound for ``result.algorithm`` at this size and
+    accumulator dtype (:func:`repro.analysis.tolerances.derived_tolerance`).
+    The old fixed ``rtol=1e-9, atol=1e-6`` was unsound both ways — far too
+    loose for small float64 runs and too tight for large float32 runs with
+    mixed-magnitude inputs.
+    """
+    from repro.analysis.tolerances import derived_tolerance, sat_close
+
+    a64 = np.asarray(a, dtype=np.float64)
+    tol = derived_tolerance(result.algorithm, a64.shape, result.sat.dtype,
+                            tile_width=result.params.get("tile_width", 32),
+                            oracle="reference")
+    return sat_close(result.sat, sat_reference(a64).astype(result.sat.dtype),
+                     tol, abs_input=a64)
 
 
 def check_counts(result: SATResult, *, read_slack: float | None = None,

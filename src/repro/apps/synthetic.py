@@ -105,6 +105,72 @@ def texture(shape, *, seed: int = 0) -> np.ndarray:
     return (img - lo) / (hi - lo) if hi > lo else np.zeros((rows, cols))
 
 
+def sign_alternating(shape, *, seed: int = 0, span: float = 6.0) -> np.ndarray:
+    """Mixed-magnitude values on an alternating sign lattice — the
+    cancellation workload.  Partial sums swing through many magnitudes while
+    every SAT entry stays small relative to the absolute mass, which is
+    exactly the regime where result-relative tolerances (``rtol*|want|``)
+    are unsound and the mass-relative bound of
+    :mod:`repro.analysis.numcheck` is required."""
+    rows, cols = _resolve_shape(shape)
+    rng = np.random.default_rng(seed)
+    mags = 10.0 ** rng.uniform(-span / 2, span / 2, size=(rows, cols))
+    ii, jj = np.meshgrid(np.arange(rows), np.arange(cols), indexing="ij")
+    signs = np.where((ii + jj) % 2 == 0, 1.0, -1.0)
+    return signs * mags
+
+
+def exponent_spread(shape, *, seed: int = 0, span: int = 24) -> np.ndarray:
+    """Positive values spread across ``2**+-span`` binades.  All-positive
+    (no cancellation), so small addends are systematically absorbed by large
+    running sums — the classic worst case for long float accumulations."""
+    rows, cols = _resolve_shape(shape)
+    rng = np.random.default_rng(seed)
+    mantissa = rng.uniform(1.0, 2.0, size=(rows, cols))
+    exponents = rng.integers(-span, span + 1, size=(rows, cols))
+    return np.ldexp(mantissa, exponents)
+
+
+def halfulp_dust(shape, *, dtype=np.float32, seed: int = 0) -> np.ndarray:
+    """A dominant 1.0 at the origin plus positive "dust" just below half an
+    ulp of 1.0 in ``dtype``.  Every running sum that has absorbed the
+    dominant then drops each dust addend entirely (round-to-nearest), so the
+    measured error tracks the *length* of the accumulation chain — the
+    tightness probe for numcheck's proven per-algorithm rounding depths."""
+    rows, cols = _resolve_shape(shape)
+    rng = np.random.default_rng(seed)
+    eps = float(np.finfo(dtype).eps)
+    dust = eps * rng.uniform(0.3, 0.5, size=(rows, cols))
+    dust[0, 0] = 1.0
+    return dust
+
+
+def diag_dust(shape, *, tile: int = 32, dtype=np.float32,
+              seed: int = 0) -> np.ndarray:
+    """Half-ulp dust on row 0 / column 0 of each ``tile x tile`` *diagonal*
+    tile, a dominant 1.0 at the origin, zeros everywhere else.
+
+    The tightness probe for the wavefront algorithms' O(t*W) error depth:
+    every off-diagonal tile is zero, so all boundary carries stay *exactly*
+    zero and the dominant-bearing corner accumulator re-absorbs fresh
+    sub-half-ulp dust through both prefix passes of every diagonal tile it
+    chains through.  (Uniform dust cannot reach that path: its boundary
+    sums grow past half an ulp after the first tile, and normal rounding
+    takes over.)"""
+    rows, cols = _resolve_shape(shape)
+    if tile <= 0:
+        raise ConfigurationError("tile size must be positive")
+    rng = np.random.default_rng(seed)
+    eps = float(np.finfo(dtype).eps)
+    a = np.zeros((rows, cols))
+    for k in range(min(rows, cols) // tile):
+        r0 = k * tile
+        a[r0, r0:r0 + tile] = eps * rng.uniform(0.3, 0.5, tile)
+        a[r0:r0 + tile, r0] = eps * rng.uniform(0.3, 0.5, tile)
+    a[0, 0] = 1.0
+    return a
+
+
 def to_uint8(image: np.ndarray) -> np.ndarray:
     """Quantize a [0, 1] float scene to 8-bit pixels (rounds, clips)."""
     image = np.asarray(image)

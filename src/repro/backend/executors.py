@@ -147,7 +147,7 @@ class GpusimBackend(Backend):
 
     The simulator accumulates in float64 internally and casts to the plan's
     accumulator dtype on read-back — exact for integer inputs below 2**53,
-    ``allclose`` for floats (hence ``bit_identical=False``).
+    within the proven rounding budget for floats (``bit_identical=False``).
     """
 
     def __init__(self) -> None:

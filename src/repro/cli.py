@@ -15,6 +15,7 @@ Commands
 ``sanitize`` race/protocol sanitizer + static kernel lint
 ``modelcheck`` exhaustive protocol model checking (deadlock freedom proof)
 ``costcheck`` static memory-traffic verification (Table I proof + overflow)
+``numcheck`` static numerical-accuracy verification (proven error bounds)
 ``incremental-bench``  time incremental repair vs full recompute
 ``report``   write the full REPRODUCTION_REPORT.md
 ``list``     list algorithms and aliases
@@ -131,7 +132,7 @@ def _build_parser() -> argparse.ArgumentParser:
     fz.add_argument("--seed", type=int, default=0)
     fz.add_argument("--mode", default="simulate",
                     choices=["simulate", "incremental", "sanitize",
-                             "engine", "cost", "distsat"],
+                             "engine", "cost", "distsat", "numeric"],
                     help="simulate: algorithms vs the reference on the "
                          "simulator; incremental: random edit sequences "
                          "through IncrementalSAT vs from-scratch recompute; "
@@ -146,7 +147,10 @@ def _build_parser() -> argparse.ArgumentParser:
                          "finding kind); distsat: random shard counts, chunk "
                          "sizes and fault plans through the distributed "
                          "executor vs the reference scan (recovery must be "
-                         "invisible in the output)")
+                         "invisible in the output); numeric: replay the "
+                         "planted rounding bugs through the static numeric "
+                         "checker and spot-check the proven error bounds "
+                         "empirically")
     fz.add_argument("--time-budget", type=float, default=None,
                     help="stop after this many seconds")
     fz.add_argument("--sanitize", action="store_true",
@@ -249,6 +253,30 @@ def _build_parser() -> argparse.ArgumentParser:
                     help="also emit the full result as JSON (stable "
                          "ordering) to PATH, or to stdout with no argument")
 
+    nc = sub.add_parser("numcheck",
+                        help="static numerical-accuracy verification: derive "
+                             "each kernel's worst-path rounding depth from "
+                             "its AST, prove closed-form error bounds per "
+                             "algorithm and dtype, validate them against "
+                             "measured errors on adversarial inputs, and "
+                             "replay the planted rounding-bug corpus")
+    nc.add_argument("-a", "--algorithm", action="append", default=None,
+                    help="algorithm to verify (repeatable; default: all 7 "
+                         "Table I rows)")
+    nc.add_argument("-n", "--sizes", type=int, action="append", default=None,
+                    help="matrix side for the empirical validation "
+                         "(repeatable; default 256, 1024, 4096)")
+    nc.add_argument("-W", "--tile-width", type=int, default=32)
+    nc.add_argument("--seed", type=int, default=0)
+    nc.add_argument("--no-device", action="store_true",
+                    help="skip the simulator (device-leg) validation")
+    nc.add_argument("--no-corpus", action="store_true",
+                    help="skip the planted rounding-bug corpus check")
+    nc.add_argument("--json", metavar="PATH", nargs="?", const="-",
+                    default=None,
+                    help="also emit the full result as JSON (stable "
+                         "ordering) to PATH, or to stdout with no argument")
+
     ib = sub.add_parser("incremental-bench",
                         help="time incremental repair vs full wavefront "
                              "recompute")
@@ -285,6 +313,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_run(args) -> int:
+    from repro.analysis.tolerances import derived_tolerance, sat_close
     from repro.errors import ConfigurationError
     from repro.gpusim import GPU
     from repro.sat import compute_sat, resolve_policy, sat_reference
@@ -321,10 +350,11 @@ def _cmd_run(args) -> int:
                              tile_width=args.tile_width, gpu=gpu)
     acc = resolve_policy(None).accumulator(a.dtype)
     ref = sat_reference(a.astype(acc, copy=False))
-    if np.issubdtype(acc, np.floating) and acc.itemsize < 8:
-        ok = bool(np.allclose(result.sat, ref, rtol=1e-5))
-    else:
-        ok = np.array_equal(result.sat, ref)
+    # Budget derived from the algorithm's proven rounding depth — the old
+    # fixed rtol=1e-5 was pure guesswork (and unsound for mixed magnitudes).
+    tol = derived_tolerance(result.algorithm, a.shape, acc,
+                            tile_width=args.tile_width, oracle="reference")
+    ok = sat_close(result.sat, ref, tol, abs_input=a)
     print(result.summary())
     print(f"input {a.shape[0]}x{a.shape[1]} {a.dtype.name} -> "
           f"SAT {result.sat.dtype.name}")
@@ -586,6 +616,20 @@ def _cmd_costcheck(args) -> int:
     return 0 if result["ok"] else 1
 
 
+def _cmd_numcheck(args) -> int:
+    from repro.analysis.numcheck import render_numcheck_report, run_numcheck
+    result = run_numcheck(args.algorithm,
+                          sizes=tuple(args.sizes) if args.sizes
+                          else (256, 1024, 4096),
+                          device=not args.no_device,
+                          corpus=not args.no_corpus,
+                          W=args.tile_width, seed=args.seed)
+    print(render_numcheck_report(result))
+    if args.json:
+        _write_json(result, args.json)
+    return 0 if result["ok"] else 1
+
+
 def _cmd_incremental_bench(args) -> int:
     import json as _json
 
@@ -625,17 +669,23 @@ def _cmd_report(args) -> int:
 
 
 def _cmd_list(args) -> int:
+    from repro.analysis.numcheck import error_bound_strings
     from repro.backend.registry import backend_specs, backend_table
     from repro.sat import ALGORITHMS
     from repro.sat.registry import _ALIASES
+
+    def _listing() -> dict:
+        from repro._version import __version__ as version
+        return {"version": version,
+                "algorithms": {name: sorted(
+                    k for k, v in _ALIASES.items() if v == name)
+                    for name in ALGORITHMS},
+                "error_bounds": error_bound_strings(),
+                "backends": backend_table()}
+
     if args.json == "-":
         # JSON-to-stdout must stay pipeable: emit only the artifact.
-        from repro._version import __version__ as version
-        _write_json({"version": version,
-                     "algorithms": {name: sorted(
-                         k for k, v in _ALIASES.items() if v == name)
-                         for name in ALGORITHMS},
-                     "backends": backend_table()}, args.json)
+        _write_json(_listing(), args.json)
         return 0
     print("algorithms:")
     for name, cls in ALGORITHMS.items():
@@ -659,12 +709,7 @@ def _cmd_list(args) -> int:
                 f"falls back to {spec.fallback})")
         print(f"  {name:<10} {spec.summary} [{'; '.join(notes)}]")
     if args.json is not None:
-        from repro._version import __version__ as version
-        _write_json({"version": version,
-                     "algorithms": {name: sorted(
-                         k for k, v in _ALIASES.items() if v == name)
-                         for name in ALGORITHMS},
-                     "backends": backend_table()}, args.json)
+        _write_json(_listing(), args.json)
     return 0
 
 
@@ -682,6 +727,7 @@ _COMMANDS = {
     "sanitize": _cmd_sanitize,
     "modelcheck": _cmd_modelcheck,
     "costcheck": _cmd_costcheck,
+    "numcheck": _cmd_numcheck,
     "incremental-bench": _cmd_incremental_bench,
     "report": _cmd_report,
     "list": _cmd_list,

@@ -98,6 +98,15 @@ class CostModelError(ReproError):
     in the message when one exists."""
 
 
+class NumericModelError(ReproError):
+    """Static numerical-accuracy verification failed: a kernel's AST-derived
+    rounding-error sites disagree with its declared ``ERR_HINTS``, a proven
+    bound was violated empirically, or a tolerance was requested for an
+    algorithm/dtype the error model cannot cover (see
+    :mod:`repro.analysis.numcheck`).  Carries the offending source location
+    in the message when one exists."""
+
+
 class ModelCheckError(ReproError):
     """The explicit-state explorer could not complete (e.g. the state budget
     was exhausted before the frontier emptied; see

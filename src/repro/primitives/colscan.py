@@ -276,3 +276,26 @@ COST_HINTS = {
             "width": lambda g: g.cs_C, "pattern": "coalesced"},
     },
 }
+
+
+#: Worst-path serial float additions per error site
+#: (:mod:`repro.analysis.numcheck`).  A column element passes through one
+#: panel's strip accumulation (<= panel_rows serial adds), the look-back
+#: chain over earlier panels (one add per walked panel), the single
+#: exclusive+aggregate carry add, and the in-panel running replay.
+ERR_HINTS = {
+    "col_scan_kernel": {
+        "col_sums += values.reshape(nrows, C).sum(axis=0)": {
+            "depth": lambda g: g.cs_panel_rows},
+        "lookback_walk(ctx, steps=range(panel - 1, -1, -1), "
+        "status_buf=status, status_index=lambda p: "
+        "layout.status_index(strip, p), local_threshold=STATUS_AGGREGATE, "
+        "global_threshold=STATUS_PREFIX, read_local=_vec(aggregates), "
+        "read_global=_vec(prefixes), zero=np.zeros(C))": {
+            "depth": lambda g: g.cs_panels},
+        "publish(ctx, [(prefixes, vec_idx, exclusive + col_sums)], "
+        "status, sidx, STATUS_PREFIX)": {"depth": 1},
+        "running = running + ctx.sload('panel', soff)": {
+            "depth": lambda g: g.cs_panel_rows},
+    },
+}

@@ -198,3 +198,27 @@ COST_HINTS = {
             "pattern": "coalesced"},
     },
 }
+
+
+#: Worst-path serial float additions per error site
+#: (:mod:`repro.analysis.numcheck`).  The block scan is bounded by the
+#: partition size (its actual warp-tree depth is ~2 log W + P/W, but P is
+#: the sound static bound); the look-back walks one add per earlier
+#: partition in the row; the two carry applications are one add each.
+ERR_HINTS = {
+    "row_scan_kernel": {
+        "block_inclusive_scan(ctx, lane_vals)": {"depth": lambda g: g.rs_P},
+        "lookback_walk(ctx, steps=range(part - 1, -1, -1), "
+        "status_buf=status, status_index=lambda p: "
+        "layout.status_index(row, p), local_threshold=STATUS_AGGREGATE, "
+        "global_threshold=STATUS_PREFIX, read_local=lambda p: "
+        "ctx.gload_scalar(aggregates, layout.status_index(row, p)), "
+        "read_global=lambda p: ctx.gload_scalar(prefixes, "
+        "layout.status_index(row, p)), zero=0.0)": {
+            "depth": lambda g: g.rs_parts_per_row},
+        "publish(ctx, [(prefixes, np.asarray([sidx]), "
+        "np.asarray([exclusive + aggregate]))], status, sidx, "
+        "STATUS_PREFIX)": {"depth": 1},
+        "ctx.gstore(dst, idx, scanned[:width] + exclusive)": {"depth": 1},
+    },
+}

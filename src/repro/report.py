@@ -125,6 +125,29 @@ def generate_report(*, measure_size: int = 128, fuzz_runs: int = 25,
         out.write(f"| {row.n} | {row.err_float32:.2e} | "
                   f"{row.err_kahan:.2e} |\n")
 
+    # -- proven error bounds ------------------------------------------------------
+    from repro.analysis.numcheck import symbolic_depth, validate_bounds
+    out.write("\n## Proven rounding-error bounds vs measured "
+              "(`python -m repro numcheck`)\n\n")
+    out.write("Worst-case depth `D` proven from the kernel ASTs "
+              "(`|err| <= gamma_D * SAT(|a|)`), against the worst measured "
+              "depth over the adversarial generators at "
+              f"n={measure_size} (host leg). The paper's 1R1W-SKSS-LB is "
+              "`O(t + W)` deep where plain 1R1W is `O(t*W)`: numerically "
+              "superior as well as traffic-optimal.\n\n")
+    out.write("| algorithm | proven D(t, W) | dtype | proven depth "
+              "| measured | bound holds |\n")
+    out.write("|---|---|---|---|---|---|\n")
+    rows = validate_bounds(sizes=(measure_size,),
+                           dtypes=("float32", "float64"), device=False,
+                           seed=seed)
+    for row in rows:
+        verdict = "yes" if row["ok"] else "**NO**"
+        out.write(f"| {row['algorithm']} | "
+                  f"`{symbolic_depth(row['algorithm'])}` | {row['dtype']} "
+                  f"| {row['proven_depth']} | {row['measured_depth']:.1f} "
+                  f"| {verdict} |\n")
+
     out.write(f"\n*report generated in "
               f"{time.perf_counter() - start:.1f} s*\n")
     return out.getvalue()

@@ -351,3 +351,29 @@ COST_HINTS = {
             "pattern": "coalesced"},
     },
 }
+
+
+#: Worst-path serial float additions per error site
+#: (:mod:`repro.analysis.numcheck`).  Band locals mirror 2R1W's; the band
+#: global pass's four-corner GS recurrence chains over <= 2t diagonal hops
+#: at 3 adds per hop; the wavefront band inherits the kasagi kernel's
+#: hints (assembly re-scans make the hybrid O(t*W) deep overall).
+ERR_HINTS = {
+    "band_local_sums_kernel": {
+        "smem.load_tile_with_col_sums(ctx, a, stride, W, I, J, 'tile', "
+        "layout)": {"depth": lambda g: g.W},
+        "smem.tile_row_sums(ctx, 'tile', W, layout)": {
+            "depth": lambda g: g.W},
+        "lane_vector_sum(ctx, lcs)": {"depth": lambda g: g.W},
+    },
+    "band_global_sums_kernel": {
+        "acc = acc + ctx.gload(sb.lrs, idx)": {"depth": lambda g: g.t},
+        "acc = acc + ctx.gload(sb.lcs, idx)": {"depth": lambda g: g.t},
+        "ctx.gstore_scalar(sb.gs, sb.scalar_idx(I, J), up + left - "
+        "corner + ls)": {"depth": lambda g: 6 * g.t},
+    },
+    "band_gsat_kernel": {
+        "assemble_gsat_in_shared(ctx, W, 'tile', grs_left, gcs_above, "
+        "gs_corner, layout)": {"depth": lambda g: 2 * g.W + 1},
+    },
+}

@@ -160,3 +160,25 @@ COST_HINTS = {
             "pattern": "coalesced"},
     },
 }
+
+
+#: Worst-path serial float additions per error site
+#: (:mod:`repro.analysis.numcheck`).  The wavefront's GSAT corners feed the
+#: next diagonal's carries, so a value's path runs through up to t
+#: *assemblies* — each re-scanning it through the tile prefix passes
+#: (2W + 1 adds).  That makes 1R1W O(t*W) = O(n) deep, unlike 2R1W or
+#: SKSS-LB whose carries chain with one add per hop.
+ERR_HINTS = {
+    "wavefront_kernel": {
+        "smem.tile_row_sums(ctx, 'tile', W, layout)": {
+            "depth": lambda g: g.W},
+        "smem.tile_col_sums(ctx, 'tile', W, layout)": {
+            "depth": lambda g: g.W},
+        "ctx.gstore(sb.grs, sb.vec_idx(I, J), grs_left + lrs)": {
+            "depth": lambda g: g.t},
+        "ctx.gstore(sb.gcs, sb.vec_idx(I, J), gcs_above + lcs)": {
+            "depth": lambda g: g.t},
+        "assemble_gsat_in_shared(ctx, W, 'tile', grs_left, gcs_above, "
+        "gs_corner, layout)": {"depth": lambda g: g.t * (2 * g.W + 1)},
+    },
+}

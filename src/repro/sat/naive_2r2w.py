@@ -110,3 +110,18 @@ COST_HINTS = {
             "pattern": "strided"},
     },
 }
+
+
+#: Worst-path serial float additions per error site over the whole run
+#: (:mod:`repro.analysis.numcheck`).  Each scan folds one element at a time
+#: into ``running`` across the full n-length axis.
+ERR_HINTS = {
+    "column_scan_kernel": {
+        "running = running + ctx.gload(src, i * n_cols + cols)": {
+            "depth": lambda g: g.n},
+    },
+    "row_scan_kernel": {
+        "running = running + ctx.gload(buf, rows * n_cols + j)": {
+            "depth": lambda g: g.n},
+    },
+}

@@ -243,3 +243,30 @@ COST_HINTS = {
             "pattern": "coalesced"},
     },
 }
+
+
+#: Worst-path serial float additions per error site
+#: (:mod:`repro.analysis.numcheck`).  Tile-local sums are bounded by W per
+#: value; the global pass folds t tile sums per axis and double-scans the
+#: t x t grid; the final assembly adds the carries through one tile's
+#: prefix passes (2W + 1).  Carries are applied with direct adds — never
+#: re-scanned through tiles — so the whole algorithm is O(t + W) deep.
+ERR_HINTS = {
+    "local_sums_kernel": {
+        "smem.load_tile_with_col_sums(ctx, a, stride, W, I, J, 'tile', "
+        "layout)": {"depth": lambda g: g.W},
+        "smem.tile_row_sums(ctx, 'tile', W, layout)": {
+            "depth": lambda g: g.W},
+        "lane_vector_sum(ctx, lcs)": {"depth": lambda g: g.W},
+    },
+    "global_sums_kernel": {
+        "acc = acc + ctx.gload(sb.lrs, idx)": {"depth": lambda g: g.t},
+        "acc = acc + ctx.gload(sb.lcs, idx)": {"depth": lambda g: g.t},
+        "ls.cumsum(axis=0)": {"depth": lambda g: g.t - 1},
+        "ls.cumsum(axis=0).cumsum(axis=1)": {"depth": lambda g: g.t - 1},
+    },
+    "gsat_kernel": {
+        "assemble_gsat_in_shared(ctx, W, 'tile', grs_left, gcs_above, "
+        "gs_corner, layout)": {"depth": lambda g: 2 * g.W + 1},
+    },
+}

@@ -27,8 +27,9 @@ This engine is registered as ``"parallel"`` in the host-engine registry
 (:mod:`repro.hostexec.registry`) with ``bit_identical=False``: banding the
 column scan changes the float reduction order, so float results match the
 serial reference only to within rounding (integer inputs are exact).  The
-differential layer compares it with ``allclose`` accordingly, where the
-serial/wavefront/compiled engines are held to exact equality.
+differential layer compares it against the proven rounding budget of
+:mod:`repro.analysis.tolerances` accordingly, where the serial/wavefront/
+compiled engines are held to exact equality.
 """
 
 from __future__ import annotations

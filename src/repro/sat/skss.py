@@ -160,3 +160,23 @@ COST_HINTS = {
             "pattern": "coalesced"},
     },
 }
+
+
+#: Worst-path serial float additions per error site
+#: (:mod:`repro.analysis.numcheck`).  SKSS pushes each carry *through* the
+#: tile prefix passes: a row's running prefix re-scans every tile it
+#: crosses (W - 1 adds per tile plus the carry seed add), and likewise down
+#: each column — O(t*W) = O(n) deep, the price of the elegant
+#: add-then-rescan formulation.
+ERR_HINTS = {
+    "skss_kernel": {
+        "smem.add_to_col(ctx, 'tile', W, 0, grs_left, layout)": {
+            "depth": lambda g: g.t},
+        "smem.tile_row_prefix_sums(ctx, 'tile', W, layout)": {
+            "depth": lambda g: g.t * (g.W - 1)},
+        "smem.add_to_row(ctx, 'tile', W, 0, gcp, layout)": {
+            "depth": lambda g: g.t},
+        "smem.tile_col_prefix_sums(ctx, 'tile', W, layout)": {
+            "depth": lambda g: g.t * (g.W - 1)},
+    },
+}

@@ -283,6 +283,34 @@ COST_HINTS = {
     },
 }
 
+#: Worst-path serial float additions per error site
+#: (:mod:`repro.analysis.numcheck`).  Look-back chains cost one add per
+#: walked tile and each publish applies its carry with a single add, so —
+#: like 2R1W and unlike plain SKSS — the depth is O(t + W): carries chain
+#: shallowly instead of re-scanning through every downstream tile.  The
+#: lane_vector_sum depth covers the two un-extracted adds forming its
+#: ``pairwise`` operand (grs_left + gcs_above + lrs).
+ERR_HINTS = {
+    "skss_lb_kernel": {
+        "smem.load_tile_with_col_sums(ctx, a, stride, W, I, J, 'tile', "
+        "layout)": {"depth": lambda g: g.W},
+        "smem.tile_row_sums(ctx, 'tile', W, layout)": {
+            "depth": lambda g: g.W},
+        "row_lookback(ctx, sb, I, J)": {"depth": lambda g: g.t},
+        "publish_vector(ctx, sb.grs, vec, grs_left + lrs, sb.R, flag, "
+        "R_GRS)": {"depth": lambda g: g.t},
+        "col_lookback(ctx, sb, I, J)": {"depth": lambda g: g.t},
+        "publish_vector(ctx, sb.gcs, vec, gcs_above + lcs, sb.C, flag, "
+        "C_GCS)": {"depth": lambda g: g.t},
+        "lane_vector_sum(ctx, pairwise)": {"depth": lambda g: g.W + 2},
+        "diag_lookback(ctx, sb, I, J)": {"depth": lambda g: g.t},
+        "publish_scalar(ctx, sb.gs, flag, gs_corner + gls, sb.R, flag, "
+        "R_GS)": {"depth": lambda g: g.t},
+        "assemble_gsat_in_shared(ctx, W, 'tile', grs_left, gcs_above, "
+        "gs_corner, layout)": {"depth": lambda g: 2 * g.W + 1},
+    },
+}
+
 __all__ = ["SKSSLB1R1W", "skss_lb_kernel", "tile_serial_number",
            "serial_to_tile", "lane_vector_sum", "ACQUISITION_ORDERS",
-           "acquisition_tile", "MODEL_HINTS", "COST_HINTS"]
+           "acquisition_tile", "MODEL_HINTS", "COST_HINTS", "ERR_HINTS"]

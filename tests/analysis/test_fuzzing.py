@@ -440,3 +440,72 @@ class TestDistsatMode:
     def test_long_session_clean(self):
         report = fuzz(120, seed=2018, mode="distsat")
         assert report.ok, report.failures
+
+
+class TestNumericMode:
+    """mode="numeric": rounding-bug corpus replay + error-bound spot checks."""
+
+    def test_sampled_configs_are_valid(self):
+        from repro.analysis.bugcorpus import CONTROL, NUMERIC_CORPUS
+        from repro.analysis.fuzzing import sample_numeric_config
+        names = {s.name for s in NUMERIC_CORPUS} | {CONTROL.name}
+        rng = np.random.default_rng(0)
+        seen_kernels, seen_spots = set(), set()
+        for _ in range(60):
+            cfg = sample_numeric_config(rng)
+            assert cfg.mode == "numeric"
+            if cfg.kernel is not None:
+                assert cfg.kernel in names
+                seen_kernels.add(cfg.kernel)
+            else:
+                assert cfg.algorithm in FUZZ_ALGORITHMS
+                assert cfg.dtype in ("float32", "float64")
+                seen_spots.add((cfg.algorithm, cfg.n, cfg.dtype))
+        assert seen_kernels == names
+        assert seen_spots
+
+    def test_short_session_clean(self):
+        report = fuzz(6, seed=11, mode="numeric")
+        assert report.ok, report.failures
+        assert report.runs == 6
+
+    def test_replay_round_trip(self):
+        from repro.analysis.fuzzing import sample_numeric_config
+        cfg = sample_numeric_config(np.random.default_rng(4))
+        again = FuzzConfig.from_json(cfg.to_json())
+        assert again == cfg
+        assert run_one(again) is None
+
+    def test_spot_check_validates_a_bound(self):
+        cfg = FuzzConfig(algorithm="1R1W-SKSS-LB", n=64, tile_width=32,
+                         policy="round_robin", sim_seed=0, data_seed=0,
+                         residency=None, consistency="relaxed",
+                         tiny_device=False, mode="numeric",
+                         dtype="float32", kernel=None)
+        assert run_one(cfg) is None
+
+    def test_detects_a_blind_detector(self, monkeypatch):
+        """If find_numeric_bugs went blind, replaying the corpus must fail."""
+        import repro.analysis.numcheck as numcheck
+        monkeypatch.setattr(numcheck, "find_numeric_bugs", lambda fn: [])
+        cfg = FuzzConfig(algorithm="1R1W-SKSS-LB", n=32, tile_width=32,
+                         policy="round_robin", sim_seed=0, data_seed=0,
+                         residency=None, consistency="relaxed",
+                         tiny_device=False, mode="numeric",
+                         dtype="float64", kernel="rounding-roundtrip")
+        error = run_one(cfg)
+        assert error is not None and "rounding-roundtrip" in error
+
+    def test_flagging_the_control_is_a_failure(self, monkeypatch):
+        import repro.analysis.numcheck as numcheck
+        monkeypatch.setattr(
+            numcheck, "find_numeric_bugs",
+            lambda fn: [{"kind": "rounding-roundtrip", "kernel": fn.__name__,
+                         "file": "x.py", "line": 1, "detail": "bogus"}])
+        cfg = FuzzConfig(algorithm="1R1W-SKSS-LB", n=32, tile_width=32,
+                         policy="round_robin", sim_seed=0, data_seed=0,
+                         residency=None, consistency="relaxed",
+                         tiny_device=False, mode="numeric",
+                         dtype="float64", kernel="correct")
+        error = run_one(cfg)
+        assert error is not None and "clean" in error

@@ -21,9 +21,11 @@ class TestRealTreeIsClean:
         the set is deliberate (this pin makes silent shrinkage fail)."""
         targets = default_targets()
         assert [t.name for t in targets] == [
-            "primitives", "sat", "kernels.py", "kernel.py"]
+            "primitives", "sat", "kernels.py", "incremental.py",
+            "kernel.py"]
         assert targets[2].parent.name == "hostexec"
-        assert targets[3].parent.name == "gpusim"
+        assert targets[3].parent.name == "hostexec"
+        assert targets[4].parent.name == "gpusim"
         assert all(t.exists() for t in targets)
 
     def test_no_findings_in_kernel_sources(self):
@@ -273,10 +275,70 @@ class TestKL006RedundantTraffic:
             assert set(spec.expected_lint) <= got, spec.name
 
 
+class TestKL007RoundtripUpdates:
+    def test_augassign_shape_flagged(self):
+        findings = _lint("""
+            def kern(ctx, data):
+                work = ctx.gload_scalar(data, 0)
+                new = work + ctx.gload_scalar(data, 1)
+                work += new - work
+        """)
+        assert "KL007" in _rules(findings)
+
+    def test_plain_assign_shape_flagged(self):
+        findings = _lint("""
+            def kern(ctx, data):
+                acc = ctx.gload_scalar(data, 0)
+                acc = acc + (fresh - acc)
+        """)
+        assert "KL007" in _rules(findings)
+
+    def test_subscripted_accumulator_flagged(self):
+        findings = _lint("""
+            def kern(ctx, data):
+                tile[0, 0] += new - tile[0, 0]
+        """)
+        assert "KL007" in _rules(findings)
+
+    def test_kahan_compensation_is_clean(self):
+        """Kahan's ``comp = (t - total) - y`` subtracts *from* the target
+        but never folds the target back through a ``+=``-style roundtrip."""
+        findings = _lint("""
+            def kern(ctx, data):
+                y = ctx.gload_scalar(data, 0) - comp
+                t = total + y
+                comp = (t - total) - y
+                total = t
+        """)
+        assert "KL007" not in _rules(findings)
+
+    def test_direct_accumulation_is_clean(self):
+        findings = _lint("""
+            def kern(ctx, data):
+                acc = acc + ctx.gload_scalar(data, 0)
+                acc += ctx.gload_scalar(data, 1)
+        """)
+        assert "KL007" not in _rules(findings)
+
+    def test_numeric_corpus_entries_flagged(self):
+        """The planted rounding bugs carry their expected KL007 hit (the
+        same acceptance pin shape as the cost corpus above)."""
+        import repro.analysis.bugcorpus as bugcorpus
+        from repro.analysis import lint_file
+        from repro.analysis.bugcorpus import NUMERIC_CORPUS
+        findings = lint_file(bugcorpus.__file__)
+        by_function = {}
+        for f in findings:
+            by_function.setdefault(f.function, set()).add(f.rule)
+        for spec in NUMERIC_CORPUS:
+            got = by_function.get(spec.kernel.__name__, set())
+            assert set(spec.expected_lint) <= got, spec.name
+
+
 class TestLintPlumbing:
     def test_every_rule_has_a_description(self):
         assert set(RULES) == {"KL001", "KL002", "KL003", "KL004", "KL005",
-                              "KL006"}
+                              "KL006", "KL007"}
 
     def test_findings_are_ordered_and_printable(self):
         findings = _lint("""

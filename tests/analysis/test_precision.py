@@ -47,6 +47,26 @@ class TestKahan:
         assert sat_kahan(np.random.default_rng(0).random((8, 8))).dtype == \
             np.float32
 
+    def test_kahan_float64_mode(self):
+        """numcheck's float64 oracle: compensated float64 scans must beat a
+        plain float64 double cumsum on half-ulp dust (the adversarial
+        family that maximizes plain-summation absorption)."""
+        from repro.apps.synthetic import halfulp_dust
+        a = halfulp_dust(256, dtype=np.float64, seed=1)
+        got = sat_kahan(a, np.float64)
+        assert got.dtype == np.float64
+        import math
+        from fractions import Fraction
+        exact = Fraction(0)
+        for v in a.ravel():
+            exact += Fraction(v)
+        plain = a.cumsum(axis=0).cumsum(axis=1)
+        err_kahan = abs(Fraction(float(got[-1, -1])) - exact)
+        err_plain = abs(Fraction(float(plain[-1, -1])) - exact)
+        assert err_kahan <= err_plain
+        assert math.isclose(float(got[-1, -1]), float(exact),
+                            rel_tol=1e-12)
+
 
 class TestErrorMetric:
     def test_zero_for_exact(self, rng):
@@ -58,3 +78,20 @@ class TestErrorMetric:
         sat = sat_reference(a).copy()
         sat[8, 8] += 1.0
         assert max_relative_error(sat, a) > 1e-3
+
+    def test_small_entries_do_not_inflate_the_metric(self):
+        """The max(|exact|, 1) floor keeps near-zero SAT corners from
+        turning a tiny absolute error into a huge relative one."""
+        a = np.full((8, 8), 1e-9)
+        sat = sat_reference(a) + 1e-10
+        assert max_relative_error(sat, a) <= 1e-10 * (1 + 1e-6)
+
+
+class TestReportShape:
+    def test_rows_follow_sizes(self):
+        rows = precision_report((32, 64), seed=5)
+        assert [r.n for r in rows] == [32, 64]
+
+    def test_ulps_needed_quadratic(self):
+        assert ulps_needed(2048) == 4 * ulps_needed(1024)
+        assert ulps_needed(1024) > 0

@@ -5,7 +5,7 @@ import pytest
 
 from repro.analysis import check_counts, check_result
 from repro.gpusim import GPU
-from repro.sat import SKSSLB1R1W, compute_sat
+from repro.sat import SKSSLB1R1W, compute_sat, sat_reference
 
 
 class TestCheckResult:
@@ -17,6 +17,24 @@ class TestCheckResult:
         res = compute_sat(small_matrix, gpu=GPU(seed=1))
         res.sat[3, 3] += 1
         assert not check_result(res, small_matrix)
+
+    def test_float32_mixed_magnitude_at_scale(self):
+        """The regression the derived tolerances exist for: a healthy
+        float32 SAT of a large sign-mixed matrix.  The retired hardcoded
+        constants (``rtol=1e-9, atol=1e-6``) misjudge this result — its
+        legitimate rounding error dwarfs both — while the proven
+        mass-relative budget accepts it and still rejects corruption."""
+        from repro.apps.synthetic import sign_alternating
+        a = sign_alternating(4096, seed=7).astype(np.float32)
+        res = compute_sat(a, simulate=False)
+        want = sat_reference(a.astype(np.float64)).astype(np.float32)
+        diff = np.abs(res.sat.astype(np.float64)
+                      - want.astype(np.float64))
+        assert (diff > 1e-6 + 1e-9 * np.abs(want)).any()  # old gate fails
+        assert check_result(res, a)
+        res.sat[2048, 2048] += np.float32(
+            64 * np.abs(a).astype(np.float64).sum())
+        assert not check_result(res, a)
 
 
 class TestCheckCounts:

@@ -3,8 +3,10 @@
 import numpy as np
 import pytest
 
-from repro.apps.synthetic import (checkerboard, gaussian_blobs, gradient_image,
-                                  noisy_document, texture)
+from repro.apps.synthetic import (checkerboard, diag_dust, exponent_spread,
+                                  gaussian_blobs, gradient_image,
+                                  halfulp_dust, noisy_document,
+                                  sign_alternating, texture)
 from repro.errors import ConfigurationError
 
 
@@ -52,3 +54,57 @@ class TestGenerators:
         t = texture(48, seed=2)
         assert t.min() == pytest.approx(0.0)
         assert t.max() == pytest.approx(1.0)
+
+
+class TestAdversarialGenerators:
+    """The numcheck probe families (see repro.analysis.numcheck)."""
+
+    @pytest.mark.parametrize("gen", [sign_alternating, exponent_spread,
+                                     halfulp_dust, diag_dust])
+    def test_shapes_and_determinism(self, gen):
+        a = gen((24, 40), seed=3)
+        assert a.shape == (24, 40)
+        assert np.array_equal(a, gen((24, 40), seed=3))
+
+    def test_sign_alternating_cancels(self):
+        """Adjacent signs alternate, so the SAT stays far below the
+        absolute mass — the regime where result-relative tolerances
+        misjudge healthy results."""
+        a = sign_alternating(64, seed=1)
+        assert (np.sign(a[:-1, :]) == -np.sign(a[1:, :])).all()
+        assert abs(a.sum()) < 0.1 * np.abs(a).sum()
+
+    def test_exponent_spread_is_positive_and_wide(self):
+        a = exponent_spread(64, seed=2, span=24)
+        assert (a > 0).all()
+        assert a.max() / a.min() > 2.0**40
+
+    def test_halfulp_dust_rounds_away(self):
+        """Each dust grain is below half an ulp of the dominant 1.0, so a
+        running float32 sum that starts at the dominant absorbs nothing."""
+        a = halfulp_dust(32, dtype=np.float32, seed=0)
+        assert a[0, 0] == 1.0
+        rest = np.delete(a.ravel(), 0)
+        eps32 = np.finfo(np.float32).eps
+        assert (0 < rest).all() and (rest < 0.5 * eps32).all()
+        acc = np.float32(1.0)
+        for v in rest[:100]:
+            acc = np.float32(acc + np.float32(v))
+        assert acc == np.float32(1.0)
+
+    def test_diag_dust_off_diagonal_tiles_are_zero(self):
+        """Only diagonal-tile edges carry dust: every wavefront boundary
+        carry outside the diagonal stays exactly 0.0, which is what lets
+        the probe drive the O(t*W) gs chain."""
+        a = diag_dust(128, tile=32, dtype=np.float64, seed=0)
+        assert a[0, 0] == 1.0
+        for bi in range(4):
+            for bj in range(4):
+                block = a[bi * 32:(bi + 1) * 32, bj * 32:(bj + 1) * 32]
+                if bi != bj:
+                    assert not block.any()
+        assert np.count_nonzero(a) > 4 * 32
+
+    def test_diag_dust_invalid_tile(self):
+        with pytest.raises(ConfigurationError):
+            diag_dust(64, tile=0)

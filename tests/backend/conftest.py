@@ -65,15 +65,21 @@ def assert_matches():
 
     ``bit_identical`` backends (and every backend on integer accumulators)
     must match exactly; float results from reduction-reordering backends are
-    held to a tolerance scaled to the accumulation depth.
+    held to the statically proven rounding budget
+    (:func:`repro.analysis.tolerances.derived_tolerance`, worst case over
+    the Table I algorithms — both legs of the comparison accumulate, hence
+    ``oracle="host"``).
     """
+    from repro.analysis.tolerances import assert_sat_close, derived_tolerance
+
     def check(spec, got, want):
         assert got.shape == want.shape
         assert got.dtype == want.dtype
         if spec.bit_identical or np.issubdtype(got.dtype, np.integer):
             np.testing.assert_array_equal(got, want)
         else:
-            rtol = float(np.finfo(got.dtype).eps) * 4 * sum(got.shape)
-            atol = rtol * max(1.0, float(np.abs(want).max()))
-            np.testing.assert_allclose(got, want, rtol=rtol, atol=atol)
+            tol = derived_tolerance(None, got.shape, got.dtype,
+                                    tile_width=16, oracle="host")
+            assert_sat_close(got, want, tol,
+                             context=f"backend '{spec.name}'")
     return check

@@ -34,9 +34,13 @@ class TestOutOfCoreSat:
             assert np.array_equal(got, sat_reference(a)), band
 
     def test_rectangular_matrix(self, rng):
+        from repro.analysis.tolerances import (assert_sat_close,
+                                               derived_tolerance)
         a = rng.normal(size=(30, 90))
         got = out_of_core_sat(a, band_rows=7)
-        assert np.allclose(got, sat_reference(a))
+        tol = derived_tolerance(None, a.shape, got.dtype,
+                                extra_depth=sum(a.shape))
+        assert_sat_close(got, sat_reference(a), tol, abs_input=a)
 
     def test_square_bands_through_algorithm_host(self, rng):
         a = rng.integers(0, 9, size=(128, 64)).astype(float)

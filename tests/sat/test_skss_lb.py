@@ -157,6 +157,9 @@ class TestExecution:
         assert np.array_equal(relaxed.sat, strong.sat)
 
     def test_float_data(self, rng):
+        from repro.analysis.tolerances import (assert_sat_close,
+                                               derived_tolerance)
         a = rng.normal(size=(64, 64))
         res = SKSSLB1R1W().run(a, GPU(seed=7))
-        assert np.allclose(res.sat, sat_reference(a), atol=1e-9)
+        tol = derived_tolerance("1R1W-SKSS-LB", a.shape, res.sat.dtype)
+        assert_sat_close(res.sat, sat_reference(a), tol, abs_input=a)

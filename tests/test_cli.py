@@ -245,6 +245,34 @@ class TestCostcheck:
         assert "OK" in out
 
 
+class TestNumcheck:
+    def test_small_static_run_passes(self, capsys):
+        code, out = run_cli(capsys, "numcheck", "-a", "1R1W-SKSS-LB",
+                            "-n", "128", "--no-device")
+        assert code == 0
+        assert "PASS" in out
+        assert "D = 6*t + 5*W + 3" in out
+        assert "rounding-roundtrip" in out   # the planted corpus ran
+
+    def test_json_export(self, capsys, tmp_path):
+        import json
+        path = tmp_path / "numcheck.json"
+        code, out = run_cli(capsys, "numcheck", "-a", "2R1W", "-n", "128",
+                            "--no-device", "--no-corpus",
+                            "--json", str(path))
+        assert code == 0
+        payload = json.loads(path.read_text())
+        assert payload["ok"] is True
+        assert payload["algorithms"][0]["depth"] == "4*t + 5*W - 1"
+        assert all(r["ok"] for r in payload["validation"])
+
+    def test_fuzz_numeric_mode(self, capsys):
+        code, out = run_cli(capsys, "fuzz", "--runs", "4",
+                            "--mode", "numeric")
+        assert code == 0
+        assert "OK" in out
+
+
 class TestMisc:
     def test_trace(self, capsys):
         code, out = run_cli(capsys, "trace", "-n", "64")
@@ -256,6 +284,22 @@ class TestMisc:
         assert code == 0
         for name in ("2R2W", "1R1W-SKSS-LB", "aliases"):
             assert name in out
+
+    def test_list_json_carries_proven_error_bounds(self, capsys):
+        """The machine-readable listing pins every algorithm's proven
+        rounding bound; a kernel change that shifts a closed form must
+        show up here (drift pin, numcheck is the source)."""
+        import json
+        code, out = run_cli(capsys, "list", "--json", "-")
+        assert code == 0
+        payload = json.loads(out)
+        bounds = payload["error_bounds"]
+        assert bounds["1R1W-SKSS-LB"] == \
+            "|err| <= gamma_D * SAT(|a|), D = 6*t + 5*W + 3"
+        assert bounds["1R1W"] == \
+            "|err| <= gamma_D * SAT(|a|), D = 2*t*W + 3*t + 2*W"
+        assert set(bounds) == {"2R2W", "2R2W-optimal", "2R1W", "1R1W",
+                               "(1+r)R1W", "1R1W-SKSS", "1R1W-SKSS-LB"}
 
     def test_no_command_exits(self):
         with pytest.raises(SystemExit):
